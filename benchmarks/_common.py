@@ -1,0 +1,141 @@
+"""Shared infrastructure for the benchmark/experiment harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper:
+run it standalone (``python benchmarks/bench_fig9_delay_cdf.py``) to print
+the paper-style rows, or through ``pytest benchmarks/ --benchmark-only``
+to also time the computational kernel.
+
+Scaling: the synthetic data sets default to ``REPRO_BENCH_SCALE`` (0.15)
+of the paper's trace volume so the whole harness completes on a laptop;
+set ``REPRO_BENCH_SCALE=1.0`` for paper-sized runs.  Results are cached
+per process so the figure benches can share traces and profiles.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.grids import DAY, HOUR, MINUTE, WEEK, format_duration, paper_delay_grid
+from repro.analysis.tables import render_series, render_table
+from repro.core import PathProfileSet, TemporalNetwork, compute_profiles
+from repro.traces import datasets
+from repro.traces.filters import internal_only
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+#: Hop bounds recorded for the figure experiments (paper: 1..6 and inf).
+FIGURE_HOP_BOUNDS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+
+#: Per-data-set scale multipliers: Reality Mining's nine months and the
+#: Infocom06 crowd are shrunk further than the small data sets, while the
+#: tiny Hong-Kong trace is boosted back towards full size (scales are
+#: clamped at 1.0, i.e. paper size).
+DATASET_SCALE = {
+    "infocom05": 1.0,
+    "infocom06": 0.5,
+    "hongkong": 8.0,
+    "reality": 0.15,
+}
+
+
+def banner(experiment: str, description: str) -> None:
+    print()
+    print("=" * 72)
+    print(f"{experiment}: {description}")
+    print(f"(scale={SCALE}, seed={SEED})")
+    print("=" * 72)
+
+
+def effective_scale(name: str) -> float:
+    return min(SCALE * DATASET_SCALE.get(name, 1.0), 1.0)
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, **kwargs) -> TemporalNetwork:
+    return datasets.build(name, seed=SEED, scale=effective_scale(name), **kwargs)
+
+
+def internal_pairs(net: TemporalNetwork) -> "list[tuple]":
+    """All ordered pairs of internal (non-"ext") devices."""
+    internal = [
+        n for n in net.nodes if not (isinstance(n, str) and str(n).startswith("ext"))
+    ]
+    return [(s, d) for s in internal for d in internal if s != d]
+
+
+@lru_cache(maxsize=None)
+def profiles_for(name: str, **kwargs) -> PathProfileSet:
+    net = dataset(name, **kwargs)
+    internal = [
+        n for n in net.nodes if not (isinstance(n, str) and str(n).startswith("ext"))
+    ]
+    return compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS, sources=internal)
+
+
+@lru_cache(maxsize=None)
+def infocom06_day2() -> TemporalNetwork:
+    """The busiest whole day of the Infocom06 trace (paper Section 6)."""
+    from repro.traces.filters import time_window
+
+    net = dataset("infocom06")
+    t0, t1 = net.span
+    if t1 - t0 <= 86400.0:
+        return net
+    best = None
+    best_count = -1
+    day = t0
+    while day + 86400.0 <= t1 + 1.0:
+        window = time_window(net, day, day + 86400.0)
+        if window.num_contacts > best_count:
+            best_count = window.num_contacts
+            best = window
+        day += 86400.0
+    return best
+
+
+@lru_cache(maxsize=None)
+def infocom06_day2_profiles() -> PathProfileSet:
+    """Cached base profiles shared by the Figure 10/11/12 benches."""
+    return compute_profiles(infocom06_day2(), hop_bounds=FIGURE_HOP_BOUNDS)
+
+
+def figure_grid(net: TemporalNetwork, points: int = 40) -> np.ndarray:
+    """The paper's [2 min, week] log axis, clipped to the trace span."""
+    t_max = min(WEEK, max(net.duration, 10 * MINUTE))
+    return paper_delay_grid(points=points, t_min=2 * MINUTE, t_max=t_max)
+
+
+def cdf_rows(
+    grid: Sequence[float], curves: "dict", ticks: Optional[Sequence[float]] = None
+) -> str:
+    """Render delay-CDF curves (one column per hop bound) at tick delays."""
+    grid = np.asarray(grid)
+    if ticks is None:
+        ticks = [t for t in (2 * MINUTE, 10 * MINUTE, HOUR, 3 * HOUR, 6 * HOUR,
+                             DAY, 2 * DAY, WEEK) if grid[0] <= t <= grid[-1]]
+    indices = [int(np.argmin(np.abs(grid - t))) for t in ticks]
+    columns = {}
+    for bound in sorted(curves, key=lambda k: (k is None, k)):
+        label = "inf" if bound is None else str(bound)
+        columns[f"k={label}"] = [
+            f"{curves[bound].values[i]:.4f}" for i in indices
+        ]
+    return render_series(
+        "delay", [format_duration(grid[i]) for i in indices], columns
+    )
+
+
+def run_benchmark_once(benchmark, func, *args, **kwargs):
+    """Run an expensive kernel exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+def standalone(main_func) -> None:
+    """Entry point helper for running a bench file as a script."""
+    sys.exit(main_func() or 0)

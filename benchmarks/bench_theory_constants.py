@@ -1,0 +1,56 @@
+"""Section 3.2.2-3.2.3 worked examples — critical constants at lambda = 0.5.
+
+The paper's in-text examples: for short contacts at lambda = 0.5 the
+delay-optimal path has delay ~ 2.47 ln N and hop count gamma* tau* ln N;
+for long contacts at lambda = 0.5, tau* = 1/(-ln(1-lambda)) with the same
+number of hops (gamma* = 1).  (The OCR of the available paper text reads
+"k ~ .64 ln N" and "t ~ 1.69 ln N" where the paper's own formulas give
+0.82 and 1.44; see DESIGN.md / EXPERIMENTS.md.)
+"""
+
+import math
+
+from _common import banner, render_table, run_benchmark_once, standalone
+from repro.random_temporal import theory
+
+LAMBDA = 0.5
+
+
+def compute():
+    rows = []
+    for case in ("short", "long"):
+        tau = theory.critical_tau(LAMBDA, case)
+        gamma = theory.optimal_gamma(LAMBDA, case)
+        hops = theory.expected_hop_constant(LAMBDA, case)
+        rows.append([case, round(gamma, 4), round(tau, 4), round(hops, 4)])
+    return rows
+
+
+def main():
+    banner("Theory constants", "worked examples of Sections 3.2.2-3.2.3")
+    rows = compute()
+    print(
+        render_table(
+            ["case", "gamma*", "tau* (delay / ln N)", "hops / ln N"],
+            rows,
+            title=f"lambda = {LAMBDA}",
+        )
+    )
+    short = rows[0]
+    long_ = rows[1]
+    assert short[2] == round(1 / math.log(1.5), 4) == 2.4663
+    assert abs(short[3] - short[1] * short[2]) < 1e-3  # k = gamma* tau*
+    assert long_[2] == round(1 / math.log(2.0), 4) == 1.4427
+    assert long_[1] == 1.0  # gamma* = lambda/(1-lambda) = 1
+    assert long_[2] == long_[3]  # same delay and hop constants
+    print("\nPaper text: delay ~ 2.47 ln N (short), hop and delay constants"
+          " equal in the long case at lambda = 0.5 -- reproduced exactly")
+
+
+def test_benchmark_theory_constants(benchmark):
+    rows = run_benchmark_once(benchmark, compute)
+    assert len(rows) == 2
+
+
+if __name__ == "__main__":
+    standalone(main)

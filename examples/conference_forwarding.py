@@ -1,0 +1,85 @@
+"""Designing a forwarding algorithm with the diameter in hand.
+
+The paper's design implication (Section 7): "messages can be discarded
+after a few number of hops without occurring more than a marginal
+performance cost".  This example measures it: classic opportunistic
+forwarding algorithms run over a conference trace, comparing success
+rate, delay and copy cost — the hop-capped epidemic at the measured
+diameter performs like unbounded flooding at a fraction of the cost of
+nothing-capped epidemic... and far better than single-copy schemes.
+
+Run:  python examples/conference_forwarding.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core import compute_profiles, diameter
+from repro.analysis.grids import paper_delay_grid
+from repro.forwarding import (
+    DirectDelivery,
+    Epidemic,
+    Message,
+    SprayAndWait,
+    TwoHopRelay,
+    simulate_workload,
+)
+from repro.traces import datasets
+
+NUM_MESSAGES = 80
+
+
+def random_workload(net, rng, num_messages):
+    nodes = list(net.nodes)
+    t0, t1 = net.span
+    messages = []
+    for _ in range(num_messages):
+        s, d = rng.choice(len(nodes), size=2, replace=False)
+        created = float(rng.uniform(t0, t0 + 0.5 * (t1 - t0)))
+        messages.append(Message(nodes[int(s)], nodes[int(d)], created))
+    return messages
+
+
+def main():
+    net = datasets.infocom05(seed=3, scale=0.05)
+    print(f"trace: {net}")
+
+    # First, measure the diameter the paper's way.
+    profiles = compute_profiles(net, hop_bounds=tuple(range(1, 11)))
+    grid = paper_delay_grid(points=10, t_min=120.0,
+                            t_max=min(7 * 86400.0, net.duration))
+    measured = diameter(profiles, grid, eps=0.01,
+                        hop_bounds=tuple(range(1, 11)))
+    print(f"measured 99%-diameter: {measured.value} hops\n")
+
+    rng = np.random.default_rng(17)
+    messages = random_workload(net, rng, NUM_MESSAGES)
+
+    algorithms = {
+        "flooding (no cap)": Epidemic(),
+        f"epidemic, cap={measured.value}": Epidemic(max_hops=measured.value),
+        "epidemic, cap=2": Epidemic(max_hops=2),
+        "two-hop relay": TwoHopRelay(),
+        "spray-and-wait (L=8)": SprayAndWait(copies=8),
+        "direct delivery": DirectDelivery(),
+    }
+    rows = []
+    for name, algorithm in algorithms.items():
+        outcome = simulate_workload(net, messages, algorithm)
+        rows.append(
+            [
+                name,
+                f"{outcome.success_rate:.2%}",
+                f"{outcome.mean_delay() / 60:.0f} min",
+                f"{outcome.mean_copies():.1f}",
+            ]
+        )
+    print(render_table(
+        ["algorithm", "success", "mean delay", "mean copies"], rows
+    ))
+    print("\nTakeaway: capping the epidemic at the diameter keeps the "
+          "success and delay of flooding; deeper relays buy nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Strangers connected by a city: the Hong-Kong experiment.
+
+The Hong-Kong participants were picked specifically to avoid social
+relationships, so they almost never meet each other — yet the paper finds
+a 6-hop diameter once the *external* Bluetooth devices they each bump
+into are allowed to relay.  This example quantifies that: delivery
+success among the 37 participants with and without external relays.
+
+Run:  python examples/hongkong_strangers.py
+"""
+
+from repro.analysis.grids import format_duration, paper_delay_grid
+from repro.analysis.tables import render_series
+from repro.core import compute_profiles, delay_cdf
+from repro.traces import datasets
+from repro.traces.filters import internal_only
+
+HOP_BOUNDS = tuple(range(1, 9))
+
+
+def internal_pair_list(net):
+    internal = [
+        n for n in net.nodes
+        if not (isinstance(n, str) and str(n).startswith("ext"))
+    ]
+    return internal, [(s, d) for s in internal for d in internal if s != d]
+
+
+def main():
+    full = datasets.hongkong(seed=1, scale=0.4)
+    stripped = internal_only(full)
+    internal, pairs = internal_pair_list(full)
+    externals = len(full) - len(internal)
+    print(f"with externals:    {full.num_contacts} contacts, "
+          f"{len(internal)} participants + {externals} external devices")
+    print(f"internal only:     {stripped.num_contacts} contacts\n")
+
+    grid = paper_delay_grid(points=7, t_min=600.0,
+                            t_max=min(7 * 86400.0, full.duration))
+    columns = {}
+    for label, net in (("with externals", full), ("internal only", stripped)):
+        profiles = compute_profiles(net, hop_bounds=HOP_BOUNDS, sources=internal)
+        cdf = delay_cdf(profiles, grid, max_hops=None, pairs=pairs)
+        columns[label] = [f"{v:.3f}" for v in cdf.values]
+    print("P[participant-to-participant delivery within t] (flooding):")
+    print(
+        render_series(
+            "delay",
+            [format_duration(float(g)) for g in grid],
+            columns,
+        )
+    )
+    print("\nTakeaway: strangers are mutually unreachable on their own;"
+          " opportunistic relaying through the surrounding city makes the"
+          " group a small world (paper: 6-hop diameter).")
+
+
+if __name__ == "__main__":
+    main()

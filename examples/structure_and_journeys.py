@@ -1,0 +1,82 @@
+"""Beyond the diameter: structural views and the journey taxonomy.
+
+Two complementary lenses on an opportunistic network:
+
+* the *static projection* earlier work measured ("seven degrees of
+  separation") versus the *time-respecting* paths the paper studies —
+  and the instantaneous transitivity that tells place-structured traces
+  (cliques) apart from pairwise ones;
+* the classic journey taxonomy (foremost / shortest / fastest) for a
+  concrete pair, with witness paths.
+
+Run:  python examples/structure_and_journeys.py
+"""
+
+from repro.analysis.grids import format_duration
+from repro.analysis.structure import (
+    mean_transitivity,
+    reachability_fraction,
+    static_summary,
+)
+from repro.analysis.tables import render_table
+from repro.core import compute_profiles
+from repro.core.journeys import journey_summary
+from repro.traces import datasets
+
+
+def main():
+    net = datasets.reality_mining(seed=1, scale=0.01)
+    print(f"trace: {net}\n")
+
+    static = static_summary(net)
+    print("static projection (ignores timing):")
+    print(f"  edges: {static.edges}, connected pairs: "
+          f"{static.connected_pairs_fraction:.0%}")
+    print(f"  mean path length: {static.mean_path_length:.2f}, "
+          f"static diameter: {static.static_diameter}")
+    print(f"  instantaneous transitivity: "
+          f"{mean_transitivity(net, num_probes=40):.2f} "
+          f"(1.0 = pure room cliques)\n")
+
+    t0, _ = net.span
+    morning = t0 + 9 * 3600.0  # probe from mid-morning, not midnight
+    for budget_hours in (1, 6, 24):
+        frac = reachability_fraction(
+            net, morning, budget_hours * 3600.0, sources=list(net.nodes)[:10]
+        )
+        print(f"temporal reachability within {budget_hours:>2}h "
+              f"of 9am day one: {frac:.0%}")
+
+    profiles = compute_profiles(net, hop_bounds=(1, 2, 3, 4))
+    # Pick a pair with an interesting (reachable, multi-hop) profile.
+    pair = None
+    for s in net.nodes:
+        for d in net.nodes:
+            if s != d and not profiles.profile(s, d, 1) and profiles.profile(s, d, None):
+                pair = (s, d)
+                break
+        if pair:
+            break
+    s, d = pair
+    print(f"\njourneys {s} -> {d} for a message created at trace start:")
+    summary = journey_summary(net, profiles, s, d, t0)
+    rows = []
+    for kind, journey in summary.items():
+        if journey is None:
+            rows.append([kind, "-", "-", "-"])
+        else:
+            rows.append([
+                kind,
+                format_duration(journey.arrival - t0),
+                format_duration(journey.duration),
+                journey.hops,
+            ])
+    print(render_table(["journey", "arrival (into trace)", "duration", "hops"],
+                       rows))
+    print("\nTakeaway: the foremost journey is what the paper's delivery"
+          " functions encode; shortest and fastest journeys fall out of"
+          " the same (LD, EA) frontier.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: a reproduction of "The Diameter of Opportunistic Mobile Networks".
+
+A. Chaintreau, A. Mtibaa, L. Massoulié, C. Diot — ACM CoNEXT 2007.
+
+The package computes, exactly and for all starting times at once, the
+delay-optimal multi-hop paths made available by opportunistic contacts in
+a mobility trace, and from them the network's (1 - eps)-diameter: the
+number of relay hops after which extra relays stop improving delivery, at
+every time scale.  It also contains the paper's random-temporal-network
+analysis (phase transition for constrained paths), synthetic stand-ins for
+the four mobility data sets the paper measured, baseline algorithms, and
+an opportunistic-forwarding simulator demonstrating the design implication
+(hop caps at the diameter are almost free).
+
+Quickstart::
+
+    import numpy as np
+    from repro import core, traces
+
+    net = traces.datasets.infocom05(seed=1)
+    profiles = core.compute_profiles(net, hop_bounds=(1, 2, 3, 4, 5, 6))
+    grid = np.geomspace(120, 7 * 86400, 50)
+    result = core.diameter(profiles, grid, eps=0.01)
+    print("99%-diameter:", result.value, "hops")
+"""
+
+from . import analysis, baselines, core, forwarding, mobility, random_temporal, traces
+from .core import (
+    Contact,
+    ContactPath,
+    DeliveryFunction,
+    TemporalNetwork,
+    compute_profiles,
+    delay_cdf,
+    diameter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Contact",
+    "ContactPath",
+    "DeliveryFunction",
+    "TemporalNetwork",
+    "analysis",
+    "baselines",
+    "compute_profiles",
+    "core",
+    "delay_cdf",
+    "diameter",
+    "forwarding",
+    "mobility",
+    "random_temporal",
+    "traces",
+]

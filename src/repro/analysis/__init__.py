@@ -1,0 +1,53 @@
+"""Shared numerics: empirical distributions, canonical grids, text tables."""
+
+from .cdf import EmpiricalCDF, ccdf_points, histogram_table
+from .grids import (
+    DAY,
+    HOUR,
+    MINUTE,
+    PAPER_TICKS,
+    WEEK,
+    format_duration,
+    paper_delay_grid,
+    slot_delay_grid,
+    tick_labels,
+)
+from .structure import (
+    InstantSnapshot,
+    StaticSummary,
+    aggregated_graph,
+    instantaneous_graph,
+    mean_transitivity,
+    reachability_fraction,
+    snapshot,
+    snapshots,
+    static_summary,
+)
+from .tables import format_cell, render_series, render_table
+
+__all__ = [
+    "DAY",
+    "EmpiricalCDF",
+    "HOUR",
+    "InstantSnapshot",
+    "MINUTE",
+    "PAPER_TICKS",
+    "StaticSummary",
+    "WEEK",
+    "aggregated_graph",
+    "ccdf_points",
+    "format_cell",
+    "format_duration",
+    "histogram_table",
+    "instantaneous_graph",
+    "mean_transitivity",
+    "paper_delay_grid",
+    "reachability_fraction",
+    "render_series",
+    "render_table",
+    "slot_delay_grid",
+    "snapshot",
+    "snapshots",
+    "static_summary",
+    "tick_labels",
+]

@@ -1,0 +1,93 @@
+"""Empirical distribution helpers that tolerate infinite observations.
+
+Delay distributions in the paper put explicit mass at +infinity ("If no
+path exists, we include an infinite value in the distribution"), which
+rules out most off-the-shelf ECDF utilities; this small class supports it
+directly and also serves the contact-duration CCDF of Figure 7.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """Empirical CDF of a sample that may contain +infinity.
+
+    The CDF is right-continuous; ``F(x) = P[X <= x]`` computed over the
+    full sample size (so ``F(max finite) < 1`` when infinite values are
+    present).
+    """
+
+    def __init__(self, sample: Iterable[float]):
+        values = list(sample)
+        if not values:
+            raise ValueError("empty sample")
+        self.num_infinite = sum(1 for v in values if math.isinf(v))
+        self._finite = np.sort(
+            np.asarray([v for v in values if not math.isinf(v)], dtype=float)
+        )
+        self.size = len(values)
+
+    @property
+    def finite_values(self) -> np.ndarray:
+        return self._finite
+
+    @property
+    def finite_fraction(self) -> float:
+        """Total probability mass on finite values."""
+        return len(self._finite) / self.size
+
+    def __call__(self, x: float) -> float:
+        return float(np.searchsorted(self._finite, x, side="right")) / self.size
+
+    def evaluate(self, grid: Sequence[float]) -> np.ndarray:
+        """Vectorised CDF values on an ascending grid."""
+        grid_arr = np.asarray(list(grid), dtype=float)
+        return np.searchsorted(self._finite, grid_arr, side="right") / self.size
+
+    def ccdf(self, grid: Sequence[float]) -> np.ndarray:
+        """Complementary CDF ``P[X > x]`` on a grid (Figure 7 style)."""
+        return 1.0 - self.evaluate(grid)
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with ``F(x) >= q``; inf when q exceeds the finite mass."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile level must be in [0, 1]")
+        if q == 0.0:
+            return float(self._finite[0]) if len(self._finite) else float("inf")
+        rank = math.ceil(q * self.size)
+        if rank > len(self._finite):
+            return float("inf")
+        return float(self._finite[rank - 1])
+
+    def mean_finite(self) -> float:
+        """Mean of the finite part (nan when everything is infinite)."""
+        if len(self._finite) == 0:
+            return math.nan
+        return float(self._finite.mean())
+
+
+def ccdf_points(sample: Iterable[float]) -> "Tuple[np.ndarray, np.ndarray]":
+    """(sorted values, P[X > value]) pairs for log-log CCDF plots."""
+    values = np.sort(np.asarray(list(sample), dtype=float))
+    if len(values) == 0:
+        raise ValueError("empty sample")
+    n = len(values)
+    ccdf = 1.0 - np.arange(1, n + 1) / n
+    return values, ccdf
+
+
+def histogram_table(
+    sample: Iterable[float], edges: Sequence[float]
+) -> List[Tuple[float, float, int]]:
+    """Counts of sample values per [edge_i, edge_{i+1}) bin."""
+    values = [v for v in sample]
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        count = sum(1 for v in values if lo <= v < hi)
+        rows.append((lo, hi, count))
+    return rows

@@ -1,0 +1,187 @@
+"""Structural analysis of temporal networks.
+
+Tools for the two graph views the opportunistic-networking literature
+reasons about:
+
+* the **instantaneous contact graph** at a time t — whose component
+  structure decides what flooding can do "for free" (within one long
+  contact chain), and whose transitivity distinguishes clique-like
+  co-presence from path-like pairwise meetings (see DESIGN.md §5.2b);
+* the **aggregated contact graph** over a window — the static projection
+  earlier work measured (e.g. Papadopouli & Schulzrinne's "seven degrees
+  of separation", reference [16] of the paper); its shortest-path lengths
+  lower-bound the temporal hop counts, since a temporal path is also a
+  path in the projection.
+
+Built on networkx for the classic graph metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core.contact import Node
+from ..core.temporal_network import TemporalNetwork
+
+
+def instantaneous_graph(net: TemporalNetwork, t: float) -> nx.Graph:
+    """The undirected graph of contacts active at time t."""
+    graph = nx.Graph()
+    graph.add_nodes_from(net.nodes)
+    for contact in net.contacts_active_at(t):
+        graph.add_edge(contact.u, contact.v)
+    return graph
+
+
+def aggregated_graph(
+    net: TemporalNetwork,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> nx.Graph:
+    """The static projection: an edge for every pair that ever met in
+    [t0, t1] (default: the whole trace), weighted by contact count."""
+    span0, span1 = net.span
+    lo = span0 if t0 is None else t0
+    hi = span1 if t1 is None else t1
+    graph = nx.Graph()
+    graph.add_nodes_from(net.nodes)
+    for contact in net.contacts:
+        if contact.t_end < lo or contact.t_beg > hi:
+            continue
+        if graph.has_edge(contact.u, contact.v):
+            graph[contact.u][contact.v]["weight"] += 1
+        else:
+            graph.add_edge(contact.u, contact.v, weight=1)
+    return graph
+
+
+@dataclass(frozen=True)
+class InstantSnapshot:
+    """Component statistics of one instantaneous contact graph."""
+
+    time: float
+    active_edges: int
+    num_components: int  # non-singleton components
+    largest_component: int
+    transitivity: float
+
+
+def snapshot(net: TemporalNetwork, t: float) -> InstantSnapshot:
+    """Component and transitivity statistics at one instant."""
+    graph = instantaneous_graph(net, t)
+    components = [c for c in nx.connected_components(graph) if len(c) > 1]
+    return InstantSnapshot(
+        time=t,
+        active_edges=graph.number_of_edges(),
+        num_components=len(components),
+        largest_component=max((len(c) for c in components), default=0),
+        transitivity=nx.transitivity(graph),
+    )
+
+
+def snapshots(
+    net: TemporalNetwork, times: Sequence[float]
+) -> List[InstantSnapshot]:
+    """Instantaneous component statistics at each probe time."""
+    return [snapshot(net, t) for t in times]
+
+
+def mean_transitivity(
+    net: TemporalNetwork, num_probes: int = 50
+) -> float:
+    """Average instantaneous transitivity over uniform probe times,
+    ignoring instants with no triads.  Near 1 for place-structured
+    (clique) co-presence, near 0 for independent pairwise meetings."""
+    t0, t1 = net.span
+    if t1 <= t0:
+        return math.nan
+    values = []
+    for t in np.linspace(t0, t1, num_probes):
+        graph = instantaneous_graph(net, float(t))
+        triads = sum(
+            d * (d - 1) for _, d in graph.degree()
+        )
+        if triads > 0:
+            values.append(nx.transitivity(graph))
+    if not values:
+        return math.nan
+    return float(np.mean(values))
+
+
+@dataclass(frozen=True)
+class StaticSummary:
+    """Shortest-path statistics of the aggregated contact graph."""
+
+    nodes: int
+    edges: int
+    connected_pairs_fraction: float
+    mean_path_length: float
+    static_diameter: Optional[int]
+
+
+def static_summary(net: TemporalNetwork) -> StaticSummary:
+    """The "seven degrees" view: path lengths in the static projection.
+
+    The static diameter lower-bounds the hop count any temporal path
+    needs, but ignores timing entirely — the paper's point is that even
+    *time-respecting* paths stay this short.
+    """
+    graph = aggregated_graph(net)
+    n = graph.number_of_nodes()
+    total_pairs = n * (n - 1) / 2
+    lengths = []
+    longest = 0
+    connected_pairs = 0
+    for component in nx.connected_components(graph):
+        if len(component) < 2:
+            continue
+        sub = graph.subgraph(component)
+        for source, targets in nx.all_pairs_shortest_path_length(sub):
+            for target, distance in targets.items():
+                if repr(source) < repr(target):
+                    lengths.append(distance)
+                    connected_pairs += 1
+                    if distance > longest:
+                        longest = distance
+    return StaticSummary(
+        nodes=n,
+        edges=graph.number_of_edges(),
+        connected_pairs_fraction=(
+            connected_pairs / total_pairs if total_pairs else 0.0
+        ),
+        mean_path_length=float(np.mean(lengths)) if lengths else math.nan,
+        static_diameter=longest if lengths else None,
+    )
+
+
+def reachability_fraction(
+    net: TemporalNetwork,
+    start_time: float,
+    time_budget: float,
+    sources: Optional[Sequence[Node]] = None,
+) -> float:
+    """Fraction of ordered pairs (s, d) with a time-respecting path from
+    s reaching d within ``time_budget`` of ``start_time`` — the temporal
+    "influence" counterpart of static connectivity."""
+    from ..baselines.flooding import flood
+
+    if time_budget < 0:
+        raise ValueError("time budget cannot be negative")
+    chosen = list(net.nodes) if sources is None else list(sources)
+    total = 0
+    reached = 0
+    deadline = start_time + time_budget
+    for source in chosen:
+        arrival = flood(net, source, start_time)
+        for destination in net.nodes:
+            if destination == source:
+                continue
+            total += 1
+            if arrival.get(destination, math.inf) <= deadline:
+                reached += 1
+    return reached / total if total else 0.0

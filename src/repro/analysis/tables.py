@@ -1,0 +1,66 @@
+"""Fixed-width text tables for benchmark output.
+
+Every benchmark prints the rows/series of the paper table or figure it
+regenerates; this module renders them uniformly so EXPERIMENTS.md can be
+assembled by copy-paste.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: trimmed floats, explicit inf/nan, str(rest)."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: "dict[str, Sequence[object]]",
+    title: str = "",
+) -> str:
+    """Render one x column plus one column per named series (figure data)."""
+    headers = [x_label] + list(series)
+    columns = [x_values] + [series[name] for name in series]
+    length = len(x_values)
+    for name, col in series.items():
+        if len(col) != length:
+            raise ValueError(f"series {name!r} length {len(col)} != {length}")
+    rows = [[col[i] for col in columns] for i in range(length)]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,28 @@
+"""Baseline algorithms the frontier method is validated and compared against.
+
+* :mod:`.flooding` — brute-force flooding from one (source, start time):
+  the ground truth for delivery times.
+* :mod:`.event_flooding` — the event-driven alternative the paper cites
+  (Zhang et al. [18]): flood from every contact boundary and merge.
+* :mod:`.dijkstra` — generalized Dijkstra (single starting time), with
+  witness-path reconstruction.
+"""
+
+from .dijkstra import earliest_arrival, earliest_arrival_path
+from .event_flooding import (
+    delivery_samples,
+    reconstruct_delivery_function,
+    sample_times,
+)
+from .flooding import earliest_delivery, flood, hop_arrival_curve
+
+__all__ = [
+    "delivery_samples",
+    "earliest_arrival",
+    "earliest_arrival_path",
+    "earliest_delivery",
+    "flood",
+    "hop_arrival_curve",
+    "reconstruct_delivery_function",
+    "sample_times",
+]

@@ -1,0 +1,194 @@
+"""Command-line front end: ``python -m repro`` or the ``repro`` script.
+
+Subcommands:
+
+* ``generate`` — synthesise one of the four data sets to a trace file;
+* ``summarize`` — print the Table 1 row of a trace file;
+* ``diameter`` — compute the (1 - eps)-diameter of a trace file;
+* ``delay-cdf`` — print the delay CDF per hop bound for a trace file;
+* ``theory`` — print the Section 3 constants for a contact rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.grids import format_duration, paper_delay_grid
+from .analysis.tables import render_table
+from .core.delay_cdf import delay_cdf
+from .core.diameter import diameter
+from .core.optimal import compute_profiles
+from .random_temporal import theory
+from .traces import datasets
+from .traces.format import read_contacts, write_contacts
+from .traces.stats import summarize
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", help="contact-trace file (u v t_beg t_end lines)")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    net = datasets.build(args.dataset, seed=args.seed, scale=args.scale)
+    write_contacts(net, args.output, header=f"synthetic {args.dataset}")
+    print(f"wrote {net.num_contacts} contacts / {len(net)} devices to {args.output}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    net = read_contacts(args.trace)
+    row = summarize(net, name=args.trace).as_row()
+    print(
+        render_table(
+            ["trace", "days", "granularity", "devices", "contacts", "rate/dev/h"],
+            [row],
+        )
+    )
+    return 0
+
+
+def _grid(args: argparse.Namespace) -> np.ndarray:
+    return paper_delay_grid(points=args.grid_points)
+
+
+def _cmd_diameter(args: argparse.Namespace) -> int:
+    net = read_contacts(args.trace)
+    bounds = tuple(range(1, args.max_hops + 1))
+    profiles = compute_profiles(net, hop_bounds=bounds)
+    result = diameter(profiles, _grid(args), eps=args.eps)
+    if result.value is None:
+        print(f"diameter > {args.max_hops} hops (raise --max-hops)")
+        return 1
+    print(f"({1 - args.eps:.0%})-diameter: {result.value} hops")
+    return 0
+
+
+def _cmd_delay_cdf(args: argparse.Namespace) -> int:
+    net = read_contacts(args.trace)
+    bounds = tuple(range(1, args.max_hops + 1))
+    profiles = compute_profiles(net, hop_bounds=bounds)
+    grid = _grid(args)
+    columns = {}
+    for bound in list(bounds) + [None]:
+        cdf = delay_cdf(profiles, grid, max_hops=bound)
+        label = "inf" if bound is None else str(bound)
+        columns[f"k={label}"] = [f"{v:.4f}" for v in cdf.values]
+    rows = [
+        [format_duration(g)] + [columns[name][i] for name in columns]
+        for i, g in enumerate(grid)
+    ]
+    print(render_table(["delay"] + list(columns), rows))
+    return 0
+
+
+def _cmd_journeys(args: argparse.Namespace) -> int:
+    from .core.journeys import journey_summary
+    from .traces.format import _parse_node
+
+    net = read_contacts(args.trace)
+    source = _parse_node(args.source)
+    destination = _parse_node(args.destination)
+    profiles = compute_profiles(net, hop_bounds=(1, 2), sources=[source])
+    summary = journey_summary(net, profiles, source, destination, args.at)
+    rows = []
+    for kind, journey in summary.items():
+        if journey is None:
+            rows.append([kind, "-", "-", "-", "unreachable"])
+        else:
+            rows.append(
+                [
+                    kind,
+                    format_duration(journey.departure),
+                    format_duration(journey.arrival),
+                    format_duration(journey.duration),
+                    journey.hops,
+                ]
+            )
+    print(
+        render_table(
+            ["journey", "departure", "arrival", "duration", "hops"],
+            rows,
+            title=f"{source!r} -> {destination!r} (message at t={args.at})",
+        )
+    )
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    rows = []
+    for case in ("short", "long"):
+        try:
+            tau = theory.critical_tau(args.rate, case)
+            hops = theory.expected_hop_constant(args.rate, case)
+            rows.append([case, f"{tau:.4f}", f"{hops:.4f}"])
+        except ValueError as exc:
+            rows.append([case, "-", str(exc)])
+    print(
+        render_table(
+            ["case", "critical tau (delay / ln N)", "hops / ln N"],
+            rows,
+            title=f"lambda = {args.rate}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diameter of opportunistic mobile networks (CoNEXT'07) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a data set")
+    gen.add_argument("dataset", choices=sorted(datasets.BUILDERS))
+    gen.add_argument("output")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.set_defaults(func=_cmd_generate)
+
+    summ = sub.add_parser("summarize", help="Table 1 row of a trace")
+    _add_trace_argument(summ)
+    summ.set_defaults(func=_cmd_summarize)
+
+    diam = sub.add_parser("diameter", help="(1-eps)-diameter of a trace")
+    _add_trace_argument(diam)
+    diam.add_argument("--eps", type=float, default=0.01)
+    diam.add_argument("--max-hops", type=int, default=8)
+    diam.add_argument("--grid-points", type=int, default=40)
+    diam.set_defaults(func=_cmd_diameter)
+
+    cdf = sub.add_parser("delay-cdf", help="delay CDF per hop bound")
+    _add_trace_argument(cdf)
+    cdf.add_argument("--max-hops", type=int, default=4)
+    cdf.add_argument("--grid-points", type=int, default=12)
+    cdf.set_defaults(func=_cmd_delay_cdf)
+
+    journeys = sub.add_parser(
+        "journeys", help="foremost/shortest/fastest journeys of a pair"
+    )
+    _add_trace_argument(journeys)
+    journeys.add_argument("source")
+    journeys.add_argument("destination")
+    journeys.add_argument("--at", type=float, default=0.0,
+                          help="message creation time (seconds)")
+    journeys.set_defaults(func=_cmd_journeys)
+
+    th = sub.add_parser("theory", help="Section 3 constants for a rate")
+    th.add_argument("rate", type=float)
+    th.set_defaults(func=_cmd_theory)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Core temporal-network machinery: the paper's primary contribution.
+
+Data model (contacts, temporal networks), the (LD, EA) path algebra,
+Pareto-frontier delivery functions, the all-starting-times optimal-path
+computation, exact delay CDFs and the (1 - eps)-diameter.
+"""
+
+from .contact import Contact, Node, merge_intervals
+from .delay_cdf import DelayCDF, delay_cdf, delay_cdf_per_hop_bound
+from .delivery import DeliveryFunction
+from .diameter import DiameterResult, diameter, diameter_vs_delay, success_curves
+from .journeys import (
+    Journey,
+    fastest_duration,
+    fastest_journey,
+    foremost_journey,
+    journey_summary,
+    shortest_journey,
+)
+from .optimal import PathProfileSet, SourceProfiles, compute_profiles
+from .pairs import (
+    PathPair,
+    can_concatenate,
+    concatenate,
+    dominates,
+    extend_with_contact,
+    pair_of_contact,
+    strictly_dominates,
+)
+from .paths import ContactPath, is_chained, is_valid_sequence
+from .storage import load_profiles, save_profiles
+from .temporal_network import EdgeContacts, TemporalNetwork
+from .transmission import (
+    SampledSuccess,
+    sampled_diameter,
+    sampled_start_times,
+    sampled_success_curves,
+)
+
+__all__ = [
+    "Contact",
+    "ContactPath",
+    "DelayCDF",
+    "DeliveryFunction",
+    "DiameterResult",
+    "EdgeContacts",
+    "Journey",
+    "Node",
+    "PathPair",
+    "PathProfileSet",
+    "SampledSuccess",
+    "SourceProfiles",
+    "TemporalNetwork",
+    "can_concatenate",
+    "compute_profiles",
+    "concatenate",
+    "delay_cdf",
+    "delay_cdf_per_hop_bound",
+    "diameter",
+    "diameter_vs_delay",
+    "dominates",
+    "extend_with_contact",
+    "fastest_duration",
+    "fastest_journey",
+    "foremost_journey",
+    "is_chained",
+    "is_valid_sequence",
+    "journey_summary",
+    "load_profiles",
+    "merge_intervals",
+    "pair_of_contact",
+    "sampled_diameter",
+    "sampled_start_times",
+    "sampled_success_curves",
+    "save_profiles",
+    "shortest_journey",
+    "strictly_dominates",
+    "success_curves",
+]

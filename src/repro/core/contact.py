@@ -1,0 +1,127 @@
+"""Contact records: the atomic events of an opportunistic mobile network.
+
+A *contact* is a time interval during which two devices can exchange data
+(paper, Section 4.2: "An edge from device u to device v, with label
+[t_beg; t_end], represents a contact, where u sees v during this time
+interval").  Contacts are the only input the rest of the library needs: a
+temporal network is a multiset of contacts over a node set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Contact:
+    """A contact between two devices over a closed time interval.
+
+    Ordering is lexicographic on ``(t_beg, t_end, repr(u), repr(v))`` so
+    that sorting a contact list yields chronological order of contact
+    starts (the order trace files conventionally use) and stays total
+    even when integer and string device ids are mixed, as in traces with
+    external Bluetooth devices.
+
+    Attributes:
+        t_beg: time the contact starts (seconds, or abstract time units).
+        t_end: time the contact ends; must satisfy ``t_end >= t_beg``.
+        u: the device that records the sighting.
+        v: the device being seen.
+    """
+
+    t_beg: float
+    t_end: float
+    u: Node
+    v: Node
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.t_beg) and math.isfinite(self.t_end)):
+            raise ValueError("contact endpoints must be finite")
+        if self.t_end < self.t_beg:
+            raise ValueError(
+                f"contact ends before it begins: [{self.t_beg}; {self.t_end}]"
+            )
+        if self.u == self.v:
+            raise ValueError(f"self-contact on node {self.u!r}")
+
+    def _sort_key(self) -> tuple:
+        return (self.t_beg, self.t_end, repr(self.u), repr(self.v))
+
+    def __lt__(self, other: "Contact") -> bool:
+        if not isinstance(other, Contact):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Contact") -> bool:
+        if not isinstance(other, Contact):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Contact") -> bool:
+        if not isinstance(other, Contact):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Contact") -> bool:
+        if not isinstance(other, Contact):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    @property
+    def duration(self) -> float:
+        """Length of the contact interval."""
+        return self.t_end - self.t_beg
+
+    @property
+    def nodes(self) -> tuple:
+        """The two endpoints, in recorded order."""
+        return (self.u, self.v)
+
+    def reversed(self) -> "Contact":
+        """The same interval seen from the other endpoint."""
+        return Contact(self.t_beg, self.t_end, self.v, self.u)
+
+    def overlaps(self, other: "Contact") -> bool:
+        """Whether the two contact intervals intersect in time."""
+        return self.t_beg <= other.t_end and other.t_beg <= self.t_end
+
+    def shifted(self, offset: float) -> "Contact":
+        """A copy translated in time by ``offset``."""
+        return Contact(self.t_beg + offset, self.t_end + offset, self.u, self.v)
+
+    def clipped(self, t_min: float, t_max: float) -> "Contact | None":
+        """The contact restricted to ``[t_min; t_max]``, or None if disjoint."""
+        beg = max(self.t_beg, t_min)
+        end = min(self.t_end, t_max)
+        if end < beg:
+            return None
+        return Contact(beg, end, self.u, self.v)
+
+
+def merge_intervals(contacts: "list[Contact]") -> "list[Contact]":
+    """Merge overlapping or touching contacts of the *same* ordered pair.
+
+    Scanning hardware frequently reports one physical encounter as several
+    abutting intervals; analysis of contact durations (paper Figure 7) wants
+    them merged.  Input may be unsorted; output is sorted by start time.
+
+    Raises ValueError if the contacts do not all share the same (u, v).
+    """
+    if not contacts:
+        return []
+    pair = (contacts[0].u, contacts[0].v)
+    if any((c.u, c.v) != pair for c in contacts):
+        raise ValueError("merge_intervals requires contacts of a single pair")
+    merged: list[Contact] = []
+    for contact in sorted(contacts):
+        if merged and contact.t_beg <= merged[-1].t_end:
+            last = merged[-1]
+            if contact.t_end > last.t_end:
+                merged[-1] = Contact(last.t_beg, contact.t_end, last.u, last.v)
+        else:
+            merged.append(contact)
+    return merged

@@ -1,0 +1,182 @@
+"""Exact empirical delay CDFs over sources, destinations and start times.
+
+Paper Section 5.3.1: "We combine all the observations of a trace uniformly
+among all sources, destinations, and for every starting time (in seconds)
+... the value of the CDF for a given time t is equal to the probability to
+successfully find a path within time t, when sources, destinations and
+message generation time are chosen at random.  If no path exists, we
+include an infinite value in the distribution."
+
+Because the delivery function of a pair is piecewise of the form
+``del(t) = max(t, EA_i)`` on ``(LD_{i-1}, LD_i]``, the probability that the
+delay is below a budget d has a closed form per piece; the CDF is therefore
+computed *exactly* (continuous-uniform start time over the observation
+window), with no start-time sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .contact import Node
+from .optimal import PathProfileSet
+
+__all__ = ["DelayCDF", "delay_cdf", "delay_cdf_per_hop_bound"]
+
+
+@dataclass(frozen=True)
+class DelayCDF:
+    """An empirical delay CDF evaluated on a delay grid.
+
+    Attributes:
+        grid: delay budgets (seconds), ascending.
+        values: P[delay <= budget] for each grid point.
+        success_at_infinity: P[any path exists] — the CDF's total finite
+            mass; ``1 - success_at_infinity`` is the mass at +infinity.
+        window: the (t0, t1) observation window of start times.
+        num_pairs: how many ordered (source, destination) pairs aggregated.
+    """
+
+    grid: np.ndarray
+    values: np.ndarray
+    success_at_infinity: float
+    window: Tuple[float, float]
+    num_pairs: int
+
+    def __post_init__(self) -> None:
+        if len(self.grid) != len(self.values):
+            raise ValueError("grid and values lengths differ")
+
+    def __call__(self, delay: float) -> float:
+        """CDF value at an arbitrary budget (step interpolation from below)."""
+        idx = int(np.searchsorted(self.grid, delay, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return float(self.values[idx])
+
+    def quantile(self, q: float) -> float:
+        """Smallest grid delay with CDF >= q; inf when never reached."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile level must be in [0, 1]")
+        above = np.nonzero(self.values >= q)[0]
+        if len(above) == 0:
+            return float("inf")
+        return float(self.grid[above[0]])
+
+
+def _segment_arrays(
+    profiles: PathProfileSet,
+    max_hops: Optional[int],
+    window: Tuple[float, float],
+    pairs: Optional[Iterable[Tuple[Node, Node]]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Flatten all delivery-function pieces clipped to the window.
+
+    Returns (piece start, piece end, arrival) arrays and the pair count.
+    """
+    t0, t1 = window
+    seg_beg: list = []
+    seg_end: list = []
+    arrivals: list = []
+    if pairs is None:
+        iterator = profiles.items(max_hops)
+        num_pairs = 0
+        for (_, _), func in iterator:
+            num_pairs += 1
+            for a, b, ea in func.segments():
+                lo = a if a > t0 else t0
+                hi = b if b < t1 else t1
+                if hi > lo:
+                    seg_beg.append(lo)
+                    seg_end.append(hi)
+                    arrivals.append(ea)
+    else:
+        pair_list = list(pairs)
+        num_pairs = len(pair_list)
+        for s, d in pair_list:
+            func = profiles.profile(s, d, max_hops)
+            for a, b, ea in func.segments():
+                lo = a if a > t0 else t0
+                hi = b if b < t1 else t1
+                if hi > lo:
+                    seg_beg.append(lo)
+                    seg_end.append(hi)
+                    arrivals.append(ea)
+    return (
+        np.asarray(seg_beg, dtype=float),
+        np.asarray(seg_end, dtype=float),
+        np.asarray(arrivals, dtype=float),
+        num_pairs,
+    )
+
+
+def delay_cdf(
+    profiles: PathProfileSet,
+    grid: Sequence[float],
+    max_hops: Optional[int] = None,
+    window: Optional[Tuple[float, float]] = None,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> DelayCDF:
+    """The empirical CDF of the optimal delivery delay.
+
+    Args:
+        profiles: result of :func:`repro.core.optimal.compute_profiles`.
+        grid: ascending delay budgets at which to evaluate the CDF.
+        max_hops: hop bound (None = unbounded, the flooding optimum).
+        window: start-time observation window; defaults to the trace span.
+        pairs: restrict to these ordered (source, destination) pairs;
+            default all ordered pairs over the computed sources.
+    """
+    grid_arr = np.asarray(list(grid), dtype=float)
+    if len(grid_arr) == 0:
+        raise ValueError("empty delay grid")
+    if np.any(np.diff(grid_arr) < 0):
+        raise ValueError("delay grid must be ascending")
+    if window is None:
+        window = profiles.network.span
+    t0, t1 = window
+    if t1 <= t0:
+        raise ValueError(f"degenerate observation window {window}")
+
+    seg_beg, seg_end, arrivals, num_pairs = _segment_arrays(
+        profiles, max_hops, window, pairs
+    )
+    total_mass = float(num_pairs) * (t1 - t0)
+    if total_mass == 0:
+        raise ValueError("no (source, destination) pairs to aggregate")
+
+    values = np.empty(len(grid_arr), dtype=float)
+    if len(seg_beg) == 0:
+        values.fill(0.0)
+        reachable = 0.0
+    else:
+        for i, budget in enumerate(grid_arr):
+            # Within a piece, delay <= budget iff t >= arrival - budget.
+            lo = np.maximum(seg_beg, arrivals - budget)
+            values[i] = float(np.maximum(seg_end - lo, 0.0).sum())
+        values /= total_mass
+        reachable = float((seg_end - seg_beg).sum()) / total_mass
+    return DelayCDF(
+        grid=grid_arr,
+        values=values,
+        success_at_infinity=reachable,
+        window=(t0, t1),
+        num_pairs=num_pairs,
+    )
+
+
+def delay_cdf_per_hop_bound(
+    profiles: PathProfileSet,
+    grid: Sequence[float],
+    hop_bounds: Sequence[Optional[int]],
+    window: Optional[Tuple[float, float]] = None,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> "Dict[Optional[int], DelayCDF]":
+    """Delay CDFs for several hop bounds at once (paper Figures 9-11)."""
+    return {
+        bound: delay_cdf(profiles, grid, bound, window, pairs)
+        for bound in hop_bounds
+    }

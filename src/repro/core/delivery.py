@@ -1,0 +1,190 @@
+"""Delivery functions: Pareto-minimal lists of (LD, EA) pairs.
+
+Paper Section 4.3 represents the delivery function of a source-destination
+pair by the pairs of values (LD, EA) of the optimal paths between them:
+
+    del(t) = min { max(t, EA_k)  :  t <= LD_k },      (paper Eq. 3)
+
+and observes (condition (4)) that only the pairs forming a Pareto frontier
+are needed.  With pairs sorted by increasing LD and all dominated pairs
+removed, the EA values are increasing too, and
+
+    del(t) = max(t, EA_i)   where i is the first index with LD_i >= t,
+
+(+infinity when no such index exists).  This module maintains that frontier
+incrementally; it is the central data structure of the reproduction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+from .pairs import PathPair
+
+INFINITY = float("inf")
+
+
+class DeliveryFunction:
+    """The optimal-delivery profile of one source-destination pair.
+
+    Internally two parallel lists, ``lds`` and ``eas``, both strictly
+    increasing.  An empty function means the destination is never reachable.
+    """
+
+    __slots__ = ("lds", "eas")
+
+    def __init__(self, pairs: Iterable[Tuple[float, float]] = ()):
+        self.lds: List[float] = []
+        self.eas: List[float] = []
+        for ld, ea in pairs:
+            self.insert(ld, ea)
+
+    # ------------------------------------------------------------------
+    # Frontier maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, ld: float, ea: float) -> bool:
+        """Insert the pair (ld, ea), keeping the frontier Pareto-minimal.
+
+        Returns True when the pair was genuinely new (not weakly dominated
+        by an existing pair); dominated existing pairs are removed.
+        Amortised O(log n) per surviving insertion.
+        """
+        lds, eas = self.lds, self.eas
+        lo = bisect_left(lds, ld)
+        if lo < len(lds) and eas[lo] <= ea:
+            # Some pair departs at least as late and arrives no later.
+            return False
+        # Pairs with LD <= ld and EA >= ea are now dominated: they form a
+        # suffix of [0, hi) because EA is increasing.
+        hi = bisect_right(lds, ld)
+        cut = bisect_left(eas, ea, 0, hi)
+        if cut != hi:
+            del lds[cut:hi]
+            del eas[cut:hi]
+        lds.insert(cut, ld)
+        eas.insert(cut, ea)
+        return True
+
+    def insert_pair(self, pair: PathPair) -> bool:
+        """`insert` accepting a :class:`PathPair`."""
+        return self.insert(pair.ld, pair.ea)
+
+    def merge(self, other: "DeliveryFunction") -> int:
+        """Insert every pair of ``other``; returns how many survived."""
+        added = 0
+        for ld, ea in zip(other.lds, other.eas):
+            if self.insert(ld, ea):
+                added += 1
+        return added
+
+    def copy(self) -> "DeliveryFunction":
+        clone = DeliveryFunction()
+        clone.lds = list(self.lds)
+        clone.eas = list(self.eas)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.lds)
+
+    def __bool__(self) -> bool:
+        return bool(self.lds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeliveryFunction):
+            return NotImplemented
+        return self.lds == other.lds and self.eas == other.eas
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable container
+        raise TypeError("DeliveryFunction is unhashable")
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"(LD={ld:g}, EA={ea:g})" for ld, ea in zip(self.lds, self.eas)
+        )
+        return f"DeliveryFunction([{pairs}])"
+
+    def pairs(self) -> Iterator[PathPair]:
+        """The frontier as :class:`PathPair` values, LD ascending."""
+        return (PathPair(ld, ea) for ld, ea in zip(self.lds, self.eas))
+
+    def delivery_time(self, t: float) -> float:
+        """``del(t)``: the optimal delivery time of a message created at t."""
+        i = bisect_left(self.lds, t)
+        if i == len(self.lds):
+            return INFINITY
+        ea = self.eas[i]
+        return ea if ea > t else t
+
+    def delay(self, t: float) -> float:
+        """``del(t) - t``: the optimal delivery delay at start time t."""
+        delivery = self.delivery_time(t)
+        return delivery - t if delivery != INFINITY else INFINITY
+
+    def dominated(self, ld: float, ea: float) -> bool:
+        """Whether (ld, ea) is weakly dominated by the frontier."""
+        lo = bisect_left(self.lds, ld)
+        return lo < len(self.lds) and self.eas[lo] <= ea
+
+    @property
+    def last_departure(self) -> float:
+        """Latest start time with a finite delivery; -inf when unreachable."""
+        return self.lds[-1] if self.lds else -INFINITY
+
+    def segments(self) -> Iterator[Tuple[float, float, float]]:
+        """Yield (seg_beg, seg_end, ea) pieces of the delivery function.
+
+        Within start times ``t`` in the half-open piece ``(seg_beg,
+        seg_end]``, ``del(t) = max(t, ea)``.  The first piece begins at
+        -inf; start times beyond the last LD have infinite delay and are
+        *not* yielded.
+        """
+        prev = -INFINITY
+        for ld, ea in zip(self.lds, self.eas):
+            yield (prev, ld, ea)
+            prev = ld
+
+    def success_measure(self, delay_budget: float, t0: float, t1: float) -> float:
+        """Lebesgue measure of start times in [t0, t1] with delay <= budget.
+
+        Exact (no sampling): on the piece (a, b] with arrival ea, the delay
+        is ``max(0, ea - t)``, so the piece contributes the length of
+        ``[max(a, ea - budget, t0), min(b, t1)]``.  Dividing by ``t1 - t0``
+        gives the success probability of paper Section 5.3.1 for one pair.
+        """
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for seg_beg, seg_end, ea in self.segments():
+            hi = seg_end if seg_end < t1 else t1
+            lo = seg_beg if seg_beg > t0 else t0
+            earliest_ok = ea - delay_budget
+            if earliest_ok > lo:
+                lo = earliest_ok
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def reachable_measure(self, t0: float, t1: float) -> float:
+        """Measure of start times in [t0, t1] with *any* finite delivery."""
+        if t1 <= t0 or not self.lds:
+            return 0.0
+        hi = self.lds[-1] if self.lds[-1] < t1 else t1
+        return max(0.0, hi - t0)
+
+    def validate(self) -> None:
+        """Assert the frontier invariants; used by property tests."""
+        lds, eas = self.lds, self.eas
+        if len(lds) != len(eas):
+            raise AssertionError("parallel arrays out of sync")
+        for i in range(1, len(lds)):
+            if not (lds[i - 1] < lds[i] and eas[i - 1] < eas[i]):
+                raise AssertionError(
+                    f"frontier not strictly increasing at {i}: "
+                    f"{(lds[i - 1], eas[i - 1])} vs {(lds[i], eas[i])}"
+                )

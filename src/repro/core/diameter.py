@@ -1,0 +1,138 @@
+"""The (1 - eps)-diameter of an opportunistic mobile network.
+
+Paper Section 4.1: for every delay budget t, let ``P[Pi(t, k) = 1]`` be the
+probability (over uniform source, destination and starting time) that a
+path with at most k hops delivers within t.  The (1 - eps)-diameter is
+
+    min { k :  for all t >= 0,  P[Pi(t, k)] >= (1 - eps) * P[Pi(t, inf)] },
+
+i.e. the smallest hop bound that achieves at least a (1 - eps) fraction of
+the success rate of unrestricted flooding at *every* time scale.  The paper
+uses eps = 1% ("confidence level 99%") throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .contact import Node
+from .delay_cdf import DelayCDF, delay_cdf
+from .optimal import PathProfileSet
+
+__all__ = [
+    "DiameterResult",
+    "success_curves",
+    "diameter",
+    "diameter_vs_delay",
+]
+
+
+@dataclass(frozen=True)
+class DiameterResult:
+    """Outcome of a diameter computation.
+
+    Attributes:
+        value: the (1 - eps)-diameter in hops; None when even the largest
+            recorded hop bound falls short of the flooding optimum (the
+            caller should then widen ``hop_bounds``).
+        eps: the tolerance used (paper: 0.01).
+        curves: the success curve (delay CDF) per hop bound, including the
+            flooding optimum under key None.
+        binding_delay: for each examined hop bound k that failed, a delay
+            at which it fell below (1 - eps) of flooding — diagnostic for
+            "which time scale needs more hops".
+    """
+
+    value: Optional[int]
+    eps: float
+    curves: Dict[Optional[int], DelayCDF]
+    binding_delay: Dict[int, float]
+
+
+def success_curves(
+    profiles: PathProfileSet,
+    grid: Sequence[float],
+    hop_bounds: Optional[Sequence[int]] = None,
+    window: Optional[Tuple[float, float]] = None,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> Dict[Optional[int], DelayCDF]:
+    """Delay CDFs per hop bound, plus the flooding optimum (key None)."""
+    if hop_bounds is None:
+        hop_bounds = list(profiles.hop_bounds)
+    curves: Dict[Optional[int], DelayCDF] = {}
+    for bound in list(hop_bounds) + [None]:
+        curves[bound] = delay_cdf(profiles, grid, bound, window, pairs)
+    return curves
+
+
+def _meets(curve: np.ndarray, optimum: np.ndarray, eps: float) -> Optional[int]:
+    """Index of the first grid point where the curve misses the target,
+    or None when the curve meets (1 - eps) x optimum everywhere."""
+    target = (1.0 - eps) * optimum
+    # Tiny slack guards against floating-point noise in exact ties.
+    shortfall = np.nonzero(curve < target - 1e-12)[0]
+    if len(shortfall) == 0:
+        return None
+    return int(shortfall[0])
+
+
+def diameter(
+    profiles: PathProfileSet,
+    grid: Sequence[float],
+    eps: float = 0.01,
+    hop_bounds: Optional[Sequence[int]] = None,
+    window: Optional[Tuple[float, float]] = None,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> DiameterResult:
+    """Compute the (1 - eps)-diameter of the network behind ``profiles``.
+
+    The "for all t" in the definition is evaluated on the supplied delay
+    grid, which mirrors the paper's practice of examining time scales from
+    minutes to a week (Section 5.3.1).
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must be in (0, 1)")
+    curves = success_curves(profiles, grid, hop_bounds, window, pairs)
+    optimum = curves[None].values
+    bounds = sorted(k for k in curves if k is not None)
+    binding: Dict[int, float] = {}
+    value: Optional[int] = None
+    for bound in bounds:
+        miss = _meets(curves[bound].values, optimum, eps)
+        if miss is None:
+            value = bound
+            break
+        binding[bound] = float(curves[bound].grid[miss])
+    return DiameterResult(value=value, eps=eps, curves=curves, binding_delay=binding)
+
+
+def diameter_vs_delay(
+    profiles: PathProfileSet,
+    grid: Sequence[float],
+    eps: float = 0.01,
+    hop_bounds: Optional[Sequence[int]] = None,
+    window: Optional[Tuple[float, float]] = None,
+    pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+) -> "List[Optional[int]]":
+    """Hops needed per delay budget (paper Figure 12).
+
+    For each grid delay t, the smallest hop bound k with
+    ``P[Pi(t, k)] >= (1 - eps) * P[Pi(t, inf)]``; None where no recorded
+    bound suffices.
+    """
+    curves = success_curves(profiles, grid, hop_bounds, window, pairs)
+    optimum = curves[None].values
+    bounds = sorted(k for k in curves if k is not None)
+    needed: List[Optional[int]] = []
+    for i in range(len(optimum)):
+        target = (1.0 - eps) * optimum[i]
+        found: Optional[int] = None
+        for bound in bounds:
+            if curves[bound].values[i] >= target - 1e-12:
+                found = bound
+                break
+        needed.append(found)
+    return needed

@@ -1,0 +1,168 @@
+"""The classic journey taxonomy on temporal networks.
+
+Bui-Xuan, Ferreira and Jarry (IJFCS 2003) — reference [1] of the paper —
+distinguish three optimal *journeys* (time-respecting paths) between two
+nodes of a temporal network:
+
+* the **foremost** journey: arrives earliest, given a start time;
+* the **shortest** journey: uses the fewest hops, regardless of timing;
+* the **fastest** journey: minimises time spent in the network
+  (arrival − departure), over all departure times.
+
+The paper's frontier machinery subsumes all three: given the Pareto list
+of (LD, EA) pairs of a source-destination pair,
+
+* foremost at start t  = ``del(t)``  (evaluate the delivery function);
+* fastest duration     = ``min over pairs of max(0, EA − LD)`` — each
+  frontier pair is exactly one delay-optimal departure opportunity;
+* shortest hop count   = the smallest recorded hop bound whose profile
+  is non-empty.
+
+This module exposes those as a small, documented API with witness paths
+reconstructed through generalized Dijkstra.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .contact import Node
+from .delivery import DeliveryFunction
+from .optimal import PathProfileSet
+from .paths import ContactPath
+from .temporal_network import TemporalNetwork
+
+INFINITY = float("inf")
+
+
+def _earliest_arrival_path(*args, **kwargs):
+    # Imported lazily: baselines depends on core, so a module-level import
+    # here would be circular.
+    from ..baselines.dijkstra import earliest_arrival_path
+
+    return earliest_arrival_path(*args, **kwargs)
+
+
+@dataclass(frozen=True)
+class Journey:
+    """One optimal journey with its witness path."""
+
+    kind: str
+    departure: float
+    arrival: float
+    path: Optional[ContactPath]
+
+    @property
+    def duration(self) -> float:
+        return self.arrival - self.departure
+
+    @property
+    def hops(self) -> Optional[int]:
+        return self.path.num_contacts if self.path is not None else None
+
+
+def foremost_journey(
+    net: TemporalNetwork,
+    source: Node,
+    destination: Node,
+    start_time: float,
+    max_hops: Optional[int] = None,
+) -> Optional[Journey]:
+    """The earliest-arrival journey for a message created at start_time."""
+    path = _earliest_arrival_path(net, source, destination, start_time, max_hops)
+    if path is None:
+        return None
+    arrival = path.schedule(start_time)[-1]
+    return Journey("foremost", departure=start_time, arrival=arrival, path=path)
+
+
+def shortest_journey(
+    net: TemporalNetwork,
+    source: Node,
+    destination: Node,
+    start_time: float = -INFINITY,
+) -> Optional[Journey]:
+    """The minimum-hop journey available at or after ``start_time``.
+
+    Found by raising the hop bound until a delivery exists; the witness
+    achieves the minimum hop count (and, within it, the earliest
+    arrival).
+    """
+    effective_start = start_time if start_time != -INFINITY else (
+        net.span[0] - 1.0
+    )
+    for hops in range(1, max(len(net), 2)):
+        path = _earliest_arrival_path(
+            net, source, destination, effective_start, max_hops=hops
+        )
+        if path is not None and path.num_contacts <= hops:
+            arrival = path.schedule(effective_start)[-1]
+            return Journey(
+                "shortest", departure=effective_start, arrival=arrival, path=path
+            )
+    return None
+
+
+def fastest_duration(profile: DeliveryFunction) -> float:
+    """Minimum journey duration over all departure times.
+
+    Each frontier pair (LD, EA) is one delay-optimal departure
+    opportunity: departing at ``min(LD, EA)`` yields the duration
+    ``max(0, EA − LD)`` (zero when the pair is contemporaneous).
+    Returns inf for an unreachable pair.
+    """
+    best = INFINITY
+    for ld, ea in zip(profile.lds, profile.eas):
+        duration = ea - ld
+        if duration < 0.0:
+            duration = 0.0
+        if duration < best:
+            best = duration
+    return best
+
+
+def fastest_journey(
+    net: TemporalNetwork,
+    profiles: PathProfileSet,
+    source: Node,
+    destination: Node,
+) -> Optional[Journey]:
+    """The minimum-duration journey over all departure times.
+
+    Picks the frontier pair with the smallest ``max(0, EA − LD)`` and
+    reconstructs a witness departing at its optimal instant.
+    """
+    profile = profiles.profile(source, destination, None)
+    if not profile:
+        return None
+    best_pair: Optional[Tuple[float, float]] = None
+    best_duration = INFINITY
+    for ld, ea in zip(profile.lds, profile.eas):
+        duration = max(0.0, ea - ld)
+        if duration < best_duration:
+            best_duration = duration
+            best_pair = (ld, ea)
+    ld, ea = best_pair
+    departure = min(ld, ea)
+    path = _earliest_arrival_path(net, source, destination, departure)
+    if path is None:  # pragma: no cover - frontier guarantees existence
+        return None
+    arrival = path.schedule(departure)[-1]
+    return Journey("fastest", departure=departure, arrival=arrival, path=path)
+
+
+def journey_summary(
+    net: TemporalNetwork,
+    profiles: PathProfileSet,
+    source: Node,
+    destination: Node,
+    start_time: float,
+) -> "dict":
+    """All three classic journeys of one pair, ready for display."""
+    return {
+        "foremost": foremost_journey(net, source, destination, start_time),
+        "shortest": shortest_journey(net, source, destination, start_time),
+        "fastest": fastest_journey(net, profiles, source, destination),
+    }

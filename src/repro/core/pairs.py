@@ -1,0 +1,106 @@
+"""The (LD, EA) algebra summarising classes of time-respecting paths.
+
+Paper Section 4.2 shows that everything one needs to know about a sequence
+of contacts — for the purpose of optimal forwarding — is the pair
+
+* ``LD`` (*last departure*): the latest time a message may leave the source
+  and still traverse the sequence, ``LD = min_i t_end_i``;
+* ``EA`` (*earliest arrival*): the earliest time the message can reach the
+  end of the sequence, ``EA = max_i t_beg_i``.
+
+Facts (i)-(iv) of the paper become a tiny algebra on these pairs, which this
+module implements.  Note that ``EA > LD`` is allowed and meaningful: it is a
+store-and-forward sequence (the message must leave before LD and is parked
+at relays until EA).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .contact import Contact
+
+
+class PathPair(NamedTuple):
+    """Summary (last departure, earliest arrival) of a contact sequence."""
+
+    ld: float
+    ea: float
+
+    @property
+    def is_contemporaneous(self) -> bool:
+        """True when the whole sequence can be traversed at one instant.
+
+        Paper fact (iii): if ``EA <= LD`` the path can start and arrive at
+        any single time in ``[EA; LD]``.
+        """
+        return self.ea <= self.ld
+
+    def delivery_time(self, t: float) -> float:
+        """Optimal delivery time of a message created at time t.
+
+        Paper Section 4.3: ``del(t) = max(t, EA)`` when ``t <= LD``, else
+        infinite (the sequence can no longer be used).
+        """
+        if t > self.ld:
+            return float("inf")
+        return max(t, self.ea)
+
+    def delay(self, t: float) -> float:
+        """``del(t) - t``; zero when already connected, inf when unusable."""
+        delivery = self.delivery_time(t)
+        if delivery == float("inf"):
+            return float("inf")
+        return delivery - t
+
+
+def pair_of_contact(contact: Contact) -> PathPair:
+    """The (LD, EA) pair of a single-contact sequence: (t_end, t_beg)."""
+    return PathPair(ld=contact.t_end, ea=contact.t_beg)
+
+
+def can_concatenate(left: PathPair, right: PathPair) -> bool:
+    """Paper fact (iv): concatenation is possible iff EA(left) <= LD(right)."""
+    return left.ea <= right.ld
+
+
+def concatenate(left: PathPair, right: PathPair) -> PathPair:
+    """The pair of the concatenated sequence (paper Section 4.2).
+
+    ``LD = min(LDs)`` and ``EA = max(EAs)``.  Raises ValueError when the
+    concatenation is not time-respecting.
+    """
+    if not can_concatenate(left, right):
+        raise ValueError(
+            f"cannot concatenate: EA(left)={left.ea} > LD(right)={right.ld}"
+        )
+    return PathPair(ld=min(left.ld, right.ld), ea=max(left.ea, right.ea))
+
+
+def extend_with_contact(pair: PathPair, contact: Contact) -> "PathPair | None":
+    """Concatenate a path summary with one more contact on the right.
+
+    Returns None when the contact ends before the path can arrive
+    (``EA > t_end``), i.e. when fact (iv) fails.  This is the inner loop of
+    the optimal-path computation, hence the allocation-light form.
+    """
+    if pair.ea > contact.t_end:
+        return None
+    ld = pair.ld if pair.ld < contact.t_end else contact.t_end
+    ea = pair.ea if pair.ea > contact.t_beg else contact.t_beg
+    return PathPair(ld, ea)
+
+
+def dominates(a: PathPair, b: PathPair) -> bool:
+    """Whether ``a`` weakly dominates ``b``: departs no earlier, arrives no later.
+
+    Paper Section 4.3 calls ``b`` *strictly dominated* when additionally one
+    inequality is strict; for frontier maintenance weak dominance (which
+    also discards exact duplicates) is the useful notion.
+    """
+    return a.ld >= b.ld and a.ea <= b.ea
+
+
+def strictly_dominates(a: PathPair, b: PathPair) -> bool:
+    """Paper Section 4.3's strict dominance between path summaries."""
+    return dominates(a, b) and (a.ld > b.ld or a.ea < b.ea)

@@ -1,0 +1,127 @@
+"""Explicit time-respecting paths (sequences of contacts).
+
+The optimal-path computation works on (LD, EA) summaries, but tests,
+witness reconstruction and the forwarding simulator need the concrete
+object: a chronologically feasible sequence of contacts (paper Section 3.1.3
+and Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .contact import Contact, Node
+from .pairs import PathPair
+
+
+def is_valid_sequence(contacts: Sequence[Contact]) -> bool:
+    """Paper Eq. (2): a contact sequence supports a time-respecting path
+    iff every contact ends no earlier than the latest begin seen so far
+    (equivalently, greedy scheduling ``t_i = max(t_{i-1}, t_beg_i)`` stays
+    within every interval).
+    """
+    latest_beg = -float("inf")
+    for contact in contacts:
+        if contact.t_beg > latest_beg:
+            latest_beg = contact.t_beg
+        if contact.t_end < latest_beg:
+            return False
+    return True
+
+
+def is_chained(contacts: Sequence[Contact]) -> bool:
+    """Whether consecutive contacts share the intermediate device."""
+    return all(
+        contacts[i].v == contacts[i + 1].u for i in range(len(contacts) - 1)
+    )
+
+
+@dataclass(frozen=True)
+class ContactPath:
+    """A time-respecting multi-hop path through a temporal network.
+
+    Raises ValueError at construction when the contact sequence is not
+    chained through intermediate devices or not chronologically feasible.
+    """
+
+    contacts: Tuple[Contact, ...]
+
+    def __post_init__(self) -> None:
+        if not self.contacts:
+            raise ValueError("a path needs at least one contact")
+        if not is_chained(self.contacts):
+            raise ValueError("consecutive contacts do not share a device")
+        if not is_valid_sequence(self.contacts):
+            raise ValueError("contact sequence is not time-respecting (Eq. 2)")
+
+    @classmethod
+    def of(cls, *contacts: Contact) -> "ContactPath":
+        return cls(tuple(contacts))
+
+    @property
+    def source(self) -> Node:
+        return self.contacts[0].u
+
+    @property
+    def destination(self) -> Node:
+        return self.contacts[-1].v
+
+    @property
+    def num_contacts(self) -> int:
+        return len(self.contacts)
+
+    @property
+    def num_relays(self) -> int:
+        """Intermediate devices between source and destination."""
+        return len(self.contacts) - 1
+
+    @property
+    def hops(self) -> Sequence[Node]:
+        """The node sequence u_0, u_1, ..., u_n."""
+        return [self.contacts[0].u] + [c.v for c in self.contacts]
+
+    @property
+    def last_departure(self) -> float:
+        """LD: the minimum of contact end times (paper Section 4.2)."""
+        return min(c.t_end for c in self.contacts)
+
+    @property
+    def earliest_arrival(self) -> float:
+        """EA: the maximum of contact begin times (paper Section 4.2)."""
+        return max(c.t_beg for c in self.contacts)
+
+    @property
+    def summary(self) -> PathPair:
+        return PathPair(self.last_departure, self.earliest_arrival)
+
+    def delivery_time(self, t: float) -> float:
+        """Optimal delivery time along this path for a message created at t."""
+        return self.summary.delivery_time(t)
+
+    def schedule(self, t: float) -> "list[float]":
+        """Greedy per-contact transmission times for a message created at t.
+
+        Returns the non-decreasing times ``t_1 <= ... <= t_n`` with
+        ``t_i in [t_beg_i; t_end_i]``, or raises ValueError if the message
+        misses the path (``t > LD``).
+        """
+        if t > self.last_departure:
+            raise ValueError(f"message created at {t} misses the path (LD="
+                             f"{self.last_departure})")
+        times = []
+        now = t
+        for contact in self.contacts:
+            now = max(now, contact.t_beg)
+            if now > contact.t_end:  # pragma: no cover - excluded by Eq. 2
+                raise ValueError("infeasible schedule on a valid path")
+            times.append(now)
+        return times
+
+    def concatenate(self, other: "ContactPath") -> "ContactPath":
+        """Join two paths end-to-start (paper fact (iv) decides feasibility)."""
+        if self.destination != other.source:
+            raise ValueError(
+                f"paths do not chain: {self.destination!r} != {other.source!r}"
+            )
+        return ContactPath(self.contacts + other.contacts)

@@ -1,0 +1,128 @@
+"""Persist computed path profiles to disk.
+
+Computing all-pairs profiles of a long trace can take minutes; analyses
+(CDFs, diameters, ablations) then reread the same profiles many times.
+This module serialises a :class:`PathProfileSet` to a single compressed
+``.npz`` file and restores it losslessly, including the per-hop-bound
+snapshots and fixpoint round counts.
+
+Node identifiers are stored through ``repr`` round-tripping for the two
+supported kinds (ints and strings), which covers every trace this
+library produces or reads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .contact import Node
+from .delivery import DeliveryFunction
+from .optimal import PathProfileSet, SourceProfiles
+from .temporal_network import TemporalNetwork
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_node(node: Node) -> str:
+    if isinstance(node, bool) or not isinstance(node, (int, str)):
+        raise TypeError(
+            f"only int and str node ids can be serialised, got {type(node)}"
+        )
+    prefix = "i" if isinstance(node, int) else "s"
+    return f"{prefix}:{node}"
+
+
+def _decode_node(token: str) -> Node:
+    kind, _, value = token.partition(":")
+    return int(value) if kind == "i" else value
+
+
+def save_profiles(profiles: PathProfileSet, path: PathLike) -> None:
+    """Write a profile set to a compressed ``.npz`` file."""
+    arrays: Dict[str, np.ndarray] = {}
+    index: dict = {
+        "version": _FORMAT_VERSION,
+        "hop_bounds": list(profiles.hop_bounds),
+        "sources": [],
+    }
+    for number, source in enumerate(profiles.sources):
+        sp = profiles.source_profiles(source)
+        entry = {
+            "node": _encode_node(source),
+            "rounds": sp.rounds,
+            "final": [],
+            "snapshots": {},
+        }
+        for destination in sp.destinations():
+            func = sp.profile(destination, None)
+            key = f"s{number}_final_{len(entry['final'])}"
+            arrays[key] = np.asarray([func.lds, func.eas], dtype=float)
+            entry["final"].append([_encode_node(destination), key])
+        for bound in profiles.hop_bounds:
+            snap = sp._snapshots.get(bound, {})
+            listed = []
+            for destination, func in snap.items():
+                key = f"s{number}_b{bound}_{len(listed)}"
+                arrays[key] = np.asarray([func.lds, func.eas], dtype=float)
+                listed.append([_encode_node(destination), key])
+            entry["snapshots"][str(bound)] = listed
+        index["sources"].append(entry)
+    arrays["__index__"] = np.frombuffer(
+        json.dumps(index).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def _function_from_array(array: np.ndarray) -> DeliveryFunction:
+    func = DeliveryFunction()
+    func.lds = [float(x) for x in array[0]]
+    func.eas = [float(x) for x in array[1]]
+    return func
+
+
+def load_profiles(path: PathLike, network: TemporalNetwork) -> PathProfileSet:
+    """Restore a profile set saved by :func:`save_profiles`.
+
+    The temporal network is supplied by the caller (profiles files do not
+    embed the trace); it must contain every node the profiles reference.
+    """
+    with np.load(path) as data:
+        index = json.loads(bytes(data["__index__"]).decode("utf-8"))
+        if index.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported profiles file version {index.get('version')}"
+            )
+        hop_bounds = tuple(index["hop_bounds"])
+        by_source: Dict[Node, SourceProfiles] = {}
+        for entry in index["sources"]:
+            source = _decode_node(entry["node"])
+            if source not in network:
+                raise KeyError(
+                    f"profiles reference node {source!r} missing from the "
+                    f"network"
+                )
+            final = {
+                _decode_node(token): _function_from_array(data[key])
+                for token, key in entry["final"]
+            }
+            snapshots = {
+                int(bound): {
+                    _decode_node(token): _function_from_array(data[key])
+                    for token, key in listed
+                }
+                for bound, listed in entry["snapshots"].items()
+            }
+            by_source[source] = SourceProfiles(
+                source=source,
+                hop_bounds=hop_bounds,
+                snapshots=snapshots,
+                final=final,
+                rounds=int(entry["rounds"]),
+            )
+    return PathProfileSet(network, by_source, hop_bounds)

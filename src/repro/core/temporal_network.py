@@ -1,0 +1,208 @@
+"""The temporal-network container: a node set plus a contact multiset.
+
+This is the general model of paper Section 4: "a graph where edges are all
+labeled with a time interval, and there may be multiple edges between two
+nodes".  The container is immutable by convention — transforms (contact
+removal, windowing, scanning) build new networks — and lazily maintains the
+per-edge sorted indexes that the optimal-path computation needs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .contact import Contact, Node
+
+
+class EdgeContacts:
+    """Time-sorted view of the contacts of one directed edge (u -> v).
+
+    Contacts are sorted by *end* time, which is the order the frontier
+    dynamic programming queries them in: extending a path with earliest
+    arrival ``EA`` can only use contacts with ``t_end >= EA`` (paper
+    fact (iv): concatenation requires ``EA(e) <= LD(e') = t_end``).
+
+    Attributes:
+        ends: contact end times, ascending.
+        begs: matching begin times (not necessarily sorted if contacts of
+            the pair overlap).
+        suffix_min_beg: ``suffix_min_beg[i] = min(begs[i:])``; the earliest
+            possible arrival over all contacts ending at or after a point.
+    """
+
+    __slots__ = ("ends", "begs", "suffix_min_beg")
+
+    def __init__(self, contacts: Sequence[Contact]):
+        by_end = sorted(contacts, key=lambda c: (c.t_end, c.t_beg))
+        self.ends: List[float] = [c.t_end for c in by_end]
+        self.begs: List[float] = [c.t_beg for c in by_end]
+        self.suffix_min_beg: List[float] = list(self.begs)
+        for i in range(len(self.suffix_min_beg) - 2, -1, -1):
+            later = self.suffix_min_beg[i + 1]
+            if later < self.suffix_min_beg[i]:
+                self.suffix_min_beg[i] = later
+
+    def __len__(self) -> int:
+        return len(self.ends)
+
+    def first_ending_at_or_after(self, t: float) -> int:
+        """Index of the first contact with ``t_end >= t``."""
+        return bisect_left(self.ends, t)
+
+
+class TemporalNetwork:
+    """A static node set with a time-labelled contact multiset.
+
+    Args:
+        contacts: the contact events.  Kept in start-time order internally.
+        nodes: optional explicit node set; defaults to the union of contact
+            endpoints.  Isolated nodes matter for success-rate denominators
+            (a device that never meets anyone still counts as a potential
+            destination), so data-set builders pass the full roster.
+        directed: if False (the default, matching the traces in the paper),
+            a contact lets data flow both ways and each contact backs both
+            directed edges (u, v) and (v, u).
+    """
+
+    def __init__(
+        self,
+        contacts: Iterable[Contact],
+        nodes: Optional[Iterable[Node]] = None,
+        directed: bool = False,
+    ):
+        self._contacts: List[Contact] = sorted(contacts)
+        node_set = set() if nodes is None else set(nodes)
+        for contact in self._contacts:
+            node_set.add(contact.u)
+            node_set.add(contact.v)
+        self._nodes: List[Node] = sorted(node_set, key=repr)
+        self._node_set = node_set
+        self.directed = directed
+        self._edge_index: Optional[Dict[Tuple[Node, Node], List[Contact]]] = None
+        self._edge_contacts: Dict[Tuple[Node, Node], EdgeContacts] = {}
+        self._out_neighbors: Optional[Dict[Node, List[Node]]] = None
+        self._beg_times: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def contacts(self) -> Sequence[Contact]:
+        """All contacts, sorted by start time."""
+        return self._contacts
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All nodes, in a deterministic order."""
+        return self._nodes
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._node_set
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_contacts(self) -> int:
+        return len(self._contacts)
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """(earliest contact begin, latest contact end); (0, 0) if empty."""
+        if not self._contacts:
+            return (0.0, 0.0)
+        t_min = self._contacts[0].t_beg
+        t_max = max(c.t_end for c in self._contacts)
+        return (t_min, t_max)
+
+    @property
+    def duration(self) -> float:
+        t_min, t_max = self.span
+        return t_max - t_min
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"TemporalNetwork({len(self)} nodes, {self.num_contacts} contacts, "
+            f"{kind}, span={self.span})"
+        )
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def _build_edge_index(self) -> Dict[Tuple[Node, Node], List[Contact]]:
+        if self._edge_index is None:
+            index: Dict[Tuple[Node, Node], List[Contact]] = {}
+            for contact in self._contacts:
+                index.setdefault((contact.u, contact.v), []).append(contact)
+                if not self.directed:
+                    index.setdefault((contact.v, contact.u), []).append(
+                        contact.reversed()
+                    )
+            self._edge_index = index
+        return self._edge_index
+
+    def edge_contacts(self, u: Node, v: Node) -> EdgeContacts:
+        """Sorted contact view of the directed edge (u -> v)."""
+        key = (u, v)
+        view = self._edge_contacts.get(key)
+        if view is None:
+            view = EdgeContacts(self._build_edge_index().get(key, []))
+            self._edge_contacts[key] = view
+        return view
+
+    def out_neighbors(self, u: Node) -> Sequence[Node]:
+        """Nodes that u has at least one contact towards."""
+        if self._out_neighbors is None:
+            neighbors: Dict[Node, set] = {}
+            for (src, dst) in self._build_edge_index():
+                neighbors.setdefault(src, set()).add(dst)
+            self._out_neighbors = {
+                node: sorted(nbrs, key=repr) for node, nbrs in neighbors.items()
+            }
+        return self._out_neighbors.get(u, [])
+
+    def contacts_of_pair(self, u: Node, v: Node) -> Sequence[Contact]:
+        """Contacts of the directed edge (u -> v), sorted by start time."""
+        return sorted(self._build_edge_index().get((u, v), []))
+
+    def contacts_of_node(self, u: Node) -> List[Contact]:
+        """All contacts involving node u (either endpoint), by start time."""
+        return [c for c in self._contacts if u in (c.u, c.v)]
+
+    def contacts_active_at(self, t: float) -> Iterator[Contact]:
+        """Contacts whose interval contains time t."""
+        return (c for c in self._contacts if c.t_beg <= t <= c.t_end)
+
+    def contacts_beginning_in(self, t0: float, t1: float) -> Sequence[Contact]:
+        """Contacts with ``t0 <= t_beg < t1`` (contacts are begin-sorted)."""
+        if self._beg_times is None:
+            self._beg_times = [c.t_beg for c in self._contacts]
+        lo = bisect_left(self._beg_times, t0)
+        hi = bisect_right(self._beg_times, t1)
+        selected = self._contacts[lo:hi]
+        return [c for c in selected if c.t_beg < t1 or t0 == t1 == c.t_beg]
+
+    # ------------------------------------------------------------------
+    # Derived networks
+    # ------------------------------------------------------------------
+
+    def with_contacts(self, contacts: Iterable[Contact]) -> "TemporalNetwork":
+        """A new network with the same roster/direction but new contacts."""
+        return TemporalNetwork(contacts, nodes=self._node_set, directed=self.directed)
+
+    def event_times(self) -> List[float]:
+        """All distinct contact begin/end times, ascending.
+
+        These are the only instants where any delivery function can change,
+        which makes them the canonical probe points for exhaustive
+        validation against flooding.
+        """
+        times = set()
+        for contact in self._contacts:
+            times.add(contact.t_beg)
+            times.add(contact.t_end)
+        return sorted(times)

@@ -1,0 +1,26 @@
+"""Opportunistic forwarding: simulator plus classic algorithms."""
+
+from .algorithms import DirectDelivery, Epidemic, SprayAndWait, TwoHopRelay
+from .simulator import (
+    Copy,
+    DeliveryReport,
+    ForwardingAlgorithm,
+    Message,
+    WorkloadResult,
+    simulate_forwarding,
+    simulate_workload,
+)
+
+__all__ = [
+    "Copy",
+    "DeliveryReport",
+    "DirectDelivery",
+    "Epidemic",
+    "ForwardingAlgorithm",
+    "Message",
+    "SprayAndWait",
+    "TwoHopRelay",
+    "WorkloadResult",
+    "simulate_forwarding",
+    "simulate_workload",
+]

@@ -1,0 +1,114 @@
+"""Forwarding algorithms for the opportunistic simulator.
+
+These are the classic strategies the paper's introduction motivates
+("Most of the forwarding algorithms proposed ... includes for each packet
+a time-out and a maximum number of hops" — Section 2).  The hop-capped
+epidemic variant is the one the diameter result speaks to directly: with
+the cap at the network diameter its delivery is within eps of uncapped
+flooding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .simulator import Copy, Message
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class Epidemic:
+    """Flooding, optionally capped by hop count and/or message age.
+
+    ``max_hops=None`` and ``timeout=None`` give pure flooding: the
+    delay-optimal but most expensive strategy, and the reference the
+    paper's diameter definition compares against.
+    """
+
+    max_hops: Optional[int] = None
+    timeout: Optional[float] = None
+
+    def initial_tokens(self, message: Message) -> int:
+        return 0
+
+    def should_transfer(
+        self, message: Message, giver: Copy, receiver, time: float
+    ) -> bool:
+        if self.max_hops is not None and giver.hops >= self.max_hops:
+            return False
+        if self.timeout is not None and time - message.created_at > self.timeout:
+            return False
+        return True
+
+    def split_tokens(self, giver: Copy) -> Tuple[int, int]:
+        return (giver.tokens, 0)
+
+
+@dataclass(frozen=True)
+class DirectDelivery:
+    """The source keeps the message until it meets the destination:
+    1-hop forwarding, the cheapest possible strategy."""
+
+    def initial_tokens(self, message: Message) -> int:
+        return 0
+
+    def should_transfer(
+        self, message: Message, giver: Copy, receiver, time: float
+    ) -> bool:
+        return receiver == message.destination
+
+    def split_tokens(self, giver: Copy) -> Tuple[int, int]:
+        return (giver.tokens, 0)
+
+
+@dataclass(frozen=True)
+class TwoHopRelay:
+    """Grossglauser-Tse two-hop relaying: the source hands copies to any
+    node it meets; relays hand over only to the destination."""
+
+    def initial_tokens(self, message: Message) -> int:
+        return 0
+
+    def should_transfer(
+        self, message: Message, giver: Copy, receiver, time: float
+    ) -> bool:
+        if receiver == message.destination:
+            return True
+        return giver.hops == 0
+
+    def split_tokens(self, giver: Copy) -> Tuple[int, int]:
+        return (giver.tokens, 0)
+
+
+@dataclass(frozen=True)
+class SprayAndWait:
+    """Binary spray-and-wait with L initial copies.
+
+    A holder with more than one token gives half away on any contact; a
+    holder with a single token waits for the destination.  Bounds the copy
+    cost at L while keeping multi-hop reach.
+    """
+
+    copies: int = 8
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise ValueError("need at least one copy token")
+
+    def initial_tokens(self, message: Message) -> int:
+        return self.copies
+
+    def should_transfer(
+        self, message: Message, giver: Copy, receiver, time: float
+    ) -> bool:
+        if receiver == message.destination:
+            return True
+        return giver.tokens > 1
+
+    def split_tokens(self, giver: Copy) -> Tuple[int, int]:
+        if giver.tokens <= 1:
+            return (giver.tokens, 0)
+        given = giver.tokens // 2
+        return (giver.tokens - given, given)

@@ -1,0 +1,49 @@
+"""Contact-process substrates used to synthesise mobility traces."""
+
+from .base import (
+    ActivityProfile,
+    ContactProcess,
+    compose_profiles,
+    conference_profile,
+    diurnal_profile,
+    flat_profile,
+    weekly_profile,
+)
+from .community import CommunityProcess, assign_communities
+from .duration import (
+    BoundedPareto,
+    DurationModel,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Mixture,
+    campus_durations,
+    conference_durations,
+)
+from .places import PlacesProcess
+from .poisson_pairs import PoissonPairProcess, sample_nonhomogeneous_times
+from .random_waypoint import RandomWaypoint
+
+__all__ = [
+    "ActivityProfile",
+    "BoundedPareto",
+    "CommunityProcess",
+    "ContactProcess",
+    "DurationModel",
+    "Exponential",
+    "Fixed",
+    "LogNormal",
+    "Mixture",
+    "PlacesProcess",
+    "PoissonPairProcess",
+    "RandomWaypoint",
+    "assign_communities",
+    "campus_durations",
+    "compose_profiles",
+    "conference_durations",
+    "conference_profile",
+    "diurnal_profile",
+    "flat_profile",
+    "sample_nonhomogeneous_times",
+    "weekly_profile",
+]

@@ -1,0 +1,185 @@
+"""Contact-process substrate: protocols and time-varying activity profiles.
+
+A *contact process* is anything that can generate a contact trace (a list
+of :class:`~repro.core.contact.Contact`) over a time horizon, given a
+seeded random generator.  Human mobility is strongly non-stationary
+(paper Section 5.2: conference days vs nights, long disconnections in
+Hong Kong / Reality Mining), which the processes express through an
+*activity profile*: a piecewise-constant multiplicative modulation of the
+pairwise meeting intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..core.contact import Contact
+from ..core.temporal_network import TemporalNetwork
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+class ContactProcess(Protocol):
+    """Anything that can generate a contact trace."""
+
+    def generate(self, rng: np.random.Generator) -> TemporalNetwork:
+        """Produce one realisation of the process."""
+        ...
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """A piecewise-constant, periodically repeating intensity modulation.
+
+    ``levels[i]`` applies on ``[boundaries[i], boundaries[i+1])`` within
+    each period; the profile repeats with period ``boundaries[-1]``.
+    """
+
+    boundaries: Tuple[float, ...]
+    levels: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) != len(self.levels) + 1:
+            raise ValueError("need len(levels) + 1 boundaries")
+        if self.boundaries[0] != 0.0:
+            raise ValueError("profile must start at 0")
+        if any(b >= a for a, b in zip(self.boundaries[1:], self.boundaries[:-1])):
+            raise ValueError("boundaries must be strictly increasing")
+        if any(level < 0 for level in self.levels):
+            raise ValueError("activity levels cannot be negative")
+
+    @property
+    def period(self) -> float:
+        return self.boundaries[-1]
+
+    def level_at(self, t: float) -> float:
+        """The modulation factor at absolute time t."""
+        phase = t % self.period
+        idx = int(np.searchsorted(self.boundaries, phase, side="right")) - 1
+        idx = min(max(idx, 0), len(self.levels) - 1)
+        return self.levels[idx]
+
+    @property
+    def peak(self) -> float:
+        return max(self.levels)
+
+    def mean_level(self) -> float:
+        """Time-average modulation over one period."""
+        spans = np.diff(self.boundaries)
+        return float(np.dot(spans, self.levels) / self.period)
+
+    def integral(self, t0: float, t1: float) -> float:
+        """The integral of the modulation over [t0, t1] (level-seconds)."""
+        return sum((end - beg) * level for beg, end, level in self.pieces(t0, t1))
+
+    def pieces(self, t0: float, t1: float) -> "List[Tuple[float, float, float]]":
+        """The (start, end, level) pieces covering [t0, t1)."""
+        if t1 <= t0:
+            return []
+        pieces = []
+        t = t0
+        while t < t1:
+            cycle = np.floor(t / self.period) * self.period
+            phase = t - cycle
+            idx = int(np.searchsorted(self.boundaries, phase, side="right")) - 1
+            idx = min(max(idx, 0), len(self.levels) - 1)
+            piece_end = cycle + self.boundaries[idx + 1]
+            end = min(piece_end, t1)
+            pieces.append((t, end, self.levels[idx]))
+            t = end
+        return pieces
+
+
+def flat_profile() -> ActivityProfile:
+    """No modulation (stationary process)."""
+    return ActivityProfile(boundaries=(0.0, DAY), levels=(1.0,))
+
+
+def diurnal_profile(
+    day_start: float = 8 * HOUR,
+    day_end: float = 20 * HOUR,
+    day_level: float = 1.0,
+    night_level: float = 0.05,
+) -> ActivityProfile:
+    """Day/night cycle: active between day_start and day_end, quiet at night."""
+    if not 0 <= day_start < day_end <= DAY:
+        raise ValueError("need 0 <= day_start < day_end <= 1 day")
+    return ActivityProfile(
+        boundaries=(0.0, day_start, day_end, DAY),
+        levels=(night_level, day_level, night_level),
+    )
+
+
+def conference_profile() -> ActivityProfile:
+    """A conference day: sessions, coffee breaks and lunch peaks, dead nights.
+
+    Breaks concentrate the contact bursts the Infocom traces show
+    ("nodes in Infocom05 are almost always in a high contact period,
+    except at night" — Section 5.2).
+    """
+    return ActivityProfile(
+        boundaries=(
+            0.0,
+            8.5 * HOUR,   # night / breakfast
+            10.5 * HOUR,  # morning session
+            11.0 * HOUR,  # coffee break burst
+            12.5 * HOUR,  # late-morning session
+            14.0 * HOUR,  # lunch burst
+            15.5 * HOUR,  # afternoon session
+            16.0 * HOUR,  # coffee break burst
+            18.0 * HOUR,  # late session
+            22.0 * HOUR,  # evening social
+            24.0 * HOUR,  # night
+        ),
+        levels=(0.02, 1.0, 2.5, 1.0, 2.5, 1.0, 2.5, 1.0, 0.8, 0.02),
+    )
+
+
+def weekly_profile(
+    weekday_level: float = 1.0, weekend_level: float = 0.3
+) -> ActivityProfile:
+    """Weekday/weekend cycle (Reality Mining-like), period one week."""
+    return ActivityProfile(
+        boundaries=(0.0, 5 * DAY, 7 * DAY),
+        levels=(weekday_level, weekend_level),
+    )
+
+
+def compose_profiles(a: ActivityProfile, b: ActivityProfile) -> ActivityProfile:
+    """Pointwise product of two profiles (e.g. diurnal x weekly).
+
+    The result's period is the larger period, which must be an integer
+    multiple of the smaller one.
+    """
+    long_p, short_p = (a, b) if a.period >= b.period else (b, a)
+    ratio = long_p.period / short_p.period
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError("profile periods must be integer multiples")
+    boundaries = {0.0, long_p.period}
+    for k in range(int(round(ratio))):
+        offset = k * short_p.period
+        boundaries.update(offset + b for b in short_p.boundaries[:-1])
+    boundaries.update(long_p.boundaries)
+    ordered = sorted(boundaries)
+    levels = []
+    for lo, hi in zip(ordered[:-1], ordered[1:]):
+        mid = (lo + hi) / 2.0
+        levels.append(long_p.level_at(mid) * short_p.level_at(mid))
+    return ActivityProfile(boundaries=tuple(ordered), levels=tuple(levels))
+
+
+def make_contacts(
+    meetings: "Sequence[Tuple[float, int, int]]",
+    durations: "Sequence[float]",
+    horizon: float,
+) -> List[Contact]:
+    """Meeting instants + durations -> contacts clipped to the horizon."""
+    contacts = []
+    for (t, u, v), duration in zip(meetings, durations):
+        end = min(t + max(duration, 0.0), horizon)
+        contacts.append(Contact(t, end, u, v))
+    return contacts

@@ -1,0 +1,181 @@
+"""Contact-duration distributions.
+
+Figure 7 of the paper shows contact durations spanning minutes to hours
+with a heavy upper tail (75% of Infocom06 contacts are a single 2-minute
+scan slot, yet 0.4% exceed one hour).  The synthetic data sets reproduce
+that shape with a mixture of a log-normal body and a bounded-Pareto tail.
+All distributions are seeded through an explicit numpy Generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class DurationModel(Protocol):
+    """Anything that can sample positive contact durations."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` durations (seconds)."""
+        ...
+
+    def mean(self) -> float:
+        """Expected duration, used by intensity calibration."""
+        ...
+
+
+@dataclass(frozen=True)
+class Fixed:
+    """Every contact lasts exactly ``value`` seconds."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("duration cannot be negative")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential durations with the given mean."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean duration must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal durations parameterised by median and sigma (of log)."""
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError("median must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma cannot be negative")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(math.log(self.median), self.sigma, size)
+
+    def mean(self) -> float:
+        return self.median * math.exp(self.sigma ** 2 / 2.0)
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Pareto durations truncated to [lower, upper] (heavy but finite tail)."""
+
+    alpha: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < self.lower < self.upper:
+            raise ValueError("need 0 < lower < upper")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        u = rng.uniform(0.0, 1.0, size)
+        l_a = self.lower ** self.alpha
+        h_a = self.upper ** self.alpha
+        # Inverse transform of the truncated Pareto CDF.
+        return (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        a, lo, hi = self.alpha, self.lower, self.upper
+        if a == 1.0:
+            norm = 1.0 - (lo / hi)
+            return lo * math.log(hi / lo) / norm
+        norm = 1.0 - (lo / hi) ** a
+        return (a * lo / (a - 1.0)) * (1.0 - (lo / hi) ** (a - 1.0)) / norm
+
+
+@dataclass(frozen=True)
+class Mixture:
+    """Weighted mixture of duration models.
+
+    The default data-set shape: a log-normal body (casual proximity) mixed
+    with a bounded-Pareto tail (sitting next to someone for a session).
+    """
+
+    components: "Sequence[DurationModel]"
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.components) != len(self.weights):
+            raise ValueError("one weight per component required")
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+    def _probs(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        probs = self._probs()
+        choice = rng.choice(len(self.components), size=size, p=probs)
+        out = np.empty(size)
+        for idx, component in enumerate(self.components):
+            mask = choice == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = component.sample(rng, count)
+        return out
+
+    def mean(self) -> float:
+        probs = self._probs()
+        return float(
+            sum(p * c.mean() for p, c in zip(probs, self.components))
+        )
+
+
+def conference_durations(scan_granularity: float = 120.0) -> Mixture:
+    """The duration shape of conference traces (Infocom05/06-like).
+
+    Mostly brief corridor encounters around the scan granularity, plus a
+    heavy tail of session-length contacts up to several hours, matching
+    the Figure 7 CCDF: most contacts at one scan slot, ~0.5% over an hour.
+    """
+    return Mixture(
+        components=(
+            LogNormal(median=scan_granularity / 2.0, sigma=1.0),
+            BoundedPareto(alpha=1.1, lower=10 * 60.0, upper=6 * 3600.0),
+        ),
+        weights=(0.93, 0.07),
+    )
+
+
+def campus_durations() -> Mixture:
+    """Duration shape for campus/city traces (Reality Mining, Hong Kong):
+    longer median (co-located classes/offices), similarly heavy tail."""
+    return Mixture(
+        components=(
+            LogNormal(median=300.0, sigma=1.0),
+            BoundedPareto(alpha=1.2, lower=30 * 60.0, upper=12 * 3600.0),
+        ),
+        weights=(0.85, 0.15),
+    )

@@ -1,0 +1,220 @@
+"""Place-based mobility: contacts from co-presence at shared locations.
+
+Pairwise-independent contact processes (Sections 3.1 and
+:mod:`.community`) miss one structural property of real proximity traces:
+*transitivity*.  Bluetooth sightings happen in rooms — offices, lecture
+halls, conference sessions — and everyone in the room sees everyone else,
+so the instantaneous contact graph is a union of cliques.  That matters
+for the diameter at small time scales: in a clique one hop reaches the
+whole component, whereas independent pairwise contacts of the same volume
+form path-like components that need many hops to cross.
+
+This process models it directly: each node alternates between being away
+and visiting one of ``num_places`` locations (a node-specific *home*
+place with probability ``home_bias``, a uniformly random other place
+otherwise); visits start as a Poisson process modulated by the activity
+profile and per-node/per-day multipliers, and last for a draw from the
+``stay`` duration model.  A contact is recorded for every pair of visits
+to the same place whose overlap reaches ``min_overlap`` seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.contact import Contact
+from ..core.temporal_network import TemporalNetwork
+from .base import ActivityProfile, flat_profile
+from .duration import DurationModel, Exponential
+from .poisson_pairs import sample_nonhomogeneous_times
+
+Visit = Tuple[float, float, int]  # (beg, end, node)
+
+
+@dataclass(frozen=True)
+class PlacesProcess:
+    """A seeded generator of clique-structured contact traces.
+
+    Attributes:
+        n: number of devices.
+        num_places: number of shared locations.
+        visit_rate: visit starts per node per second at activity level 1.
+        horizon: trace length (seconds).
+        stay: distribution of visit durations.
+        profile: activity modulation (diurnal / weekly / sessions).
+        node_sigma: log-normal sigma of per-node activity (unit mean).
+        day_sigma: log-normal sigma of per-node-per-day activity.
+        home_bias: probability that a visit goes to the node's home place
+            (homes are assigned round-robin, so nodes sharing a home form
+            a community).
+        min_overlap: minimum co-presence (seconds) recorded as a contact.
+    """
+
+    n: int
+    num_places: int
+    visit_rate: float
+    horizon: float
+    stay: DurationModel = field(default_factory=lambda: Exponential(1800.0))
+    profile: ActivityProfile = field(default_factory=flat_profile)
+    node_sigma: float = 0.0
+    day_sigma: float = 0.0
+    home_bias: float = 0.6
+    min_overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least two devices")
+        if self.num_places < 1:
+            raise ValueError("need at least one place")
+        if self.visit_rate <= 0:
+            raise ValueError("visit rate must be positive")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not 0.0 <= self.home_bias <= 1.0:
+            raise ValueError("home bias must be in [0, 1]")
+        if self.node_sigma < 0 or self.day_sigma < 0:
+            raise ValueError("sigmas cannot be negative")
+        if self.min_overlap < 0:
+            raise ValueError("min overlap cannot be negative")
+
+    def home_place(self, node: int) -> int:
+        return node % self.num_places
+
+    # ------------------------------------------------------------------
+    # Visit generation
+    # ------------------------------------------------------------------
+
+    def _unit_mean_lognormal(
+        self, rng: np.random.Generator, sigma: float, size
+    ) -> np.ndarray:
+        if sigma == 0.0:
+            return np.ones(size)
+        return rng.lognormal(-sigma ** 2 / 2.0, sigma, size)
+
+    def _visit_starts(
+        self,
+        rng: np.random.Generator,
+        node_mult: float,
+        day_mult: Optional[np.ndarray],
+    ) -> np.ndarray:
+        rate = self.visit_rate * node_mult
+        if day_mult is None:
+            return sample_nonhomogeneous_times(rate, self.profile, self.horizon, rng)
+        chunks: List[np.ndarray] = []
+        for day, factor in enumerate(day_mult):
+            day_beg = day * 86400.0
+            day_end = min(day_beg + 86400.0, self.horizon)
+            if factor <= 0 or day_end <= day_beg:
+                continue
+            for beg, end, level in self.profile.pieces(day_beg, day_end):
+                mean = rate * factor * level * (end - beg)
+                if mean <= 0:
+                    continue
+                count = int(rng.poisson(mean))
+                if count:
+                    chunks.append(rng.uniform(beg, end, size=count))
+        if not chunks:
+            return np.empty(0)
+        return np.sort(np.concatenate(chunks))
+
+    def visits(self, rng: np.random.Generator) -> Dict[int, List[Visit]]:
+        """Per-place time-sorted visit lists for one realisation.
+
+        A node is in at most one place at a time: a visit that would start
+        before the previous one ended is skipped.
+        """
+        num_days = int(math.ceil(self.horizon / 86400.0))
+        node_mults = self._unit_mean_lognormal(rng, self.node_sigma, self.n)
+        day_mults = (
+            self._unit_mean_lognormal(rng, self.day_sigma, (self.n, num_days))
+            if self.day_sigma > 0
+            else None
+        )
+        by_place: Dict[int, List[Visit]] = {p: [] for p in range(self.num_places)}
+        for node in range(self.n):
+            starts = self._visit_starts(
+                rng,
+                float(node_mults[node]),
+                None if day_mults is None else day_mults[node],
+            )
+            if len(starts) == 0:
+                continue
+            stays = self.stay.sample(rng, len(starts))
+            choices = rng.uniform(size=len(starts))
+            others = rng.integers(0, self.num_places, size=len(starts))
+            busy_until = -math.inf
+            home = self.home_place(node)
+            for beg, stay, pick, other in zip(starts, stays, choices, others):
+                if beg < busy_until:
+                    continue  # still inside the previous visit
+                end = min(beg + max(float(stay), 0.0), self.horizon)
+                busy_until = end
+                place = home if pick < self.home_bias else int(other)
+                by_place[place].append((float(beg), end, node))
+        for place_visits in by_place.values():
+            place_visits.sort()
+        return by_place
+
+    # ------------------------------------------------------------------
+    # Contacts
+    # ------------------------------------------------------------------
+
+    def generate(self, rng: np.random.Generator) -> TemporalNetwork:
+        """One trace realisation: co-presence overlaps at every place."""
+        contacts: List[Contact] = []
+        for place_visits in self.visits(rng).values():
+            active: List[Visit] = []
+            for beg, end, node in place_visits:
+                still_active = []
+                for other_beg, other_end, other in active:
+                    if other_end <= beg:
+                        continue
+                    still_active.append((other_beg, other_end, other))
+                    if other == node:  # pragma: no cover - visits disjoint
+                        continue
+                    overlap_end = min(end, other_end)
+                    if overlap_end - beg >= self.min_overlap:
+                        contacts.append(Contact(beg, overlap_end, node, other))
+                active = still_active
+                active.append((beg, end, node))
+        return TemporalNetwork(contacts, nodes=range(self.n), directed=False)
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def with_visit_rate(self, visit_rate: float) -> "PlacesProcess":
+        import dataclasses
+
+        return dataclasses.replace(self, visit_rate=visit_rate)
+
+    def calibrated_to(
+        self,
+        target_contacts: float,
+        rng_factory,
+        max_iterations: int = 4,
+        tolerance: float = 0.15,
+    ) -> "PlacesProcess":
+        """Tune the visit rate so a realisation has about ``target_contacts``.
+
+        Contact volume grows roughly quadratically in the visit rate
+        (pairs of overlapping visits), so each iteration applies a
+        square-root correction measured on a pilot realisation.
+        ``rng_factory(i)`` must return a fresh seeded generator per pilot.
+        """
+        if target_contacts <= 0:
+            raise ValueError("target must be positive")
+        process = self
+        for iteration in range(max_iterations):
+            pilot = process.generate(rng_factory(iteration))
+            count = pilot.num_contacts
+            if count and abs(count - target_contacts) / target_contacts < tolerance:
+                break
+            factor = math.sqrt(target_contacts / max(count, 1))
+            factor = min(max(factor, 0.1), 10.0)
+            process = process.with_visit_rate(process.visit_rate * factor)
+        return process

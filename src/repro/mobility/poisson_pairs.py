@@ -1,0 +1,95 @@
+"""Homogeneous Poisson pair meetings with durations.
+
+The continuous-time model of paper Section 3.1.2, extended with contact
+durations and an optional activity profile — the simplest useful contact
+process, and the stationary reference the heterogeneous community model
+is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core.contact import Contact
+from ..core.temporal_network import TemporalNetwork
+from .base import ActivityProfile, flat_profile
+from .duration import DurationModel, Fixed
+
+
+def sample_nonhomogeneous_times(
+    rate: float,
+    profile: ActivityProfile,
+    horizon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Event times of a Poisson process with intensity rate * profile(t).
+
+    Piecewise-constant thinning-free sampling: on each constant piece the
+    count is Poisson(rate * level * length) with uniform placement.
+    """
+    if rate < 0:
+        raise ValueError("rate cannot be negative")
+    times: List[np.ndarray] = []
+    for beg, end, level in profile.pieces(0.0, horizon):
+        mean = rate * level * (end - beg)
+        if mean <= 0:
+            continue
+        count = int(rng.poisson(mean))
+        if count:
+            times.append(rng.uniform(beg, end, size=count))
+    if not times:
+        return np.empty(0)
+    return np.sort(np.concatenate(times))
+
+
+@dataclass(frozen=True)
+class PoissonPairProcess:
+    """All pairs meet at the same (possibly modulated) Poisson intensity.
+
+    Attributes:
+        n: number of devices.
+        contact_rate: average contacts per node per unit time, *at
+            activity level 1* (the per-pair intensity is rate / (n-1)).
+        horizon: trace length (seconds).
+        durations: contact-duration model (default: instantaneous).
+        profile: activity modulation (default: flat).
+    """
+
+    n: int
+    contact_rate: float
+    horizon: float
+    durations: DurationModel = field(default_factory=lambda: Fixed(0.0))
+    profile: ActivityProfile = field(default_factory=flat_profile)
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least two devices")
+        if self.contact_rate <= 0:
+            raise ValueError("contact rate must be positive")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    def expected_contacts(self) -> float:
+        """Expected number of contacts in one realisation."""
+        pair_rate = self.contact_rate / (self.n - 1)
+        num_pairs = self.n * (self.n - 1) / 2
+        return pair_rate * num_pairs * self.profile.integral(0.0, self.horizon)
+
+    def generate(self, rng: np.random.Generator) -> TemporalNetwork:
+        pair_rate = self.contact_rate / (self.n - 1)
+        contacts: List[Contact] = []
+        for u in range(self.n):
+            for v in range(u + 1, self.n):
+                times = sample_nonhomogeneous_times(
+                    pair_rate, self.profile, self.horizon, rng
+                )
+                if len(times) == 0:
+                    continue
+                durations = self.durations.sample(rng, len(times))
+                for t, dur in zip(times, durations):
+                    end = min(t + max(float(dur), 0.0), self.horizon)
+                    contacts.append(Contact(float(t), end, u, v))
+        return TemporalNetwork(contacts, nodes=range(self.n), directed=False)

@@ -1,0 +1,115 @@
+"""Random-waypoint mobility: a geometric contact-process sanity substrate.
+
+Devices move on a square area towards uniformly chosen waypoints at a
+uniform speed, pausing between legs; a contact exists while two devices
+are within radio range.  This is the classic synthetic mobility model of
+the opportunistic-networking literature (Grossglauser-Tse etc.); it is
+*not* used to calibrate the paper's data sets (the community process is),
+but provides geometrically induced — rather than sampled — contacts for
+examples and for checking that the path machinery is model-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.contact import Contact
+from ..core.temporal_network import TemporalNetwork
+
+
+@dataclass(frozen=True)
+class RandomWaypoint:
+    """Random-waypoint process parameters.
+
+    Attributes:
+        n: number of devices.
+        area: side of the square playground (metres).
+        speed_min / speed_max: uniform speed range (m/s), > 0.
+        pause_max: uniform pause at each waypoint, in seconds (0 disables).
+        radio_range: contact threshold distance (metres).
+        horizon: simulated time (seconds).
+        dt: position sampling step (seconds) — also the granularity of the
+            produced contact intervals.
+    """
+
+    n: int
+    area: float
+    speed_min: float
+    speed_max: float
+    pause_max: float
+    radio_range: float
+    horizon: float
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least two devices")
+        if self.area <= 0 or self.radio_range <= 0:
+            raise ValueError("area and radio range must be positive")
+        if not 0 < self.speed_min <= self.speed_max:
+            raise ValueError("need 0 < speed_min <= speed_max")
+        if self.pause_max < 0:
+            raise ValueError("pause cannot be negative")
+        if self.horizon <= 0 or self.dt <= 0:
+            raise ValueError("horizon and dt must be positive")
+
+    def generate(self, rng: np.random.Generator) -> TemporalNetwork:
+        n = self.n
+        positions = rng.uniform(0.0, self.area, size=(n, 2))
+        waypoints = rng.uniform(0.0, self.area, size=(n, 2))
+        speeds = rng.uniform(self.speed_min, self.speed_max, size=n)
+        pauses = np.zeros(n)
+
+        steps = int(np.ceil(self.horizon / self.dt))
+        active: Dict[Tuple[int, int], float] = {}
+        contacts: List[Contact] = []
+        range_sq = self.radio_range ** 2
+
+        for step in range(steps + 1):
+            now = step * self.dt
+            # Record links at this instant.
+            deltas = positions[:, None, :] - positions[None, :, :]
+            dist_sq = np.einsum("ijk,ijk->ij", deltas, deltas)
+            linked = dist_sq <= range_sq
+            current = set(
+                (i, j)
+                for i, j in zip(*np.nonzero(np.triu(linked, k=1)))
+            )
+            for pair in current:
+                if pair not in active:
+                    active[pair] = now
+            for pair in [p for p in active if p not in current]:
+                beg = active.pop(pair)
+                contacts.append(Contact(beg, now, int(pair[0]), int(pair[1])))
+            if step == steps:
+                break
+            # Advance motion by dt.
+            moving = pauses <= 0
+            pauses[~moving] -= self.dt
+            if moving.any():
+                vectors = waypoints[moving] - positions[moving]
+                distances = np.linalg.norm(vectors, axis=1)
+                travel = speeds[moving] * self.dt
+                arrived = distances <= travel
+                scale = np.zeros_like(distances)
+                np.divide(travel, distances, out=scale, where=distances > 0)
+                scale = np.minimum(scale, 1.0)
+                positions[moving] += vectors * scale[:, None]
+                # Nodes that reached their waypoint pick a new leg.
+                moving_idx = np.nonzero(moving)[0]
+                done = moving_idx[arrived]
+                if len(done):
+                    waypoints[done] = rng.uniform(0.0, self.area, size=(len(done), 2))
+                    speeds[done] = rng.uniform(
+                        self.speed_min, self.speed_max, size=len(done)
+                    )
+                    if self.pause_max > 0:
+                        pauses[done] = rng.uniform(0.0, self.pause_max, size=len(done))
+
+        final_time = steps * self.dt
+        for pair, beg in active.items():
+            contacts.append(Contact(beg, final_time, int(pair[0]), int(pair[1])))
+        return TemporalNetwork(contacts, nodes=range(n), directed=False)

@@ -1,0 +1,89 @@
+"""Random temporal networks: the analytical model of paper Section 3.
+
+Closed-form phase-transition analysis (:mod:`.theory`), generators for the
+discrete-time slot-graph process (:mod:`.discrete`) and the continuous-time
+Poisson pair process (:mod:`.continuous`), and Monte Carlo validation
+(:mod:`.simulate`).
+"""
+
+from .continuous import (
+    as_temporal_network as continuous_temporal_network,
+    contact_instants,
+    pair_intensity,
+)
+from .discrete import (
+    as_temporal_network as discrete_temporal_network,
+    empirical_contact_rate,
+    slot_graphs,
+)
+from .renewal import (
+    ExponentialGaps,
+    GammaGaps,
+    LogNormalGaps,
+    compare_gap_models,
+    first_passage_renewal,
+    renewal_instants,
+    renewal_temporal_network,
+)
+from .simulate import (
+    FirstPassage,
+    FirstPassageStats,
+    constrained_reach_trial,
+    first_passage,
+    first_passage_stats,
+    reach_probability,
+)
+from .theory import (
+    ContactCase,
+    PhasePoint,
+    boundary_maximum,
+    classify,
+    critical_tau,
+    entropy_g,
+    entropy_h,
+    expected_delay,
+    expected_delay_constant,
+    expected_hop_constant,
+    expected_hops,
+    is_supercritical,
+    optimal_gamma,
+    phase_boundary,
+    supercritical_gamma_interval,
+)
+
+__all__ = [
+    "ContactCase",
+    "ExponentialGaps",
+    "FirstPassage",
+    "FirstPassageStats",
+    "GammaGaps",
+    "LogNormalGaps",
+    "compare_gap_models",
+    "first_passage_renewal",
+    "renewal_instants",
+    "renewal_temporal_network",
+    "PhasePoint",
+    "boundary_maximum",
+    "classify",
+    "constrained_reach_trial",
+    "contact_instants",
+    "continuous_temporal_network",
+    "critical_tau",
+    "discrete_temporal_network",
+    "empirical_contact_rate",
+    "entropy_g",
+    "entropy_h",
+    "expected_delay",
+    "expected_delay_constant",
+    "expected_hop_constant",
+    "expected_hops",
+    "first_passage",
+    "first_passage_stats",
+    "is_supercritical",
+    "optimal_gamma",
+    "pair_intensity",
+    "phase_boundary",
+    "reach_probability",
+    "slot_graphs",
+    "supercritical_gamma_interval",
+]

@@ -1,0 +1,241 @@
+"""Renewal inter-contact processes (extension of paper Section 3.4).
+
+The random temporal network assumes Bernoulli/Poisson contacts, i.e.
+light-tailed inter-contact times; the paper notes that "it is
+nevertheless possible to extend all of the results we have obtained so
+far to contacts described by a renewal process with general inter-contact
+time distribution with finite variance.  We expect this to have a major
+impact on the delay of a path, but a relatively small impact on
+hop-number."
+
+This module provides that extension empirically: per-pair contact
+instants drawn from a renewal process with a pluggable inter-contact
+distribution (the first event starts in a stationary phase), a trace
+generator, and a Monte Carlo harness comparing delay and hop count of
+the delay-optimal path against the exponential baseline at equal mean
+rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..core.contact import Contact
+from ..core.temporal_network import TemporalNetwork
+
+
+class InterContactModel(Protocol):
+    """A positive inter-contact time distribution with finite variance."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        ...
+
+    def mean(self) -> float:
+        ...
+
+
+@dataclass(frozen=True)
+class ExponentialGaps:
+    """The Poisson baseline: exponential inter-contact times."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class LogNormalGaps:
+    """Heavier-than-exponential (but finite-variance) inter-contact times.
+
+    Previous measurement work (Chaintreau et al. 2007, Karagiannis et al.
+    2007) found inter-contact distributions with power-law bodies; a
+    log-normal with sigma ~ 1.5-2 mimics that body while keeping the
+    finite variance the paper's extension requires.
+    """
+
+    mean_value: float
+    sigma: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        mu = math.log(self.mean_value) - self.sigma ** 2 / 2.0
+        return rng.lognormal(mu, self.sigma, size)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class GammaGaps:
+    """More-regular-than-exponential gaps (shape > 1), e.g. periodic-ish
+    schedules softened by noise."""
+
+    mean_value: float
+    shape: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0 or self.shape <= 0:
+            raise ValueError("mean and shape must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.gamma(self.shape, self.mean_value / self.shape, size)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+def stationary_residual(
+    gaps: InterContactModel, rng: np.random.Generator, batch: int = 256
+) -> float:
+    """A draw from the stationary residual-life distribution.
+
+    For an observer arriving at a random time, the gap they land in is
+    *length-biased* (the waiting-time paradox), and the remaining wait is
+    a uniform fraction of it.  Sampled by importance-resampling a batch
+    of ordinary gaps with probability proportional to their length.
+    Getting this right matters: with heavy-tailed gaps the residual life
+    is far longer than a naive ``uniform x gap`` draw, and it is exactly
+    this effect that makes heavy inter-contact tails slow down delivery
+    (paper Section 3.4).
+    """
+    sample = gaps.sample(rng, batch)
+    total = float(sample.sum())
+    if total <= 0:
+        return 0.0
+    chosen = rng.choice(batch, p=sample / total)
+    return float(sample[chosen]) * float(rng.uniform())
+
+
+def renewal_instants(
+    gaps: InterContactModel,
+    horizon: float,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Event times of one stationary renewal process on [0, horizon).
+
+    The first event falls after a stationary residual life (length-biased
+    gap times a uniform fraction); subsequent gaps are ordinary draws.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    times: List[float] = []
+    t = stationary_residual(gaps, rng)
+    while t < horizon:
+        times.append(t)
+        t += float(gaps.sample(rng, 1)[0])
+    return times
+
+
+def renewal_temporal_network(
+    n: int,
+    contact_rate: float,
+    gaps_factory,
+    horizon: float,
+    rng: np.random.Generator,
+    contact_duration: float = 0.0,
+) -> TemporalNetwork:
+    """A temporal network whose pair contacts follow a renewal process.
+
+    ``gaps_factory(mean_gap)`` builds the inter-contact model for the
+    per-pair mean gap implied by the target per-node contact rate
+    (``mean_gap = (n - 1) / contact_rate``).
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if contact_rate <= 0:
+        raise ValueError("contact rate must be positive")
+    mean_gap = (n - 1) / contact_rate
+    gaps = gaps_factory(mean_gap)
+    contacts: List[Contact] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            for t in renewal_instants(gaps, horizon, rng):
+                end = min(t + max(contact_duration, 0.0), horizon)
+                contacts.append(Contact(t, end, u, v))
+    return TemporalNetwork(contacts, nodes=range(n), directed=False)
+
+
+def first_passage_renewal(
+    n: int,
+    contact_rate: float,
+    gaps_factory,
+    horizon: float,
+    rng: np.random.Generator,
+    source: int = 0,
+    destination: int = 1,
+) -> "Tuple[Optional[float], Optional[int]]":
+    """(delay, hops) of the delay-optimal path in one renewal realisation.
+
+    Uses the exact frontier machinery on the generated trace, so the hop
+    count is the minimum over delay-optimal paths, as in Section 3.
+    """
+    from ..baselines.flooding import flood
+
+    net = renewal_temporal_network(
+        n, contact_rate, gaps_factory, horizon, rng
+    )
+    arrival = flood(net, source, 0.0).get(destination)
+    if arrival is None:
+        return (None, None)
+    for hops in range(1, n + 1):
+        bounded = flood(net, source, 0.0, max_hops=hops).get(destination)
+        if bounded is not None and bounded <= arrival:
+            return (arrival, hops)
+    return (arrival, n)  # pragma: no cover - loop always terminates earlier
+
+
+def compare_gap_models(
+    n: int,
+    contact_rate: float,
+    horizon: float,
+    trials: int,
+    seed: int = 0,
+) -> "dict":
+    """Monte Carlo comparison of delay/hops across inter-contact models.
+
+    Returns per-model mean delay and mean hop count of the delay-optimal
+    path, at equal per-node contact rate — the quantitative form of the
+    paper's "major impact on delay, small impact on hop-number".
+    """
+    models = {
+        "exponential": lambda mean: ExponentialGaps(mean),
+        "lognormal(s=1.5)": lambda mean: LogNormalGaps(mean, sigma=1.5),
+        "gamma(k=4)": lambda mean: GammaGaps(mean, shape=4.0),
+    }
+    results = {}
+    for index, (name, factory) in enumerate(models.items()):
+        rng = np.random.default_rng([seed, index])
+        delays: List[float] = []
+        hops: List[int] = []
+        delivered = 0
+        for _ in range(trials):
+            delay, hop = first_passage_renewal(
+                n, contact_rate, factory, horizon, rng
+            )
+            if delay is not None:
+                delivered += 1
+                delays.append(delay)
+                hops.append(hop)
+        results[name] = {
+            "delivered": delivered,
+            "mean_delay": float(np.mean(delays)) if delays else math.nan,
+            "mean_hops": float(np.mean(hops)) if hops else math.nan,
+        }
+    return results

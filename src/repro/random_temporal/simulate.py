@@ -1,0 +1,232 @@
+"""Monte Carlo experiments on random temporal networks.
+
+Finite-N validation of the Section 3 analysis.  Both contact-case
+semantics are implemented directly on the slot-graph process:
+
+* *short contacts*: a path traverses at most one contact per slot
+  (condition (ii') of Section 3.1.3), so hop counts advance by at most one
+  per slot along a path;
+* *long contacts*: within one slot a path may chain through any number of
+  contacts of that slot's graph.
+
+The core quantity is the per-slot dynamic programming on
+``minhops[v]`` = the minimum number of hops over paths reaching v by the
+current slot.  Its first-hitting slot at the destination is the delay of
+the delay-optimal path, the value there is that path's hop count, and
+evaluating it at a deadline answers the constrained-reachability question
+behind the phase transition (Lemma 1 / Corollary 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .discrete import slot_graphs
+from .theory import ContactCase
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class FirstPassage:
+    """Outcome of one first-passage trial.
+
+    Attributes:
+        delivered: whether the destination was reached within the horizon.
+        delay_slots: slots elapsed until delivery (1 = delivered during the
+            first slot); None when not delivered.
+        hops: hop count of the delay-optimal path; None when not delivered.
+    """
+
+    delivered: bool
+    delay_slots: Optional[int]
+    hops: Optional[int]
+
+
+def _relax_short(minhops: List[float], edges: Sequence[Tuple[int, int]]) -> None:
+    """One-hop-per-slot relaxation: updates read the pre-slot values."""
+    updates: List[Tuple[int, float]] = []
+    for u, v in edges:
+        hu, hv = minhops[u], minhops[v]
+        if hu + 1 < hv:
+            updates.append((v, hu + 1))
+        if hv + 1 < hu:
+            updates.append((u, hv + 1))
+    for node, hops in updates:
+        if hops < minhops[node]:
+            minhops[node] = hops
+
+
+def _relax_long(minhops: List[float], edges: Sequence[Tuple[int, int]]) -> None:
+    """Within-slot chaining: relax the slot graph to a fixpoint.
+
+    The slot graph is sparse (about lambda * n / 2 edges), so a simple
+    queue-driven relaxation is linear in practice.
+    """
+    adjacency: dict = {}
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    queue = [node for node in adjacency if minhops[node] < INF]
+    while queue:
+        next_queue = []
+        for u in queue:
+            base = minhops[u] + 1
+            for v in adjacency.get(u, ()):
+                if base < minhops[v]:
+                    minhops[v] = base
+                    next_queue.append(v)
+        queue = next_queue
+
+
+def first_passage(
+    n: int,
+    contact_rate: float,
+    case: ContactCase,
+    rng: np.random.Generator,
+    max_slots: int,
+    source: int = 0,
+    destination: int = 1,
+) -> FirstPassage:
+    """Simulate one realisation until the destination is first reached.
+
+    Returns the delay (in slots) and hop count of the delay-optimal path
+    from ``source`` (message ready at time 0) to ``destination``.
+    """
+    if source == destination:
+        raise ValueError("source and destination must differ")
+    minhops: List[float] = [INF] * n
+    minhops[source] = 0
+    relax = _relax_short if case == "short" else _relax_long
+    for t, edges in enumerate(slot_graphs(n, contact_rate, max_slots, rng)):
+        relax(minhops, edges)
+        if minhops[destination] < INF:
+            return FirstPassage(True, t + 1, int(minhops[destination]))
+    return FirstPassage(False, None, None)
+
+
+def constrained_reach_trial(
+    n: int,
+    contact_rate: float,
+    case: ContactCase,
+    rng: np.random.Generator,
+    max_slots: int,
+    max_hops: float,
+    source: int = 0,
+    destination: int = 1,
+) -> bool:
+    """Whether a path with delay <= max_slots and hops <= max_hops exists."""
+    minhops: List[float] = [INF] * n
+    minhops[source] = 0
+    relax = _relax_short if case == "short" else _relax_long
+    for edges in slot_graphs(n, contact_rate, max_slots, rng):
+        relax(minhops, edges)
+        if minhops[destination] <= max_hops:
+            return True
+    return minhops[destination] <= max_hops
+
+
+@dataclass(frozen=True)
+class FirstPassageStats:
+    """Aggregated Monte Carlo results for one parameter point."""
+
+    n: int
+    contact_rate: float
+    case: ContactCase
+    trials: int
+    delivered: int
+    mean_delay_slots: float
+    mean_hops: float
+    #: sample standard deviations (0 when fewer than 2 deliveries)
+    std_delay_slots: float
+    std_hops: float
+
+    @property
+    def delay_over_log_n(self) -> float:
+        return self.mean_delay_slots / math.log(self.n)
+
+    @property
+    def hops_over_log_n(self) -> float:
+        return self.mean_hops / math.log(self.n)
+
+
+def first_passage_stats(
+    n: int,
+    contact_rate: float,
+    case: ContactCase,
+    rng: np.random.Generator,
+    trials: int,
+    max_slots: Optional[int] = None,
+) -> FirstPassageStats:
+    """Monte Carlo estimate of delay/hops of the delay-optimal path.
+
+    ``max_slots`` defaults to a generous multiple of the predicted delay
+    so that essentially every trial delivers.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if max_slots is None:
+        # 10x the predicted critical delay, at least 50 slots.
+        from .theory import expected_delay
+
+        try:
+            predicted = expected_delay(n, contact_rate, case)
+        except ValueError:
+            predicted = 0.0
+        max_slots = max(50, int(10 * predicted) + 10)
+    delays: List[int] = []
+    hops: List[int] = []
+    for _ in range(trials):
+        result = first_passage(n, contact_rate, case, rng, max_slots)
+        if result.delivered:
+            delays.append(result.delay_slots)
+            hops.append(result.hops)
+    delivered = len(delays)
+    if delivered == 0:
+        return FirstPassageStats(
+            n, contact_rate, case, trials, 0, math.nan, math.nan, 0.0, 0.0
+        )
+    delay_arr = np.asarray(delays, dtype=float)
+    hop_arr = np.asarray(hops, dtype=float)
+    return FirstPassageStats(
+        n=n,
+        contact_rate=contact_rate,
+        case=case,
+        trials=trials,
+        delivered=delivered,
+        mean_delay_slots=float(delay_arr.mean()),
+        mean_hops=float(hop_arr.mean()),
+        std_delay_slots=float(delay_arr.std(ddof=1)) if delivered > 1 else 0.0,
+        std_hops=float(hop_arr.std(ddof=1)) if delivered > 1 else 0.0,
+    )
+
+
+def reach_probability(
+    n: int,
+    contact_rate: float,
+    tau: float,
+    gamma: float,
+    case: ContactCase,
+    rng: np.random.Generator,
+    trials: int,
+) -> float:
+    """Empirical P[path exists with delay <= tau ln N, hops <= gamma tau ln N].
+
+    The Monte Carlo counterpart of Corollary 1: in the subcritical regime
+    this tends to 0 as N grows; in the supercritical regime it tends away
+    from 0 (the paper proves the expected path count diverges).
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    log_n = math.log(n)
+    max_slots = max(1, int(math.floor(tau * log_n)))
+    max_hops = gamma * tau * log_n
+    hits = sum(
+        constrained_reach_trial(n, contact_rate, case, rng, max_slots, max_hops)
+        for _ in range(trials)
+    )
+    return hits / trials

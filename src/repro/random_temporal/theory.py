@@ -1,0 +1,276 @@
+"""Closed-form analysis of random temporal networks (paper Section 3).
+
+The model: N nodes; during each time slot every (unordered) pair is in
+contact independently with probability p = lambda / N, so each node makes
+lambda contacts per slot on average.  Paths bounded by ``t_N = tau ln N``
+slots and ``k_N = gamma tau ln N`` hops exist (in expectation, many) or do
+not exist (almost surely) according to a phase transition:
+
+* short contacts (one contact per slot along a path):
+    supercritical  iff  1/tau < gamma ln(lambda) + h(gamma),
+    h(x) = -x ln x - (1 - x) ln(1 - x)            (Lemma 1 / Corollary 1);
+* long contacts (a whole connected chain can be crossed within one slot):
+    supercritical  iff  1/tau < gamma ln(lambda) + g(gamma),
+    g(x) = (1 + x) ln(1 + x) - x ln x.
+
+Maximising the right-hand side over gamma yields the critical delay
+constant and the hop count of the delay-optimal path:
+
+* short: max M = ln(1 + lambda) at gamma* = lambda / (1 + lambda);
+* long, lambda < 1: M = -ln(1 - lambda) at gamma* = lambda / (1 - lambda);
+* long, lambda > 1: the boundary is unbounded (the slot graph has a giant
+  component), paths exist for any tau > 0, with k ~ ln N / ln lambda.
+
+All functions here are pure and vectorised-friendly (accept floats).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+ContactCase = Literal["short", "long"]
+
+_CASES = ("short", "long")
+
+
+def entropy_h(x: float) -> float:
+    """Binary entropy ``h(x) = -x ln x - (1-x) ln(1-x)`` on [0, 1].
+
+    Appears in the short-contact path count: choosing which of the
+    ``t_N`` slots carry the ``k_N = gamma t_N`` hops contributes
+    ``binom(t_N, k_N) ~ exp(t_N h(gamma))`` combinations.
+    """
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"h is defined on [0, 1], got {x}")
+    if x in (0.0, 1.0):
+        return 0.0
+    return -x * math.log(x) - (1.0 - x) * math.log(1.0 - x)
+
+
+def entropy_g(x: float) -> float:
+    """``g(x) = (1+x) ln(1+x) - x ln x`` on [0, inf).
+
+    The long-contact analogue of :func:`entropy_h`: hops may share slots,
+    so the combinatorial factor counts weak compositions,
+    ``binom(t_N + k_N, k_N) ~ exp(t_N g(gamma))``.
+    """
+    if x < 0.0:
+        raise ValueError(f"g is defined on [0, inf), got {x}")
+    if x == 0.0:
+        return 0.0
+    return (1.0 + x) * math.log(1.0 + x) - x * math.log(x)
+
+
+def _check_case(case: str) -> None:
+    if case not in _CASES:
+        raise ValueError(f"contact case must be one of {_CASES}, got {case!r}")
+
+
+def _check_lambda(contact_rate: float) -> None:
+    if contact_rate <= 0.0:
+        raise ValueError(f"contact rate must be positive, got {contact_rate}")
+
+
+def phase_boundary(gamma: float, contact_rate: float, case: ContactCase) -> float:
+    """The exponent function ``gamma ln(lambda) + h_or_g(gamma)``.
+
+    Paths with delay ``tau ln N`` and ``gamma tau ln N`` hops exist iff
+    ``1 / tau`` is below this value (Corollary 1).
+    """
+    _check_case(case)
+    _check_lambda(contact_rate)
+    entropy = entropy_h(gamma) if case == "short" else entropy_g(gamma)
+    return gamma * math.log(contact_rate) + entropy
+
+
+def is_supercritical(
+    tau: float, gamma: float, contact_rate: float, case: ContactCase
+) -> bool:
+    """Whether the constraint pair (tau, gamma) admits paths (many of them).
+
+    True when ``1/tau < gamma ln(lambda) + h_or_g(gamma)``: the expected
+    number of constrained paths diverges with N.  False in the subcritical
+    regime where almost surely no such path exists.
+    """
+    if tau <= 0.0:
+        raise ValueError(f"tau must be positive, got {tau}")
+    return 1.0 / tau < phase_boundary(gamma, contact_rate, case)
+
+
+def optimal_gamma(contact_rate: float, case: ContactCase) -> float:
+    """The arg-max of the phase boundary: hops-per-slot of optimal paths.
+
+    * short: ``lambda / (1 + lambda)`` — at most one hop per slot, so < 1;
+    * long, lambda < 1: ``lambda / (1 - lambda)``;
+    * long, lambda >= 1: the boundary increases without bound (ValueError).
+    """
+    _check_case(case)
+    _check_lambda(contact_rate)
+    if case == "short":
+        return contact_rate / (1.0 + contact_rate)
+    if contact_rate >= 1.0:
+        raise ValueError(
+            "long-contact boundary is unbounded for lambda >= 1 "
+            "(the slot graph percolates); no finite optimal gamma"
+        )
+    return contact_rate / (1.0 - contact_rate)
+
+
+def boundary_maximum(contact_rate: float, case: ContactCase) -> float:
+    """``M``, the maximum of the phase boundary over gamma.
+
+    ``M = ln(1 + lambda)`` (short) or ``-ln(1 - lambda)`` (long, lambda<1);
+    infinite in the long case with lambda >= 1.
+    """
+    _check_case(case)
+    _check_lambda(contact_rate)
+    if case == "short":
+        return math.log1p(contact_rate)
+    if contact_rate >= 1.0:
+        return math.inf
+    return -math.log1p(-contact_rate)
+
+
+def critical_tau(contact_rate: float, case: ContactCase) -> float:
+    """Smallest delay constant tau for which paths exist: ``1 / M``.
+
+    Below ``tau ln N`` with ``tau < 1/M``, almost surely no path satisfies
+    the constraints; above, the expected number of paths diverges.  Zero in
+    the long case with lambda >= 1 (paths exist at any time scale).
+    """
+    maximum = boundary_maximum(contact_rate, case)
+    if math.isinf(maximum):
+        return 0.0
+    return 1.0 / maximum
+
+
+def expected_delay_constant(contact_rate: float, case: ContactCase) -> float:
+    """Delay of the delay-optimal path, as a multiple of ln N.
+
+    The heuristic of Section 3.2.2: the delay-optimal path appears at the
+    critical tau, so ``t ~ ln N / ln(1 + lambda)`` (short) or
+    ``ln N / (-ln(1 - lambda))`` (long, lambda < 1).  For the long case
+    with lambda >= 1 the network is essentially connected and the constant
+    is 0.
+    """
+    return critical_tau(contact_rate, case)
+
+
+def expected_hop_constant(contact_rate: float, case: ContactCase) -> float:
+    """Hop count of the delay-optimal path, as a multiple of ln N.
+
+    ``k ~ gamma* tau* ln N``:
+
+    * short: ``lambda / ((1 + lambda) ln(1 + lambda))``;
+    * long, lambda < 1: ``lambda / ((1 - lambda) (-ln(1 - lambda)))``;
+    * long, lambda > 1: ``1 / ln(lambda)`` (from the asymptote of g);
+    * long, lambda = 1: the singular point — +inf (paper Figure 3 shows
+      the divergence at lambda = 1).
+
+    As lambda -> 0 both cases converge to 1: the hop count of the
+    delay-optimal path is insensitive to the contact rate (Section 3.3).
+    """
+    _check_case(case)
+    _check_lambda(contact_rate)
+    if case == "short":
+        return contact_rate / ((1.0 + contact_rate) * math.log1p(contact_rate))
+    if contact_rate < 1.0:
+        return contact_rate / ((1.0 - contact_rate) * -math.log1p(-contact_rate))
+    if contact_rate == 1.0:
+        return math.inf
+    return 1.0 / math.log(contact_rate)
+
+
+def expected_delay(n: int, contact_rate: float, case: ContactCase) -> float:
+    """Predicted delay (in slots) of the delay-optimal path at size N."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    return expected_delay_constant(contact_rate, case) * math.log(n)
+
+
+def expected_hops(n: int, contact_rate: float, case: ContactCase) -> float:
+    """Predicted hop count of the delay-optimal path at size N."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    return expected_hop_constant(contact_rate, case) * math.log(n)
+
+
+@dataclass(frozen=True)
+class PhasePoint:
+    """A classified (tau, gamma) constraint point (for sweep tables)."""
+
+    tau: float
+    gamma: float
+    contact_rate: float
+    case: ContactCase
+    boundary: float
+    supercritical: bool
+
+
+def classify(
+    tau: float, gamma: float, contact_rate: float, case: ContactCase
+) -> PhasePoint:
+    """Bundle the boundary value and the regime of a constraint point."""
+    boundary = phase_boundary(gamma, contact_rate, case)
+    return PhasePoint(
+        tau=tau,
+        gamma=gamma,
+        contact_rate=contact_rate,
+        case=case,
+        boundary=boundary,
+        supercritical=(1.0 / tau < boundary),
+    )
+
+
+def supercritical_gamma_interval(
+    tau: float, contact_rate: float, case: ContactCase, tol: float = 1e-12
+) -> "tuple[float, float] | None":
+    """The interval [gamma_1, gamma_2] where (tau, gamma) is supercritical.
+
+    Section 3.2.2: for ``tau > 1/M`` the supercritical condition holds on
+    an interval of gamma values containing gamma*.  Found by bisection on
+    each side of gamma*; None when tau is below the critical value.
+    For the long case with lambda >= 1 the interval is unbounded above and
+    the returned upper end is +inf.
+    """
+    _check_case(case)
+    _check_lambda(contact_rate)
+    target = 1.0 / tau
+
+    def above(gamma: float) -> bool:
+        return phase_boundary(gamma, contact_rate, case) > target
+
+    if case == "long" and contact_rate >= 1.0:
+        # Boundary is increasing in gamma and unbounded: a single crossing.
+        lo, hi = tol, 1.0
+        while not above(hi):
+            hi *= 2.0
+            if hi > 1e9:  # pragma: no cover - defensive
+                return None
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if above(mid):
+                hi = mid
+            else:
+                lo = mid
+        return (hi, math.inf)
+
+    peak = optimal_gamma(contact_rate, case)
+    if boundary_maximum(contact_rate, case) <= target:
+        return None
+    upper_limit = 1.0 if case == "short" else peak * 8.0 + 8.0
+
+    def bisect(lo: float, hi: float, want_above_at_lo: bool) -> float:
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if above(mid) == want_above_at_lo:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    gamma_low = bisect(tol, peak, want_above_at_lo=False)
+    gamma_high = bisect(peak, upper_limit, want_above_at_lo=True)
+    return (gamma_low, gamma_high)

@@ -1,0 +1,537 @@
+"""Synthetic stand-ins for the paper's four mobility data sets.
+
+The paper measures Infocom05, Infocom06 and Hong-Kong (Haggle iMote
+deployments) and the MIT Reality Mining Bluetooth trace.  Those CRAWDAD
+data sets cannot ship with this repository, so each builder below
+synthesises a trace matched to the paper's Table 1 characteristics
+(device counts, duration, scan granularity, contact volume) and to the
+qualitative structure Sections 5.1-5.2 describe:
+
+* Infocom05/06 — conference crowds: session/break bursts, dead nights,
+  loose group structure, granularity 120 s, very high contact rates;
+* Hong-Kong — strangers recruited in a bar: almost no internal contacts,
+  connectivity through a large external-device population, long
+  disconnections;
+* Reality Mining — a 9-month campus: research-group communities, diurnal
+  and weekly cycles, low rates, granularity 300 s.
+
+Counts are calibrated *after* the iMote scanning model is applied, via a
+measure-and-rescale pass, so the recorded volumes land near the targets.
+Every builder is deterministic given ``seed`` and accepts a ``scale``
+that shrinks duration and contact volume together (device counts stay at
+the paper's values) for test- and laptop-sized runs.
+
+OCR caution: some Table 1 numerals in the available paper text are
+garbled; the targets below keep the legible ones (41/22,459 for
+Infocom05; 78 devices; 120 s and 300 s granularities) and take the
+defensible reading elsewhere, recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.temporal_network import TemporalNetwork
+from ..mobility.base import (
+    compose_profiles,
+    conference_profile,
+    diurnal_profile,
+    weekly_profile,
+)
+from ..mobility.community import CommunityProcess
+from ..mobility.duration import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    Mixture,
+    campus_durations,
+)
+from ..mobility.places import PlacesProcess
+from .imote import ScanningModel
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Paper Table 1 targets for one data set."""
+
+    name: str
+    devices: int
+    duration_days: float
+    granularity_s: float
+    internal_contacts: int
+    external_devices: int = 0
+    external_contacts: int = 0
+    #: the 99%-diameter the paper reports for this data set (Figure 9).
+    paper_diameter: Optional[int] = None
+
+
+PAPER_TABLE1: Dict[str, DatasetSpec] = {
+    "infocom05": DatasetSpec(
+        name="Infocom05",
+        devices=41,
+        duration_days=3.0,
+        granularity_s=120.0,
+        internal_contacts=22_459,
+        external_devices=223,
+        external_contacts=1_173,
+        paper_diameter=5,
+    ),
+    "infocom06": DatasetSpec(
+        name="Infocom06",
+        devices=78,
+        duration_days=4.0,
+        granularity_s=120.0,
+        internal_contacts=82_000,
+        external_devices=4_000,
+        external_contacts=1_630,
+        paper_diameter=5,
+    ),
+    "hongkong": DatasetSpec(
+        name="Hong-Kong",
+        devices=37,
+        duration_days=5.0,
+        granularity_s=120.0,
+        internal_contacts=92,
+        external_devices=869,
+        external_contacts=2_507,
+        paper_diameter=6,
+    ),
+    "reality": DatasetSpec(
+        name="Reality Mining BT",
+        devices=97,
+        duration_days=270.0,
+        granularity_s=300.0,
+        internal_contacts=212_667,
+        paper_diameter=4,
+    ),
+}
+
+
+def _scaled(spec: DatasetSpec, scale: float) -> DatasetSpec:
+    """Shrink duration and contact volumes together; keep device counts."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return dataclasses.replace(
+        spec,
+        duration_days=max(spec.duration_days * scale, 0.5),
+        internal_contacts=max(int(spec.internal_contacts * scale), 10),
+        external_devices=(
+            max(int(spec.external_devices * scale), 5)
+            if spec.external_devices
+            else 0
+        ),
+        external_contacts=(
+            max(int(spec.external_contacts * scale), 10)
+            if spec.external_contacts
+            else 0
+        ),
+    )
+
+
+def _split_counts(trace: TemporalNetwork) -> "tuple[int, int]":
+    internal = 0
+    external = 0
+    for contact in trace.contacts:
+        if isinstance(contact.v, str) or isinstance(contact.u, str):
+            external += 1
+        else:
+            internal += 1
+    return internal, external
+
+
+def _calibrated_trace(
+    process: CommunityProcess,
+    scanning: Optional[ScanningModel],
+    target_internal: int,
+    target_external: int,
+    seed: int,
+) -> TemporalNetwork:
+    """Calibrate analytically, then correct for the scanning retention.
+
+    Raw contact volumes are linear in the rates with known expectation,
+    so :meth:`CommunityProcess.scaled_to` hits the raw targets exactly in
+    expectation.  Scanning then misses short contacts and splits long
+    lossy ones in a way that is awkward to predict analytically; a pilot
+    realisation measures the observed/raw ratio per contact class (a
+    correlated ratio, so it is usable even at small counts, and clamped
+    for safety) and the rates are corrected once by its inverse.
+    """
+    process = process.scaled_to(
+        float(target_internal),
+        float(target_external) if (process.externals and target_external) else None,
+    )
+
+    def realise(proc: CommunityProcess, stream: int) -> "tuple[TemporalNetwork, TemporalNetwork]":
+        rng = np.random.default_rng([seed, stream])
+        raw = proc.generate(rng)
+        observed = scanning.observe(raw, rng) if scanning is not None else raw
+        return raw, observed
+
+    if scanning is None:
+        return realise(process, 1)[1]
+
+    raw, observed = realise(process, 0)
+    raw_int, raw_ext = _split_counts(raw)
+    obs_int, obs_ext = _split_counts(observed)
+
+    def retention(obs: int, raw_count: int) -> float:
+        if raw_count < 5:
+            return 1.0  # too few samples to estimate; assume lossless
+        return min(max(obs / raw_count, 0.25), 2.0)
+
+    changes = {}
+    keep_int = retention(obs_int, raw_int)
+    changes["intra_rate"] = process.intra_rate / keep_int
+    changes["inter_rate"] = process.inter_rate / keep_int
+    if process.externals and target_external:
+        changes["external_rate"] = process.external_rate / retention(
+            obs_ext, raw_ext
+        )
+    calibrated = dataclasses.replace(process, **changes)
+    return realise(calibrated, 1)[1]
+
+
+def _community_sizes(devices: int, groups: int) -> "tuple[int, ...]":
+    base, extra = divmod(devices, groups)
+    return tuple(base + (1 if i < extra else 0) for i in range(groups))
+
+
+def infocom05(
+    seed: int = 1,
+    scale: float = 1.0,
+    with_externals: bool = False,
+    scanned: bool = True,
+) -> TemporalNetwork:
+    """Synthetic Infocom05: 41 devices over a 3-day conference."""
+    return _conference_dataset(
+        PAPER_TABLE1["infocom05"], seed, scale, with_externals, scanned, groups=6
+    )
+
+
+def infocom06(
+    seed: int = 1,
+    scale: float = 1.0,
+    with_externals: bool = False,
+    scanned: bool = True,
+) -> TemporalNetwork:
+    """Synthetic Infocom06: 78 devices over a 4-day conference."""
+    return _conference_dataset(
+        PAPER_TABLE1["infocom06"], seed, scale, with_externals, scanned, groups=10
+    )
+
+
+#: Fraction of a conference trace's contact volume contributed by session
+#: co-presence (the places component); the rest are corridor brushes.
+_CONFERENCE_SESSIONS_SHARE = 0.2
+
+
+def _conference_dataset(
+    spec: DatasetSpec,
+    seed: int,
+    scale: float,
+    with_externals: bool,
+    scanned: bool,
+    groups: int,
+) -> TemporalNetwork:
+    """Hybrid conference trace: session cliques + corridor encounters.
+
+    Long contacts come from co-presence in session rooms (a
+    :class:`PlacesProcess`), so they are clique-structured the way real
+    Bluetooth sightings are — that is what keeps the diameter small when
+    only the long contacts remain (paper Section 6.2 / Figure 12) and
+    gives the Figure 7 over-an-hour tail.  The bulk of the volume is
+    short pairwise corridor encounters from a :class:`CommunityProcess`,
+    which also carries the external-device sightings.
+    """
+    spec = _scaled(spec, scale)
+    horizon = spec.duration_days * DAY
+    externals = spec.external_devices if with_externals else 0
+    target_internal = float(spec.internal_contacts)
+    target_external = float(spec.external_contacts) if externals else 0.0
+    brush_durations = LogNormal(median=spec.granularity_s / 2.0, sigma=1.0)
+    corridor = CommunityProcess(
+        community_sizes=_community_sizes(spec.devices, groups),
+        # Initial rates are placeholders; calibration rescales them.
+        intra_rate=3e-5,
+        inter_rate=1e-5,
+        horizon=horizon,
+        durations_intra=brush_durations,
+        durations_inter=brush_durations,
+        profile=conference_profile(),
+        node_sigma=0.4,
+        externals=externals,
+        external_rate=1e-7 if externals else 0.0,
+        durations_external=brush_durations,
+    )
+    corridor = corridor.scaled_to(
+        target_internal * (1.0 - _CONFERENCE_SESSIONS_SHARE),
+        target_external if externals else None,
+    )
+    sessions = PlacesProcess(
+        n=spec.devices,
+        num_places=max(groups - 2, 3),  # session rooms + social areas
+        visit_rate=3e-4,
+        horizon=horizon,
+        stay=Mixture(
+            components=(
+                LogNormal(median=6 * 60.0, sigma=1.0),
+                BoundedPareto(alpha=1.1, lower=30 * 60.0, upper=5 * 3600.0),
+            ),
+            weights=(0.75, 0.25),
+        ),
+        profile=conference_profile(),
+        node_sigma=0.4,
+        day_sigma=0.2,
+        home_bias=0.35,
+        min_overlap=20.0,
+    )
+    sessions = sessions.calibrated_to(
+        target_internal * _CONFERENCE_SESSIONS_SHARE,
+        lambda i: np.random.default_rng([seed, 200 + i]),
+    )
+
+    def realise(corridor_proc, sessions_proc, stream):
+        rng = np.random.default_rng([seed, stream])
+        contacts = list(corridor_proc.generate(rng).contacts)
+        contacts.extend(sessions_proc.generate(rng).contacts)
+        nodes = corridor_proc.internal_nodes() + corridor_proc.external_nodes()
+        combined = TemporalNetwork(contacts, nodes=nodes, directed=False)
+        if not scanned:
+            return combined, combined
+        scanning = ScanningModel(spec.granularity_s, miss_probability=0.05)
+        return combined, scanning.observe(combined, rng)
+
+    raw, observed = realise(corridor, sessions, 0)
+    if scanned:
+        retention = observed.num_contacts / max(raw.num_contacts, 1)
+        if retention > 0 and not 0.85 <= retention <= 1.15:
+            clamped = min(max(retention, 0.25), 4.0)
+            corridor = dataclasses.replace(
+                corridor,
+                intra_rate=corridor.intra_rate / clamped,
+                inter_rate=corridor.inter_rate / clamped,
+                external_rate=corridor.external_rate / clamped,
+            )
+            sessions = sessions.with_visit_rate(
+                sessions.visit_rate / math.sqrt(clamped)
+            )
+            _, observed = realise(corridor, sessions, 1)
+    return observed
+
+
+def hongkong(
+    seed: int = 1,
+    scale: float = 1.0,
+    with_externals: bool = True,
+    scanned: bool = True,
+) -> TemporalNetwork:
+    """Synthetic Hong-Kong: 37 strangers, connectivity through externals.
+
+    Participants were "chosen carefully in a Hong Kong bar to avoid social
+    relationships", so internal contacts are nearly absent and the paper
+    analyses internal+external contacts (the default here, unlike the
+    conference builders).
+    """
+    spec = _scaled(PAPER_TABLE1["hongkong"], scale)
+    horizon = spec.duration_days * DAY
+    durations = campus_durations()
+    externals = spec.external_devices if with_externals else 0
+    process = CommunityProcess(
+        community_sizes=(1,) * spec.devices,  # no social structure
+        intra_rate=0.0,
+        inter_rate=5e-9,
+        horizon=horizon,
+        durations_intra=durations,
+        durations_inter=durations,
+        profile=diurnal_profile(day_start=9 * 3600, day_end=23 * 3600,
+                                night_level=0.02),
+        node_sigma=0.6,
+        day_sigma=1.3,  # bursty days: some participants vanish for a day+
+        externals=externals,
+        external_rate=2e-8 if externals else 0.0,
+        durations_external=durations,
+    )
+    scanning = ScanningModel(spec.granularity_s, miss_probability=0.05) if scanned else None
+    return _calibrated_trace(
+        process,
+        scanning,
+        spec.internal_contacts,
+        spec.external_contacts if with_externals else 0,
+        seed,
+    )
+
+
+def reality_mining(
+    seed: int = 1,
+    scale: float = 1.0,
+    scanned: bool = True,
+) -> TemporalNetwork:
+    """Synthetic Reality Mining: 97 phones across a 9-month campus study.
+
+    The full nine months are heavy for interactive use; ``scale=0.1``
+    gives a representative month.
+
+    Campus proximity is *place-structured*: phones sight each other in
+    offices, labs and lecture halls, so the instantaneous contact graph
+    is a union of cliques.  The builder therefore uses the
+    :class:`~repro.mobility.places.PlacesProcess` (visits to shared
+    places under diurnal and weekly cycles) rather than independent
+    pairwise meetings — independent pairs of the same volume form
+    path-like contemporaneous components and grossly inflate the
+    small-time-scale diameter, which the clique structure keeps small as
+    in the paper.
+    """
+    spec = _scaled(PAPER_TABLE1["reality"], scale)
+    horizon = spec.duration_days * DAY
+    process = PlacesProcess(
+        n=spec.devices,
+        num_places=10,  # offices / labs / lecture halls
+        visit_rate=2e-4,  # placeholder; calibration tunes it
+        horizon=horizon,
+        stay=Exponential(60 * 60.0),
+        profile=compose_profiles(
+            diurnal_profile(day_start=8 * 3600, day_end=19 * 3600, night_level=0.05),
+            weekly_profile(weekday_level=1.0, weekend_level=0.25),
+        ),
+        node_sigma=0.4,
+        day_sigma=0.6,
+        home_bias=0.65,
+        min_overlap=60.0,
+    )
+
+    def rng_factory(stream: int) -> np.random.Generator:
+        return np.random.default_rng([seed, 100 + stream])
+
+    process = process.calibrated_to(float(spec.internal_contacts), rng_factory)
+    rng = np.random.default_rng([seed, 1])
+    trace = process.generate(rng)
+    if scanned:
+        scanning = ScanningModel(spec.granularity_s, miss_probability=0.05)
+        observed = scanning.observe(trace, rng)
+        # Scanning both misses short overlaps and splits long lossy ones;
+        # one corrective pass re-centres the recorded volume.
+        retention = observed.num_contacts / max(trace.num_contacts, 1)
+        if retention > 0 and not 0.85 <= retention <= 1.15:
+            clamped = min(max(retention, 0.25), 4.0)
+            corrected = process.with_visit_rate(
+                process.visit_rate / math.sqrt(clamped)
+            )
+            rng = np.random.default_rng([seed, 2])
+            observed = scanning.observe(corrected.generate(rng), rng)
+        trace = observed
+    return trace
+
+
+def reality_gsm(
+    seed: int = 1,
+    scale: float = 1.0,
+) -> TemporalNetwork:
+    """Synthetic Reality Mining GSM variant: cell-tower co-location.
+
+    The paper reports making "the same observations on the GSM data set":
+    Reality Mining also logged the cell tower each phone camped on, so
+    "contact" there means sharing a cell — far coarser than Bluetooth
+    (cells span hundreds of metres and phones stay camped for long
+    stretches).  Modelled as the same population visiting a small set of
+    large places with hour-scale stays and no scanning loss (GSM
+    association is event-logged, not periodically scanned).  No Table 1
+    targets exist for this trace; the volume knob is calibrated to a
+    plausible multiple of the Bluetooth contact count.
+    """
+    spec = _scaled(PAPER_TABLE1["reality"], scale)
+    horizon = spec.duration_days * DAY
+    process = PlacesProcess(
+        n=spec.devices,
+        num_places=25,  # cells covering campus and surroundings
+        visit_rate=1e-4,
+        horizon=horizon,
+        stay=Exponential(2 * 3600.0),
+        profile=compose_profiles(
+            diurnal_profile(day_start=7 * 3600, day_end=22 * 3600, night_level=0.15),
+            weekly_profile(weekday_level=1.0, weekend_level=0.5),
+        ),
+        node_sigma=0.3,
+        day_sigma=0.4,
+        home_bias=0.7,
+        min_overlap=300.0,
+    )
+    process = process.calibrated_to(
+        float(spec.internal_contacts) * 2.0,
+        lambda i: np.random.default_rng([seed, 400 + i]),
+    )
+    return process.generate(np.random.default_rng([seed, 5]))
+
+
+def campus_wlan(
+    seed: int = 1,
+    scale: float = 1.0,
+    devices: int = 120,
+    access_points: int = 40,
+    duration_days: float = 14.0,
+) -> TemporalNetwork:
+    """Synthetic campus-WLAN trace (Dartmouth/UCSD-style).
+
+    The paper notes the same small-diameter observations hold on "traces
+    from campus WLAN in Dartmouth and UCSD", where a contact means two
+    laptops associated to the same access point.  Modelled as a places
+    process over access points with session-length stays and strong
+    home-AP affinity (students return to their department).  No Table 1
+    targets exist; the volume is a derived, documented choice
+    (~40 contacts per device per day before scaling).
+    """
+    horizon = max(duration_days * scale, 1.0) * DAY
+    target = devices * 40.0 * (horizon / DAY)
+    process = PlacesProcess(
+        n=devices,
+        num_places=access_points,
+        visit_rate=1e-4,
+        horizon=horizon,
+        stay=Mixture(
+            components=(
+                LogNormal(median=15 * 60.0, sigma=1.0),
+                BoundedPareto(alpha=1.2, lower=3600.0, upper=8 * 3600.0),
+            ),
+            weights=(0.7, 0.3),
+        ),
+        profile=compose_profiles(
+            diurnal_profile(day_start=8 * 3600, day_end=23 * 3600, night_level=0.1),
+            weekly_profile(weekday_level=1.0, weekend_level=0.4),
+        ),
+        node_sigma=0.5,
+        day_sigma=0.5,
+        home_bias=0.6,
+        min_overlap=60.0,
+    )
+    process = process.calibrated_to(
+        target, lambda i: np.random.default_rng([seed, 500 + i])
+    )
+    return process.generate(np.random.default_rng([seed, 6]))
+
+
+#: Builders by data-set key, for the CLI and the benchmarks.
+BUILDERS: Dict[str, Callable[..., TemporalNetwork]] = {
+    "infocom05": infocom05,
+    "infocom06": infocom06,
+    "hongkong": hongkong,
+    "reality": reality_mining,
+    "reality_gsm": reality_gsm,
+    "wlan": campus_wlan,
+}
+
+
+def build(name: str, seed: int = 1, scale: float = 1.0, **kwargs) -> TemporalNetwork:
+    """Build a data set by key (see :data:`BUILDERS`)."""
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown data set {name!r}; available: {sorted(BUILDERS)}"
+        ) from None
+    return builder(seed=seed, scale=scale, **kwargs)

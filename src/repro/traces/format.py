@@ -1,0 +1,100 @@
+"""CRAWDAD-style contact-trace files.
+
+The Haggle and Reality Mining contact logs circulate as whitespace-
+separated "one contact per line" text files.  We read and write the
+common layout::
+
+    <u> <v> <t_beg> <t_end>
+
+with ``#``-prefixed comment lines.  Node identifiers are kept as integers
+when they parse as integers and as strings otherwise, so external-device
+ids like ``ext12`` round-trip.  A user with the real CRAWDAD data can load
+it through :func:`read_contacts` and run the exact pipeline of the paper.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from ..core.contact import Contact, Node
+from ..core.temporal_network import TemporalNetwork
+
+PathLike = Union[str, Path]
+
+
+def _parse_node(token: str) -> Node:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_contact_line(line: str, line_number: int = 0) -> "Contact | None":
+    """Parse one trace line; returns None for blank/comment lines.
+
+    Raises ValueError (with the line number) on malformed lines.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    fields = stripped.split()
+    if len(fields) < 4:
+        raise ValueError(
+            f"line {line_number}: expected 'u v t_beg t_end', got {stripped!r}"
+        )
+    u, v = _parse_node(fields[0]), _parse_node(fields[1])
+    try:
+        t_beg, t_end = float(fields[2]), float(fields[3])
+    except ValueError as exc:
+        raise ValueError(f"line {line_number}: bad timestamps in {stripped!r}") from exc
+    return Contact(t_beg, t_end, u, v)
+
+
+def iter_contacts(stream: TextIO) -> Iterable[Contact]:
+    """Contacts from an open text stream, skipping comments and blanks."""
+    for number, line in enumerate(stream, start=1):
+        contact = parse_contact_line(line, number)
+        if contact is not None:
+            yield contact
+
+
+def read_contacts(path: PathLike, directed: bool = False) -> TemporalNetwork:
+    """Load a contact-trace file into a :class:`TemporalNetwork`."""
+    with open(path, "r", encoding="utf-8") as stream:
+        contacts = list(iter_contacts(stream))
+    return TemporalNetwork(contacts, directed=directed)
+
+
+def write_contacts(
+    net: TemporalNetwork, path: PathLike, header: str = ""
+) -> None:
+    """Write a network's contacts in the one-contact-per-line layout."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_contacts(net, stream, header=header)
+
+
+def dump_contacts(net: TemporalNetwork, stream: TextIO, header: str = "") -> None:
+    """Write contacts to an open stream (see :func:`write_contacts`)."""
+    if header:
+        for line in header.splitlines():
+            stream.write(f"# {line}\n")
+    stream.write(f"# nodes={len(net)} contacts={net.num_contacts}\n")
+    for contact in net.contacts:
+        stream.write(
+            f"{contact.u} {contact.v} {contact.t_beg:.6f} {contact.t_end:.6f}\n"
+        )
+
+
+def dumps_contacts(net: TemporalNetwork, header: str = "") -> str:
+    """The trace-file text of a network (for tests and small traces)."""
+    buffer = io.StringIO()
+    dump_contacts(net, buffer, header=header)
+    return buffer.getvalue()
+
+
+def loads_contacts(text: str, directed: bool = False) -> TemporalNetwork:
+    """Parse trace-file text into a network (inverse of dumps_contacts)."""
+    contacts: List[Contact] = list(iter_contacts(io.StringIO(text)))
+    return TemporalNetwork(contacts, directed=directed)

@@ -1,0 +1,83 @@
+"""Unit tests for EmpiricalCDF and CCDF helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCDF, ccdf_points, histogram_table
+
+
+class TestEmpiricalCDF:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_basic_values(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+
+    def test_infinite_mass(self):
+        cdf = EmpiricalCDF([1.0, 2.0, math.inf, math.inf])
+        assert cdf.num_infinite == 2
+        assert cdf.finite_fraction == 0.5
+        assert cdf(100.0) == 0.5
+
+    def test_evaluate_grid(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0])
+        values = cdf.evaluate([0.0, 1.5, 3.0])
+        assert values == pytest.approx([0.0, 1 / 3, 1.0])
+
+    def test_ccdf_complements(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0])
+        grid = [0.0, 1.5, 3.0]
+        assert np.allclose(cdf.ccdf(grid) + cdf.evaluate(grid), 1.0)
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF([10.0, 20.0, 30.0, 40.0])
+        assert cdf.quantile(0.25) == 10.0
+        assert cdf.quantile(0.5) == 20.0
+        assert cdf.quantile(1.0) == 40.0
+        assert cdf.quantile(0.0) == 10.0
+
+    def test_quantile_beyond_finite_mass_is_inf(self):
+        cdf = EmpiricalCDF([1.0, math.inf])
+        assert cdf.quantile(0.9) == math.inf
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+    def test_mean_finite(self):
+        cdf = EmpiricalCDF([1.0, 3.0, math.inf])
+        assert cdf.mean_finite() == 2.0
+        assert math.isnan(EmpiricalCDF([math.inf]).mean_finite())
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                    min_size=1, max_size=50))
+    def test_monotone_and_bounded(self, sample):
+        cdf = EmpiricalCDF(sample)
+        grid = sorted(set(sample)) + [200.0]
+        values = cdf.evaluate(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert values[-1] == 1.0
+
+
+class TestHelpers:
+    def test_ccdf_points(self):
+        values, ccdf = ccdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert ccdf == pytest.approx([2 / 3, 1 / 3, 0.0])
+
+    def test_ccdf_points_empty(self):
+        with pytest.raises(ValueError):
+            ccdf_points([])
+
+    def test_histogram_table(self):
+        rows = histogram_table([1.0, 2.0, 2.5, 7.0], edges=[0.0, 2.0, 5.0, 10.0])
+        assert rows == [(0.0, 2.0, 1), (2.0, 5.0, 2), (5.0, 10.0, 1)]

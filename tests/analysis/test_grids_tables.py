@@ -1,0 +1,106 @@
+"""Unit tests for grids, duration formatting and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.grids import (
+    DAY,
+    HOUR,
+    MINUTE,
+    PAPER_TICKS,
+    WEEK,
+    format_duration,
+    paper_delay_grid,
+    slot_delay_grid,
+    tick_labels,
+)
+from repro.analysis.tables import format_cell, render_series, render_table
+
+
+class TestGrids:
+    def test_paper_grid_spans_and_contains_ticks(self):
+        grid = paper_delay_grid()
+        assert grid[0] == 2 * MINUTE
+        assert grid[-1] == WEEK
+        for tick in PAPER_TICKS:
+            assert tick in grid
+        assert np.all(np.diff(grid) > 0)
+
+    def test_paper_grid_custom_range(self):
+        grid = paper_delay_grid(points=10, t_min=60.0, t_max=HOUR)
+        assert grid[0] == 60.0
+        assert grid[-1] == HOUR
+        assert WEEK not in grid
+
+    def test_paper_grid_validation(self):
+        with pytest.raises(ValueError):
+            paper_delay_grid(points=1)
+        with pytest.raises(ValueError):
+            paper_delay_grid(t_min=100.0, t_max=10.0)
+
+    def test_slot_grid(self):
+        grid = slot_delay_grid(5)
+        assert list(grid) == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        with pytest.raises(ValueError):
+            slot_delay_grid(0)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (120.0, "2min"),
+            (90.0, "1.5min"),
+            (HOUR, "1h"),
+            (3 * HOUR, "3h"),
+            (DAY, "1d"),
+            (WEEK, "1w"),
+            (30.0, "30s"),
+            (0.5, "0.5s"),
+            (float("inf"), "inf"),
+        ],
+    )
+    def test_values(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative(self):
+        assert format_duration(-120.0) == "-2min"
+
+    def test_tick_labels(self):
+        assert tick_labels([120.0, HOUR]) == ["2min", "1h"]
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(3.0) == "3"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "value"],
+            [["a", 1], ["longer", 2.5]],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        text = render_series(
+            "x", [1, 2], {"f": [10, 20], "g": [30, 40]}
+        )
+        assert "x" in text and "f" in text and "g" in text
+        assert "40" in text
+
+    def test_render_series_validates_lengths(self):
+        with pytest.raises(ValueError, match="length"):
+            render_series("x", [1, 2], {"f": [1]})

@@ -1,0 +1,147 @@
+"""Tests for structural analysis of temporal networks."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analysis.structure import (
+    aggregated_graph,
+    instantaneous_graph,
+    mean_transitivity,
+    reachability_fraction,
+    snapshot,
+    snapshots,
+    static_summary,
+)
+from repro.core import Contact, TemporalNetwork
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(5.0, 15.0, 1, 2),
+            Contact(5.0, 15.0, 0, 2),   # triangle with the two above
+            Contact(20.0, 30.0, 2, 3),
+        ],
+        nodes=range(5),
+    )
+
+
+class TestInstantaneous:
+    def test_active_edges(self, net):
+        graph = instantaneous_graph(net, 7.0)
+        assert set(map(frozenset, graph.edges())) == {
+            frozenset((0, 1)), frozenset((1, 2)), frozenset((0, 2))
+        }
+        assert graph.number_of_nodes() == 5  # isolated nodes included
+
+    def test_snapshot_triangle(self, net):
+        snap = snapshot(net, 7.0)
+        assert snap.active_edges == 3
+        assert snap.num_components == 1
+        assert snap.largest_component == 3
+        assert snap.transitivity == 1.0
+
+    def test_snapshot_empty_instant(self, net):
+        snap = snapshot(net, 17.0)
+        assert snap.active_edges == 0
+        assert snap.largest_component == 0
+
+    def test_snapshots_batch(self, net):
+        series = snapshots(net, [2.0, 7.0, 25.0])
+        assert [s.active_edges for s in series] == [1, 3, 1]
+
+
+class TestTransitivity:
+    def test_clique_process_near_one(self, rng):
+        from repro.mobility.places import PlacesProcess
+        from repro.mobility.duration import Exponential
+
+        net = PlacesProcess(
+            n=24, num_places=3, visit_rate=2e-3, horizon=20000.0,
+            stay=Exponential(2000.0),
+        ).generate(rng)
+        assert mean_transitivity(net, num_probes=30) > 0.9
+
+    def test_pairwise_process_low(self, rng):
+        from repro.mobility import PoissonPairProcess
+        from repro.mobility.duration import Fixed
+
+        net = PoissonPairProcess(
+            n=24, contact_rate=0.005, horizon=20000.0,
+            durations=Fixed(500.0),
+        ).generate(rng)
+        assert mean_transitivity(net, num_probes=30) < 0.5
+
+    def test_empty_trace_nan(self):
+        net = TemporalNetwork([], nodes=range(3))
+        assert math.isnan(mean_transitivity(net))
+
+
+class TestAggregated:
+    def test_edge_weights_count_contacts(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 1.0, 0, 1), Contact(5.0, 6.0, 0, 1),
+             Contact(2.0, 3.0, 1, 2)]
+        )
+        graph = aggregated_graph(net)
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+
+    def test_window_restricts(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 1.0, 0, 1), Contact(10.0, 11.0, 1, 2)]
+        )
+        graph = aggregated_graph(net, 0.0, 5.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)
+
+    def test_static_summary(self, net):
+        summary = static_summary(net)
+        assert summary.nodes == 5
+        assert summary.edges == 4
+        # Node 4 is isolated: pairs through it are disconnected.
+        assert summary.connected_pairs_fraction == pytest.approx(6 / 10)
+        assert summary.static_diameter == 2  # 0..3 via 2
+
+    def test_static_diameter_lower_bounds_temporal_hops(self, net):
+        """Every temporal path projects to a static path, so the static
+        shortest-path distance never exceeds the temporal hop count."""
+        from repro.baselines.dijkstra import earliest_arrival_path
+
+        graph = aggregated_graph(net)
+        for s in net.nodes:
+            for d in net.nodes:
+                if s == d:
+                    continue
+                path = earliest_arrival_path(net, s, d, 0.0)
+                if path is None:
+                    continue
+                static = nx.shortest_path_length(graph, s, d)
+                assert static <= path.num_contacts
+
+
+class TestReachability:
+    def test_full_budget_reaches_connected_part(self, net):
+        frac = reachability_fraction(net, 0.0, 100.0)
+        # From {0,1,2} everything in {0,1,2,3} is reachable; node 3 can
+        # still reach 2 through their [20, 30] contact; node 4 is
+        # isolated.  Ordered pairs: 0->{1,2,3}, 1->{0,2,3}, 2->{0,1,3},
+        # 3->{2} = 10.
+        assert frac == pytest.approx(10 / 20)
+
+    def test_zero_budget(self, net):
+        frac = reachability_fraction(net, 7.0, 0.0)
+        # Instantaneous triangle only.
+        assert frac == pytest.approx(6 / 20)
+
+    def test_negative_budget_rejected(self, net):
+        with pytest.raises(ValueError):
+            reachability_fraction(net, 0.0, -1.0)
+
+    def test_sources_restriction(self, net):
+        frac = reachability_fraction(net, 0.0, 100.0, sources=[0])
+        assert frac == pytest.approx(3 / 4)

@@ -1,0 +1,60 @@
+"""Unit tests for generalized Dijkstra and witness reconstruction."""
+
+import pytest
+
+from repro.baselines.dijkstra import earliest_arrival, earliest_arrival_path
+from repro.core import Contact, TemporalNetwork
+
+
+class TestEarliestArrival:
+    def test_line(self, line_network):
+        arrival = earliest_arrival(line_network, 0, 0.0)
+        assert arrival == {0: 0.0, 1: 0.0, 2: 20.0, 3: 40.0}
+
+    def test_waits_for_next_contact(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 1.0, 0, 1), Contact(10.0, 11.0, 0, 1)]
+        )
+        assert earliest_arrival(net, 0, 5.0)[1] == 10.0
+
+    def test_unknown_source(self, line_network):
+        with pytest.raises(KeyError):
+            earliest_arrival(line_network, "missing", 0.0)
+
+
+class TestWitnessPath:
+    def test_line_witness(self, line_network):
+        path = earliest_arrival_path(line_network, 0, 3, 0.0)
+        assert path is not None
+        assert path.hops == [0, 1, 2, 3]
+        assert path.schedule(0.0)[-1] == 40.0
+
+    def test_hop_bound_respected(self):
+        net = TemporalNetwork(
+            [
+                Contact(50.0, 60.0, 0, 2),
+                Contact(0.0, 10.0, 0, 1),
+                Contact(5.0, 15.0, 1, 2),
+            ]
+        )
+        direct = earliest_arrival_path(net, 0, 2, 0.0, max_hops=1)
+        assert direct is not None
+        assert direct.num_contacts == 1
+        assert direct.schedule(0.0)[-1] == 50.0
+        relay = earliest_arrival_path(net, 0, 2, 0.0, max_hops=2)
+        assert relay.num_contacts == 2
+        assert relay.schedule(0.0)[-1] == 5.0
+
+    def test_unreachable_returns_none(self, line_network):
+        assert earliest_arrival_path(line_network, 3, 0, 0.0) is None
+        assert earliest_arrival_path(line_network, 0, 3, 0.0, max_hops=2) is None
+
+    def test_same_endpoints_rejected(self, line_network):
+        with pytest.raises(ValueError):
+            earliest_arrival_path(line_network, 0, 0, 0.0)
+
+    def test_witness_is_time_respecting(self, overlap_network):
+        path = earliest_arrival_path(overlap_network, 0, 3, 12.0)
+        assert path is not None
+        times = path.schedule(12.0)
+        assert times == [12.0, 12.0, 12.0]

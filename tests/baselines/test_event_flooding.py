@@ -1,0 +1,63 @@
+"""Unit tests for the event-driven flooding reconstruction (paper [18])."""
+
+import math
+
+from repro.baselines.event_flooding import (
+    delivery_samples,
+    reconstruct_delivery_function,
+    sample_times,
+)
+from repro.core import Contact, PathPair, TemporalNetwork
+
+
+class TestSampleTimes:
+    def test_includes_events_midpoints_and_sentinels(self, line_network):
+        times = sample_times(line_network)
+        events = line_network.event_times()
+        for event in events:
+            assert event in times
+        assert times[0] < events[0]
+        assert times[-1] > events[-1]
+        # Midpoint of the [10, 20] gap.
+        assert 15.0 in times
+
+    def test_empty_network(self):
+        assert sample_times(TemporalNetwork([], nodes=[0, 1])) == [0.0]
+
+
+class TestDeliverySamples:
+    def test_matches_flooding(self, line_network):
+        times = [0.0, 5.0, 10.0, 10.5]
+        samples = delivery_samples(line_network, 0, 3, times)
+        assert samples == [40.0, 40.0, 40.0, math.inf]
+
+
+class TestReconstruction:
+    def test_line_network_exact(self, line_network):
+        rebuilt = reconstruct_delivery_function(line_network, 0, 3)
+        assert list(rebuilt.pairs()) == [PathPair(ld=10.0, ea=40.0)]
+
+    def test_contemporaneous_window(self, overlap_network):
+        rebuilt = reconstruct_delivery_function(overlap_network, 0, 3)
+        # True function: single pair (LD=20, EA=10).
+        assert rebuilt.delivery_time(5.0) == 10.0
+        assert rebuilt.delivery_time(15.0) == 15.0
+        assert rebuilt.delivery_time(20.5) == math.inf
+
+    def test_unreachable_gives_empty(self, line_network):
+        rebuilt = reconstruct_delivery_function(line_network, 3, 0)
+        assert not rebuilt
+
+    def test_multi_step_frontier_values(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 2.0, 0, 1), Contact(10.0, 12.0, 0, 1)]
+        )
+        rebuilt = reconstruct_delivery_function(net, 0, 1)
+        # The pair list may contain redundant sliver pairs, but delivery
+        # values match the exact function [(LD=2, EA=0), (LD=12, EA=10)]
+        # away from slivers.
+        assert rebuilt.delivery_time(-5.0) == 0.0
+        assert rebuilt.delivery_time(1.0) == 1.0
+        assert rebuilt.delivery_time(5.0) == 10.0
+        assert rebuilt.delivery_time(11.0) == 11.0
+        assert rebuilt.delivery_time(12.5) == math.inf

@@ -1,0 +1,80 @@
+"""Unit tests for the brute-force flooding baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.flooding import (
+    earliest_delivery,
+    flood,
+    hop_arrival_curve,
+)
+from repro.core import Contact, TemporalNetwork
+
+INF = math.inf
+
+
+class TestFlood:
+    def test_source_trivially_reached(self, line_network):
+        arrival = flood(line_network, 0, 5.0)
+        assert arrival[0] == 5.0
+
+    def test_line_propagation(self, line_network):
+        arrival = flood(line_network, 0, 0.0)
+        assert arrival == {0: 0.0, 1: 0.0, 2: 20.0, 3: 40.0}
+
+    def test_start_inside_contact(self, line_network):
+        arrival = flood(line_network, 0, 7.0)
+        assert arrival[1] == 7.0
+
+    def test_start_after_contact_misses(self, line_network):
+        arrival = flood(line_network, 0, 11.0)
+        assert 1 not in arrival
+
+    def test_hop_bound_limits_reach(self, line_network):
+        assert 3 not in flood(line_network, 0, 0.0, max_hops=2)
+        assert 3 in flood(line_network, 0, 0.0, max_hops=3)
+
+    def test_long_contact_chaining(self, overlap_network):
+        arrival = flood(overlap_network, 0, 15.0)
+        # All hops crossed instantly inside the overlap window.
+        assert arrival == {0: 15.0, 1: 15.0, 2: 15.0, 3: 15.0}
+
+    def test_long_contact_chaining_respects_hop_bound(self, overlap_network):
+        arrival = flood(overlap_network, 0, 15.0, max_hops=2)
+        assert 3 not in arrival
+        assert arrival[2] == 15.0
+
+    def test_directed_network_one_way(self):
+        net = TemporalNetwork([Contact(0.0, 5.0, 0, 1)], directed=True)
+        assert 1 in flood(net, 0, 0.0)
+        assert 0 not in flood(net, 1, 0.0)
+
+    def test_unknown_source(self, line_network):
+        with pytest.raises(KeyError):
+            flood(line_network, 99, 0.0)
+
+
+class TestEarliestDelivery:
+    def test_reachable(self, line_network):
+        assert earliest_delivery(line_network, 0, 3, 0.0) == 40.0
+
+    def test_unreachable_is_inf(self, line_network):
+        assert earliest_delivery(line_network, 3, 0, 0.0) == INF
+
+
+class TestHopArrivalCurve:
+    def test_curve_strictly_improving(self):
+        # Direct slow contact vs fast 2-hop path.
+        net = TemporalNetwork(
+            [
+                Contact(50.0, 60.0, 0, 2),
+                Contact(0.0, 10.0, 0, 1),
+                Contact(5.0, 15.0, 1, 2),
+            ]
+        )
+        curve = hop_arrival_curve(net, 0, 2, 0.0)
+        assert curve == [(1, 50.0), (2, 5.0)]
+
+    def test_unreachable_empty(self, line_network):
+        assert hop_arrival_curve(line_network, 3, 0, 0.0) == []

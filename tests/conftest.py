@@ -1,0 +1,70 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import Contact, TemporalNetwork
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_contact(draw, n_nodes: int, t_max: float = 50.0) -> Contact:
+    u = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+    v = draw(st.integers(min_value=0, max_value=n_nodes - 1).filter(lambda x: x != u))
+    beg = draw(
+        st.floats(min_value=0.0, max_value=t_max, allow_nan=False).map(
+            lambda x: round(x, 1)
+        )
+    )
+    dur = draw(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False).map(
+            lambda x: round(x, 1)
+        )
+    )
+    return Contact(beg, beg + dur, u, v)
+
+
+@st.composite
+def small_networks(draw, max_nodes: int = 7, max_contacts: int = 20):
+    """Random small temporal networks with decimal-aligned times.
+
+    Rounding times to one decimal keeps arithmetic exact enough for the
+    equality-based cross-validation invariants.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_contacts))
+    contacts = [make_contact(draw, n) for _ in range(m)]
+    return TemporalNetwork(contacts, nodes=range(n))
+
+
+@pytest.fixture
+def line_network():
+    """A 4-node chain with strictly increasing contact windows:
+    0-1 at [0, 10], 1-2 at [20, 30], 2-3 at [40, 50].
+
+    A message from 0 to 3 must be created by t=10 and arrives at 40.
+    """
+    contacts = [
+        Contact(0.0, 10.0, 0, 1),
+        Contact(20.0, 30.0, 1, 2),
+        Contact(40.0, 50.0, 2, 3),
+    ]
+    return TemporalNetwork(contacts, nodes=range(4))
+
+
+@pytest.fixture
+def overlap_network():
+    """Three simultaneous contacts 0-1, 1-2, 2-3 on [10, 20]: a message can
+    cross all three hops at one instant (long-contact semantics)."""
+    contacts = [
+        Contact(10.0, 20.0, 0, 1),
+        Contact(10.0, 20.0, 1, 2),
+        Contact(10.0, 20.0, 2, 3),
+    ]
+    return TemporalNetwork(contacts, nodes=range(4))

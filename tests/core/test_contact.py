@@ -1,0 +1,140 @@
+"""Unit tests for the Contact record."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Contact, merge_intervals
+
+
+class TestContactValidation:
+    def test_valid_contact(self):
+        c = Contact(1.0, 2.0, "a", "b")
+        assert c.duration == 1.0
+        assert c.nodes == ("a", "b")
+
+    def test_zero_duration_allowed(self):
+        assert Contact(5.0, 5.0, 0, 1).duration == 0.0
+
+    def test_end_before_begin_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Contact(2.0, 1.0, 0, 1)
+
+    def test_self_contact_rejected(self):
+        with pytest.raises(ValueError, match="self-contact"):
+            Contact(0.0, 1.0, 7, 7)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_non_finite_times_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            Contact(bad, 1.0, 0, 1)
+        with pytest.raises(ValueError, match="finite|ends before"):
+            Contact(0.0, bad, 0, 1)
+
+    def test_ordering_is_chronological(self):
+        a = Contact(0.0, 5.0, 3, 4)
+        b = Contact(1.0, 2.0, 0, 1)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+
+class TestContactOperations:
+    def test_reversed_swaps_endpoints(self):
+        c = Contact(1.0, 2.0, "x", "y")
+        r = c.reversed()
+        assert (r.u, r.v) == ("y", "x")
+        assert (r.t_beg, r.t_end) == (1.0, 2.0)
+
+    def test_reversed_twice_is_identity(self):
+        c = Contact(1.0, 2.0, 0, 1)
+        assert c.reversed().reversed() == c
+
+    @pytest.mark.parametrize(
+        "other,expected",
+        [
+            (Contact(1.5, 3.0, 0, 1), True),   # overlap
+            (Contact(2.0, 3.0, 0, 1), True),   # touching counts
+            (Contact(3.0, 4.0, 0, 1), False),  # disjoint
+        ],
+    )
+    def test_overlaps(self, other, expected):
+        c = Contact(1.0, 2.0, 0, 1)
+        assert c.overlaps(other) is expected
+        assert other.overlaps(c) is expected
+
+    def test_shifted(self):
+        c = Contact(1.0, 2.0, 0, 1).shifted(10.0)
+        assert (c.t_beg, c.t_end) == (11.0, 12.0)
+
+    def test_clipped_inside(self):
+        c = Contact(1.0, 5.0, 0, 1).clipped(2.0, 4.0)
+        assert (c.t_beg, c.t_end) == (2.0, 4.0)
+
+    def test_clipped_disjoint_returns_none(self):
+        assert Contact(1.0, 2.0, 0, 1).clipped(3.0, 4.0) is None
+
+    def test_clipped_no_op_when_contained(self):
+        c = Contact(2.0, 3.0, 0, 1)
+        assert c.clipped(0.0, 10.0) == c
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        contacts = [Contact(0.0, 1.0, 0, 1), Contact(2.0, 3.0, 0, 1)]
+        assert merge_intervals(contacts) == contacts
+
+    def test_overlapping_merged(self):
+        merged = merge_intervals(
+            [Contact(0.0, 2.0, 0, 1), Contact(1.0, 3.0, 0, 1)]
+        )
+        assert merged == [Contact(0.0, 3.0, 0, 1)]
+
+    def test_touching_merged(self):
+        merged = merge_intervals(
+            [Contact(0.0, 1.0, 0, 1), Contact(1.0, 2.0, 0, 1)]
+        )
+        assert merged == [Contact(0.0, 2.0, 0, 1)]
+
+    def test_containment_merged(self):
+        merged = merge_intervals(
+            [Contact(0.0, 10.0, 0, 1), Contact(2.0, 3.0, 0, 1)]
+        )
+        assert merged == [Contact(0.0, 10.0, 0, 1)]
+
+    def test_unsorted_input(self):
+        merged = merge_intervals(
+            [Contact(5.0, 6.0, 0, 1), Contact(0.0, 1.0, 0, 1)]
+        )
+        assert [c.t_beg for c in merged] == [0.0, 5.0]
+
+    def test_mixed_pairs_rejected(self):
+        with pytest.raises(ValueError, match="single pair"):
+            merge_intervals([Contact(0.0, 1.0, 0, 1), Contact(0.0, 1.0, 0, 2)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_merged_are_disjoint_and_cover(self, spans):
+        contacts = [Contact(b, b + d, 0, 1) for b, d in spans]
+        merged = merge_intervals(contacts)
+        # Strictly separated, sorted.
+        for left, right in zip(merged[:-1], merged[1:]):
+            assert left.t_end < right.t_beg
+        # Total coverage preserved: every original endpoint is inside one
+        # merged interval.
+        for c in contacts:
+            assert any(
+                m.t_beg <= c.t_beg and c.t_end <= m.t_end for m in merged
+            )

@@ -1,0 +1,133 @@
+"""The load-bearing integration invariant of the reproduction.
+
+On randomized small temporal networks, the frontier dynamic programming,
+brute-force flooding, generalized Dijkstra and the event-driven
+reconstruction must all agree on every (source, destination, hop bound,
+starting time) — starting times probed at all contact boundaries, gap
+midpoints and beyond-trace points, which pin the piecewise delivery
+functions down completely.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import earliest_arrival, earliest_arrival_path
+from repro.baselines.event_flooding import (
+    reconstruct_delivery_function,
+    sample_times,
+)
+from repro.baselines.flooding import earliest_delivery, flood
+from repro.core import compute_profiles
+
+from ..conftest import small_networks
+
+INF = math.inf
+
+shared_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@shared_settings
+@given(net=small_networks())
+def test_profiles_match_flooding_at_every_probe(net):
+    profiles = compute_profiles(net, hop_bounds=(1, 2, 3))
+    probes = sample_times(net)
+    for source in net.nodes:
+        for destination in net.nodes:
+            if source == destination:
+                continue
+            for bound in (1, 2, 3, None):
+                func = profiles.profile(source, destination, bound)
+                for t in probes:
+                    expected = earliest_delivery(net, source, destination, t, bound)
+                    assert func.delivery_time(t) == pytest.approx(
+                        expected, abs=1e-9
+                    ), (source, destination, bound, t)
+
+
+@shared_settings
+@given(net=small_networks())
+def test_dijkstra_matches_flooding_unbounded(net):
+    probes = sample_times(net)
+    for source in net.nodes:
+        for t in probes[:5]:
+            by_dijkstra = earliest_arrival(net, source, t)
+            by_flooding = flood(net, source, t)
+            assert by_dijkstra == pytest.approx(by_flooding)
+
+
+@shared_settings
+@given(net=small_networks(max_nodes=5, max_contacts=12))
+def test_event_flooding_reconstruction_matches_profiles(net):
+    profiles = compute_profiles(net, hop_bounds=(1, 2))
+    probes = sample_times(net)
+    for source in net.nodes:
+        for destination in net.nodes:
+            if source == destination:
+                continue
+            for bound in (1, 2, None):
+                rebuilt = reconstruct_delivery_function(
+                    net, source, destination, bound
+                )
+                func = profiles.profile(source, destination, bound)
+                for t in probes:
+                    assert rebuilt.delivery_time(t) == pytest.approx(
+                        func.delivery_time(t), abs=1e-6
+                    ), (source, destination, bound, t)
+
+
+@shared_settings
+@given(net=small_networks(max_nodes=5, max_contacts=12))
+def test_witness_paths_certify_profiles(net):
+    """Every finite DP delivery time is achieved by a concrete valid path
+    of the right hop count, reconstructed by generalized Dijkstra."""
+    profiles = compute_profiles(net, hop_bounds=(1, 2, 3))
+    probes = sample_times(net)
+    for source in net.nodes:
+        for destination in net.nodes:
+            if source == destination:
+                continue
+            for bound in (1, 2, 3):
+                func = profiles.profile(source, destination, bound)
+                for t in probes[: max(4, len(probes) // 3)]:
+                    promised = func.delivery_time(t)
+                    if promised == INF:
+                        continue
+                    witness = earliest_arrival_path(
+                        net, source, destination, t, bound
+                    )
+                    assert witness is not None
+                    assert witness.source == source
+                    assert witness.destination == destination
+                    assert witness.num_contacts <= bound
+                    schedule = witness.schedule(t)
+                    assert schedule[-1] == pytest.approx(promised)
+
+
+@shared_settings
+@given(net=small_networks())
+def test_success_monotone_under_hop_bound(net):
+    """P[deliver within t] is pointwise nondecreasing in the hop bound."""
+    profiles = compute_profiles(net, hop_bounds=(1, 2, 3))
+    t0, t1 = net.span
+    if t1 <= t0:
+        return
+    for source in net.nodes:
+        for destination in net.nodes:
+            if source == destination:
+                continue
+            for budget in (0.0, 1.0, 5.0, 50.0):
+                measures = [
+                    profiles.profile(source, destination, k).success_measure(
+                        budget, t0, t1
+                    )
+                    for k in (1, 2, 3, None)
+                ]
+                for small, big in zip(measures[:-1], measures[1:]):
+                    assert small <= big + 1e-9

@@ -1,0 +1,136 @@
+"""Unit tests for exact delay-CDF aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import Contact, TemporalNetwork, compute_profiles, delay_cdf
+from repro.core.delay_cdf import delay_cdf_per_hop_bound
+
+from ..conftest import small_networks
+
+
+@pytest.fixture
+def pair_net():
+    """Two nodes, one contact [10, 20] in a [0, 30] observation span."""
+    return TemporalNetwork(
+        [Contact(10.0, 20.0, 0, 1), Contact(0.0, 0.0, 2, 3), Contact(30.0, 30.0, 2, 3)]
+    )
+
+
+class TestHandComputedCDF:
+    def test_single_contact_pair_exact_values(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,), sources=[0])
+        # Only pair (0, d) for d in {1, 2, 3}; only (0, 1) is reachable.
+        cdf = delay_cdf(
+            profiles,
+            grid=[0.0, 5.0, 10.0, 20.0],
+            max_hops=1,
+            window=(0.0, 30.0),
+            pairs=[(0, 1)],
+        )
+        # delay(t) = max(0, 10 - t) for t <= 20, inf after.
+        # P[delay <= 0]  = measure([10, 20]) / 30 = 1/3
+        # P[delay <= 5]  = measure([5, 20])  / 30 = 1/2
+        # P[delay <= 10] = measure([0, 20])  / 30 = 2/3
+        # P[delay <= 20] = measure([0, 20])  / 30 = 2/3 (still capped at LD)
+        assert cdf.values == pytest.approx([1 / 3, 1 / 2, 2 / 3, 2 / 3])
+        assert cdf.success_at_infinity == pytest.approx(2 / 3)
+        assert cdf.num_pairs == 1
+
+    def test_all_pairs_denominator_includes_unreachable(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,), sources=[0])
+        cdf = delay_cdf(profiles, grid=[1e9], max_hops=1, window=(0.0, 30.0))
+        # 3 ordered pairs from source 0; only one ever delivers, and only
+        # for t <= 20 out of the 30-second window.
+        assert cdf.num_pairs == 3
+        assert cdf.values[-1] == pytest.approx((20.0 / 30.0) / 3)
+
+    def test_callable_and_quantile(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,), sources=[0])
+        cdf = delay_cdf(
+            profiles, grid=[0.0, 5.0, 10.0], max_hops=1,
+            window=(0.0, 30.0), pairs=[(0, 1)],
+        )
+        assert cdf(7.0) == pytest.approx(1 / 2)   # step from below
+        assert cdf(-1.0) == 0.0
+        assert cdf.quantile(0.5) == 5.0
+        assert cdf.quantile(0.99) == float("inf")
+
+    def test_window_defaults_to_span(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,), sources=[0])
+        cdf = delay_cdf(profiles, grid=[0.0], max_hops=1, pairs=[(0, 1)])
+        assert cdf.window == (0.0, 30.0)
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,))
+        with pytest.raises(ValueError, match="empty"):
+            delay_cdf(profiles, grid=[])
+
+    def test_descending_grid_rejected(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,))
+        with pytest.raises(ValueError, match="ascending"):
+            delay_cdf(profiles, grid=[5.0, 1.0])
+
+    def test_degenerate_window_rejected(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,))
+        with pytest.raises(ValueError, match="window"):
+            delay_cdf(profiles, grid=[1.0], window=(5.0, 5.0))
+
+    def test_no_pairs_rejected(self, pair_net):
+        profiles = compute_profiles(pair_net, hop_bounds=(1,))
+        with pytest.raises(ValueError, match="no .* pairs"):
+            delay_cdf(profiles, grid=[1.0], pairs=[])
+
+    def test_mismatched_grid_values_rejected(self):
+        from repro.core.delay_cdf import DelayCDF
+
+        with pytest.raises(ValueError, match="lengths differ"):
+            DelayCDF(
+                grid=np.array([1.0]),
+                values=np.array([0.1, 0.2]),
+                success_at_infinity=0.2,
+                window=(0.0, 1.0),
+                num_pairs=1,
+            )
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(net=small_networks(max_nodes=5, max_contacts=12))
+    def test_cdf_monotone_and_bounded(self, net):
+        if net.duration <= 0:
+            return
+        profiles = compute_profiles(net, hop_bounds=(1, 2))
+        grid = np.linspace(0.0, net.duration * 1.5, 8)
+        curves = delay_cdf_per_hop_bound(profiles, grid, [1, 2, None])
+        for bound, cdf in curves.items():
+            assert np.all(np.diff(cdf.values) >= -1e-12)
+            assert np.all(cdf.values >= -1e-12)
+            assert np.all(cdf.values <= cdf.success_at_infinity + 1e-12)
+            assert cdf.success_at_infinity <= 1.0 + 1e-12
+        # Hop-bound monotonicity transfers to the aggregate CDF.
+        assert np.all(curves[1].values <= curves[2].values + 1e-12)
+        assert np.all(curves[2].values <= curves[None].values + 1e-12)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(net=small_networks(max_nodes=5, max_contacts=10))
+    def test_cdf_matches_start_time_sampling(self, net):
+        """The closed form agrees with dense start-time sampling."""
+        if net.duration <= 0:
+            return
+        t0, t1 = net.span
+        profiles = compute_profiles(net, hop_bounds=(2,))
+        budget = net.duration / 3
+        cdf = delay_cdf(profiles, grid=[budget], max_hops=2, window=(t0, t1))
+        samples = np.linspace(t0, t1, 3000, endpoint=False)
+        hits = 0
+        total = 0
+        for (s, d), func in profiles.items(2):
+            total += len(samples)
+            hits += sum(1 for t in samples if func.delay(t) <= budget)
+        assert cdf.values[0] == pytest.approx(hits / total, abs=0.02)

@@ -1,0 +1,215 @@
+"""Unit and property tests for the DeliveryFunction Pareto frontier."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DeliveryFunction, PathPair
+
+INF = math.inf
+
+pair_values = st.tuples(
+    st.floats(min_value=0, max_value=100, allow_nan=False).map(lambda x: round(x, 1)),
+    st.floats(min_value=0, max_value=100, allow_nan=False).map(lambda x: round(x, 1)),
+)
+pair_lists = st.lists(pair_values, max_size=30)
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        f = DeliveryFunction()
+        assert f.insert(5.0, 2.0)
+        assert list(f.pairs()) == [PathPair(5.0, 2.0)]
+
+    def test_duplicate_rejected(self):
+        f = DeliveryFunction([(5.0, 2.0)])
+        assert not f.insert(5.0, 2.0)
+        assert len(f) == 1
+
+    def test_dominated_rejected(self):
+        f = DeliveryFunction([(5.0, 2.0)])
+        assert not f.insert(4.0, 3.0)  # departs earlier, arrives later
+        assert not f.insert(5.0, 3.0)
+        assert not f.insert(4.0, 2.0)
+        assert len(f) == 1
+
+    def test_dominating_replaces(self):
+        f = DeliveryFunction([(5.0, 2.0)])
+        assert f.insert(6.0, 1.0)
+        assert list(f.pairs()) == [PathPair(6.0, 1.0)]
+
+    def test_equal_ld_smaller_ea_replaces(self):
+        f = DeliveryFunction([(5.0, 2.0)])
+        assert f.insert(5.0, 1.0)
+        assert list(f.pairs()) == [PathPair(5.0, 1.0)]
+
+    def test_equal_ea_larger_ld_replaces(self):
+        f = DeliveryFunction([(5.0, 2.0)])
+        assert f.insert(6.0, 2.0)
+        assert list(f.pairs()) == [PathPair(6.0, 2.0)]
+
+    def test_incomparable_pairs_coexist(self):
+        f = DeliveryFunction([(5.0, 2.0), (8.0, 4.0)])
+        assert len(f) == 2
+        f.validate()
+
+    def test_middle_insert_removes_run(self):
+        f = DeliveryFunction([(2.0, 1.0), (4.0, 3.0), (6.0, 5.0)])
+        # Dominates the middle two... (5, 2) dominates (4, 3) and (2,...)?
+        # (5, 2): ld=5 >= 4 and ea=2 <= 3 -> removes (4, 3); ld=5 >= 2,
+        # ea=2 > 1 -> keeps (2, 1).
+        assert f.insert(5.0, 2.0)
+        assert list(f.pairs()) == [
+            PathPair(2.0, 1.0),
+            PathPair(5.0, 2.0),
+            PathPair(6.0, 5.0),
+        ]
+
+    @given(pair_lists)
+    def test_invariants_after_any_insert_sequence(self, pairs):
+        f = DeliveryFunction()
+        for ld, ea in pairs:
+            f.insert(ld, ea)
+        f.validate()
+
+    @given(pair_lists)
+    def test_insert_order_does_not_matter(self, pairs):
+        forward = DeliveryFunction(pairs)
+        backward = DeliveryFunction(reversed(pairs))
+        assert forward == backward
+
+    @given(pair_lists)
+    def test_every_input_pair_weakly_dominated_by_frontier(self, pairs):
+        f = DeliveryFunction(pairs)
+        for ld, ea in pairs:
+            assert f.dominated(ld, ea)
+
+
+class TestDeliveryEvaluation:
+    def test_empty_function_never_delivers(self):
+        f = DeliveryFunction()
+        assert f.delivery_time(0.0) == INF
+        assert f.delay(0.0) == INF
+        assert not f
+        assert f.last_departure == -INF
+
+    def test_matches_min_over_pairs(self):
+        # del(t) = min over pairs with LD >= t of max(t, EA)  (paper Eq. 3)
+        pairs = [(3.0, 1.0), (7.0, 5.0), (9.0, 8.0)]
+        f = DeliveryFunction(pairs)
+        for t in [-1.0, 0.0, 1.0, 3.0, 3.5, 5.0, 6.0, 7.0, 8.5, 9.0, 9.5]:
+            expected = min(
+                (max(t, ea) for ld, ea in pairs if t <= ld), default=INF
+            )
+            assert f.delivery_time(t) == expected
+
+    def test_delay_zero_when_contemporaneous(self):
+        f = DeliveryFunction([(10.0, 4.0)])
+        assert f.delay(6.0) == 0.0
+        assert f.delay(2.0) == 2.0
+
+    @given(pair_lists, st.floats(min_value=-10, max_value=110, allow_nan=False))
+    def test_delivery_never_before_start(self, pairs, t):
+        f = DeliveryFunction(pairs)
+        assert f.delivery_time(t) >= t
+
+    @given(pair_lists)
+    def test_delivery_time_nondecreasing(self, pairs):
+        f = DeliveryFunction(pairs)
+        probes = sorted(
+            {v for ld, ea in pairs for v in (ld, ea, ld + 0.05, ea - 0.05)}
+        )
+        values = [f.delivery_time(t) for t in probes]
+        for earlier, later in zip(values[:-1], values[1:]):
+            assert earlier <= later
+
+
+class TestSegments:
+    def test_segments_cover_until_last_departure(self):
+        f = DeliveryFunction([(3.0, 1.0), (7.0, 5.0)])
+        segments = list(f.segments())
+        assert segments == [(-INF, 3.0, 1.0), (3.0, 7.0, 5.0)]
+
+    def test_segment_semantics_match_delivery(self):
+        f = DeliveryFunction([(3.0, 1.0), (7.0, 5.0), (9.0, 8.0)])
+        for seg_beg, seg_end, ea in f.segments():
+            probe = seg_end if seg_beg == -INF else (seg_beg + seg_end) / 2
+            assert f.delivery_time(probe) == max(probe, ea)
+
+
+class TestSuccessMeasure:
+    def test_fully_connected_window(self):
+        f = DeliveryFunction([(10.0, 0.0)])
+        # Any start in [0, 10] delivers immediately within the window.
+        assert f.success_measure(0.0, 0.0, 10.0) == 10.0
+
+    def test_budget_cuts_waiting_time(self):
+        # Single pair (LD=10, EA=8): start t delivers at max(t, 8).
+        f = DeliveryFunction([(10.0, 8.0)])
+        # delay <= 2 iff t >= 6 (and t <= 10): measure 4 in [0, 10].
+        assert f.success_measure(2.0, 0.0, 10.0) == pytest.approx(4.0)
+        # delay <= 0 iff t in [8, 10].
+        assert f.success_measure(0.0, 0.0, 10.0) == pytest.approx(2.0)
+
+    def test_unreachable_is_zero(self):
+        assert DeliveryFunction().success_measure(100.0, 0.0, 10.0) == 0.0
+
+    def test_degenerate_window(self):
+        f = DeliveryFunction([(10.0, 0.0)])
+        assert f.success_measure(1.0, 5.0, 5.0) == 0.0
+
+    @given(pair_lists, st.floats(min_value=0, max_value=50, allow_nan=False))
+    def test_monotone_in_budget(self, pairs, budget):
+        f = DeliveryFunction(pairs)
+        smaller = f.success_measure(budget, 0.0, 100.0)
+        larger = f.success_measure(budget + 5.0, 0.0, 100.0)
+        assert smaller <= larger + 1e-9
+
+    @given(pair_lists)
+    def test_bounded_by_reachable_measure(self, pairs):
+        f = DeliveryFunction(pairs)
+        success = f.success_measure(1e9, 0.0, 100.0)
+        assert success == pytest.approx(f.reachable_measure(0.0, 100.0))
+
+    def test_reachable_measure_clamped_to_window(self):
+        f = DeliveryFunction([(5.0, 1.0)])
+        assert f.reachable_measure(0.0, 100.0) == 5.0
+        assert f.reachable_measure(0.0, 3.0) == 3.0
+
+
+class TestMergeAndCopy:
+    def test_merge(self):
+        a = DeliveryFunction([(3.0, 1.0)])
+        b = DeliveryFunction([(7.0, 5.0), (3.0, 2.0)])
+        added = a.merge(b)
+        assert added == 1  # (3, 2) is dominated by (3, 1)
+        assert len(a) == 2
+
+    def test_copy_is_independent(self):
+        a = DeliveryFunction([(3.0, 1.0)])
+        b = a.copy()
+        b.insert(9.0, 0.5)
+        assert len(a) == 1
+        assert len(b) == 1  # (9, 0.5) dominates (3, 1)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DeliveryFunction())
+
+
+class TestConvenienceApi:
+    def test_insert_pair(self):
+        f = DeliveryFunction()
+        assert f.insert_pair(PathPair(5.0, 2.0))
+        assert not f.insert_pair(PathPair(5.0, 2.0))
+        assert list(f.pairs()) == [PathPair(5.0, 2.0)]
+
+    def test_repr_shows_pairs(self):
+        f = DeliveryFunction([(5.0, 2.0)])
+        assert "LD=5" in repr(f) and "EA=2" in repr(f)
+
+    def test_dominated_on_empty(self):
+        assert not DeliveryFunction().dominated(1.0, 2.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the (1 - eps)-diameter computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Contact,
+    TemporalNetwork,
+    compute_profiles,
+    diameter,
+    diameter_vs_delay,
+    success_curves,
+)
+
+
+def star_network():
+    """A hub: node 0 meets nodes 1..4 in overlapping windows.
+
+    Every pair is reachable within 2 hops through the hub, so the
+    diameter is exactly 2 at any eps < 1 (1 hop misses spoke-to-spoke
+    pairs entirely).
+    """
+    contacts = [Contact(0.0, 100.0, 0, spoke) for spoke in range(1, 5)]
+    return TemporalNetwork(contacts, nodes=range(5))
+
+
+def chain_network():
+    """0-1-2-3 chain with wide simultaneous windows: diameter 3."""
+    contacts = [
+        Contact(0.0, 100.0, 0, 1),
+        Contact(0.0, 100.0, 1, 2),
+        Contact(0.0, 100.0, 2, 3),
+    ]
+    return TemporalNetwork(contacts, nodes=range(4))
+
+
+GRID = np.geomspace(0.1, 200.0, 25)
+
+
+class TestDiameterValues:
+    def test_star_diameter_is_two(self):
+        profiles = compute_profiles(star_network(), hop_bounds=(1, 2, 3))
+        result = diameter(profiles, GRID, eps=0.01)
+        assert result.value == 2
+        assert 1 in result.binding_delay  # one hop falls short somewhere
+
+    def test_chain_diameter_is_three(self):
+        profiles = compute_profiles(chain_network(), hop_bounds=(1, 2, 3))
+        result = diameter(profiles, GRID, eps=0.01)
+        assert result.value == 3
+
+    def test_single_pair_diameter_is_one(self):
+        net = TemporalNetwork([Contact(0.0, 10.0, 0, 1)])
+        profiles = compute_profiles(net, hop_bounds=(1, 2))
+        assert diameter(profiles, GRID).value == 1
+
+    def test_insufficient_bounds_returns_none(self):
+        profiles = compute_profiles(chain_network(), hop_bounds=(1, 2))
+        result = diameter(profiles, GRID, hop_bounds=[1, 2])
+        assert result.value is None
+        assert set(result.binding_delay) == {1, 2}
+
+    def test_large_eps_shrinks_diameter(self):
+        # With eps large enough to forgive the spoke-to-spoke pairs
+        # (12 of 20 ordered pairs), one hop suffices.
+        profiles = compute_profiles(star_network(), hop_bounds=(1, 2))
+        forgiving = diameter(profiles, GRID, eps=0.7)
+        assert forgiving.value == 1
+
+    def test_eps_validation(self):
+        profiles = compute_profiles(star_network(), hop_bounds=(1,))
+        with pytest.raises(ValueError, match="eps"):
+            diameter(profiles, GRID, eps=0.0)
+        with pytest.raises(ValueError, match="eps"):
+            diameter(profiles, GRID, eps=1.0)
+
+
+class TestSuccessCurves:
+    def test_curves_include_flooding_optimum(self):
+        profiles = compute_profiles(star_network(), hop_bounds=(1, 2))
+        curves = success_curves(profiles, GRID)
+        assert set(curves) == {1, 2, None}
+        assert np.all(curves[1].values <= curves[None].values + 1e-12)
+        assert np.all(curves[2].values == curves[None].values)
+
+    def test_curve_values_for_star(self):
+        profiles = compute_profiles(star_network(), hop_bounds=(1, 2))
+        curves = success_curves(profiles, GRID, window=(0.0, 100.0))
+        # 8 of 20 ordered pairs touch the hub; all succeed immediately.
+        assert curves[1].values[-1] == pytest.approx(8 / 20)
+        assert curves[None].values[-1] == pytest.approx(1.0)
+
+
+class TestDiameterVsDelay:
+    def test_chain_needs_three_hops_at_every_delay(self):
+        profiles = compute_profiles(chain_network(), hop_bounds=(1, 2, 3))
+        needed = diameter_vs_delay(profiles, GRID, eps=0.01)
+        assert all(k == 3 for k in needed)
+
+    def test_zero_optimum_needs_one_hop(self):
+        # A network where nothing is ever delivered within the smallest
+        # budgets still reports k=1 there (0 >= (1-eps)*0).
+        net = TemporalNetwork(
+            [Contact(50.0, 51.0, 0, 1)], nodes=range(2)
+        )
+        profiles = compute_profiles(net, hop_bounds=(1,))
+        needed = diameter_vs_delay(profiles, [0.01], eps=0.01, window=(0.0, 1.0))
+        assert needed == [1]
+
+    def test_none_where_bounds_insufficient(self):
+        profiles = compute_profiles(chain_network(), hop_bounds=(1, 2))
+        needed = diameter_vs_delay(profiles, GRID, hop_bounds=[1, 2])
+        assert all(k is None for k in needed)

@@ -1,0 +1,112 @@
+"""Structural invariance properties of the optimal-path computation.
+
+These pin down behaviours that any correct implementation must satisfy
+regardless of trace content: translation invariance in time, relabeling
+invariance in node identity, and monotonicity under adding contacts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Contact, TemporalNetwork, compute_profiles
+from repro.traces.filters import shift_origin
+
+from ..conftest import small_networks
+
+shared = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=12),
+       offset=st.floats(min_value=-1000, max_value=1000, allow_nan=False))
+def test_translation_invariance(net, offset):
+    """Shifting every contact by a constant shifts every (LD, EA) pair by
+    the same constant and nothing else."""
+    shifted = net.with_contacts(c.shifted(offset) for c in net.contacts)
+    base = compute_profiles(net, hop_bounds=(1, 2))
+    moved = compute_profiles(shifted, hop_bounds=(1, 2))
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            for bound in (1, 2, None):
+                f0 = base.profile(s, d, bound)
+                f1 = moved.profile(s, d, bound)
+                assert len(f0) == len(f1)
+                for (ld0, ea0), (ld1, ea1) in zip(
+                    zip(f0.lds, f0.eas), zip(f1.lds, f1.eas)
+                ):
+                    assert ld1 == pytest.approx(ld0 + offset)
+                    assert ea1 == pytest.approx(ea0 + offset)
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=12))
+def test_relabeling_invariance(net):
+    """Renaming nodes permutes profiles without changing their content."""
+    mapping = {node: f"n{node}" for node in net.nodes}
+    renamed = TemporalNetwork(
+        [Contact(c.t_beg, c.t_end, mapping[c.u], mapping[c.v]) for c in net.contacts],
+        nodes=mapping.values(),
+    )
+    base = compute_profiles(net, hop_bounds=(2,))
+    moved = compute_profiles(renamed, hop_bounds=(2,))
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            f0 = base.profile(s, d, 2)
+            f1 = moved.profile(mapping[s], mapping[d], 2)
+            assert f0.lds == f1.lds
+            assert f0.eas == f1.eas
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=14))
+def test_adding_contacts_never_hurts(net):
+    """Every delivery time on a contact-subset network is at least the
+    delivery time on the full network."""
+    if net.num_contacts < 2:
+        return
+    subset = net.with_contacts(list(net.contacts)[::2])
+    full = compute_profiles(net, hop_bounds=(2,))
+    partial = compute_profiles(subset, hop_bounds=(2,))
+    probes = sorted({c.t_beg for c in net.contacts})[:6]
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            for t in probes:
+                assert (
+                    full.profile(s, d, None).delivery_time(t)
+                    <= partial.profile(s, d, None).delivery_time(t) + 1e-9
+                )
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=12))
+def test_shift_origin_normalises_span(net):
+    if net.num_contacts == 0:
+        return
+    moved = shift_origin(net)
+    assert moved.span[0] == pytest.approx(0.0)
+    assert moved.duration == pytest.approx(net.duration)
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=10))
+def test_duplicate_contacts_are_harmless(net):
+    """Duplicating every contact changes no delivery function."""
+    doubled = net.with_contacts(list(net.contacts) + list(net.contacts))
+    base = compute_profiles(net, hop_bounds=(2,))
+    dup = compute_profiles(doubled, hop_bounds=(2,))
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            assert base.profile(s, d, None) == dup.profile(s, d, None)
+            assert base.profile(s, d, 2) == dup.profile(s, d, 2)

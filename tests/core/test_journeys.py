@@ -1,0 +1,123 @@
+"""Tests for the foremost / shortest / fastest journey taxonomy."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    Contact,
+    DeliveryFunction,
+    TemporalNetwork,
+    compute_profiles,
+)
+from repro.core.journeys import (
+    fastest_duration,
+    fastest_journey,
+    foremost_journey,
+    journey_summary,
+    shortest_journey,
+)
+
+from ..conftest import small_networks
+
+
+@pytest.fixture
+def triangle():
+    """Direct slow path 0-2 early; later a fast 2-hop chain 0-1-2."""
+    return TemporalNetwork(
+        [
+            Contact(0.0, 5.0, 0, 2),      # early direct window
+            Contact(50.0, 60.0, 0, 1),    # later relay chain
+            Contact(55.0, 60.0, 1, 2),
+        ]
+    )
+
+
+class TestForemost:
+    def test_earliest_arrival(self, triangle):
+        journey = foremost_journey(triangle, 0, 2, 0.0)
+        assert journey.kind == "foremost"
+        assert journey.arrival == 0.0  # direct contact already open
+        assert journey.hops == 1
+
+    def test_after_direct_window(self, triangle):
+        journey = foremost_journey(triangle, 0, 2, 10.0)
+        assert journey.arrival == 55.0
+        assert journey.hops == 2
+
+    def test_unreachable(self, triangle):
+        assert foremost_journey(triangle, 2, 1, 58.0) is not None
+        assert foremost_journey(triangle, 0, 2, 100.0) is None
+
+
+class TestShortest:
+    def test_minimum_hops(self, triangle):
+        journey = shortest_journey(triangle, 0, 2, start_time=10.0)
+        assert journey.kind == "shortest"
+        assert journey.hops == 2  # direct window already closed
+
+    def test_prefers_fewer_hops_over_speed(self, triangle):
+        journey = shortest_journey(triangle, 0, 2)
+        assert journey.hops == 1
+
+    def test_unreachable(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, 0, 1)], nodes=range(3))
+        assert shortest_journey(net, 0, 2) is None
+
+
+class TestFastestDuration:
+    def test_contemporaneous_pair_zero(self):
+        profile = DeliveryFunction([(10.0, 4.0)])
+        assert fastest_duration(profile) == 0.0
+
+    def test_store_and_forward_positive(self):
+        profile = DeliveryFunction([(3.0, 9.0)])
+        assert fastest_duration(profile) == 6.0
+
+    def test_min_over_pairs(self):
+        profile = DeliveryFunction([(3.0, 9.0), (20.0, 24.0)])
+        assert fastest_duration(profile) == 4.0
+
+    def test_empty_is_inf(self):
+        assert fastest_duration(DeliveryFunction()) == math.inf
+
+
+class TestFastestJourney:
+    def test_picks_instantaneous_window(self, triangle):
+        profiles = compute_profiles(triangle, hop_bounds=(1, 2))
+        journey = fastest_journey(triangle, profiles, 0, 2)
+        assert journey.kind == "fastest"
+        assert journey.duration == 0.0
+
+    def test_unreachable_returns_none(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, 0, 1)], nodes=range(3))
+        profiles = compute_profiles(net, hop_bounds=(1,))
+        assert fastest_journey(net, profiles, 0, 2) is None
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(net=small_networks(max_nodes=5, max_contacts=10))
+    def test_duration_matches_profile_minimum(self, net):
+        profiles = compute_profiles(net, hop_bounds=(2,))
+        for s in net.nodes:
+            for d in net.nodes:
+                if s == d:
+                    continue
+                profile = profiles.profile(s, d, None)
+                journey = fastest_journey(net, profiles, s, d)
+                if not profile:
+                    assert journey is None
+                else:
+                    assert journey.duration == pytest.approx(
+                        fastest_duration(profile)
+                    )
+
+
+class TestSummary:
+    def test_all_three(self, triangle):
+        profiles = compute_profiles(triangle, hop_bounds=(1, 2))
+        summary = journey_summary(triangle, profiles, 0, 2, start_time=10.0)
+        assert summary["foremost"].arrival == 55.0
+        assert summary["shortest"].hops == 2
+        assert summary["fastest"].duration == 0.0

@@ -1,0 +1,234 @@
+"""Unit tests for the all-starting-times optimal-path computation."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Contact,
+    DeliveryFunction,
+    PathPair,
+    TemporalNetwork,
+    compute_profiles,
+)
+
+INF = math.inf
+
+
+class TestLineNetwork:
+    def test_hop_bounded_reachability(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+        # 0 -> 3 needs exactly 3 hops.
+        assert not profiles.profile(0, 3, 1)
+        assert not profiles.profile(0, 3, 2)
+        three = profiles.profile(0, 3, 3)
+        assert list(three.pairs()) == [PathPair(ld=10.0, ea=40.0)]
+        assert profiles.profile(0, 3, None) == three
+
+    def test_one_hop_profile_is_direct_contacts(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        direct = profiles.profile(0, 1, 1)
+        assert list(direct.pairs()) == [PathPair(ld=10.0, ea=0.0)]
+
+    def test_two_hop_profile(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2))
+        two = profiles.profile(0, 2, 2)
+        # Leave by 10, arrive at 20 (wait at node 1).
+        assert list(two.pairs()) == [PathPair(ld=10.0, ea=20.0)]
+
+    def test_delivery_times_on_line(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(3,))
+        f = profiles.profile(0, 3, None)
+        assert f.delivery_time(0.0) == 40.0
+        assert f.delivery_time(10.0) == 40.0
+        assert f.delivery_time(10.1) == INF
+
+    def test_reverse_direction_symmetric_windows(self, line_network):
+        # Time-reversal does not hold: 3 -> 0 is impossible (windows
+        # decrease in time along the reverse direction).
+        profiles = compute_profiles(line_network, hop_bounds=(3,))
+        assert not profiles.profile(3, 0, None)
+
+
+class TestLongContactChaining:
+    def test_instantaneous_multi_hop(self, overlap_network):
+        profiles = compute_profiles(overlap_network, hop_bounds=(1, 2, 3))
+        f = profiles.profile(0, 3, 3)
+        assert list(f.pairs()) == [PathPair(ld=20.0, ea=10.0)]
+        # Anywhere inside the overlap, delivery is immediate through
+        # 3 hops in zero time (the long contact case of Section 3.1.3).
+        assert f.delivery_time(15.0) == 15.0
+
+    def test_fixpoint_rounds_equal_longest_useful_path(self, overlap_network):
+        profiles = compute_profiles(overlap_network, hop_bounds=(1,))
+        assert profiles.max_rounds_run == 3
+
+
+class TestFrontierShape:
+    def test_multiple_optimal_paths_kept(self):
+        # Two incomparable ways from 0 to 1: an early direct contact and
+        # a later one.
+        net = TemporalNetwork(
+            [Contact(0.0, 2.0, 0, 1), Contact(10.0, 12.0, 0, 1)]
+        )
+        profiles = compute_profiles(net, hop_bounds=(1,))
+        f = profiles.profile(0, 1, 1)
+        assert list(f.pairs()) == [PathPair(2.0, 0.0), PathPair(12.0, 10.0)]
+
+    def test_dominated_relay_path_pruned(self):
+        # Direct contact covers the same window better than the relay.
+        net = TemporalNetwork(
+            [
+                Contact(0.0, 10.0, 0, 2),
+                Contact(0.0, 1.0, 0, 1),
+                Contact(5.0, 6.0, 1, 2),
+            ]
+        )
+        profiles = compute_profiles(net, hop_bounds=(1, 2))
+        f = profiles.profile(0, 2, None)
+        assert list(f.pairs()) == [PathPair(10.0, 0.0)]
+
+    def test_relay_extends_reachability_window(self):
+        # Relay path lets later messages still get through after the
+        # direct contact has ended.
+        net = TemporalNetwork(
+            [
+                Contact(0.0, 1.0, 0, 2),    # early direct
+                Contact(4.0, 8.0, 0, 1),    # later via relay 1
+                Contact(9.0, 10.0, 1, 2),
+            ]
+        )
+        profiles = compute_profiles(net, hop_bounds=(1, 2))
+        assert list(profiles.profile(0, 2, 1).pairs()) == [PathPair(1.0, 0.0)]
+        assert list(profiles.profile(0, 2, 2).pairs()) == [
+            PathPair(1.0, 0.0),
+            PathPair(8.0, 9.0),
+        ]
+
+
+class TestHopBoundMonotonicity:
+    def test_more_hops_never_hurt(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+        for s in line_network.nodes:
+            for d in line_network.nodes:
+                if s == d:
+                    continue
+                for t in [0.0, 5.0, 10.0, 25.0, 45.0]:
+                    d1 = profiles.profile(s, d, 1).delivery_time(t)
+                    d2 = profiles.profile(s, d, 2).delivery_time(t)
+                    d3 = profiles.profile(s, d, 3).delivery_time(t)
+                    dinf = profiles.profile(s, d, None).delivery_time(t)
+                    assert d1 >= d2 >= d3 >= dinf
+
+
+class TestApi:
+    def test_unrecorded_bound_raises(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 3))
+        with pytest.raises(KeyError, match="hop bound 2"):
+            profiles.profile(0, 3, 2)
+
+    def test_bound_beyond_fixpoint_returns_final(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        assert profiles.profile(0, 3, 99) == profiles.profile(0, 3, None)
+
+    def test_same_source_destination_rejected(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        with pytest.raises(ValueError, match="must differ"):
+            profiles.profile(0, 0)
+
+    def test_invalid_hop_bound_rejected(self, line_network):
+        with pytest.raises(ValueError, match=">= 1"):
+            compute_profiles(line_network, hop_bounds=(0,))
+
+    def test_unknown_source_rejected(self, line_network):
+        with pytest.raises(KeyError, match="unknown source"):
+            compute_profiles(line_network, sources=["nope"])
+
+    def test_sources_restriction(self, line_network):
+        profiles = compute_profiles(
+            line_network, hop_bounds=(3,), sources=[0]
+        )
+        assert profiles.sources == [0]
+        assert profiles.profile(0, 3, 3)
+        with pytest.raises(KeyError):
+            profiles.profile(1, 3, 3)
+
+    def test_items_covers_all_ordered_pairs(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        pairs = [pair for pair, _ in profiles.items(1)]
+        assert len(pairs) == 4 * 3
+        assert all(s != d for s, d in pairs)
+
+    def test_empty_network(self):
+        net = TemporalNetwork([], nodes=range(3))
+        profiles = compute_profiles(net, hop_bounds=(1, 2))
+        assert not profiles.profile(0, 1, None)
+        assert profiles.max_rounds_run == 1
+
+    def test_max_rounds_cap(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2), max_rounds=2)
+        # With only 2 rounds, 0 -> 3 is never found.
+        assert not profiles.profile(0, 3, None)
+
+    def test_profiles_are_delivery_functions(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+        for (s, d), func in profiles.items(None):
+            assert isinstance(func, DeliveryFunction)
+            func.validate()
+
+
+class TestDirectedNetworks:
+    def test_directed_contacts_one_way(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 1.0, 0, 1), Contact(2.0, 3.0, 1, 2)], directed=True
+        )
+        profiles = compute_profiles(net, hop_bounds=(1, 2))
+        assert profiles.profile(0, 2, 2)
+        assert not profiles.profile(2, 0, None)
+
+
+class TestParallelWorkers:
+    def test_parallel_matches_serial(self, line_network):
+        serial = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+        parallel = compute_profiles(
+            line_network, hop_bounds=(1, 2, 3), workers=2
+        )
+        for s in line_network.nodes:
+            for d in line_network.nodes:
+                if s == d:
+                    continue
+                for bound in (1, 2, 3, None):
+                    assert serial.profile(s, d, bound) == parallel.profile(
+                        s, d, bound
+                    )
+
+    def test_parallel_on_larger_trace(self):
+        import numpy as np
+
+        from repro.random_temporal import discrete_temporal_network
+
+        net = discrete_temporal_network(15, 0.8, 40, np.random.default_rng(2))
+        serial = compute_profiles(net, hop_bounds=(2, 4))
+        parallel = compute_profiles(net, hop_bounds=(2, 4), workers=3)
+        for s in net.nodes:
+            for d in net.nodes:
+                if s == d:
+                    continue
+                assert serial.profile(s, d, None) == parallel.profile(s, d, None)
+
+    def test_workers_validation(self, line_network):
+        with pytest.raises(ValueError, match="workers"):
+            compute_profiles(line_network, hop_bounds=(1,), workers=0)
+
+
+class TestSourceProfilesApi:
+    def test_destinations_listing(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        sp = profiles.source_profiles(0)
+        assert sp.destinations() == [1, 2, 3]
+        assert sp.source == 0
+
+    def test_max_rounds_run_empty(self):
+        net = TemporalNetwork([], nodes=[0])
+        profiles = compute_profiles(net, hop_bounds=(1,), sources=[])
+        assert profiles.max_rounds_run == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the (LD, EA) path-summary algebra (paper facts (i)-(iv))."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Contact,
+    PathPair,
+    can_concatenate,
+    concatenate,
+    dominates,
+    extend_with_contact,
+    pair_of_contact,
+    strictly_dominates,
+)
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestPairOfContact:
+    def test_single_contact_pair(self):
+        # Fact: EA = t_beg <= t_end = LD for a single contact.
+        pair = pair_of_contact(Contact(3.0, 7.0, 0, 1))
+        assert pair == PathPair(ld=7.0, ea=3.0)
+        assert pair.is_contemporaneous
+
+
+class TestDeliverySemantics:
+    def test_contemporaneous_window(self):
+        pair = PathPair(ld=10.0, ea=5.0)
+        # Before EA the message waits until EA.
+        assert pair.delivery_time(0.0) == 5.0
+        # Inside [EA, LD] delivery is immediate (paper fact (iii)).
+        assert pair.delivery_time(7.0) == 7.0
+        assert pair.delay(7.0) == 0.0
+        # After LD the sequence is unusable.
+        assert pair.delivery_time(10.5) == math.inf
+        assert pair.delay(10.5) == math.inf
+
+    def test_store_and_forward_pair(self):
+        # LD < EA: must leave early, delivered later (paper Figure 5,
+        # fourth pair).
+        pair = PathPair(ld=3.0, ea=9.0)
+        assert not pair.is_contemporaneous
+        assert pair.delivery_time(1.0) == 9.0
+        assert pair.delivery_time(3.0) == 9.0
+        assert pair.delivery_time(3.1) == math.inf
+
+    def test_boundary_at_ld(self):
+        pair = PathPair(ld=5.0, ea=2.0)
+        assert pair.delivery_time(5.0) == 5.0
+
+
+class TestConcatenation:
+    def test_fact_iv_condition(self):
+        left = PathPair(ld=10.0, ea=4.0)
+        assert can_concatenate(left, PathPair(ld=4.0, ea=1.0))
+        assert not can_concatenate(left, PathPair(ld=3.9, ea=1.0))
+
+    def test_concatenated_values(self):
+        # LD = min of LDs, EA = max of EAs (paper Section 4.2).
+        joined = concatenate(PathPair(10.0, 4.0), PathPair(8.0, 6.0))
+        assert joined == PathPair(ld=8.0, ea=6.0)
+
+    def test_infeasible_concatenation_raises(self):
+        with pytest.raises(ValueError, match="cannot concatenate"):
+            concatenate(PathPair(10.0, 9.0), PathPair(5.0, 1.0))
+
+    def test_figure4_left_example(self):
+        # Figure 4 (a): two contemporaneous sequences whose concatenation
+        # is store-and-forward (EA > LD).
+        first = pair_of_contact(Contact(1.0, 4.0, 0, 1))   # (v0, v1)
+        second = pair_of_contact(Contact(6.0, 9.0, 1, 2))  # (v1, v2)
+        assert can_concatenate(first, second)
+        joined = concatenate(first, second)
+        assert joined == PathPair(ld=4.0, ea=6.0)
+        assert not joined.is_contemporaneous
+
+    def test_extend_with_contact_matches_concatenate(self):
+        pair = PathPair(ld=10.0, ea=4.0)
+        contact = Contact(6.0, 8.0, 1, 2)
+        assert extend_with_contact(pair, contact) == concatenate(
+            pair, pair_of_contact(contact)
+        )
+
+    def test_extend_with_contact_infeasible_returns_none(self):
+        assert extend_with_contact(PathPair(10.0, 9.0), Contact(1.0, 8.0, 0, 1)) is None
+
+    @given(finite, finite, finite, finite)
+    def test_concatenation_is_associative_when_defined(self, a, b, c, d):
+        p1 = PathPair(max(a, b), min(a, b))
+        p2 = PathPair(max(b, c), min(b, c))
+        p3 = PathPair(max(c, d), min(c, d))
+        if can_concatenate(p1, p2) and can_concatenate(concatenate(p1, p2), p3):
+            if can_concatenate(p2, p3) and can_concatenate(p1, concatenate(p2, p3)):
+                left = concatenate(concatenate(p1, p2), p3)
+                right = concatenate(p1, concatenate(p2, p3))
+                assert left == right
+
+
+class TestDominance:
+    def test_weak_dominance_includes_equal(self):
+        p = PathPair(5.0, 2.0)
+        assert dominates(p, p)
+        assert not strictly_dominates(p, p)
+
+    def test_strict_dominance(self):
+        better = PathPair(6.0, 2.0)
+        worse = PathPair(5.0, 3.0)
+        assert strictly_dominates(better, worse)
+        assert not strictly_dominates(worse, better)
+
+    def test_incomparable(self):
+        a = PathPair(6.0, 4.0)  # later departure, later arrival
+        b = PathPair(5.0, 3.0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    @given(finite, finite, finite, finite)
+    def test_dominance_implies_better_delivery_everywhere(self, l1, e1, l2, e2):
+        a, b = PathPair(l1, e1), PathPair(l2, e2)
+        if dominates(a, b):
+            for t in (min(l1, l2) - 1, e1, e2, l1, l2, max(e1, e2) + 1):
+                assert a.delivery_time(t) <= b.delivery_time(t)

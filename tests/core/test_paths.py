@@ -1,0 +1,104 @@
+"""Unit tests for explicit time-respecting paths (paper Eq. 2)."""
+
+import pytest
+
+from repro.core import Contact, ContactPath, is_chained, is_valid_sequence
+
+
+def chain(*spans):
+    """Build a chained contact list 0-1, 1-2, ... with given (beg, end)."""
+    return [
+        Contact(beg, end, i, i + 1) for i, (beg, end) in enumerate(spans)
+    ]
+
+
+class TestValiditySequence:
+    def test_increasing_windows_valid(self):
+        assert is_valid_sequence(chain((0, 1), (2, 3), (4, 5)))
+
+    def test_simultaneous_windows_valid(self):
+        # Long-contact semantics: overlapping contacts can be chained.
+        assert is_valid_sequence(chain((0, 10), (0, 10), (0, 10)))
+
+    def test_decreasing_windows_invalid(self):
+        # Second contact is entirely before the first begins.
+        assert not is_valid_sequence(chain((5, 6), (0, 1)))
+
+    def test_eq2_boundary(self):
+        # t_end_2 == max earlier t_beg is exactly feasible.
+        assert is_valid_sequence(chain((4, 8), (3, 4)))
+        assert not is_valid_sequence(chain((4, 8), (3, 3.9)))
+
+    def test_non_adjacent_constraint(self):
+        # The constraint binds across any earlier contact, not only the
+        # previous one: begs 0, 9, then an end at 5 < 9 fails.
+        assert not is_valid_sequence(chain((0, 10), (9, 12), (2, 5)))
+
+    def test_empty_and_single(self):
+        assert is_valid_sequence([])
+        assert is_valid_sequence(chain((3, 4)))
+
+
+class TestChaining:
+    def test_chained(self):
+        assert is_chained(chain((0, 1), (2, 3)))
+
+    def test_not_chained(self):
+        contacts = [Contact(0, 1, 0, 1), Contact(2, 3, 2, 3)]
+        assert not is_chained(contacts)
+
+
+class TestContactPath:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError, match="at least one contact"):
+            ContactPath(())
+        with pytest.raises(ValueError, match="share a device"):
+            ContactPath.of(Contact(0, 1, 0, 1), Contact(2, 3, 2, 3))
+        with pytest.raises(ValueError, match="time-respecting"):
+            ContactPath.of(Contact(5, 6, 0, 1), Contact(0, 1, 1, 2))
+
+    def test_endpoints_and_hops(self):
+        path = ContactPath(tuple(chain((0, 1), (2, 3), (4, 5))))
+        assert path.source == 0
+        assert path.destination == 3
+        assert path.num_contacts == 3
+        assert path.num_relays == 2
+        assert path.hops == [0, 1, 2, 3]
+
+    def test_ld_ea(self):
+        path = ContactPath(tuple(chain((0, 9), (2, 3), (1, 8))))
+        assert path.last_departure == 3.0   # min of ends
+        assert path.earliest_arrival == 2.0  # max of begins
+        assert path.summary.ld == 3.0
+
+    def test_delivery_time(self):
+        path = ContactPath(tuple(chain((0, 10), (20, 30))))
+        assert path.delivery_time(5.0) == 20.0
+        assert path.delivery_time(10.0) == 20.0
+        assert path.delivery_time(11.0) == float("inf")
+
+    def test_schedule_greedy(self):
+        path = ContactPath(tuple(chain((0, 10), (5, 30), (2, 40))))
+        times = path.schedule(1.0)
+        assert times == [1.0, 5.0, 5.0]
+        # Each time within its contact, nondecreasing.
+        for t, c in zip(times, path.contacts):
+            assert c.t_beg <= t <= c.t_end
+
+    def test_schedule_after_ld_raises(self):
+        path = ContactPath(tuple(chain((0, 10),)))
+        with pytest.raises(ValueError, match="misses the path"):
+            path.schedule(11.0)
+
+    def test_concatenate(self):
+        left = ContactPath(tuple(chain((0, 10),)))
+        right = ContactPath((Contact(5, 20, 1, 2),))
+        joined = left.concatenate(right)
+        assert joined.num_contacts == 2
+        assert joined.destination == 2
+
+    def test_concatenate_mismatched_raises(self):
+        left = ContactPath((Contact(0, 1, 0, 1),))
+        right = ContactPath((Contact(2, 3, 5, 6),))
+        with pytest.raises(ValueError, match="do not chain"):
+            left.concatenate(right)

@@ -1,0 +1,74 @@
+"""Tests for the slack (approximate pruning) knob of compute_profiles."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.event_flooding import sample_times
+from repro.core import compute_profiles
+
+from ..conftest import small_networks
+
+# Derandomized: the slack error bound is an empirical property (tight in
+# practice, not a worst-case theorem), so the examples must be stable.
+shared = settings(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def test_negative_slack_rejected(line_network):
+    with pytest.raises(ValueError, match="slack"):
+        compute_profiles(line_network, hop_bounds=(1,), slack=-1.0)
+
+
+def test_zero_slack_is_default(line_network):
+    exact = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+    zero = compute_profiles(line_network, hop_bounds=(1, 2, 3), slack=0.0)
+    for s in line_network.nodes:
+        for d in line_network.nodes:
+            if s == d:
+                continue
+            assert exact.profile(s, d, None) == zero.profile(s, d, None)
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=14),
+       slack=st.floats(min_value=0.1, max_value=5.0))
+def test_slack_never_improves_and_bounded_error(net, slack):
+    """Approximate delivery times are sound (never better than exact) and
+    within slack x rounds of the exact optimum."""
+    exact = compute_profiles(net, hop_bounds=(2,))
+    approx = compute_profiles(net, hop_bounds=(2,), slack=slack)
+    budget = slack * max(exact.max_rounds_run, 1)
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            for t in sample_times(net)[::2]:
+                true = exact.profile(s, d, None).delivery_time(t)
+                got = approx.profile(s, d, None).delivery_time(t)
+                assert got >= true - 1e-9
+                if math.isinf(true):
+                    continue
+                assert got <= true + budget + 1e-9, (s, d, t, true, got)
+
+
+@shared
+@given(net=small_networks(max_nodes=5, max_contacts=14))
+def test_slack_shrinks_frontiers(net):
+    exact = compute_profiles(net, hop_bounds=(2,))
+    coarse = compute_profiles(net, hop_bounds=(2,), slack=10.0)
+    total_exact = sum(
+        len(exact.profile(s, d, None))
+        for s in net.nodes for d in net.nodes if s != d
+    )
+    total_coarse = sum(
+        len(coarse.profile(s, d, None))
+        for s in net.nodes for d in net.nodes if s != d
+    )
+    assert total_coarse <= total_exact

@@ -1,0 +1,99 @@
+"""Tests for saving and loading computed profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import Contact, TemporalNetwork, compute_profiles
+from repro.core.storage import load_profiles, save_profiles
+
+
+@pytest.fixture
+def mixed_net():
+    """Int and string node ids, multiple hop bounds."""
+    return TemporalNetwork(
+        [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(20.0, 30.0, 1, "ext0"),
+            Contact(40.0, 50.0, "ext0", 2),
+        ],
+        nodes=[0, 1, 2, "ext0"],
+    )
+
+
+def assert_equal_profiles(a, b, net, bounds):
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            for bound in list(bounds) + [None]:
+                assert a.profile(s, d, bound) == b.profile(s, d, bound), (
+                    s, d, bound
+                )
+
+
+class TestRoundTrip:
+    def test_lossless(self, mixed_net, tmp_path):
+        bounds = (1, 2, 3)
+        original = compute_profiles(mixed_net, hop_bounds=bounds)
+        path = tmp_path / "profiles.npz"
+        save_profiles(original, path)
+        restored = load_profiles(path, mixed_net)
+        assert restored.hop_bounds == original.hop_bounds
+        assert restored.max_rounds_run == original.max_rounds_run
+        assert_equal_profiles(original, restored, mixed_net, bounds)
+
+    def test_round_trip_on_random_trace(self, tmp_path, rng):
+        from repro.random_temporal import discrete_temporal_network
+
+        net = discrete_temporal_network(10, 0.8, 25, rng)
+        bounds = (1, 3)
+        original = compute_profiles(net, hop_bounds=bounds)
+        path = tmp_path / "profiles.npz"
+        save_profiles(original, path)
+        restored = load_profiles(path, net)
+        assert_equal_profiles(original, restored, net, bounds)
+
+    def test_restored_profiles_support_analysis(self, mixed_net, tmp_path):
+        from repro.core import delay_cdf
+
+        original = compute_profiles(mixed_net, hop_bounds=(2,))
+        path = tmp_path / "p.npz"
+        save_profiles(original, path)
+        restored = load_profiles(path, mixed_net)
+        grid = [1.0, 10.0, 100.0]
+        a = delay_cdf(original, grid, max_hops=None)
+        b = delay_cdf(restored, grid, max_hops=None)
+        assert np.allclose(a.values, b.values)
+
+
+class TestValidation:
+    def test_missing_node_rejected(self, mixed_net, tmp_path):
+        original = compute_profiles(mixed_net, hop_bounds=(1,))
+        path = tmp_path / "p.npz"
+        save_profiles(original, path)
+        smaller = TemporalNetwork([Contact(0.0, 1.0, 0, 1)], nodes=[0, 1])
+        with pytest.raises(KeyError, match="missing"):
+            load_profiles(path, smaller)
+
+    def test_unsupported_node_type(self, tmp_path):
+        net = TemporalNetwork([Contact(0.0, 1.0, (1, 2), 3)])
+        original = compute_profiles(net, hop_bounds=(1,))
+        with pytest.raises(TypeError, match="node ids"):
+            save_profiles(original, tmp_path / "p.npz")
+
+    def test_bad_version_rejected(self, mixed_net, tmp_path):
+        import json
+
+        original = compute_profiles(mixed_net, hop_bounds=(1,))
+        path = tmp_path / "p.npz"
+        save_profiles(original, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        index = json.loads(bytes(arrays["__index__"]).decode())
+        index["version"] = 99
+        arrays["__index__"] = np.frombuffer(
+            json.dumps(index).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_profiles(path, mixed_net)

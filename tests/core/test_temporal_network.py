@@ -1,0 +1,115 @@
+"""Unit tests for the TemporalNetwork container."""
+
+import pytest
+
+from repro.core import Contact, TemporalNetwork
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 2.0, 0, 1),
+            Contact(1.0, 3.0, 1, 2),
+            Contact(5.0, 6.0, 0, 1),
+        ],
+        nodes=range(4),
+    )
+
+
+class TestBasics:
+    def test_nodes_include_isolated(self, net):
+        assert list(net.nodes) == [0, 1, 2, 3]
+        assert 3 in net
+        assert len(net) == 4
+
+    def test_contacts_sorted_by_begin(self, net):
+        begs = [c.t_beg for c in net.contacts]
+        assert begs == sorted(begs)
+
+    def test_span_and_duration(self, net):
+        assert net.span == (0.0, 6.0)
+        assert net.duration == 6.0
+
+    def test_empty_network_span(self):
+        empty = TemporalNetwork([], nodes=[1, 2])
+        assert empty.span == (0.0, 0.0)
+        assert empty.num_contacts == 0
+
+    def test_nodes_inferred_from_contacts(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, "a", "b")])
+        assert set(net.nodes) == {"a", "b"}
+
+    def test_repr(self, net):
+        text = repr(net)
+        assert "4 nodes" in text and "3 contacts" in text
+
+
+class TestEdgeIndexUndirected:
+    def test_both_directions_indexed(self, net):
+        forward = net.edge_contacts(0, 1)
+        backward = net.edge_contacts(1, 0)
+        assert len(forward) == 2
+        assert len(backward) == 2
+        assert forward.ends == backward.ends
+
+    def test_edge_contacts_sorted_by_end(self, net):
+        edge = net.edge_contacts(0, 1)
+        assert edge.ends == sorted(edge.ends)
+
+    def test_suffix_min_beg(self):
+        net = TemporalNetwork(
+            [Contact(5.0, 6.0, 0, 1), Contact(1.0, 10.0, 0, 1)]
+        )
+        edge = net.edge_contacts(0, 1)
+        # Sorted by end: [6.0, 10.0], begs [5.0, 1.0].
+        assert edge.ends == [6.0, 10.0]
+        assert edge.suffix_min_beg == [1.0, 1.0]
+
+    def test_missing_edge_is_empty(self, net):
+        assert len(net.edge_contacts(0, 3)) == 0
+
+    def test_first_ending_at_or_after(self, net):
+        edge = net.edge_contacts(0, 1)
+        assert edge.first_ending_at_or_after(0.0) == 0
+        assert edge.first_ending_at_or_after(2.5) == 1
+        assert edge.first_ending_at_or_after(100.0) == 2
+
+    def test_out_neighbors(self, net):
+        assert list(net.out_neighbors(1)) == [0, 2]
+        assert list(net.out_neighbors(3)) == []
+
+
+class TestDirected:
+    def test_directed_edges_one_way(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, 0, 1)], directed=True)
+        assert len(net.edge_contacts(0, 1)) == 1
+        assert len(net.edge_contacts(1, 0)) == 0
+        assert list(net.out_neighbors(1)) == []
+
+
+class TestQueries:
+    def test_contacts_of_pair(self, net):
+        assert len(net.contacts_of_pair(0, 1)) == 2
+        assert len(net.contacts_of_pair(2, 1)) == 1
+
+    def test_contacts_of_node(self, net):
+        assert len(net.contacts_of_node(1)) == 3
+        assert len(net.contacts_of_node(3)) == 0
+
+    def test_contacts_active_at(self, net):
+        active = list(net.contacts_active_at(1.5))
+        assert len(active) == 2
+
+    def test_contacts_beginning_in(self, net):
+        assert len(net.contacts_beginning_in(0.0, 2.0)) == 2
+        assert len(net.contacts_beginning_in(4.0, 10.0)) == 1
+
+    def test_event_times(self, net):
+        assert net.event_times() == [0.0, 1.0, 2.0, 3.0, 5.0, 6.0]
+
+    def test_with_contacts_keeps_roster(self, net):
+        reduced = net.with_contacts([Contact(0.0, 1.0, 0, 2)])
+        assert len(reduced) == 4
+        assert reduced.num_contacts == 1
+        assert reduced.directed == net.directed

@@ -1,0 +1,91 @@
+"""Tests for the positive-transmission-delay extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.flooding import earliest_delivery, flood
+from repro.core import Contact, TemporalNetwork
+from repro.core.transmission import (
+    sampled_diameter,
+    sampled_start_times,
+    sampled_success_curves,
+)
+
+
+@pytest.fixture
+def chain():
+    """0-1-2 chain with wide overlapping windows [0, 100]."""
+    return TemporalNetwork(
+        [Contact(0.0, 100.0, 0, 1), Contact(0.0, 100.0, 1, 2)]
+    )
+
+
+class TestFloodingWithDelay:
+    def test_delay_accumulates_per_hop(self, chain):
+        arrival = flood(chain, 0, 10.0, transmission_delay=5.0)
+        assert arrival == {0: 10.0, 1: 15.0, 2: 20.0}
+
+    def test_transfer_must_fit_in_contact(self):
+        net = TemporalNetwork([Contact(0.0, 10.0, 0, 1)])
+        assert earliest_delivery(net, 0, 1, 8.0, transmission_delay=5.0) == math.inf
+        assert earliest_delivery(net, 0, 1, 4.0, transmission_delay=5.0) == 9.0
+
+    def test_zero_delay_matches_default(self, chain):
+        assert flood(chain, 0, 3.0, transmission_delay=0.0) == flood(chain, 0, 3.0)
+
+    def test_negative_delay_rejected(self, chain):
+        with pytest.raises(ValueError):
+            flood(chain, 0, 0.0, transmission_delay=-1.0)
+
+    def test_waits_for_contact_start(self):
+        net = TemporalNetwork([Contact(20.0, 40.0, 0, 1)])
+        assert earliest_delivery(net, 0, 1, 0.0, transmission_delay=5.0) == 25.0
+
+    def test_hop_bound_still_respected(self, chain):
+        arrival = flood(chain, 0, 0.0, max_hops=1, transmission_delay=1.0)
+        assert 2 not in arrival
+
+
+class TestSampling:
+    def test_sampled_start_times(self, chain, rng):
+        times = sampled_start_times(chain, 10, rng)
+        assert len(times) == 10
+        assert np.all((times >= 0.0) & (times <= 100.0))
+        assert np.all(np.diff(times) >= 0)
+        with pytest.raises(ValueError):
+            sampled_start_times(chain, 0, rng)
+
+    def test_success_curves_monotone(self, chain, rng):
+        times = sampled_start_times(chain, 8, rng)
+        curves = sampled_success_curves(
+            chain, grid=[1.0, 10.0, 60.0], hop_bounds=[1, 2],
+            start_times=times, transmission_delay=2.0,
+        )
+        for bound, curve in curves.items():
+            assert np.all(np.diff(curve.values) >= -1e-12)
+        assert np.all(curves[1].values <= curves[None].values + 1e-12)
+
+    def test_sampled_diameter_on_chain(self, chain, rng):
+        times = sampled_start_times(chain, 12, rng)
+        value, curves = sampled_diameter(
+            chain, grid=[1.0, 10.0, 120.0], hop_bounds=[1, 2],
+            start_times=times, transmission_delay=0.0,
+        )
+        assert value == 2
+
+    def test_eps_validation(self, chain, rng):
+        with pytest.raises(ValueError):
+            sampled_diameter(chain, [1.0], [1], [0.0], eps=0.0)
+
+    def test_delay_shrinks_instantaneous_chains(self):
+        """The paper's expectation: with a positive per-hop delay, long
+        same-instant chains disappear, so fewer hops close the gap to
+        flooding (here: flooding itself arrives later with delta)."""
+        contacts = [Contact(0.0, 100.0, i, i + 1) for i in range(6)]
+        net = TemporalNetwork(contacts)
+        instant = earliest_delivery(net, 0, 6, 50.0, transmission_delay=0.0)
+        delayed = earliest_delivery(net, 0, 6, 50.0, transmission_delay=3.0)
+        assert instant == 50.0
+        assert delayed == 50.0 + 6 * 3.0

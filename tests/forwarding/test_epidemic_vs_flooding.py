@@ -1,0 +1,62 @@
+"""Property test: epidemic forwarding is exactly flooding.
+
+Pure epidemic (no caps) must deliver at the same instant as the flooding
+baseline for every start time — and with a hop cap k, at the same instant
+as hop-bounded flooding... *no*: hop-capped epidemic is greedier than
+optimal (a copy that arrives early with many hops can block a later copy
+with fewer hops), so it can only be slower or equal.  Both invariants are
+checked here.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.event_flooding import sample_times
+from repro.baselines.flooding import earliest_delivery
+from repro.forwarding import Epidemic, Message, simulate_forwarding
+
+from ..conftest import small_networks
+
+shared = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@shared
+@given(net=small_networks(max_nodes=6, max_contacts=15))
+def test_uncapped_epidemic_equals_flooding(net):
+    probes = sample_times(net)[::3]
+    for source in net.nodes:
+        for destination in net.nodes:
+            if source == destination:
+                continue
+            for t in probes:
+                expected = earliest_delivery(net, source, destination, t)
+                report = simulate_forwarding(
+                    net, Message(source, destination, t), Epidemic()
+                )
+                if math.isinf(expected):
+                    assert not report.delivered
+                else:
+                    assert report.delivered
+                    assert report.delivery_time == expected
+
+
+@shared
+@given(net=small_networks(max_nodes=6, max_contacts=15))
+def test_capped_epidemic_never_beats_optimal(net):
+    probes = sample_times(net)[::4]
+    for source in net.nodes:
+        for destination in net.nodes:
+            if source == destination:
+                continue
+            for t in probes[:4]:
+                for cap in (1, 2, 3):
+                    optimal = earliest_delivery(net, source, destination, t, cap)
+                    report = simulate_forwarding(
+                        net, Message(source, destination, t), Epidemic(max_hops=cap)
+                    )
+                    if report.delivered:
+                        assert report.hops <= cap
+                        assert report.delivery_time >= optimal - 1e-9

@@ -1,0 +1,167 @@
+"""Unit tests for the forwarding simulator and algorithms."""
+
+import math
+
+import pytest
+
+from repro.baselines.flooding import earliest_delivery
+from repro.core import Contact, TemporalNetwork
+from repro.forwarding import (
+    DirectDelivery,
+    Epidemic,
+    Message,
+    SprayAndWait,
+    TwoHopRelay,
+    simulate_forwarding,
+    simulate_workload,
+)
+
+
+class TestMessage:
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Message(source=1, destination=1, created_at=0.0)
+
+
+class TestEpidemic:
+    def test_matches_flooding_on_line(self, line_network):
+        message = Message(source=0, destination=3, created_at=0.0)
+        report = simulate_forwarding(line_network, message, Epidemic())
+        assert report.delivered
+        assert report.delivery_time == earliest_delivery(line_network, 0, 3, 0.0)
+        assert report.hops == 3
+        assert report.delay == 40.0
+
+    def test_matches_flooding_with_hop_cap(self, line_network):
+        message = Message(source=0, destination=3, created_at=0.0)
+        capped = simulate_forwarding(line_network, message, Epidemic(max_hops=2))
+        assert not capped.delivered
+        assert capped.delay == math.inf
+
+    def test_long_contact_chain(self, overlap_network):
+        message = Message(source=0, destination=3, created_at=15.0)
+        report = simulate_forwarding(overlap_network, message, Epidemic())
+        assert report.delivered
+        assert report.delivery_time == 15.0
+        assert report.hops == 3
+
+    def test_timeout(self, line_network):
+        message = Message(source=0, destination=3, created_at=0.0)
+        report = simulate_forwarding(
+            line_network, message, Epidemic(timeout=25.0)
+        )
+        # Relay to node 2 at t=20 is fine, but the final hop at t=40
+        # exceeds the 25 s age limit.
+        assert not report.delivered
+
+    def test_copy_cost_counts_infected_nodes(self, overlap_network):
+        message = Message(source=0, destination=3, created_at=15.0)
+        report = simulate_forwarding(overlap_network, message, Epidemic())
+        assert report.copies == 4  # source + relays + destination
+        assert report.transmissions == 3
+
+    def test_created_after_trace_fails(self, line_network):
+        message = Message(source=0, destination=3, created_at=1000.0)
+        report = simulate_forwarding(line_network, message, Epidemic())
+        assert not report.delivered
+        assert report.copies == 1
+
+    def test_unknown_endpoints(self, line_network):
+        with pytest.raises(KeyError):
+            simulate_forwarding(
+                line_network, Message(99, 3, 0.0), Epidemic()
+            )
+        with pytest.raises(KeyError):
+            simulate_forwarding(
+                line_network, Message(0, 99, 0.0), Epidemic()
+            )
+
+    def test_horizon_cuts_late_deliveries(self, line_network):
+        message = Message(source=0, destination=3, created_at=0.0)
+        report = simulate_forwarding(
+            line_network, message, Epidemic(), horizon=30.0
+        )
+        assert not report.delivered
+
+
+class TestDirectDelivery:
+    def test_only_direct_contact_delivers(self, line_network):
+        direct = simulate_forwarding(
+            line_network, Message(0, 1, 0.0), DirectDelivery()
+        )
+        assert direct.delivered
+        assert direct.hops == 1
+        relayed = simulate_forwarding(
+            line_network, Message(0, 2, 0.0), DirectDelivery()
+        )
+        assert not relayed.delivered
+
+    def test_copy_cost_is_minimal(self, line_network):
+        report = simulate_forwarding(
+            line_network, Message(0, 1, 0.0), DirectDelivery()
+        )
+        assert report.copies == 2
+        assert report.transmissions == 1
+
+
+class TestTwoHopRelay:
+    def test_two_hops_reachable(self, line_network):
+        report = simulate_forwarding(
+            line_network, Message(0, 2, 0.0), TwoHopRelay()
+        )
+        assert report.delivered
+        assert report.hops == 2
+
+    def test_three_hops_not_reachable(self, line_network):
+        report = simulate_forwarding(
+            line_network, Message(0, 3, 0.0), TwoHopRelay()
+        )
+        assert not report.delivered
+
+
+class TestSprayAndWait:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprayAndWait(copies=0)
+
+    def test_copies_bounded_by_tokens(self):
+        # A star where the hub (source) meets many spokes, then one spoke
+        # meets the destination much later.
+        contacts = [Contact(0.0, 10.0, 0, i) for i in range(1, 8)]
+        contacts.append(Contact(50.0, 60.0, 1, 9))
+        net = TemporalNetwork(contacts, nodes=list(range(10)))
+        report = simulate_forwarding(
+            net, Message(0, 9, 0.0), SprayAndWait(copies=4)
+        )
+        assert report.copies <= 4 + 1  # tokens bound relays; +1 for dest
+
+    def test_single_copy_behaves_like_direct(self, line_network):
+        report = simulate_forwarding(
+            line_network, Message(0, 2, 0.0), SprayAndWait(copies=1)
+        )
+        assert not report.delivered
+
+    def test_delivers_to_destination_regardless_of_tokens(self, line_network):
+        report = simulate_forwarding(
+            line_network, Message(0, 1, 0.0), SprayAndWait(copies=1)
+        )
+        assert report.delivered
+
+
+class TestWorkload:
+    def test_aggregates(self, line_network):
+        messages = [
+            Message(0, 3, 0.0),
+            Message(0, 3, 11.0),  # misses the first contact: undeliverable
+            Message(1, 3, 0.0),
+        ]
+        result = simulate_workload(line_network, messages, Epidemic())
+        assert result.success_rate == pytest.approx(2 / 3)
+        assert result.mean_delay() == pytest.approx((40.0 + 40.0) / 2)
+        assert result.mean_hops() == pytest.approx(2.5)
+        assert result.mean_copies() > 0
+
+    def test_empty_workload(self, line_network):
+        result = simulate_workload(line_network, [], Epidemic())
+        assert result.success_rate == 0.0
+        assert math.isnan(result.mean_delay())

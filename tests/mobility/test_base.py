@@ -1,0 +1,114 @@
+"""Unit tests for activity profiles."""
+
+import pytest
+
+from repro.mobility.base import (
+    ActivityProfile,
+    compose_profiles,
+    conference_profile,
+    diurnal_profile,
+    flat_profile,
+    weekly_profile,
+)
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+class TestActivityProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="boundaries"):
+            ActivityProfile(boundaries=(0.0, 1.0), levels=(1.0, 2.0))
+        with pytest.raises(ValueError, match="start at 0"):
+            ActivityProfile(boundaries=(1.0, 2.0), levels=(1.0,))
+        with pytest.raises(ValueError, match="increasing"):
+            ActivityProfile(boundaries=(0.0, 2.0, 1.0), levels=(1.0, 1.0))
+        with pytest.raises(ValueError, match="negative"):
+            ActivityProfile(boundaries=(0.0, 1.0), levels=(-1.0,))
+
+    def test_level_at_and_periodicity(self):
+        profile = ActivityProfile(boundaries=(0.0, 10.0, 20.0), levels=(1.0, 3.0))
+        assert profile.level_at(5.0) == 1.0
+        assert profile.level_at(15.0) == 3.0
+        assert profile.level_at(25.0) == 1.0   # next period
+        assert profile.level_at(0.0) == 1.0
+
+    def test_mean_level(self):
+        profile = ActivityProfile(boundaries=(0.0, 10.0, 20.0), levels=(1.0, 3.0))
+        assert profile.mean_level() == pytest.approx(2.0)
+
+    def test_pieces_cover_interval_exactly(self):
+        profile = ActivityProfile(boundaries=(0.0, 10.0, 20.0), levels=(1.0, 3.0))
+        pieces = profile.pieces(5.0, 35.0)
+        assert pieces[0][0] == 5.0
+        assert pieces[-1][1] == 35.0
+        for (a, b, _), (c, _, _) in zip(pieces[:-1], pieces[1:]):
+            assert b == c
+        # Levels alternate with the period.
+        assert [lvl for _, _, lvl in pieces] == [1.0, 3.0, 1.0, 3.0]
+
+    def test_pieces_empty_interval(self):
+        assert flat_profile().pieces(5.0, 5.0) == []
+
+    def test_peak(self):
+        assert conference_profile().peak == 2.5
+
+
+class TestPresets:
+    def test_flat(self):
+        profile = flat_profile()
+        assert profile.mean_level() == 1.0
+        assert profile.level_at(12345.0) == 1.0
+
+    def test_diurnal_day_night(self):
+        profile = diurnal_profile(day_start=8 * HOUR, day_end=20 * HOUR,
+                                  night_level=0.1)
+        assert profile.level_at(12 * HOUR) == 1.0
+        assert profile.level_at(2 * HOUR) == 0.1
+        assert profile.level_at(23 * HOUR) == 0.1
+        assert profile.period == DAY
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_profile(day_start=10 * HOUR, day_end=5 * HOUR)
+
+    def test_conference_quiet_nights(self):
+        profile = conference_profile()
+        assert profile.level_at(3 * HOUR) < 0.1
+        assert profile.level_at(10.75 * HOUR) > 1.0  # coffee break burst
+
+    def test_weekly(self):
+        profile = weekly_profile()
+        assert profile.period == 7 * DAY
+        assert profile.level_at(1 * DAY) == 1.0
+        assert profile.level_at(5.5 * DAY) == 0.3
+
+
+class TestCompose:
+    def test_pointwise_product(self):
+        composed = compose_profiles(diurnal_profile(), weekly_profile())
+        assert composed.period == 7 * DAY
+        # Weekday noon: 1 * 1; weekend noon: 1 * 0.3; weekday night: 0.05.
+        assert composed.level_at(0.5 * DAY) == pytest.approx(1.0)
+        assert composed.level_at(5.5 * DAY) == pytest.approx(0.3)
+        assert composed.level_at(2 * HOUR) == pytest.approx(0.05)
+
+    def test_mean_of_product(self):
+        diurnal = diurnal_profile()
+        weekly = weekly_profile()
+        composed = compose_profiles(diurnal, weekly)
+        # Profiles are independent in phase here, so means multiply.
+        assert composed.mean_level() == pytest.approx(
+            diurnal.mean_level() * weekly.mean_level()
+        )
+
+    def test_incompatible_periods_rejected(self):
+        odd = ActivityProfile(boundaries=(0.0, 100_000.0), levels=(1.0,))
+        with pytest.raises(ValueError, match="integer multiples"):
+            compose_profiles(odd, diurnal_profile())
+
+    def test_order_does_not_matter(self):
+        a = compose_profiles(diurnal_profile(), weekly_profile())
+        b = compose_profiles(weekly_profile(), diurnal_profile())
+        for t in [0.0, 1000.0, 2 * DAY, 5.2 * DAY]:
+            assert a.level_at(t) == pytest.approx(b.level_at(t))

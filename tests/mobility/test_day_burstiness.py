@@ -1,0 +1,66 @@
+"""Tests for the per-node-per-day burstiness of the community process."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import CommunityProcess, Fixed
+
+
+def make(**kwargs):
+    defaults = dict(
+        community_sizes=(6, 6),
+        intra_rate=3e-4,
+        inter_rate=3e-4,
+        horizon=6 * 86400.0,
+        durations_intra=Fixed(60.0),
+        durations_inter=Fixed(60.0),
+    )
+    defaults.update(kwargs)
+    return CommunityProcess(**defaults)
+
+
+class TestDaySigma:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(day_sigma=-0.5)
+
+    def test_zero_sigma_unchanged_distribution(self, rng):
+        # day_sigma=0 takes the homogeneous path.
+        net = make(day_sigma=0.0).generate(rng)
+        assert net.num_contacts > 0
+
+    def test_burstiness_increases_daily_variance(self):
+        """With day_sigma, per-day contact counts vary far more than the
+        Poisson baseline."""
+
+        def daily_dispersion(day_sigma, seed):
+            process = make(day_sigma=day_sigma)
+            net = process.generate(np.random.default_rng(seed))
+            days = np.asarray([int(c.t_beg // 86400.0) for c in net.contacts])
+            counts = np.bincount(days, minlength=6).astype(float)
+            return counts.var() / max(counts.mean(), 1e-9)
+
+        flat = np.mean([daily_dispersion(0.0, s) for s in range(5)])
+        bursty = np.mean([daily_dispersion(1.2, s) for s in range(5)])
+        assert bursty > 2 * flat
+
+    def test_mean_volume_preserved(self):
+        """Unit-mean multipliers keep the expected volume unchanged."""
+        flat = np.mean(
+            [
+                make(day_sigma=0.0).generate(np.random.default_rng(s)).num_contacts
+                for s in range(8)
+            ]
+        )
+        bursty = np.mean(
+            [
+                make(day_sigma=0.8).generate(np.random.default_rng(s)).num_contacts
+                for s in range(8)
+            ]
+        )
+        assert bursty == pytest.approx(flat, rel=0.35)
+
+    def test_contacts_still_within_horizon(self, rng):
+        net = make(day_sigma=1.0).generate(rng)
+        for c in net.contacts:
+            assert 0.0 <= c.t_beg <= c.t_end <= 6 * 86400.0

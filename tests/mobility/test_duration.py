@@ -1,0 +1,119 @@
+"""Unit tests for contact-duration distributions."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.duration import (
+    BoundedPareto,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Mixture,
+    campus_durations,
+    conference_durations,
+)
+
+
+class TestFixed:
+    def test_sample(self, rng):
+        model = Fixed(120.0)
+        assert np.all(model.sample(rng, 5) == 120.0)
+        assert model.mean() == 120.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed(-1.0)
+
+
+class TestExponential:
+    def test_mean_matches(self, rng):
+        model = Exponential(60.0)
+        sample = model.sample(rng, 20000)
+        assert sample.mean() == pytest.approx(60.0, rel=0.05)
+        assert model.mean() == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_median_matches(self, rng):
+        model = LogNormal(median=100.0, sigma=1.0)
+        sample = model.sample(rng, 20000)
+        assert np.median(sample) == pytest.approx(100.0, rel=0.05)
+
+    def test_mean_formula(self, rng):
+        model = LogNormal(median=100.0, sigma=0.5)
+        sample = model.sample(rng, 50000)
+        assert sample.mean() == pytest.approx(model.mean(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogNormal(1.0, -0.5)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self, rng):
+        model = BoundedPareto(alpha=1.2, lower=10.0, upper=1000.0)
+        sample = model.sample(rng, 5000)
+        assert sample.min() >= 10.0
+        assert sample.max() <= 1000.0
+
+    def test_mean_formula(self, rng):
+        model = BoundedPareto(alpha=1.5, lower=10.0, upper=500.0)
+        sample = model.sample(rng, 100000)
+        assert sample.mean() == pytest.approx(model.mean(), rel=0.03)
+
+    def test_mean_alpha_one(self, rng):
+        model = BoundedPareto(alpha=1.0, lower=10.0, upper=500.0)
+        sample = model.sample(rng, 100000)
+        assert sample.mean() == pytest.approx(model.mean(), rel=0.03)
+
+    def test_heavy_tail_present(self, rng):
+        model = BoundedPareto(alpha=1.1, lower=60.0, upper=10000.0)
+        sample = model.sample(rng, 20000)
+        assert (sample > 1000.0).mean() > 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=0.0, lower=1.0, upper=2.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=1.0, lower=5.0, upper=2.0)
+
+
+class TestMixture:
+    def test_mean_is_weighted(self, rng):
+        mix = Mixture(components=(Fixed(10.0), Fixed(30.0)), weights=(1.0, 3.0))
+        assert mix.mean() == pytest.approx(25.0)
+        sample = mix.sample(rng, 20000)
+        assert sample.mean() == pytest.approx(25.0, rel=0.05)
+
+    def test_only_mixture_values(self, rng):
+        mix = Mixture(components=(Fixed(10.0), Fixed(30.0)), weights=(1.0, 1.0))
+        assert set(np.unique(mix.sample(rng, 100))) <= {10.0, 30.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one weight"):
+            Mixture(components=(Fixed(1.0),), weights=(1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Mixture(components=(), weights=())
+        with pytest.raises(ValueError, match="non-negative"):
+            Mixture(components=(Fixed(1.0),), weights=(-1.0,))
+
+
+class TestPresets:
+    def test_conference_shape(self, rng):
+        """Most contacts short, a small heavy tail beyond one hour —
+        the Figure 7 shape the Infocom data sets show."""
+        sample = conference_durations(120.0).sample(rng, 50000)
+        assert np.median(sample) < 10 * 60
+        over_hour = (sample > 3600.0).mean()
+        assert 0.001 < over_hour < 0.1
+
+    def test_campus_longer_median(self, rng):
+        conf = np.median(conference_durations().sample(rng, 20000))
+        campus = np.median(campus_durations().sample(rng, 20000))
+        assert campus > conf

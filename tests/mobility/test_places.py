@@ -1,0 +1,144 @@
+"""Unit tests for the place-based (clique-structured) contact process."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import diurnal_profile
+from repro.mobility.duration import Exponential, Fixed
+from repro.mobility.places import PlacesProcess
+
+
+def make(**kwargs):
+    defaults = dict(
+        n=20,
+        num_places=4,
+        visit_rate=2e-4,
+        horizon=4 * 86400.0,
+        stay=Exponential(1800.0),
+        node_sigma=0.0,
+        day_sigma=0.0,
+        home_bias=0.5,
+        min_overlap=0.0,
+    )
+    defaults.update(kwargs)
+    return PlacesProcess(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=1),
+            dict(num_places=0),
+            dict(visit_rate=0.0),
+            dict(horizon=0.0),
+            dict(home_bias=1.5),
+            dict(node_sigma=-1.0),
+            dict(min_overlap=-1.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            make(**kwargs)
+
+    def test_home_places_round_robin(self):
+        process = make()
+        assert process.home_place(0) == 0
+        assert process.home_place(4) == 0
+        assert process.home_place(5) == 1
+
+
+class TestVisits:
+    def test_visits_sorted_and_bounded(self, rng):
+        by_place = make().visits(rng)
+        assert set(by_place) == {0, 1, 2, 3}
+        for visits in by_place.values():
+            begs = [b for b, _, _ in visits]
+            assert begs == sorted(begs)
+            for beg, end, node in visits:
+                assert 0.0 <= beg <= end <= 4 * 86400.0
+                assert 0 <= node < 20
+
+    def test_one_place_at_a_time(self, rng):
+        by_place = make(visit_rate=2e-3).visits(rng)
+        per_node = {}
+        for visits in by_place.values():
+            for beg, end, node in visits:
+                per_node.setdefault(node, []).append((beg, end))
+        for intervals in per_node.values():
+            intervals.sort()
+            for (b1, e1), (b2, _) in zip(intervals[:-1], intervals[1:]):
+                assert b2 >= e1  # visits of one node never overlap
+
+    def test_home_bias_one_keeps_nodes_home(self, rng):
+        by_place = make(home_bias=1.0).visits(rng)
+        for place, visits in by_place.items():
+            for _, _, node in visits:
+                assert node % 4 == place
+
+
+class TestContacts:
+    def test_contacts_are_co_presence(self, rng):
+        process = make()
+        net = process.generate(rng)
+        assert net.num_contacts > 0
+        for c in net.contacts:
+            assert c.t_end >= c.t_beg + process.min_overlap or c.duration >= 0
+
+    def test_transitivity_of_co_presence(self, rng):
+        """At any instant the contact graph is a union of cliques: if
+        a-b and b-c are active, a-c must be active too."""
+        net = make(visit_rate=1e-3).generate(rng)
+        probes = np.linspace(0.0, 4 * 86400.0, 40)
+        for t in probes:
+            active = [c for c in net.contacts if c.t_beg < t < c.t_end]
+            edges = {frozenset((c.u, c.v)) for c in active}
+            neighbors = {}
+            for c in active:
+                neighbors.setdefault(c.u, set()).add(c.v)
+                neighbors.setdefault(c.v, set()).add(c.u)
+            for b, nbrs in neighbors.items():
+                nbrs = list(nbrs)
+                for i in range(len(nbrs)):
+                    for j in range(i + 1, len(nbrs)):
+                        assert frozenset((nbrs[i], nbrs[j])) in edges
+
+    def test_min_overlap_filters_short_contacts(self, rng):
+        sparse = make(min_overlap=1800.0).generate(rng)
+        for c in sparse.contacts:
+            assert c.duration >= 1800.0 - 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = make().generate(np.random.default_rng(4))
+        b = make().generate(np.random.default_rng(4))
+        assert list(a.contacts) == list(b.contacts)
+
+    def test_profile_modulates_activity(self):
+        rng = np.random.default_rng(0)
+        net = make(
+            profile=diurnal_profile(night_level=0.0), visit_rate=1e-3,
+            stay=Fixed(600.0),
+        ).generate(rng)
+        assert net.num_contacts > 0
+        for c in net.contacts:
+            hour = (c.t_beg % 86400.0) / 3600.0
+            assert 8.0 <= hour <= 20.0
+
+
+class TestCalibration:
+    def test_calibrated_to_hits_target(self):
+        process = make().calibrated_to(
+            400.0, lambda i: np.random.default_rng([9, i])
+        )
+        net = process.generate(np.random.default_rng(99))
+        assert 200 < net.num_contacts < 800
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            make().calibrated_to(0.0, lambda i: np.random.default_rng(i))
+
+    def test_with_visit_rate(self):
+        process = make()
+        faster = process.with_visit_rate(process.visit_rate * 2)
+        assert faster.visit_rate == pytest.approx(2 * process.visit_rate)
+        assert faster.n == process.n

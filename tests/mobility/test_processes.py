@@ -1,0 +1,196 @@
+"""Unit tests for the contact processes (Poisson pairs, community, RWP)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    ActivityProfile,
+    CommunityProcess,
+    Fixed,
+    PoissonPairProcess,
+    RandomWaypoint,
+    assign_communities,
+)
+from repro.mobility.poisson_pairs import sample_nonhomogeneous_times
+
+
+class TestNonhomogeneousSampling:
+    def test_count_matches_intensity(self, rng):
+        profile = ActivityProfile(boundaries=(0.0, 10.0, 20.0), levels=(0.0, 2.0))
+        counts = [
+            len(sample_nonhomogeneous_times(1.0, profile, 100.0, rng))
+            for _ in range(50)
+        ]
+        # Intensity 2.0 on half the time: expect 100 events on average.
+        assert np.mean(counts) == pytest.approx(100.0, rel=0.1)
+
+    def test_zero_level_produces_no_events(self, rng):
+        profile = ActivityProfile(boundaries=(0.0, 10.0, 20.0), levels=(0.0, 1.0))
+        times = sample_nonhomogeneous_times(5.0, profile, 200.0, rng)
+        phases = times % 20.0
+        assert np.all(phases >= 10.0)
+
+    def test_sorted_output(self, rng):
+        profile = ActivityProfile(boundaries=(0.0, 50.0), levels=(1.0,))
+        times = sample_nonhomogeneous_times(0.5, profile, 200.0, rng)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_negative_rate_rejected(self, rng):
+        profile = ActivityProfile(boundaries=(0.0, 1.0), levels=(1.0,))
+        with pytest.raises(ValueError):
+            sample_nonhomogeneous_times(-1.0, profile, 10.0, rng)
+
+
+class TestPoissonPairProcess:
+    def test_expected_contacts_matches(self, rng):
+        process = PoissonPairProcess(n=20, contact_rate=0.05, horizon=1000.0)
+        net = process.generate(rng)
+        assert net.num_contacts == pytest.approx(
+            process.expected_contacts(), rel=0.2
+        )
+
+    def test_roster_complete(self, rng):
+        process = PoissonPairProcess(n=12, contact_rate=0.001, horizon=10.0)
+        assert len(process.generate(rng)) == 12
+
+    def test_durations_applied(self, rng):
+        process = PoissonPairProcess(
+            n=6, contact_rate=0.2, horizon=500.0, durations=Fixed(3.0)
+        )
+        net = process.generate(rng)
+        assert net.num_contacts > 0
+        for c in net.contacts:
+            assert c.duration == pytest.approx(3.0) or c.t_end == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonPairProcess(n=1, contact_rate=1.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            PoissonPairProcess(n=5, contact_rate=0.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            PoissonPairProcess(n=5, contact_rate=1.0, horizon=0.0)
+
+
+class TestCommunityAssignment:
+    def test_blocks(self):
+        assert assign_communities([2, 3]) == [0, 0, 1, 1, 1]
+
+    def test_positive_sizes_required(self):
+        with pytest.raises(ValueError):
+            assign_communities([2, 0])
+
+
+class TestCommunityProcess:
+    def make(self, **kwargs):
+        defaults = dict(
+            community_sizes=(5, 5),
+            intra_rate=1e-3,
+            inter_rate=1e-4,
+            horizon=2000.0,
+        )
+        defaults.update(kwargs)
+        return CommunityProcess(**defaults)
+
+    def test_expected_internal_contacts(self, rng):
+        process = self.make()
+        nets = [process.generate(np.random.default_rng(s)) for s in range(5)]
+        mean_count = np.mean([n.num_contacts for n in nets])
+        assert mean_count == pytest.approx(
+            process.expected_internal_contacts(), rel=0.25
+        )
+
+    def test_intra_dominates_inter(self, rng):
+        process = self.make(intra_rate=5e-3, inter_rate=1e-5, horizon=5000.0)
+        net = process.generate(rng)
+        intra = sum(1 for c in net.contacts if (c.u < 5) == (c.v < 5))
+        inter = net.num_contacts - intra
+        assert intra > inter
+
+    def test_scaled_to_target(self, rng):
+        process = self.make().scaled_to(500.0)
+        assert process.expected_internal_contacts() == pytest.approx(500.0)
+
+    def test_scaled_to_invalid_target(self):
+        with pytest.raises(ValueError):
+            self.make().scaled_to(0.0)
+
+    def test_externals_generated_and_labelled(self, rng):
+        process = self.make(externals=10, external_rate=1e-3)
+        net = process.generate(rng)
+        external_contacts = [
+            c for c in net.contacts
+            if isinstance(c.u, str) or isinstance(c.v, str)
+        ]
+        assert external_contacts
+        assert all(
+            str(c.v).startswith("ext") or str(c.u).startswith("ext")
+            for c in external_contacts
+        )
+        assert "ext0" in net
+
+    def test_node_sigma_zero_gives_unit_multipliers(self, rng):
+        process = self.make(node_sigma=0.0)
+        assert np.all(process._node_multipliers(rng, 5) == 1.0)
+
+    def test_node_sigma_unit_mean(self, rng):
+        process = self.make(node_sigma=0.8)
+        multipliers = process._node_multipliers(rng, 20000)
+        assert multipliers.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(community_sizes=())
+        with pytest.raises(ValueError):
+            self.make(intra_rate=-1.0)
+        with pytest.raises(ValueError):
+            self.make(node_sigma=-0.1)
+        with pytest.raises(ValueError):
+            self.make(externals=-1)
+
+
+class TestRandomWaypoint:
+    def make(self, **kwargs):
+        defaults = dict(
+            n=10,
+            area=100.0,
+            speed_min=1.0,
+            speed_max=2.0,
+            pause_max=5.0,
+            radio_range=20.0,
+            horizon=200.0,
+            dt=1.0,
+        )
+        defaults.update(kwargs)
+        return RandomWaypoint(**defaults)
+
+    def test_generates_contacts(self, rng):
+        net = self.make().generate(rng)
+        assert net.num_contacts > 0
+        assert len(net) == 10
+
+    def test_contacts_within_horizon(self, rng):
+        net = self.make().generate(rng)
+        for c in net.contacts:
+            assert 0.0 <= c.t_beg <= c.t_end <= 200.0
+
+    def test_contact_requires_proximity(self, rng):
+        # A huge radio range connects everyone the whole time.
+        net = self.make(radio_range=1000.0).generate(rng)
+        pairs = {(c.u, c.v) for c in net.contacts}
+        assert len(pairs) == 10 * 9 / 2
+        assert all(c.t_beg == 0.0 and c.t_end == 200.0 for c in net.contacts)
+
+    def test_deterministic_given_seed(self):
+        a = self.make().generate(np.random.default_rng(3))
+        b = self.make().generate(np.random.default_rng(3))
+        assert list(a.contacts) == list(b.contacts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(n=1)
+        with pytest.raises(ValueError):
+            self.make(speed_min=0.0)
+        with pytest.raises(ValueError):
+            self.make(speed_min=3.0, speed_max=2.0)
+        with pytest.raises(ValueError):
+            self.make(dt=0.0)

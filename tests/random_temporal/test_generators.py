@@ -1,0 +1,106 @@
+"""Unit tests for the random-temporal-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import TemporalNetwork
+from repro.random_temporal import (
+    continuous_temporal_network,
+    discrete_temporal_network,
+    empirical_contact_rate,
+    pair_intensity,
+    slot_graphs,
+)
+from repro.random_temporal.continuous import contact_instants
+
+
+class TestSlotGraphs:
+    def test_edge_validity(self, rng):
+        n = 20
+        for edges in slot_graphs(n, 1.0, 10, rng):
+            for u, v in edges:
+                assert 0 <= u < v < n
+            assert len(set(edges)) == len(edges)  # no duplicate pairs
+
+    def test_empirical_edge_probability(self, rng):
+        n, lam, slots = 30, 1.5, 400
+        total = sum(len(edges) for edges in slot_graphs(n, lam, slots, rng))
+        expected = (lam / n) * (n * (n - 1) / 2) * slots
+        assert total == pytest.approx(expected, rel=0.05)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError, match="at least 2"):
+            list(slot_graphs(1, 0.5, 5, rng))
+        with pytest.raises(ValueError, match="positive"):
+            list(slot_graphs(10, 0.0, 5, rng))
+        with pytest.raises(ValueError, match="exceeds 1"):
+            list(slot_graphs(3, 10.0, 5, rng))
+
+    def test_deterministic_given_seed(self):
+        a = list(slot_graphs(10, 1.0, 20, np.random.default_rng(5)))
+        b = list(slot_graphs(10, 1.0, 20, np.random.default_rng(5)))
+        assert a == b
+
+
+class TestDiscreteNetwork:
+    def test_contacts_span_one_slot(self, rng):
+        net = discrete_temporal_network(15, 1.0, 20, rng)
+        for c in net.contacts:
+            assert c.duration == 1.0
+            assert c.t_beg == int(c.t_beg)
+
+    def test_roster_includes_isolated(self, rng):
+        net = discrete_temporal_network(15, 0.1, 3, rng)
+        assert len(net) == 15
+
+    def test_slot_duration_scaling(self, rng):
+        net = discrete_temporal_network(10, 1.0, 5, rng, slot_duration=60.0)
+        assert all(c.duration == 60.0 for c in net.contacts)
+
+    def test_empirical_rate(self, rng):
+        n, lam, slots = 40, 1.2, 300
+        net = discrete_temporal_network(n, lam, slots, rng)
+        assert empirical_contact_rate(net, slots) == pytest.approx(lam, rel=0.1)
+
+    def test_empirical_rate_validation(self):
+        with pytest.raises(ValueError):
+            empirical_contact_rate(TemporalNetwork([], nodes=[0, 1]), 0)
+
+
+class TestContinuousNetwork:
+    def test_pair_intensity(self):
+        assert pair_intensity(11, 2.0) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            pair_intensity(1, 2.0)
+        with pytest.raises(ValueError):
+            pair_intensity(5, -1.0)
+
+    def test_instants_sorted_and_bounded(self, rng):
+        instants = list(contact_instants(10, 1.0, 50.0, rng))
+        times = [t for t, _, _ in instants]
+        assert times == sorted(times)
+        assert all(0 <= t < 50.0 for t in times)
+        for _, u, v in instants:
+            assert 0 <= u < v < 10
+
+    def test_total_rate(self, rng):
+        n, lam, horizon = 25, 1.0, 200.0
+        instants = list(contact_instants(n, lam, horizon, rng))
+        # Each node sees lam contacts per unit time -> total n*lam/2.
+        expected = n * lam / 2 * horizon
+        assert len(instants) == pytest.approx(expected, rel=0.08)
+
+    def test_network_with_duration(self, rng):
+        net = continuous_temporal_network(10, 1.0, 20.0, rng, contact_duration=0.5)
+        assert all(
+            c.duration == pytest.approx(0.5) or c.t_end == pytest.approx(20.0)
+            for c in net.contacts
+        )
+
+    def test_negative_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            continuous_temporal_network(10, 1.0, 20.0, rng, contact_duration=-1.0)
+
+    def test_horizon_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(contact_instants(10, 1.0, 0.0, rng))

@@ -1,0 +1,143 @@
+"""Unit and statistical tests for the Monte Carlo module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.random_temporal import (
+    first_passage,
+    first_passage_stats,
+    reach_probability,
+    theory,
+)
+from repro.random_temporal.simulate import (
+    INF,
+    _relax_long,
+    _relax_short,
+    constrained_reach_trial,
+)
+
+
+class TestRelaxation:
+    def test_short_advances_one_hop_per_slot(self):
+        minhops = [0, INF, INF]
+        edges = [(0, 1), (1, 2)]
+        _relax_short(minhops, edges)
+        # Node 2 cannot be reached this slot: 1 was infected only now.
+        assert minhops == [0, 1, INF]
+        _relax_short(minhops, edges)
+        assert minhops == [0, 1, 2]
+
+    def test_short_symmetric(self):
+        minhops = [INF, 0]
+        _relax_short(minhops, [(0, 1)])
+        assert minhops == [1, 0]
+
+    def test_long_chains_within_slot(self):
+        minhops = [0, INF, INF, INF]
+        edges = [(0, 1), (1, 2), (2, 3)]
+        _relax_long(minhops, edges)
+        assert minhops == [0, 1, 2, 3]
+
+    def test_long_takes_min_over_paths(self):
+        # Two routes to node 3: direct edge (0,3) and chain through 1, 2.
+        minhops = [0, INF, INF, INF]
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        _relax_long(minhops, edges)
+        assert minhops[3] == 1
+
+    def test_short_never_worse_than_one_improvement(self):
+        minhops = [0, 5, INF]
+        _relax_short(minhops, [(0, 1), (1, 2)])
+        assert minhops == [0, 1, 6]
+
+
+class TestFirstPassage:
+    def test_same_endpoints_rejected(self, rng):
+        with pytest.raises(ValueError):
+            first_passage(10, 0.5, "short", rng, 10, source=1, destination=1)
+
+    def test_delivery_recorded(self, rng):
+        result = first_passage(30, 2.0, "long", rng, max_slots=200)
+        assert result.delivered
+        assert result.delay_slots >= 1
+        assert result.hops >= 1
+
+    def test_horizon_zero_never_delivers(self, rng):
+        result = first_passage(10, 0.5, "short", rng, max_slots=0)
+        assert not result.delivered
+        assert result.delay_slots is None
+
+    def test_long_no_slower_than_short(self):
+        # With identical randomness, long contacts deliver no later.
+        delays = {}
+        for case in ("short", "long"):
+            rng = np.random.default_rng(99)
+            outcomes = [
+                first_passage(40, 1.0, case, rng, max_slots=100)
+                for _ in range(40)
+            ]
+            delays[case] = np.mean(
+                [o.delay_slots for o in outcomes if o.delivered]
+            )
+        assert delays["long"] <= delays["short"] + 0.5
+
+
+class TestStats:
+    def test_aggregates(self, rng):
+        stats = first_passage_stats(40, 1.0, "short", rng, trials=30)
+        assert stats.trials == 30
+        assert 0 < stats.delivered <= 30
+        assert stats.mean_delay_slots > 0
+        assert stats.delay_over_log_n == pytest.approx(
+            stats.mean_delay_slots / math.log(40)
+        )
+
+    def test_no_delivery_gives_nan(self, rng):
+        stats = first_passage_stats(20, 0.01, "short", rng, trials=3, max_slots=1)
+        if stats.delivered == 0:
+            assert math.isnan(stats.mean_delay_slots)
+
+    def test_trials_validation(self, rng):
+        with pytest.raises(ValueError):
+            first_passage_stats(10, 1.0, "short", rng, trials=0)
+
+    def test_delay_tracks_theory_short(self):
+        """Monte Carlo mean delay is within a factor ~2 of tau* ln N."""
+        rng = np.random.default_rng(7)
+        n, lam = 300, 0.8
+        stats = first_passage_stats(n, lam, "short", rng, trials=40)
+        predicted = theory.expected_delay(n, lam, "short")
+        assert stats.delivered == 40
+        assert 0.4 * predicted < stats.mean_delay_slots < 2.5 * predicted
+
+
+class TestReachProbability:
+    def test_phase_transition_direction(self):
+        """Supercritical constraints are hit far more often than
+        subcritical ones at moderate N."""
+        n, lam = 200, 0.8
+        tau_critical = theory.critical_tau(lam, "short")
+        gamma_star = theory.optimal_gamma(lam, "short")
+        rng_super = np.random.default_rng(1)
+        rng_sub = np.random.default_rng(2)
+        p_super = reach_probability(
+            n, lam, 3.0 * tau_critical, gamma_star, "short", rng_super, trials=40
+        )
+        p_sub = reach_probability(
+            n, lam, 0.4 * tau_critical, gamma_star, "short", rng_sub, trials=40
+        )
+        assert p_super > 0.8
+        assert p_sub < 0.2
+        assert p_super > p_sub
+
+    def test_constrained_trial_respects_hop_cap(self, rng):
+        # With a hop cap of 0 nothing but the source is ever "reached".
+        assert not constrained_reach_trial(
+            20, 1.0, "short", rng, max_slots=20, max_hops=0
+        )
+
+    def test_trials_validation(self, rng):
+        with pytest.raises(ValueError):
+            reach_probability(10, 0.5, 1.0, 0.5, "short", rng, trials=0)

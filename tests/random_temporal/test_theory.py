@@ -1,0 +1,201 @@
+"""Unit tests for the Section 3 closed-form analysis."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.random_temporal import theory
+
+rates = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+sub_unit_rates = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+
+
+class TestEntropyFunctions:
+    def test_h_endpoints(self):
+        assert theory.entropy_h(0.0) == 0.0
+        assert theory.entropy_h(1.0) == 0.0
+
+    def test_h_maximum_at_half(self):
+        assert theory.entropy_h(0.5) == pytest.approx(math.log(2))
+
+    def test_h_symmetry(self):
+        assert theory.entropy_h(0.3) == pytest.approx(theory.entropy_h(0.7))
+
+    def test_h_domain(self):
+        with pytest.raises(ValueError):
+            theory.entropy_h(-0.1)
+        with pytest.raises(ValueError):
+            theory.entropy_h(1.1)
+
+    def test_g_values(self):
+        assert theory.entropy_g(0.0) == 0.0
+        assert theory.entropy_g(1.0) == pytest.approx(2 * math.log(2))
+
+    def test_g_monotone_increasing(self):
+        xs = [0.1, 0.5, 1.0, 2.0, 5.0]
+        values = [theory.entropy_g(x) for x in xs]
+        assert values == sorted(values)
+
+    def test_g_domain(self):
+        with pytest.raises(ValueError):
+            theory.entropy_g(-0.01)
+
+
+class TestPhaseBoundary:
+    @given(sub_unit_rates)
+    def test_short_maximum_location_and_value(self, lam):
+        gamma_star = theory.optimal_gamma(lam, "short")
+        assert gamma_star == pytest.approx(lam / (1 + lam))
+        peak = theory.phase_boundary(gamma_star, lam, "short")
+        assert peak == pytest.approx(math.log(1 + lam))
+        assert peak == pytest.approx(theory.boundary_maximum(lam, "short"))
+        # It is a maximum.
+        for gamma in (gamma_star / 2, min(1.0, gamma_star * 1.5)):
+            assert theory.phase_boundary(gamma, lam, "short") <= peak + 1e-12
+
+    @given(sub_unit_rates)
+    def test_long_maximum_location_and_value(self, lam):
+        gamma_star = theory.optimal_gamma(lam, "long")
+        assert gamma_star == pytest.approx(lam / (1 - lam))
+        peak = theory.phase_boundary(gamma_star, lam, "long")
+        assert peak == pytest.approx(-math.log(1 - lam))
+        for gamma in (gamma_star / 2, gamma_star * 1.5):
+            assert theory.phase_boundary(gamma, lam, "long") <= peak + 1e-12
+
+    def test_long_unbounded_above_one(self):
+        assert theory.boundary_maximum(2.0, "long") == math.inf
+        with pytest.raises(ValueError, match="unbounded"):
+            theory.optimal_gamma(2.0, "long")
+
+    def test_invalid_case_and_rate(self):
+        with pytest.raises(ValueError, match="contact case"):
+            theory.phase_boundary(0.5, 1.0, "medium")
+        with pytest.raises(ValueError, match="positive"):
+            theory.phase_boundary(0.5, 0.0, "short")
+
+
+class TestCriticality:
+    def test_paper_worked_example_short(self):
+        # Section 3.2.2: lambda = 0.5 -> delay ~ 2.47 ln N.
+        assert theory.critical_tau(0.5, "short") == pytest.approx(
+            1 / math.log(1.5), abs=1e-9
+        )
+        assert theory.critical_tau(0.5, "short") == pytest.approx(2.466, abs=1e-3)
+        # Hop constant gamma* tau* = (1/3) * 2.466 = 0.822.
+        assert theory.expected_hop_constant(0.5, "short") == pytest.approx(
+            0.822, abs=1e-3
+        )
+
+    def test_paper_worked_example_long(self):
+        # Section 3.2.3: lambda = 0.5 -> tau* = 1 / (-ln 0.5) = 1.4427,
+        # and gamma* = 1 so delay and hop constants coincide.
+        tau = theory.critical_tau(0.5, "long")
+        assert tau == pytest.approx(1 / math.log(2), abs=1e-9)
+        assert theory.expected_hop_constant(0.5, "long") == pytest.approx(tau)
+
+    def test_long_supercritical_for_any_tau_when_dense(self):
+        assert theory.critical_tau(1.5, "long") == 0.0
+        # For lambda > 1 the boundary grows like gamma ln(lambda), so any
+        # tau works once gamma exceeds ~1/(tau ln lambda) = 49.3 here.
+        assert theory.is_supercritical(0.05, 60.0, 1.5, "long")
+        assert not theory.is_supercritical(0.05, 30.0, 1.5, "long")
+
+    @given(sub_unit_rates, st.floats(min_value=0.05, max_value=0.95))
+    def test_supercritical_iff_below_boundary(self, lam, gamma):
+        boundary = theory.phase_boundary(gamma, lam, "short")
+        if boundary <= 0:
+            return
+        tau_super = 2.0 / boundary
+        tau_sub = 0.5 / boundary
+        assert theory.is_supercritical(tau_super, gamma, lam, "short")
+        assert not theory.is_supercritical(tau_sub, gamma, lam, "short")
+
+    def test_subcritical_below_critical_tau_everywhere(self):
+        lam = 0.5
+        tau = 0.9 * theory.critical_tau(lam, "short")
+        for gamma in [0.05, 0.2, lam / (1 + lam), 0.6, 0.95]:
+            assert not theory.is_supercritical(tau, gamma, lam, "short")
+
+    def test_classify(self):
+        point = theory.classify(3.0, 0.33, 0.5, "short")
+        assert point.supercritical
+        assert point.boundary == pytest.approx(
+            theory.phase_boundary(0.33, 0.5, "short")
+        )
+
+
+class TestHopConstants:
+    @given(st.floats(min_value=1e-4, max_value=0.01))
+    def test_sparse_limit_is_one(self, lam):
+        # Section 3.3: as lambda -> 0 the hop count of the delay-optimal
+        # path converges to ln N in both cases.
+        assert theory.expected_hop_constant(lam, "short") == pytest.approx(
+            1.0, abs=0.01
+        )
+        assert theory.expected_hop_constant(lam, "long") == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_long_case_singularity_at_one(self):
+        assert theory.expected_hop_constant(1.0, "long") == math.inf
+
+    def test_long_dense_regime(self):
+        # k ~ ln N / ln lambda for lambda > 1.
+        assert theory.expected_hop_constant(4.0, "long") == pytest.approx(
+            1 / math.log(4.0)
+        )
+
+    def test_expected_delay_and_hops_scale_with_log_n(self):
+        lam = 0.5
+        d100 = theory.expected_delay(100, lam, "short")
+        d10000 = theory.expected_delay(10000, lam, "short")
+        assert d10000 == pytest.approx(2 * d100)
+        assert theory.expected_hops(100, lam, "short") == pytest.approx(
+            theory.expected_hop_constant(lam, "short") * math.log(100)
+        )
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            theory.expected_delay(1, 0.5, "short")
+
+
+class TestSupercriticalInterval:
+    def test_interval_contains_optimum(self):
+        lam = 0.5
+        tau = 2 * theory.critical_tau(lam, "short")
+        interval = theory.supercritical_gamma_interval(tau, lam, "short")
+        assert interval is not None
+        low, high = interval
+        gamma_star = theory.optimal_gamma(lam, "short")
+        assert low < gamma_star < high
+        # Inside: supercritical; outside: not.
+        assert theory.is_supercritical(tau, (low + high) / 2, lam, "short")
+        assert not theory.is_supercritical(tau, low / 2, lam, "short")
+
+    def test_below_critical_returns_none(self):
+        lam = 0.5
+        tau = 0.5 * theory.critical_tau(lam, "short")
+        assert theory.supercritical_gamma_interval(tau, lam, "short") is None
+
+    def test_interval_shrinks_towards_gamma_star(self):
+        lam = 0.5
+        tau_near = 1.01 * theory.critical_tau(lam, "short")
+        tau_far = 4 * theory.critical_tau(lam, "short")
+        near = theory.supercritical_gamma_interval(tau_near, lam, "short")
+        far = theory.supercritical_gamma_interval(tau_far, lam, "short")
+        assert near[1] - near[0] < far[1] - far[0]
+
+    def test_long_dense_unbounded_interval(self):
+        interval = theory.supercritical_gamma_interval(0.1, 2.0, "long")
+        assert interval is not None
+        assert interval[1] == math.inf
+        assert theory.is_supercritical(0.1, interval[0] * 2 + 1, 2.0, "long")
+
+    def test_long_sparse_interval(self):
+        lam = 0.5
+        tau = 2 * theory.critical_tau(lam, "long")
+        interval = theory.supercritical_gamma_interval(tau, lam, "long")
+        assert interval is not None
+        assert interval[0] < theory.optimal_gamma(lam, "long") < interval[1]

@@ -1,0 +1,85 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.traces.format import read_contacts
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    code = main(
+        ["generate", "infocom05", str(path), "--seed", "2", "--scale", "0.02"]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_readable_trace(self, trace_file, capsys):
+        net = read_contacts(trace_file)
+        assert len(net) == 41
+        assert net.num_contacts > 0
+
+
+class TestSummarize:
+    def test_prints_table(self, trace_file, capsys):
+        assert main(["summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "devices" in out
+        assert "41" in out
+
+
+class TestDiameter:
+    def test_computes_value(self, trace_file, capsys):
+        # The tiny test-scale trace is very sparse, so contemporaneous
+        # chains push the 99%-diameter above the paper's 4-6 range; allow
+        # plenty of hops.
+        code = main(
+            ["diameter", str(trace_file), "--max-hops", "18", "--grid-points", "12"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diameter:" in out
+
+    def test_insufficient_bounds_reports_failure(self, tmp_path, capsys):
+        # A 3-hop chain with max-hops 1 cannot reach the flooding optimum.
+        path = tmp_path / "chain.txt"
+        path.write_text(
+            "0 1 0 100\n1 2 0 100\n2 3 0 100\n"
+        )
+        code = main(["diameter", str(path), "--max-hops", "1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "raise --max-hops" in out
+
+
+class TestDelayCdf:
+    def test_prints_columns(self, trace_file, capsys):
+        assert main(["delay-cdf", str(trace_file), "--max-hops", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k=1" in out and "k=2" in out and "k=inf" in out
+
+
+class TestTheory:
+    def test_prints_constants(self, capsys):
+        assert main(["theory", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "short" in out and "long" in out
+        assert "2.466" in out
+
+
+class TestJourneys:
+    def test_prints_three_journeys(self, tmp_path, capsys):
+        path = tmp_path / "chain.txt"
+        path.write_text("0 1 0 100\n1 2 50 150\n")
+        assert main(["journeys", str(path), "0", "2", "--at", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "foremost" in out and "shortest" in out and "fastest" in out
+
+    def test_unreachable_pair(self, tmp_path, capsys):
+        path = tmp_path / "pair.txt"
+        path.write_text("0 1 0 10\n2 3 0 10\n")
+        assert main(["journeys", str(path), "0", "3"]) == 0
+        assert "unreachable" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Small-scale versions of the paper's workflow: synthesise a data set,
+compute profiles, aggregate CDFs, measure the diameter, and check the
+findings against the forwarding simulator.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.grids import paper_delay_grid
+from repro.core import compute_profiles, delay_cdf, diameter
+from repro.forwarding import Epidemic, Message, simulate_forwarding
+from repro.traces import datasets
+from repro.traces.filters import remove_random, remove_short
+
+
+@pytest.fixture(scope="module")
+def conference():
+    return datasets.infocom05(seed=2, scale=0.03)
+
+
+@pytest.fixture(scope="module")
+def profiles(conference):
+    return compute_profiles(conference, hop_bounds=tuple(range(1, 13)))
+
+
+@pytest.fixture(scope="module")
+def grid(conference):
+    return paper_delay_grid(points=15, t_min=120.0,
+                            t_max=min(7 * 86400.0, conference.duration))
+
+
+class TestDiameterPipeline:
+    def test_diameter_is_small(self, profiles, grid):
+        result = diameter(profiles, grid, eps=0.01,
+                          hop_bounds=tuple(range(1, 13)))
+        assert result.value is not None
+        # "The network diameter generally varies between 3 and 6 hops"
+        # at paper scale; tiny synthetic traces run a little higher but
+        # stay far below the node count.
+        assert result.value <= 12 < len(profiles.network)
+
+    def test_relaxing_eps_never_increases_diameter(self, profiles, grid):
+        strict = diameter(profiles, grid, eps=0.01,
+                          hop_bounds=tuple(range(1, 13)))
+        loose = diameter(profiles, grid, eps=0.10,
+                         hop_bounds=tuple(range(1, 13)))
+        assert loose.value <= strict.value
+
+    def test_cdf_saturates_at_fixpoint_bound(self, profiles, grid):
+        deep = delay_cdf(profiles, grid, max_hops=12)
+        unbounded = delay_cdf(profiles, grid, max_hops=None)
+        if profiles.max_rounds_run <= 12:
+            assert np.allclose(deep.values, unbounded.values)
+
+    def test_forwarding_agrees_with_profiles(self, conference, profiles):
+        """Epidemic delivery time equals the profile's delivery function."""
+        nodes = list(conference.nodes)
+        t0, _ = conference.span
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            s, d = rng.choice(len(nodes), size=2, replace=False)
+            source, destination = nodes[int(s)], nodes[int(d)]
+            created = t0 + float(rng.uniform(0, conference.duration / 2))
+            promised = profiles.profile(source, destination, None).delivery_time(
+                created
+            )
+            report = simulate_forwarding(
+                conference, Message(source, destination, created), Epidemic()
+            )
+            if math.isinf(promised):
+                assert not report.delivered
+            else:
+                assert report.delivered
+                assert report.delivery_time == pytest.approx(promised)
+
+
+class TestSectionSixPipeline:
+    def test_random_removal_degrades_success(self, conference, grid):
+        rng = np.random.default_rng(0)
+        thinned = remove_random(conference, 0.9, rng)
+        full_profiles = compute_profiles(conference, hop_bounds=(4,))
+        thin_profiles = compute_profiles(thinned, hop_bounds=(4,))
+        full = delay_cdf(full_profiles, grid, max_hops=None)
+        thin = delay_cdf(thin_profiles, grid, max_hops=None)
+        assert thin.values[0] <= full.values[0] + 1e-12
+        assert thin.success_at_infinity <= full.success_at_infinity + 1e-12
+
+    def test_duration_threshold_keeps_subset(self, conference):
+        thinned = remove_short(conference, 600.0)
+        assert thinned.num_contacts < conference.num_contacts
+        original = set(conference.contacts)
+        assert all(c in original for c in thinned.contacts)
+
+
+class TestTraceRoundTripPipeline:
+    def test_profiles_survive_file_round_trip(self, conference, tmp_path):
+        from repro.traces.format import read_contacts, write_contacts
+
+        path = tmp_path / "trace.txt"
+        write_contacts(conference, path)
+        loaded = read_contacts(path)
+        a = compute_profiles(conference, hop_bounds=(2,),
+                             sources=[conference.nodes[0]])
+        b = compute_profiles(loaded, hop_bounds=(2,),
+                             sources=[conference.nodes[0]])
+        for d in conference.nodes:
+            if d == conference.nodes[0]:
+                continue
+            fa = a.profile(conference.nodes[0], d, 2)
+            fb = b.profile(conference.nodes[0], d, 2)
+            assert [round(x, 6) for x in fa.lds] == [round(x, 6) for x in fb.lds]
+            assert [round(x, 6) for x in fa.eas] == [round(x, 6) for x in fb.eas]

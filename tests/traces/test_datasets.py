@@ -1,0 +1,144 @@
+"""Tests for the synthetic data-set builders (small scale for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import datasets
+from repro.traces.filters import internal_only
+from repro.traces.stats import contact_durations
+
+SCALE = 0.02  # tiny but structurally representative
+
+
+class TestRegistry:
+    def test_paper_table_targets_present(self):
+        assert set(datasets.PAPER_TABLE1) == {
+            "infocom05",
+            "infocom06",
+            "hongkong",
+            "reality",
+        }
+        spec = datasets.PAPER_TABLE1["infocom05"]
+        assert spec.devices == 41
+        assert spec.granularity_s == 120.0
+        assert spec.internal_contacts == 22_459
+
+    def test_build_dispatch(self):
+        net = datasets.build("infocom05", seed=3, scale=SCALE)
+        assert len(net) == 41
+
+    def test_build_unknown(self):
+        with pytest.raises(KeyError, match="unknown data set"):
+            datasets.build("mit")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            datasets.infocom05(scale=0.0)
+
+
+class TestInfocom05:
+    def test_device_count_fixed_regardless_of_scale(self):
+        net = datasets.infocom05(seed=1, scale=SCALE)
+        assert len(net) == 41
+
+    def test_contact_count_near_target(self):
+        net = datasets.infocom05(seed=1, scale=SCALE)
+        target = max(int(22_459 * SCALE), 10)
+        assert 0.4 * target < net.num_contacts < 2.5 * target
+
+    def test_deterministic(self):
+        a = datasets.infocom05(seed=5, scale=SCALE)
+        b = datasets.infocom05(seed=5, scale=SCALE)
+        assert list(a.contacts) == list(b.contacts)
+
+    def test_seed_changes_trace(self):
+        a = datasets.infocom05(seed=5, scale=SCALE)
+        b = datasets.infocom05(seed=6, scale=SCALE)
+        assert list(a.contacts) != list(b.contacts)
+
+    def test_scanned_durations_are_granularity_multiples(self):
+        net = datasets.infocom05(seed=1, scale=SCALE, scanned=True)
+        durations = contact_durations(net)
+        # Multiples of the granularity up to floating error (remainder
+        # near 0 or near 120).
+        remainders = np.mod(durations, 120.0)
+        distance = np.minimum(remainders, 120.0 - remainders)
+        assert np.allclose(distance, 0.0, atol=1e-6)
+
+    def test_unscanned_durations_continuous(self):
+        net = datasets.infocom05(seed=1, scale=SCALE, scanned=False)
+        durations = contact_durations(net)
+        remainders = np.mod(durations, 120.0)
+        assert not np.allclose(remainders, 0.0, atol=1e-3)
+
+    def test_externals_optional(self):
+        without = datasets.infocom05(seed=1, scale=SCALE)
+        assert all(not str(n).startswith("ext") for n in without.nodes)
+        with_ext = datasets.infocom05(seed=1, scale=SCALE, with_externals=True)
+        assert any(str(n).startswith("ext") for n in with_ext.nodes)
+
+
+class TestHongKong:
+    def test_sparse_internal_dense_external(self):
+        net = datasets.hongkong(seed=1, scale=0.1)
+        internal = internal_only(net)
+        external_contacts = net.num_contacts - internal.num_contacts
+        assert external_contacts > internal.num_contacts
+        assert len(internal) == 37
+
+    def test_without_externals(self):
+        net = datasets.hongkong(seed=1, scale=0.1, with_externals=False)
+        assert all(not str(n).startswith("ext") for n in net.nodes)
+
+
+class TestRealityMining:
+    def test_structure(self):
+        net = datasets.reality_mining(seed=1, scale=0.01)
+        assert len(net) == 97
+        assert net.num_contacts > 0
+
+    def test_diurnal_variation(self):
+        """Night activity is far below day activity."""
+        net = datasets.reality_mining(seed=1, scale=0.02)
+        day_hits = 0
+        night_hits = 0
+        for c in net.contacts:
+            hour = (c.t_beg % 86400.0) / 3600.0
+            if 8 <= hour < 19:
+                day_hits += 1
+            elif hour < 6:
+                night_hits += 1
+        assert day_hits > 5 * max(night_hits, 1)
+
+
+class TestInfocom06:
+    def test_devices(self):
+        net = datasets.infocom06(seed=1, scale=0.01)
+        assert len(net) == 78
+
+
+class TestOtherDatasets:
+    def test_reality_gsm_structure(self):
+        net = datasets.reality_gsm(seed=1, scale=0.005)
+        assert len(net) == 97
+        assert net.num_contacts > 0
+        # GSM co-location: long, unscanned contacts.
+        assert max(c.duration for c in net.contacts) > 1800.0
+
+    def test_wlan_structure(self):
+        net = datasets.campus_wlan(seed=1, scale=0.1, devices=30,
+                                   access_points=10)
+        assert len(net) == 30
+        assert net.num_contacts > 0
+
+    def test_registry_includes_new_builders(self):
+        assert "reality_gsm" in datasets.BUILDERS
+        assert "wlan" in datasets.BUILDERS
+        net = datasets.build("wlan", seed=2, scale=0.08, devices=20,
+                             access_points=8)
+        assert len(net) == 20
+
+    def test_deterministic(self):
+        a = datasets.reality_gsm(seed=4, scale=0.005)
+        b = datasets.reality_gsm(seed=4, scale=0.005)
+        assert list(a.contacts) == list(b.contacts)

@@ -1,0 +1,130 @@
+"""Unit tests for Section 6 contact-removal transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core import Contact, TemporalNetwork
+from repro.traces.filters import (
+    internal_only,
+    keep_if,
+    remove_long,
+    remove_random,
+    remove_short,
+    restrict_nodes,
+    shift_origin,
+    time_window,
+)
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 60.0, 0, 1),       # 1 minute
+            Contact(100.0, 700.0, 1, 2),    # 10 minutes
+            Contact(800.0, 4400.0, 0, 2),   # 1 hour
+            Contact(5000.0, 5010.0, "ext0", 1),
+        ],
+        nodes=[0, 1, 2, 3, "ext0"],
+    )
+
+
+class TestRemoveRandom:
+    def test_zero_probability_keeps_everything(self, net, rng):
+        assert remove_random(net, 0.0, rng).num_contacts == net.num_contacts
+
+    def test_one_probability_removes_everything(self, net, rng):
+        filtered = remove_random(net, 1.0, rng)
+        assert filtered.num_contacts == 0
+        assert len(filtered) == len(net)  # roster preserved
+
+    def test_expected_fraction(self, rng):
+        contacts = [Contact(float(i), float(i + 1), 0, 1) for i in range(2000)]
+        big = TemporalNetwork(contacts)
+        filtered = remove_random(big, 0.9, rng)
+        assert filtered.num_contacts == pytest.approx(200, rel=0.25)
+
+    def test_validation(self, net, rng):
+        with pytest.raises(ValueError):
+            remove_random(net, 1.5, rng)
+
+    def test_subset_of_original(self, net, rng):
+        filtered = remove_random(net, 0.5, rng)
+        original = set(net.contacts)
+        assert all(c in original for c in filtered.contacts)
+
+
+class TestRemoveByDuration:
+    def test_remove_short(self, net):
+        filtered = remove_short(net, 600.0)
+        assert filtered.num_contacts == 2
+        assert all(c.duration >= 600.0 for c in filtered.contacts)
+
+    def test_remove_short_boundary_inclusive(self, net):
+        filtered = remove_short(net, 60.0)
+        assert Contact(0.0, 60.0, 0, 1) in list(filtered.contacts)
+
+    def test_remove_long(self, net):
+        filtered = remove_long(net, 600.0)
+        assert filtered.num_contacts == 3
+        assert all(c.duration <= 600.0 for c in filtered.contacts)
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            remove_short(net, -1.0)
+        with pytest.raises(ValueError):
+            remove_long(net, -1.0)
+
+    def test_complementary_split(self, net):
+        kept_short = remove_long(net, 100.0).num_contacts
+        kept_long = remove_short(net, 100.0).num_contacts
+        # Durations exactly 100 would be double-counted; none here.
+        assert kept_short + kept_long == net.num_contacts
+
+
+class TestTimeWindow:
+    def test_clipping(self, net):
+        windowed = time_window(net, 50.0, 900.0)
+        assert all(50.0 <= c.t_beg and c.t_end <= 900.0 for c in windowed.contacts)
+        # The straddling contact [0, 60] is clipped to [50, 60].
+        assert Contact(50.0, 60.0, 0, 1) in list(windowed.contacts)
+
+    def test_strict_containment(self, net):
+        windowed = time_window(net, 50.0, 900.0, clip=False)
+        assert windowed.num_contacts == 1  # only [100, 700]
+
+    def test_empty_window_rejected(self, net):
+        with pytest.raises(ValueError):
+            time_window(net, 5.0, 5.0)
+
+
+class TestNodeFilters:
+    def test_restrict_nodes(self, net):
+        reduced = restrict_nodes(net, [0, 1, 3])
+        assert set(reduced.nodes) == {0, 1, 3}
+        assert reduced.num_contacts == 1  # only the 0-1 contact survives
+        assert 3 in reduced  # isolated node kept in roster
+
+    def test_restrict_unknown_node_rejected(self, net):
+        with pytest.raises(KeyError):
+            restrict_nodes(net, [0, 99])
+
+    def test_internal_only(self, net):
+        internal = internal_only(net)
+        assert "ext0" not in internal
+        assert internal.num_contacts == 3
+
+    def test_keep_if(self, net):
+        kept = keep_if(net, lambda c: c.u == 0)
+        assert all(c.u == 0 for c in kept.contacts)
+
+
+class TestShiftOrigin:
+    def test_shift_to_zero(self, net):
+        shifted = shift_origin(time_window(net, 100.0, 5010.0))
+        assert shifted.span[0] == 0.0
+
+    def test_shift_to_custom_origin(self, net):
+        shifted = shift_origin(net, new_origin=1000.0)
+        assert shifted.span[0] == 1000.0
+        assert shifted.duration == net.duration

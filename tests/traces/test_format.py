@@ -1,0 +1,81 @@
+"""Unit tests for trace-file reading and writing."""
+
+import pytest
+
+from repro.core import Contact, TemporalNetwork
+from repro.traces.format import (
+    dumps_contacts,
+    loads_contacts,
+    parse_contact_line,
+    read_contacts,
+    write_contacts,
+)
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 120.5, 3, 7),
+            Contact(60.0, 61.0, "ext2", 3),
+        ]
+    )
+
+
+class TestParseLine:
+    def test_basic(self):
+        contact = parse_contact_line("3 7 0.0 120.5")
+        assert contact == Contact(0.0, 120.5, 3, 7)
+
+    def test_string_node_ids(self):
+        contact = parse_contact_line("ext2 3 60 61")
+        assert contact.u == "ext2"
+        assert contact.v == 3
+
+    def test_comment_and_blank_skipped(self):
+        assert parse_contact_line("# comment") is None
+        assert parse_contact_line("   ") is None
+
+    def test_extra_fields_tolerated(self):
+        contact = parse_contact_line("1 2 0 5 extra metadata")
+        assert contact == Contact(0.0, 5.0, 1, 2)
+
+    def test_malformed_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 4"):
+            parse_contact_line("1 2 0", line_number=4)
+        with pytest.raises(ValueError, match="bad timestamps"):
+            parse_contact_line("1 2 zero five", line_number=1)
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self, net):
+        text = dumps_contacts(net, header="my trace")
+        loaded = loads_contacts(text)
+        assert list(loaded.contacts) == list(net.contacts)
+        assert "# my trace" in text
+
+    def test_file_round_trip(self, net, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_contacts(net, path, header="demo")
+        loaded = read_contacts(path)
+        assert list(loaded.contacts) == list(net.contacts)
+        assert set(loaded.nodes) == {3, 7, "ext2"}
+
+    def test_directed_flag(self, net, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_contacts(net, path)
+        loaded = read_contacts(path, directed=True)
+        assert loaded.directed
+
+    def test_header_contains_counts(self, net):
+        assert "contacts=2" in dumps_contacts(net)
+
+    def test_multiline_header(self, net):
+        text = dumps_contacts(net, header="line one\nline two")
+        assert "# line one" in text and "# line two" in text
+
+    def test_empty_network_round_trip(self, tmp_path):
+        net = TemporalNetwork([], nodes=[1])
+        path = tmp_path / "empty.txt"
+        write_contacts(net, path)
+        assert read_contacts(path).num_contacts == 0

@@ -1,0 +1,143 @@
+"""Unit tests for the iMote periodic-scanning model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Contact, TemporalNetwork
+from repro.traces.imote import ScanningModel, quantize_only
+
+
+class TestScanningModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanningModel(granularity=0.0)
+        with pytest.raises(ValueError):
+            ScanningModel(granularity=10.0, miss_probability=1.0)
+
+    def test_long_contact_recorded(self, rng):
+        # A contact far longer than the granularity is always seen.
+        net = TemporalNetwork([Contact(100.0, 1000.0, 0, 1)])
+        observed = ScanningModel(granularity=60.0).observe(net, rng)
+        assert observed.num_contacts == 1
+        recorded = observed.contacts[0]
+        # Recorded span is within one granularity of the truth.
+        assert abs(recorded.t_beg - 100.0) <= 60.0
+        assert abs(recorded.t_end - 1000.0) <= 60.0
+
+    def test_short_contacts_can_be_missed(self):
+        # Contacts much shorter than the granularity are missed whenever
+        # no scan instant falls inside them.
+        rng = np.random.default_rng(0)
+        contacts = [
+            Contact(t, t + 5.0, 0, 1) for t in np.arange(0.0, 12000.0, 200.0)
+        ]
+        net = TemporalNetwork(contacts)
+        observed = ScanningModel(granularity=120.0).observe(net, rng)
+        assert observed.num_contacts < len(contacts)
+
+    def test_recorded_durations_are_scan_multiples(self, rng):
+        net = TemporalNetwork(
+            [Contact(13.0, 700.0, 0, 1), Contact(90.0, 1300.0, 0, 2)]
+        )
+        observed = ScanningModel(granularity=120.0).observe(net, rng)
+        for c in observed.contacts:
+            assert c.duration % 120.0 == pytest.approx(0.0, abs=1e-6)
+            assert c.duration >= 120.0
+
+    def test_miss_probability_splits_or_thins(self):
+        rng = np.random.default_rng(1)
+        net = TemporalNetwork([Contact(0.0, 50000.0, 0, 1)])
+        lossless = ScanningModel(120.0, miss_probability=0.0).observe(
+            net, np.random.default_rng(1)
+        )
+        lossy = ScanningModel(120.0, miss_probability=0.4).observe(net, rng)
+        assert lossless.num_contacts == 1
+        assert lossy.num_contacts > 1  # dropped scans split the interval
+
+    def test_roster_preserved(self, rng):
+        net = TemporalNetwork([Contact(0.0, 10.0, 0, 1)], nodes=range(5))
+        observed = ScanningModel(granularity=240.0).observe(net, rng)
+        assert len(observed) == 5
+
+    def test_deterministic_given_seed(self):
+        net = TemporalNetwork(
+            [Contact(float(i * 37 % 500), float(i * 37 % 500 + 200), i % 4, (i + 1) % 4)
+             for i in range(1, 20)]
+        )
+        a = ScanningModel(120.0, 0.2).observe(net, np.random.default_rng(9))
+        b = ScanningModel(120.0, 0.2).observe(net, np.random.default_rng(9))
+        assert list(a.contacts) == list(b.contacts)
+
+
+class TestQuantizeOnly:
+    def test_snaps_to_grid(self):
+        net = TemporalNetwork([Contact(130.0, 250.0, 0, 1)])
+        quantized = quantize_only(net, 120.0)
+        c = quantized.contacts[0]
+        assert c.t_beg == 120.0
+        assert c.t_end == 360.0
+
+    def test_never_shrinks(self):
+        net = TemporalNetwork([Contact(10.0, 20.0, 0, 1)])
+        c = quantize_only(net, 120.0).contacts[0]
+        assert c.t_beg <= 10.0 and c.t_end >= 20.0
+
+    def test_validation(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, 0, 1)])
+        with pytest.raises(ValueError):
+            quantize_only(net, 0.0)
+
+
+class TestScanningProperties:
+    """Property tests: what a scanner may and may not invent."""
+
+    def test_observed_intervals_within_one_granularity(self):
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        g = 120.0
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            spans=st.lists(
+                st.tuples(
+                    st.floats(min_value=0, max_value=5000, allow_nan=False),
+                    st.floats(min_value=0, max_value=2000, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            seed=st.integers(min_value=0, max_value=50),
+        )
+        def check(spans, seed):
+            contacts = [Contact(b, b + d, 0, 1) for b, d in spans]
+            net = TemporalNetwork(contacts)
+            observed = ScanningModel(g, miss_probability=0.1).observe(
+                net, np.random.default_rng(seed)
+            )
+            def near_some_contact(point):
+                return any(
+                    max(true.t_beg - point, point - true.t_end, 0.0) <= g
+                    for true in contacts
+                )
+
+            for rec in observed.contacts:
+                # Recorded intervals may merge adjacent sightings, but
+                # every recorded boundary stays within one granularity of
+                # some true contact — a scanner cannot invent contacts out
+                # of thin air.
+                assert near_some_contact(rec.t_beg), rec
+                assert near_some_contact(rec.t_end), rec
+
+        check()
+
+    def test_observed_never_exceeds_scan_count(self):
+        import numpy as np
+
+        net = TemporalNetwork([Contact(0.0, 100000.0, 0, 1)])
+        observed = ScanningModel(1000.0).observe(
+            net, np.random.default_rng(0)
+        )
+        total = sum(c.duration for c in observed.contacts)
+        assert total <= 100000.0 + 2000.0

@@ -1,0 +1,132 @@
+"""Unit tests for trace statistics (Table 1, Figures 6-7 inputs)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Contact, TemporalNetwork
+from repro.traces.stats import (
+    contact_durations,
+    contact_rate_per_device_per_hour,
+    disconnection_periods,
+    duration_ccdf,
+    fraction_longer_than,
+    inter_contact_times,
+    next_contact_function,
+    per_node_contact_counts,
+    summarize,
+)
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 100.0, 0, 1),
+            Contact(200.0, 500.0, 0, 1),
+            Contact(450.0, 460.0, 1, 2),
+            Contact(3600.0, 3660.0, 0, 2),
+        ],
+        nodes=range(4),
+    )
+
+
+class TestSummary:
+    def test_rate_formula(self, net):
+        rate = contact_rate_per_device_per_hour(net)
+        # 4 contacts * 2 endpoints / (4 devices * 1.0166h span).
+        hours = net.duration / 3600.0
+        assert rate == pytest.approx(8 / (4 * hours))
+
+    def test_empty(self):
+        assert contact_rate_per_device_per_hour(
+            TemporalNetwork([], nodes=[0])
+        ) == 0.0
+
+    def test_summarize_row(self, net):
+        summary = summarize(net, "demo", granularity_s=120.0)
+        assert summary.name == "demo"
+        assert summary.num_devices == 4
+        assert summary.num_contacts == 4
+        row = summary.as_row()
+        assert row[0] == "demo"
+        assert row[2] == 120.0
+
+    def test_summarize_without_granularity(self, net):
+        assert summarize(net, "x").as_row()[2] == "-"
+
+
+class TestDurations:
+    def test_contact_durations(self, net):
+        assert sorted(contact_durations(net)) == [10.0, 60.0, 100.0, 300.0]
+
+    def test_duration_ccdf(self, net):
+        ccdf = duration_ccdf(net, [5.0, 50.0, 150.0, 1000.0])
+        assert ccdf == pytest.approx([1.0, 0.75, 0.25, 0.0])
+
+    def test_fraction_longer_than(self, net):
+        assert fraction_longer_than(net, 50.0) == 0.75
+        assert fraction_longer_than(net, 300.0) == 0.0  # strict
+        assert fraction_longer_than(TemporalNetwork([], nodes=[0]), 1.0) == 0.0
+
+
+class TestInterContact:
+    def test_gaps_per_pair(self, net):
+        gaps = inter_contact_times(net)
+        assert sorted(gaps) == [100.0]  # only the (0,1) pair repeats
+
+    def test_overlapping_contacts_skipped(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 10.0, 0, 1), Contact(5.0, 20.0, 1, 0),
+             Contact(30.0, 31.0, 0, 1)]
+        )
+        gaps = inter_contact_times(net)
+        # Undirected pair key pools (0,1) and (1,0): gaps 20 -> 30 only.
+        assert sorted(gaps) == [10.0]
+
+    def test_empty(self):
+        assert len(inter_contact_times(TemporalNetwork([], nodes=[0]))) == 0
+
+
+class TestNextContact:
+    def test_during_contact_returns_probe(self, net):
+        out = next_contact_function(net, 0, [50.0])
+        assert out[0] == 50.0
+
+    def test_gap_returns_next_begin(self, net):
+        out = next_contact_function(net, 0, [150.0, 600.0])
+        assert out[0] == 200.0
+        assert out[1] == 3600.0
+
+    def test_after_last_is_inf(self, net):
+        out = next_contact_function(net, 0, [4000.0])
+        assert math.isinf(out[0])
+
+    def test_isolated_node(self, net):
+        out = next_contact_function(net, 3, [0.0])
+        assert math.isinf(out[0])
+
+    def test_unknown_node(self, net):
+        with pytest.raises(KeyError):
+            next_contact_function(net, 99, [0.0])
+
+    def test_node_seen_as_v_endpoint(self, net):
+        out = next_contact_function(net, 2, [0.0])
+        assert out[0] == 450.0
+
+
+class TestDisconnections:
+    def test_periods(self, net):
+        gaps = disconnection_periods(net, 0)
+        assert gaps == [(100.0, 200.0), (500.0, 3600.0)]
+
+    def test_isolated_node_one_big_gap(self, net):
+        assert disconnection_periods(net, 3) == [(0.0, 3660.0)]
+
+
+class TestPerNodeCounts:
+    def test_counts(self, net):
+        counts = per_node_contact_counts(net)
+        assert counts == {0: 3, 1: 3, 2: 2, 3: 0}
+        assert sum(counts.values()) == 2 * net.num_contacts
