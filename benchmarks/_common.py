@@ -9,25 +9,40 @@ Scaling: the synthetic data sets default to ``REPRO_BENCH_SCALE`` (0.15)
 of the paper's trace volume so the whole harness completes on a laptop;
 set ``REPRO_BENCH_SCALE=1.0`` for paper-sized runs.  Results are cached
 per process so the figure benches can share traces and profiles.
+
+Observability: a standalone bench run happens inside a
+:func:`repro.obs.observed` session, so trace synthesis, profile kernels
+and flooding sweeps record spans, timers and counters.  On exit the
+harness writes ``BENCH_<name>.json`` next to the printed table — run
+manifest (seed, scale, git SHA, versions, peak RSS), metrics snapshot
+and a per-span wall/CPU summary — giving every figure a machine-readable
+perf record.  ``REPRO_BENCH_OUT`` redirects the output directory;
+``REPRO_BENCH_TRACE=1`` additionally dumps the full span trace as
+``BENCH_<name>.spans.jsonl``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+from contextlib import contextmanager
 from functools import lru_cache
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.grids import DAY, HOUR, MINUTE, WEEK, format_duration, paper_delay_grid
 from repro.analysis.tables import render_series, render_table
 from repro.core import PathProfileSet, TemporalNetwork, compute_profiles
+from repro.obs import Instrumentation, get_obs, observed
 from repro.traces import datasets
 from repro.traces.filters import internal_only
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+BENCH_SCHEMA = "repro.bench/1"
 
 #: Hop bounds recorded for the figure experiments (paper: 1..6 and inf).
 FIGURE_HOP_BOUNDS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
@@ -45,6 +60,10 @@ DATASET_SCALE = {
 
 
 def banner(experiment: str, description: str) -> None:
+    """Announce a bench run and record its identity on the manifest."""
+    obs = get_obs()
+    if obs.enabled and obs.manifest is not None:
+        obs.manifest.update(experiment=experiment, description=description)
     print()
     print("=" * 72)
     print(f"{experiment}: {description}")
@@ -75,7 +94,11 @@ def profiles_for(name: str, **kwargs) -> PathProfileSet:
     internal = [
         n for n in net.nodes if not (isinstance(n, str) and str(n).startswith("ext"))
     ]
-    return compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS, sources=internal)
+    obs = get_obs()
+    with obs.span("bench.profiles_for", dataset=name), obs.timer(
+        "bench.kernel", dataset=name
+    ):
+        return compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS, sources=internal)
 
 
 @lru_cache(maxsize=None)
@@ -102,7 +125,11 @@ def infocom06_day2() -> TemporalNetwork:
 @lru_cache(maxsize=None)
 def infocom06_day2_profiles() -> PathProfileSet:
     """Cached base profiles shared by the Figure 10/11/12 benches."""
-    return compute_profiles(infocom06_day2(), hop_bounds=FIGURE_HOP_BOUNDS)
+    obs = get_obs()
+    with obs.span("bench.profiles_for", dataset="infocom06_day2"), obs.timer(
+        "bench.kernel", dataset="infocom06_day2"
+    ):
+        return compute_profiles(infocom06_day2(), hop_bounds=FIGURE_HOP_BOUNDS)
 
 
 def figure_grid(net: TemporalNetwork, points: int = 40) -> np.ndarray:
@@ -136,6 +163,84 @@ def run_benchmark_once(benchmark, func, *args, **kwargs):
     return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)
 
 
+def bench_name_from_argv() -> str:
+    """``benchmarks/bench_fig1_phase_short.py`` -> ``fig1_phase_short``."""
+    stem = os.path.splitext(os.path.basename(sys.argv[0] or "bench"))[0]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def bench_payload(name: str, run: Instrumentation, exit_code: int) -> dict:
+    """The ``BENCH_<name>.json`` document for one observed bench run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "seed": SEED,
+        "scale": SCALE,
+        "exit_code": exit_code,
+        "manifest": run.manifest.to_dict() if run.manifest else None,
+        "metrics": run.metrics.to_dict(),
+        "span_summary": run.tracer.summary(),
+        "spans_total": len(run.tracer.records),
+    }
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Raise ValueError unless ``payload`` is a well-formed bench record.
+
+    Used by tests and CI to assert the emitted JSON carries the fields
+    the perf trajectory relies on (kernel timings, scale, seed, and a
+    complete manifest).
+    """
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"bad schema: {payload.get('schema')!r}")
+    for field in ("bench", "seed", "scale", "exit_code", "metrics", "manifest"):
+        if payload.get(field) is None:
+            raise ValueError(f"missing field: {field}")
+    manifest = payload["manifest"]
+    for field in ("runtime_s", "python_version", "started_unix"):
+        if manifest.get(field) is None:
+            raise ValueError(f"incomplete manifest: missing {field}")
+    metrics = payload["metrics"]
+    for section in ("counters", "gauges", "histograms", "timers"):
+        if not isinstance(metrics.get(section), dict):
+            raise ValueError(f"metrics snapshot missing section: {section}")
+
+
+@contextmanager
+def bench_session(name: str) -> "Iterator[Instrumentation]":
+    """Observed scope for one bench run; writes ``BENCH_<name>.json``.
+
+    The JSON lands in ``REPRO_BENCH_OUT`` (default: the current
+    directory).  ``REPRO_BENCH_TRACE=1`` also writes the full span trace
+    as ``BENCH_<name>.spans.jsonl``.
+    """
+    exit_code = 0
+    with observed(seed=SEED, scale=SCALE, params={"bench": name}) as run:
+        try:
+            yield run
+        except SystemExit as exc:
+            exit_code = int(exc.code or 0)
+            raise
+        finally:
+            run.manifest.finish()
+            out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(out_dir, f"BENCH_{name}.json")
+            payload = bench_payload(name, run, exit_code)
+            with open(path, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, indent=2, sort_keys=True, default=repr)
+                stream.write("\n")
+            if os.environ.get("REPRO_BENCH_TRACE"):
+                run.tracer.write(os.path.join(out_dir, f"BENCH_{name}.spans.jsonl"))
+            print(f"[obs] wrote {path}")
+
+
 def standalone(main_func) -> None:
-    """Entry point helper for running a bench file as a script."""
-    sys.exit(main_func() or 0)
+    """Entry point helper for running a bench file as a script.
+
+    Wraps the run in a :func:`bench_session`, so every ``bench_*.py``
+    emits its ``BENCH_<name>.json`` perf record alongside the table.
+    """
+    with bench_session(bench_name_from_argv()):
+        code = main_func() or 0
+    sys.exit(code)

@@ -24,7 +24,7 @@ Quickstart::
     print("99%-diameter:", result.value, "hops")
 """
 
-from . import analysis, baselines, core, forwarding, mobility, random_temporal, traces
+from . import analysis, baselines, core, forwarding, mobility, obs, random_temporal, traces
 from .core import (
     Contact,
     ContactPath,
@@ -50,6 +50,7 @@ __all__ = [
     "diameter",
     "forwarding",
     "mobility",
+    "obs",
     "random_temporal",
     "traces",
 ]

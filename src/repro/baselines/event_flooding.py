@@ -20,6 +20,7 @@ from typing import List, Optional
 from ..core.contact import Node
 from ..core.delivery import DeliveryFunction
 from ..core.temporal_network import TemporalNetwork
+from ..obs import get_obs
 from .flooding import earliest_delivery
 
 INFINITY = float("inf")
@@ -83,27 +84,37 @@ def reconstruct_delivery_function(
     """
     import math
 
-    events = net.event_times()
-    func = DeliveryFunction()
-    if not events:
-        return func
-    probes = [events[0] - 1.0]
-    lds = [events[0]]
-    for i in range(len(events) - 1):
-        if events[i + 1] > events[i]:
-            gap = events[i + 1] - events[i]
-            probe = events[i] + min(sliver, gap / 2.0)
-            if probe <= events[i]:
-                # The gap is below floating-point resolution around e_i:
-                # step to the next representable float (possibly e_{i+1}
-                # itself, which is then the segment's only start time).
-                probe = math.nextafter(events[i], events[i + 1])
-            probes.append(min(probe, events[i + 1]))
-            lds.append(events[i + 1])
-    for probe, ld in zip(probes, lds):
-        delivered = earliest_delivery(net, source, destination, probe, max_hops)
-        if delivered == INFINITY:
-            continue
-        ea = delivered if delivered > probe else probe
-        func.insert(ld, ea)
+    obs = get_obs()
+    with obs.span(
+        "event_flooding.reconstruct",
+        source=repr(source),
+        destination=repr(destination),
+        max_hops=max_hops,
+    ) as span:
+        events = net.event_times()
+        func = DeliveryFunction()
+        if not events:
+            return func
+        probes = [events[0] - 1.0]
+        lds = [events[0]]
+        for i in range(len(events) - 1):
+            if events[i + 1] > events[i]:
+                gap = events[i + 1] - events[i]
+                probe = events[i] + min(sliver, gap / 2.0)
+                if probe <= events[i]:
+                    # The gap is below floating-point resolution around e_i:
+                    # step to the next representable float (possibly e_{i+1}
+                    # itself, which is then the segment's only start time).
+                    probe = math.nextafter(events[i], events[i + 1])
+                probes.append(min(probe, events[i + 1]))
+                lds.append(events[i + 1])
+        for probe, ld in zip(probes, lds):
+            delivered = earliest_delivery(net, source, destination, probe, max_hops)
+            if delivered == INFINITY:
+                continue
+            ea = delivered if delivered > probe else probe
+            func.insert(ld, ea)
+        if obs.enabled:
+            obs.metrics.counter("event_flooding.probes").inc(len(probes))
+            span.set(events=len(events), probes=len(probes), frontier_points=len(func))
     return func

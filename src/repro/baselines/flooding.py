@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.contact import Node
 from ..core.temporal_network import TemporalNetwork
+from ..obs import get_obs
 
 INFINITY = float("inf")
 
@@ -69,6 +70,10 @@ def flood(
     bound = max_hops if max_hops is not None else INFINITY
     delay = transmission_delay
     hops = 0
+    obs = get_obs()
+    track = obs.enabled
+    events_examined = 0
+    infections_per_round: List[int] = []
     while hops < bound:
         updates: Dict[Node, float] = {}
         for u, v, t_beg, t_end in views:
@@ -82,12 +87,26 @@ def flood(
             best = updates.get(v, arrival.get(v, INFINITY))
             if t < best:
                 updates[v] = t
+        if track:
+            events_examined += len(views)
         if not updates:
             break
+        if track:
+            infections_per_round.append(
+                sum(1 for v in updates if v not in arrival)
+            )
         for v, t in updates.items():
             if t < arrival.get(v, INFINITY):
                 arrival[v] = t
         hops += 1
+    if track:
+        metrics = obs.metrics
+        metrics.counter("flooding.floods").inc()
+        metrics.counter("flooding.sweeps").inc(hops)
+        metrics.counter("flooding.events_processed").inc(events_examined)
+        metrics.counter("flooding.infections").inc(sum(infections_per_round))
+        hist = metrics.histogram("flooding.infections_per_round")
+        hist.observe_many(infections_per_round)
     return arrival
 
 

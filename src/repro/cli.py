@@ -7,6 +7,15 @@ Subcommands:
 * ``diameter`` — compute the (1 - eps)-diameter of a trace file;
 * ``delay-cdf`` — print the delay CDF per hop bound for a trace file;
 * ``theory`` — print the Section 3 constants for a contact rate.
+
+Observability: the global ``--metrics PATH``, ``--trace PATH`` and
+``--manifest PATH`` flags (before the subcommand) activate the
+:mod:`repro.obs` layer for the whole invocation and write, respectively,
+the metrics snapshot (JSON), the span trace (JSONL) and the run manifest
+(JSON) after the command finishes::
+
+    repro --metrics m.json --trace spans.jsonl --manifest run.json \
+        diameter trace.txt
 """
 
 from __future__ import annotations
@@ -142,6 +151,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Diameter of opportunistic mobile networks (CoNEXT'07) toolkit",
     )
+    # Observability outputs.  dest names avoid the subcommands' positional
+    # ``trace`` argument (the contact-trace file).
+    parser.add_argument(
+        "--metrics",
+        dest="metrics_out",
+        metavar="PATH",
+        help="write a metrics snapshot (JSON) after the command",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="span_trace_out",
+        metavar="PATH",
+        help="write the span trace (JSON Lines) after the command",
+    )
+    parser.add_argument(
+        "--manifest",
+        dest="manifest_out",
+        metavar="PATH",
+        help="write the run manifest (JSON) after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesise a data set")
@@ -187,7 +216,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if not (args.metrics_out or args.span_trace_out or args.manifest_out):
+        return args.func(args)
+    from .obs import observed
+
+    with observed(
+        seed=getattr(args, "seed", None),
+        dataset=getattr(args, "dataset", None),
+        scale=getattr(args, "scale", None),
+        params={"command": args.command},
+    ) as run:
+        code = args.func(args)
+        run.manifest.update(exit_code=code)
+    # The command's work is already done; a bad output path must not
+    # turn its exit status into a traceback.
+    for path, writer in (
+        (args.metrics_out, run.metrics.write),
+        (args.span_trace_out, run.tracer.write),
+        (args.manifest_out, run.manifest.write),
+    ):
+        if not path:
+            continue
+        try:
+            writer(path)
+        except OSError as exc:
+            print(f"repro: cannot write {path}: {exc}", file=sys.stderr)
+            code = code or 1
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

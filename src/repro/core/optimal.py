@@ -36,8 +36,10 @@ because frontiers only gain Pareto-optimal points from the finite set
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import MetricsRegistry, get_obs
 from .contact import Node
 from .delivery import DeliveryFunction
 from .temporal_network import TemporalNetwork
@@ -73,6 +75,58 @@ def _function_from_lists(lds: List[float], eas: List[float]) -> DeliveryFunction
     return func
 
 
+@dataclass
+class ProfileStats:
+    """Work counters of one per-source DP run (observability only).
+
+    Collected when the active :mod:`repro.obs` bundle is enabled and
+    otherwise skipped entirely, so the hot loop stays uninstrumented by
+    default.  Round indices are hop counts: ``insertions_per_round[k-1]``
+    is the number of frontier points inserted with exactly k contacts.
+    """
+
+    rounds: int = 0
+    #: frontier insertions during round k (index k-1).
+    insertions_per_round: List[int] = field(default_factory=list)
+    #: round-k queue entries dropped because a same-round dominator
+    #: displaced them before their extension turn (index k-1).
+    displaced_per_round: List[int] = field(default_factory=list)
+    #: candidate (LD, EA) pairs evaluated against a frontier.
+    candidates_scanned: int = 0
+    #: contacts collapsed away by the suffix-minimum covered-run rule.
+    suffix_min_prunes: int = 0
+    #: Pareto points across all destinations at the fixpoint.
+    frontier_points: int = 0
+    #: destinations with a non-empty final profile.
+    destinations: int = 0
+
+
+def _record_profile_metrics(
+    metrics: MetricsRegistry, profiles: "Iterable[SourceProfiles]"
+) -> None:
+    """Fold per-source :class:`ProfileStats` into the session registry."""
+    sources = metrics.counter("optimal.sources")
+    rounds_hist = metrics.histogram("optimal.rounds_to_fixpoint")
+    scanned = metrics.counter("optimal.candidates_scanned")
+    pruned = metrics.counter("optimal.suffix_min_prunes")
+    points = metrics.counter("optimal.frontier_points")
+    reachable = metrics.counter("optimal.reachable_destinations")
+    for sp in profiles:
+        stats = sp.stats
+        if stats is None:
+            continue
+        sources.inc()
+        rounds_hist.observe(stats.rounds)
+        scanned.inc(stats.candidates_scanned)
+        pruned.inc(stats.suffix_min_prunes)
+        points.inc(stats.frontier_points)
+        reachable.inc(stats.destinations)
+        for hop, n in enumerate(stats.insertions_per_round, start=1):
+            metrics.counter("optimal.frontier_insertions", hop=hop).inc(n)
+        for hop, n in enumerate(stats.displaced_per_round, start=1):
+            metrics.counter("optimal.frontier_displacements", hop=hop).inc(n)
+
+
 class SourceProfiles:
     """Delivery functions from one source to every destination.
 
@@ -87,6 +141,7 @@ class SourceProfiles:
         snapshots: Dict[int, Dict[Node, DeliveryFunction]],
         final: Dict[Node, DeliveryFunction],
         rounds: int,
+        stats: Optional[ProfileStats] = None,
     ):
         self.source = source
         self.hop_bounds = hop_bounds
@@ -95,6 +150,8 @@ class SourceProfiles:
         #: number of DP rounds to fixpoint == largest hop count over which
         #: any optimal path improves; small by the paper's main result.
         self.rounds = rounds
+        #: work counters when the run was observed (else None).
+        self.stats = stats
         self._empty = DeliveryFunction()
 
     def profile(
@@ -133,8 +190,18 @@ def _run_single_source(
     hop_bounds: Tuple[int, ...],
     max_rounds: Optional[int],
     slack: float,
+    collect_stats: bool = False,
 ) -> SourceProfiles:
-    """The per-source frontier dynamic programming described above."""
+    """The per-source frontier dynamic programming described above.
+
+    ``collect_stats`` gathers :class:`ProfileStats`; the counters are
+    either derived from structures the loop maintains anyway (queue and
+    bucket lengths) or guarded so the disabled mode adds no work to the
+    innermost contact scan.
+    """
+    stats = ProfileStats() if collect_stats else None
+    stat_scanned = 0
+    stat_pruned = 0
     # Frontier per destination as parallel [lds, eas] lists (both strictly
     # increasing); plain lists keep the hot loop allocation-free.
     frontier: Dict[Node, List[List[float]]] = {}
@@ -145,6 +212,8 @@ def _run_single_source(
 
     queue: List[Tuple[Node, float, float]] = []
     for v, ends, begs, _sufmin, _last in adjacency.get(source, ()):
+        if collect_stats:
+            stat_scanned += len(ends)
         entry = frontier.get(v)
         if entry is None:
             entry = frontier[v] = [[], []]
@@ -167,6 +236,9 @@ def _run_single_source(
             queue.append((v, ld, ea))
         if lds:
             changed.add(v)
+
+    if stats is not None:
+        stats.insertions_per_round.append(len(queue))
 
     rounds_run = 1
     snap_idx = 0
@@ -201,6 +273,9 @@ def _run_single_source(
             lo = bisect_left(own_lds, ld)
             if lo < len(own_lds) and own_lds[lo] == ld and own_eas[lo] == ea:
                 buckets.setdefault(u, []).append((ea, ld))
+        if stats is not None:
+            survivors = sum(len(pairs) for pairs in buckets.values())
+            stats.displaced_per_round.append(len(queue) - survivors)
         next_queue: List[Tuple[Node, float, float]] = []
         for u, pairs in buckets.items():
             pairs.sort()
@@ -223,6 +298,11 @@ def _run_single_source(
                     first = bisect_left(ends, ea)
                     # Contacts outliving the whole window: one candidate.
                     covered = bisect_left(ends, ld, first, n)
+                    if collect_stats:
+                        stat_scanned += covered - first
+                        if covered < n:
+                            stat_scanned += 1
+                            stat_pruned += n - covered - 1
                     best_ea = infinity
                     if covered < n:
                         cand_ea = sufmin[covered]
@@ -270,6 +350,8 @@ def _run_single_source(
         queue = next_queue
         if queue:
             rounds_run += 1
+            if stats is not None:
+                stats.insertions_per_round.append(len(queue))
             snap_idx = take_snapshot(rounds_run)
 
     final = {
@@ -277,7 +359,13 @@ def _run_single_source(
         for node, (lds, eas) in frontier.items()
         if lds
     }
-    return SourceProfiles(source, hop_bounds, snapshots, final, rounds_run)
+    if stats is not None:
+        stats.rounds = rounds_run
+        stats.candidates_scanned = stat_scanned
+        stats.suffix_min_prunes = stat_pruned
+        stats.frontier_points = sum(len(func.lds) for func in final.values())
+        stats.destinations = len(final)
+    return SourceProfiles(source, hop_bounds, snapshots, final, rounds_run, stats)
 
 
 class PathProfileSet:
@@ -335,13 +423,19 @@ class PathProfileSet:
 
 
 def _run_source_batch(
-    args: "Tuple[_Adjacency, List[Node], Tuple[int, ...], Optional[int], float]",
+    args: "Tuple[_Adjacency, List[Node], Tuple[int, ...], Optional[int], float, bool]",
 ) -> "List[Tuple[Node, SourceProfiles]]":
     """Worker entry point for parallel per-source runs (module level so it
-    pickles under the spawn start method)."""
-    adjacency, batch, bounds, max_rounds, slack = args
+    pickles under the spawn start method).  Stats objects pickle back to
+    the parent, which folds them into its own registry."""
+    adjacency, batch, bounds, max_rounds, slack, collect_stats = args
     return [
-        (source, _run_single_source(adjacency, source, bounds, max_rounds, slack))
+        (
+            source,
+            _run_single_source(
+                adjacency, source, bounds, max_rounds, slack, collect_stats
+            ),
+        )
         for source in batch
     ]
 
@@ -391,25 +485,49 @@ def compute_profiles(
     for node in chosen:
         if node not in network:
             raise KeyError(f"unknown source {node!r}")
-    adjacency = _build_adjacency(network)
-    if workers == 1 or len(chosen) <= 1:
-        by_source = {
-            source: _run_single_source(adjacency, source, bounds, max_rounds, slack)
-            for source in chosen
-        }
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    obs = get_obs()
+    collect = obs.enabled
+    with obs.span(
+        "optimal.compute_profiles",
+        sources=len(chosen),
+        nodes=len(network),
+        contacts=network.num_contacts,
+        workers=workers,
+        slack=slack,
+    ) as span, obs.timer("optimal.compute_profiles"):
+        adjacency = _build_adjacency(network)
+        if workers == 1 or len(chosen) <= 1:
+            by_source = {
+                source: _run_single_source(
+                    adjacency, source, bounds, max_rounds, slack, collect
+                )
+                for source in chosen
+            }
+        else:
+            from concurrent.futures import ProcessPoolExecutor
 
-        pool_size = min(workers, len(chosen))
-        batches = [chosen[i::pool_size] for i in range(pool_size)]
-        by_source = {}
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            jobs = [
-                (adjacency, batch, bounds, max_rounds, slack)
-                for batch in batches
-                if batch
-            ]
-            for results in pool.map(_run_source_batch, jobs):
-                for source, profiles in results:
-                    by_source[source] = profiles
+            pool_size = min(workers, len(chosen))
+            batches = [chosen[i::pool_size] for i in range(pool_size)]
+            by_source = {}
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                jobs = [
+                    (adjacency, batch, bounds, max_rounds, slack, collect)
+                    for batch in batches
+                    if batch
+                ]
+                for results in pool.map(_run_source_batch, jobs):
+                    for source, profiles in results:
+                        by_source[source] = profiles
+        if collect:
+            _record_profile_metrics(obs.metrics, by_source.values())
+            span.set(
+                max_rounds_run=max(
+                    (sp.rounds for sp in by_source.values()), default=0
+                ),
+                frontier_points=sum(
+                    sp.stats.frontier_points
+                    for sp in by_source.values()
+                    if sp.stats is not None
+                ),
+            )
     return PathProfileSet(network, by_source, bounds)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from ..core.contact import Contact, Node
 from ..core.temporal_network import TemporalNetwork
+from ..obs import get_obs
 
 INFINITY = float("inf")
 
@@ -132,6 +133,24 @@ def simulate_forwarding(
     }
     transmissions = 0
     counter = 0
+    obs = get_obs()
+    track = obs.enabled
+    popped = 0
+    stale = 0
+    duplicates = 0
+    declined = 0
+
+    def flush_metrics(delivered: bool) -> None:
+        metrics = obs.metrics
+        metrics.counter("forwarding.messages").inc()
+        metrics.counter("forwarding.opportunities").inc(popped)
+        metrics.counter("forwarding.stale_skips").inc(stale)
+        metrics.counter("forwarding.duplicate_skips").inc(duplicates)
+        metrics.counter("forwarding.declined").inc(declined)
+        metrics.counter("forwarding.transmissions").inc(transmissions)
+        if delivered:
+            metrics.counter("forwarding.delivered").inc()
+
     heap: List[Tuple[float, int, Node, Node, float]] = []
 
     def enqueue(node: Node, from_time: float) -> None:
@@ -150,12 +169,20 @@ def simulate_forwarding(
         time, _, giver_node, receiver, t_end = heapq.heappop(heap)
         if time > deadline:
             break
+        if track:
+            popped += 1
         giver = copies.get(giver_node)
         if giver is None or giver.received_at > t_end:
+            if track:
+                stale += 1
             continue  # stale opportunity
         if receiver in copies:
+            if track:
+                duplicates += 1
             continue
         if not algorithm.should_transfer(message, giver, receiver, time):
+            if track:
+                declined += 1
             continue
         kept, given = algorithm.split_tokens(giver)
         giver.tokens = kept
@@ -164,6 +191,8 @@ def simulate_forwarding(
         )
         transmissions += 1
         if receiver == message.destination:
+            if track:
+                flush_metrics(delivered=True)
             return DeliveryReport(
                 message=message,
                 delivered=True,
@@ -180,6 +209,8 @@ def simulate_forwarding(
                 )
                 counter += 1
 
+    if track:
+        flush_metrics(delivered=False)
     return DeliveryReport(
         message=message,
         delivered=False,
@@ -228,9 +259,18 @@ def simulate_workload(
     horizon: Optional[float] = None,
 ) -> WorkloadResult:
     """Forward a batch of messages and aggregate the outcomes."""
-    return WorkloadResult(
-        tuple(
-            simulate_forwarding(net, message, algorithm, horizon)
-            for message in messages
+    obs = get_obs()
+    with obs.span(
+        "forwarding.simulate_workload",
+        messages=len(messages),
+        algorithm=type(algorithm).__name__,
+    ) as span:
+        result = WorkloadResult(
+            tuple(
+                simulate_forwarding(net, message, algorithm, horizon)
+                for message in messages
+            )
         )
-    )
+        if obs.enabled:
+            span.set(success_rate=result.success_rate)
+    return result

@@ -1,0 +1,66 @@
+"""Observability: metrics, span tracing and run manifests.
+
+This package gives the whole pipeline — trace synthesis/ingestion, the
+optimal-path dynamic programming, the flooding baselines, the forwarding
+simulator, and the benchmark harness — a shared instrumentation layer:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms and timers in
+  a mergeable registry, with an allocation-free no-op mode;
+* :mod:`repro.obs.spans` — nested wall/CPU-timed spans exported as
+  JSON Lines;
+* :mod:`repro.obs.manifest` — a run-provenance document (seed, dataset,
+  scale, versions, git SHA, peak RSS, total runtime);
+* :mod:`repro.obs.runtime` — the session switch: a disabled-by-default
+  active bundle, enabled via :func:`observed`.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observed(seed=1, dataset="infocom05", scale=0.15) as run:
+        net = traces.datasets.build("infocom05", seed=1, scale=0.15)
+        profiles = core.compute_profiles(net)
+    run.metrics.write("metrics.json")
+    run.tracer.write("spans.jsonl")
+    run.manifest.write("manifest.json")
+
+When nothing is activated, every instrumented call site sees the shared
+:data:`NULL_OBS` bundle and skips its bookkeeping — the hot loops run at
+uninstrumented speed.
+"""
+
+from .manifest import RunManifest
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from .runtime import (
+    NULL_OBS,
+    Instrumentation,
+    get_obs,
+    observed,
+    set_obs,
+)
+from .spans import NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullRegistry",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "SpanTracer",
+    "Timer",
+    "get_obs",
+    "observed",
+    "set_obs",
+]

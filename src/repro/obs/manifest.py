@@ -1,0 +1,150 @@
+"""Run manifests: one JSON document answering "what exactly ran?".
+
+Every instrumented run — a benchmark, a CLI invocation, a notebook
+session — can emit a manifest capturing the inputs (seed, dataset,
+scale, free-form parameters), the code identity (git SHA, package
+version), the environment (Python/numpy versions, platform) and the
+resource outcome (total runtime, peak RSS).  Together with the metrics
+snapshot and the span trace this makes any ``BENCH_*.json`` number
+attributable and reproducible.
+
+The manifest is started at construction and sealed by :meth:`finish`;
+:meth:`to_dict` works at any point (resource fields are ``None`` until
+sealed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, Optional
+
+SCHEMA = "repro.manifest/1"
+
+
+def _git_sha() -> Optional[str]:
+    """The current git commit, or None outside a repository."""
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        return None
+
+
+def _peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, in bytes."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+class RunManifest:
+    """Provenance record of one instrumented run."""
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        dataset: Optional[str] = None,
+        scale: Optional[float] = None,
+        params: Optional[Dict[str, object]] = None,
+    ):
+        from .. import __version__
+
+        self.seed = seed
+        self.dataset = dataset
+        self.scale = scale
+        self.params: Dict[str, object] = dict(params or {})
+        self.started_unix = time.time()
+        self._wall0 = time.perf_counter()
+        self.runtime_s: Optional[float] = None
+        self.peak_rss_bytes: Optional[int] = None
+        self.git_sha = _git_sha()
+        self.package_version = __version__
+        self.python_version = platform.python_version()
+        self.numpy_version = _numpy_version()
+        self.platform = platform.platform()
+        self.argv = list(sys.argv)
+
+    def update(self, **params) -> "RunManifest":
+        """Record extra run parameters (overwrites on key collision)."""
+        self.params.update(params)
+        return self
+
+    def finish(self) -> "RunManifest":
+        """Seal the manifest: total runtime and peak RSS become final."""
+        self.runtime_s = time.perf_counter() - self._wall0
+        self.peak_rss_bytes = _peak_rss_bytes()
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "params": self.params,
+            "started_unix": self.started_unix,
+            "runtime_s": self.runtime_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "git_sha": self.git_sha,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "numpy_version": self.numpy_version,
+            "platform": self.platform,
+            "argv": self.argv,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
+        """Rehydrate a manifest from its JSON form (for tooling/tests)."""
+        manifest = cls.__new__(cls)
+        manifest.seed = data.get("seed")
+        manifest.dataset = data.get("dataset")
+        manifest.scale = data.get("scale")
+        manifest.params = dict(data.get("params") or {})
+        manifest.started_unix = data.get("started_unix", 0.0)
+        manifest._wall0 = 0.0
+        manifest.runtime_s = data.get("runtime_s")
+        manifest.peak_rss_bytes = data.get("peak_rss_bytes")
+        manifest.git_sha = data.get("git_sha")
+        manifest.package_version = data.get("package_version")
+        manifest.python_version = data.get("python_version")
+        manifest.numpy_version = data.get("numpy_version")
+        manifest.platform = data.get("platform")
+        manifest.argv = list(data.get("argv") or [])
+        return manifest
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=repr)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+            stream.write("\n")

@@ -1,0 +1,330 @@
+"""Lightweight metrics: counters, gauges, histograms and timers.
+
+The registry is deliberately tiny — a dictionary of named instruments with
+a JSON-friendly snapshot — because it sits next to the hottest loops of
+the repository (the frontier dynamic programming, the flooding sweeps).
+Two design rules follow:
+
+* **No-op mode costs nothing.**  :class:`NullRegistry` hands out shared
+  immutable singletons whose mutating methods are empty; callers can hold
+  a counter reference and ``inc()`` it unconditionally without ever
+  allocating or recording.  Hot paths additionally check
+  ``registry.enabled`` once and skip their bookkeeping entirely.
+* **Instruments merge.**  Per-source / per-worker measurements are
+  accumulated locally and folded into the session registry afterwards
+  (:meth:`MetricsRegistry.merge`), so instrumentation never adds
+  synchronisation to parallel code.
+
+Labels: every instrument accessor accepts keyword labels
+(``registry.counter("optimal.frontier_insertions", hop=3)``); each label
+combination is a distinct instrument, rendered in snapshots as
+``name{hop=3}`` — the per-hop-bound counters of the profile DP use this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> _Key:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _render(key: _Key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        if other.value is not None:
+            self.value = other.value
+
+    def snapshot(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """Summary statistics (count/sum/min/max) of observed values.
+
+    Full value retention would be unbounded on long runs; count, sum and
+    extrema are enough for the throughput/latency shapes the benchmarks
+    report, and they merge exactly.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "Histogram") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if self.maximum is None or other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class Timer:
+    """A histogram of wall durations plus the matching CPU total.
+
+    Use as a context manager (``with registry.timer("load"):``); nested
+    uses accumulate independently.
+    """
+
+    __slots__ = ("wall", "cpu_total", "_wall0", "_cpu0")
+
+    def __init__(self) -> None:
+        self.wall = Histogram()
+        self.cpu_total = 0.0
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.wall.observe(time.perf_counter() - self._wall0)
+        self.cpu_total += time.process_time() - self._cpu0
+
+    def record(self, wall_seconds: float, cpu_seconds: float = 0.0) -> None:
+        self.wall.observe(wall_seconds)
+        self.cpu_total += cpu_seconds
+
+    def merge(self, other: "Timer") -> None:
+        self.wall.merge(other.wall)
+        self.cpu_total += other.cpu_total
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        snap = {f"wall_{k}": v for k, v in self.wall.snapshot().items()}
+        snap["cpu_sum"] = self.cpu_total
+        return snap
+
+
+class MetricsRegistry:
+    """A named collection of instruments with a JSON snapshot."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+        self._timers: Dict[_Key, Timer] = {}
+
+    # -- accessors (create on first use) -------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def timer(self, name: str, **labels) -> Timer:
+        key = _key(name, labels)
+        instrument = self._timers.get(key)
+        if instrument is None:
+            instrument = self._timers[key] = Timer()
+        return instrument
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        for key, counter in other._counters.items():
+            self.counter(key[0], **dict(key[1])).merge(counter)
+        for key, gauge in other._gauges.items():
+            self.gauge(key[0], **dict(key[1])).merge(gauge)
+        for key, histogram in other._histograms.items():
+            self.histogram(key[0], **dict(key[1])).merge(histogram)
+        for key, timer in other._timers.items():
+            self.timer(key[0], **dict(key[1])).merge(timer)
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-serialisable snapshot of every instrument."""
+        return {
+            "counters": {
+                _render(k): c.snapshot() for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render(k): g.snapshot() for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render(k): h.snapshot() for k, h in sorted(self._histograms.items())
+            },
+            "timers": {
+                _render(k): t.snapshot() for k, t in sorted(self._timers.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+            stream.write("\n")
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+            + len(self._timers)
+        )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def record(self, wall_seconds: float, cpu_seconds: float = 0.0) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: shared inert singletons, no allocation.
+
+    Every accessor returns the same pre-built instrument regardless of
+    name or labels, and those instruments ignore all mutation — holding
+    one on a hot path is free, and ``registry.enabled`` lets the path
+    skip its measurement code altogether.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str, **labels) -> Timer:
+        return _NULL_TIMER
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass

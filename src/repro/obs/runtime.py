@@ -1,0 +1,128 @@
+"""The session-wide instrumentation switch.
+
+The library is instrumented at fixed points (the profile DP, the
+flooding baselines, the trace builders, the forwarding simulator), but
+whether those points *record* anything is decided here: a single active
+:class:`Instrumentation` bundle that defaults to a shared disabled
+instance.  Instrumented code does
+
+    obs = get_obs()
+    with obs.span("optimal.compute_profiles", sources=n):
+        ...
+        if obs.enabled:
+            ...accumulate and flush counters...
+
+and pays one attribute check when observability is off.
+
+Activation is scoped: ``with observed(seed=1, dataset="infocom05") as
+obs: ...`` installs a fresh bundle (metrics registry + span tracer +
+run manifest), restores the previous one on exit, and seals the
+manifest.  Nesting is allowed; the innermost bundle wins, which lets a
+benchmark session wrap an already-instrumented CLI call without
+double-recording.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .manifest import RunManifest
+from .metrics import MetricsRegistry, NullRegistry
+from .spans import NullTracer, SpanTracer
+
+
+class Instrumentation:
+    """One bundle of metrics + spans + manifest, enabled or not."""
+
+    __slots__ = ("metrics", "tracer", "manifest", "enabled")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: SpanTracer,
+        manifest: Optional[RunManifest],
+        enabled: bool,
+    ):
+        self.metrics = metrics
+        self.tracer = tracer
+        self.manifest = manifest
+        self.enabled = enabled
+
+    @classmethod
+    def started(
+        cls,
+        seed: Optional[int] = None,
+        dataset: Optional[str] = None,
+        scale: Optional[float] = None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> "Instrumentation":
+        """A fresh enabled bundle with a just-started manifest."""
+        return cls(
+            metrics=MetricsRegistry(),
+            tracer=SpanTracer(),
+            manifest=RunManifest(seed=seed, dataset=dataset, scale=scale, params=params),
+            enabled=True,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        return cls(
+            metrics=NullRegistry(), tracer=NullTracer(), manifest=None, enabled=False
+        )
+
+    # Convenience delegates, so call sites read `obs.span(...)` /
+    # `obs.counter(...)` without reaching into the bundle.
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str, **labels):
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels):
+        return self.metrics.histogram(name, **labels)
+
+    def timer(self, name: str, **labels):
+        return self.metrics.timer(name, **labels)
+
+
+#: The shared disabled bundle — also the reset target.
+NULL_OBS = Instrumentation.disabled()
+
+_active = NULL_OBS
+
+
+def get_obs() -> Instrumentation:
+    """The currently active instrumentation bundle (never None)."""
+    return _active
+
+
+def set_obs(bundle: Optional[Instrumentation]) -> Instrumentation:
+    """Install a bundle (None resets to disabled); returns the previous."""
+    global _active
+    previous = _active
+    _active = bundle if bundle is not None else NULL_OBS
+    return previous
+
+
+@contextmanager
+def observed(
+    seed: Optional[int] = None,
+    dataset: Optional[str] = None,
+    scale: Optional[float] = None,
+    params: Optional[Dict[str, object]] = None,
+) -> Iterator[Instrumentation]:
+    """Scope with instrumentation enabled; seals the manifest on exit."""
+    bundle = Instrumentation.started(
+        seed=seed, dataset=dataset, scale=scale, params=params
+    )
+    previous = set_obs(bundle)
+    try:
+        yield bundle
+    finally:
+        if bundle.manifest is not None:
+            bundle.manifest.finish()
+        set_obs(previous)

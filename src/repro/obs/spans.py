@@ -1,0 +1,200 @@
+"""Nested span tracing with JSONL export.
+
+A *span* is one timed region of the pipeline — "load the trace", "run the
+profile DP for source 17" — opened as a context manager:
+
+    with tracer.span("traces.build", dataset="infocom05") as span:
+        net = ...
+        span.set(contacts=net.num_contacts)
+
+Spans nest lexically: a span opened while another is active records the
+active one as its parent, so the exported trace reconstructs the call
+tree.  Each record captures wall time (``time.perf_counter``), CPU time
+(``time.process_time``) and arbitrary JSON-serialisable attributes.
+
+Export is JSON Lines — one object per completed span, in completion
+order (children before parents, like a flame graph unwinding)::
+
+    {"id": 2, "parent": 1, "depth": 1, "name": "optimal.compute_profiles",
+     "start_unix": 1722950000.1, "wall_s": 3.2, "cpu_s": 3.1,
+     "attrs": {"sources": 41}}
+
+The tracer is deliberately single-threaded (the pipeline is; worker
+processes get their own tracer whose spans are merged post-hoc).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One open timed region; created via :meth:`SpanTracer.span`."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attrs",
+        "start_unix",
+        "wall_s",
+        "cpu_s",
+        "_tracer",
+        "_wall0",
+        "_cpu0",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Dict[str, object],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self.start_unix = 0.0
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self._tracer = tracer
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start_unix = time.time()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": self.attrs,
+        }
+
+
+class SpanTracer:
+    """Collects completed spans; exports them as JSONL."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            tracer=self,
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        return span
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generators suspended mid-span).
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self.records.append(span.to_record())
+
+    def merge(self, other: "SpanTracer") -> None:
+        """Append another tracer's completed spans (ids are re-numbered)."""
+        # Records arrive in completion order (children before parents),
+        # so build the full id remap before rewriting parent links.
+        remap: Dict[object, int] = {}
+        for record in other.records:
+            remap[record["id"]] = self._next_id
+            self._next_id += 1
+        for record in other.records:
+            clone = dict(record)
+            clone["id"] = remap[record["id"]]
+            clone["parent"] = remap.get(record["parent"])
+            self.records.append(clone)
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(r, default=repr) + "\n" for r in self.records)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_jsonl())
+
+    def summary(self, top: int = 20) -> List[Dict[str, object]]:
+        """Wall-time totals per span name, heaviest first."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            entry = totals.setdefault(
+                str(record["name"]), {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_s"] += record["wall_s"] or 0.0
+            entry["cpu_s"] += record["cpu_s"] or 0.0
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1]["wall_s"])
+        return [{"name": name, **stats} for name, stats in ranked[:top]]
+
+
+class _NullSpan:
+    """Shared inert span: enter/exit/set do nothing, allocate nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(SpanTracer):
+    """The disabled tracer: one shared no-op span, nothing recorded."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def merge(self, other: SpanTracer) -> None:
+        pass

@@ -37,6 +37,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..core.temporal_network import TemporalNetwork
+from ..obs import get_obs
 from ..mobility.base import (
     compose_profiles,
     conference_profile,
@@ -534,4 +535,14 @@ def build(name: str, seed: int = 1, scale: float = 1.0, **kwargs) -> TemporalNet
         raise KeyError(
             f"unknown data set {name!r}; available: {sorted(BUILDERS)}"
         ) from None
-    return builder(seed=seed, scale=scale, **kwargs)
+    obs = get_obs()
+    with obs.span(
+        "traces.build", dataset=name, seed=seed, scale=scale
+    ) as span, obs.timer("traces.build", dataset=name):
+        net = builder(seed=seed, scale=scale, **kwargs)
+        if obs.enabled:
+            span.set(contacts=net.num_contacts, devices=len(net))
+            obs.metrics.counter("traces.contacts_built", dataset=name).inc(
+                net.num_contacts
+            )
+    return net

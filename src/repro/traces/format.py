@@ -20,6 +20,7 @@ from typing import Iterable, List, TextIO, Union
 
 from ..core.contact import Contact, Node
 from ..core.temporal_network import TemporalNetwork
+from ..obs import get_obs
 
 PathLike = Union[str, Path]
 
@@ -62,9 +63,17 @@ def iter_contacts(stream: TextIO) -> Iterable[Contact]:
 
 def read_contacts(path: PathLike, directed: bool = False) -> TemporalNetwork:
     """Load a contact-trace file into a :class:`TemporalNetwork`."""
-    with open(path, "r", encoding="utf-8") as stream:
-        contacts = list(iter_contacts(stream))
-    return TemporalNetwork(contacts, directed=directed)
+    obs = get_obs()
+    with obs.span("traces.read_contacts", path=str(path)) as span, obs.timer(
+        "traces.read_contacts"
+    ):
+        with open(path, "r", encoding="utf-8") as stream:
+            contacts = list(iter_contacts(stream))
+        net = TemporalNetwork(contacts, directed=directed)
+        if obs.enabled:
+            span.set(contacts=len(contacts), devices=len(net))
+            obs.metrics.counter("traces.contacts_read").inc(len(contacts))
+    return net
 
 
 def write_contacts(

@@ -44,6 +44,43 @@ def test_translation_invariance(net, offset):
                     assert ea1 == pytest.approx(ea0 + offset)
 
 
+def test_translation_collapse_pinned():
+    """Pinned falsifying example of test_translation_invariance (2 nodes,
+    2 contacts, offset 1.0), root-caused to the *inputs*, not the DP.
+
+    The old contact strategy built end times as ``beg + dur``, so this
+    network has two contacts on the same edge whose end times differ by
+    one ulp: 7.3 and 1.4 + 5.9 == 7.300000000000001.  The exact Pareto
+    frontier of that network genuinely has two points — the second
+    improves delivery on the (one-ulp-wide) start interval
+    (7.3, 7.300000000000001].  Adding the offset 1.0 collapses both end
+    times to the same float 8.3, so the exact frontier of the *shifted*
+    network has a single point.  compute_profiles is correct on both
+    sides; translation invariance simply cannot survive an input
+    transformation that merges distinct times.  The strategy now keeps
+    times decimal-aligned (>= ~0.1 apart), where float translation is
+    collapse-free; this test pins the collapse mechanism so the exact
+    semantics of the frontier never silently change.
+    """
+    a = Contact(0.0, 7.3, 0, 1)
+    b = Contact(1.4, 1.4 + 5.9, 0, 1)
+    assert b.t_end != a.t_end  # one ulp apart ...
+    assert b.t_end == pytest.approx(a.t_end)
+
+    net = TemporalNetwork([a, b], nodes=range(2))
+    base = compute_profiles(net, hop_bounds=(1, 2)).profile(0, 1, None)
+    # Exact frontier of the base network: both points are Pareto-optimal.
+    assert list(zip(base.lds, base.eas)) == [(a.t_end, 0.0), (b.t_end, 1.4)]
+
+    shifted = net.with_contacts(c.shifted(1.0) for c in net.contacts)
+    # ... and the shift merges them: both ends become exactly 8.3.
+    assert {c.t_end for c in shifted.contacts} == {8.3}
+    moved = compute_profiles(shifted, hop_bounds=(1, 2)).profile(0, 1, None)
+    # Exact frontier of the shifted network: the (8.3, 2.4) candidate is
+    # now dominated by (8.3, 1.0), leaving a single point.
+    assert list(zip(moved.lds, moved.eas)) == [(8.3, 1.0)]
+
+
 @shared
 @given(net=small_networks(max_nodes=5, max_contacts=12))
 def test_relabeling_invariance(net):

@@ -1,0 +1,80 @@
+"""Run manifests: capture, sealing, and JSON schema round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import RunManifest
+from repro.obs.manifest import SCHEMA
+
+
+class TestCapture:
+    def test_environment_fields(self):
+        manifest = RunManifest(seed=7, dataset="infocom05", scale=0.15)
+        data = manifest.to_dict()
+        assert data["schema"] == SCHEMA
+        assert data["seed"] == 7
+        assert data["dataset"] == "infocom05"
+        assert data["scale"] == 0.15
+        assert data["python_version"].count(".") == 2
+        assert data["numpy_version"] is not None
+        assert data["package_version"] is not None
+        assert isinstance(data["argv"], list)
+
+    def test_unsealed_resource_fields_are_none(self):
+        data = RunManifest().to_dict()
+        assert data["runtime_s"] is None
+        assert data["peak_rss_bytes"] is None
+
+    def test_finish_seals_runtime_and_rss(self):
+        manifest = RunManifest()
+        manifest.finish()
+        data = manifest.to_dict()
+        assert data["runtime_s"] >= 0
+        # Peak RSS is platform-dependent but must be a sane positive
+        # number of bytes on Linux/macOS (> 1 MiB for a numpy process).
+        assert data["peak_rss_bytes"] is None or data["peak_rss_bytes"] > 2**20
+
+    def test_update_merges_params(self):
+        manifest = RunManifest(params={"a": 1})
+        manifest.update(b=2).update(a=3)
+        assert manifest.to_dict()["params"] == {"a": 3, "b": 2}
+
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+        assert RunManifest().git_sha == "deadbeef"
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_all_fields(self, tmp_path):
+        manifest = RunManifest(
+            seed=1, dataset="reality", scale=0.5, params={"bench": "fig9"}
+        )
+        manifest.finish()
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        data = json.loads(path.read_text())
+        rehydrated = RunManifest.from_dict(data)
+        assert rehydrated.to_dict() == manifest.to_dict()
+
+    def test_to_json_is_valid_json(self):
+        parsed = json.loads(RunManifest(seed=1).to_json())
+        assert parsed["seed"] == 1
+        # Every schema key is present even before sealing.
+        expected = {
+            "schema",
+            "seed",
+            "dataset",
+            "scale",
+            "params",
+            "started_unix",
+            "runtime_s",
+            "peak_rss_bytes",
+            "git_sha",
+            "package_version",
+            "python_version",
+            "numpy_version",
+            "platform",
+            "argv",
+        }
+        assert set(parsed) == expected

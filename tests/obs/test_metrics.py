@@ -1,0 +1,158 @@
+"""Registry semantics: instruments, labels, merging, and the no-op mode."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_labels_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("ins", hop=1).inc(10)
+        registry.counter("ins", hop=2).inc(20)
+        assert registry.counter("ins", hop=1).value == 10
+        assert registry.counter("ins", hop=2).value == 20
+        snap = registry.to_dict()["counters"]
+        assert snap == {"ins{hop=1}": 10, "ins{hop=2}": 20}
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a=1, b=2).inc()
+        assert registry.counter("c", b=2, a=1).value == 1
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe_many([2.0, 5.0, 3.0])
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(10.0)
+        assert snap["min"] == 2.0
+        assert snap["max"] == 5.0
+        assert snap["mean"] == pytest.approx(10.0 / 3)
+
+    def test_empty_histogram_snapshot(self):
+        assert MetricsRegistry().histogram("h").snapshot()["count"] == 0
+
+
+class TestTimers:
+    def test_context_manager_records_wall_and_cpu(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            sum(range(1000))
+        snap = registry.timer("t").snapshot()
+        assert snap["wall_count"] == 1
+        assert snap["wall_sum"] > 0
+        assert snap["cpu_sum"] >= 0
+
+    def test_nested_uses_accumulate(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.timer("t"):
+                pass
+        assert registry.timer("t").snapshot()["wall_count"] == 3
+
+
+class TestMerge:
+    def test_counters_add_histograms_combine(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.counter("c").inc(2)
+        right.counter("c").inc(3)
+        right.counter("only_right", hop=4).inc(7)
+        left.histogram("h").observe_many([1.0, 9.0])
+        right.histogram("h").observe(5.0)
+        with right.timer("t"):
+            pass
+        left.merge(right)
+        assert left.counter("c").value == 5
+        assert left.counter("only_right", hop=4).value == 7
+        hist = left.histogram("h").snapshot()
+        assert hist["count"] == 3
+        assert hist["min"] == 1.0 and hist["max"] == 9.0
+        assert left.timer("t").snapshot()["wall_count"] == 1
+
+    def test_gauge_merge_is_last_write(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.gauge("g").set(1.0)
+        right.gauge("g").set(2.0)
+        left.merge(right)
+        assert left.gauge("g").value == 2.0
+        # A gauge never set on the right leaves the left value alone.
+        left.gauge("g2").set(3.0)
+        left.merge(MetricsRegistry())
+        assert left.gauge("g2").value == 3.0
+
+
+class TestSnapshot:
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c", hop=1).inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["c{hop=1}"] == 1
+        assert parsed["gauges"]["g"] == 2.5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_write(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.json"
+        registry.write(path)
+        assert json.loads(path.read_text())["counters"]["c"] == 1
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_accessors_return_shared_singletons(self):
+        """No allocation on the hot path: every accessor call hands back
+        the same pre-built inert instrument, whatever the name/labels."""
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b", hop=3)
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")
+        assert null.timer("a") is null.timer("b")
+        # And across registries, too.
+        assert null.counter("a") is NullRegistry().counter("z")
+
+    def test_mutation_is_inert(self):
+        null = NullRegistry()
+        null.counter("c").inc(100)
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(1.0)
+        with null.timer("t"):
+            pass
+        assert null.counter("c").value == 0
+        assert null.gauge("g").value is None
+        assert null.histogram("h").count == 0
+        assert null.timer("t").snapshot()["wall_count"] == 0
+        assert len(null) == 0
+        assert null.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timers": {},
+        }
+
+    def test_merge_into_null_is_dropped(self):
+        real = MetricsRegistry()
+        real.counter("c").inc(5)
+        null = NullRegistry()
+        null.merge(real)
+        assert len(null) == 0

@@ -1,0 +1,135 @@
+"""The session switch, and the pipeline's instrumented call sites."""
+
+from repro.baselines.flooding import flood
+from repro.core import Contact, TemporalNetwork, compute_profiles
+from repro.forwarding.algorithms import Epidemic
+from repro.forwarding.simulator import Message, simulate_workload
+from repro.obs import NULL_OBS, get_obs, observed, set_obs
+
+
+def line_net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(20.0, 30.0, 1, 2),
+            Contact(40.0, 50.0, 2, 3),
+        ],
+        nodes=range(4),
+    )
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert get_obs() is NULL_OBS
+        assert get_obs().enabled is False
+
+    def test_observed_installs_and_restores(self):
+        with observed(seed=3) as run:
+            assert get_obs() is run
+            assert run.enabled
+        assert get_obs() is NULL_OBS
+
+    def test_observed_nests(self):
+        with observed() as outer:
+            with observed() as inner:
+                assert get_obs() is inner
+            assert get_obs() is outer
+        assert get_obs() is NULL_OBS
+
+    def test_manifest_sealed_on_exit(self):
+        with observed(seed=1) as run:
+            assert run.manifest.runtime_s is None
+        assert run.manifest.runtime_s is not None
+
+    def test_restored_after_exception(self):
+        try:
+            with observed():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_obs() is NULL_OBS
+
+    def test_set_obs_reset(self):
+        with observed() as run:
+            previous = set_obs(None)
+            assert previous is run
+            assert get_obs() is NULL_OBS
+            set_obs(run)
+
+
+class TestProfileInstrumentation:
+    def test_per_hop_counters_and_span(self):
+        with observed() as run:
+            compute_profiles(line_net(), hop_bounds=(1, 2, 3))
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["optimal.sources"] == 4
+        assert counters["optimal.frontier_insertions{hop=1}"] > 0
+        assert counters["optimal.frontier_insertions{hop=2}"] > 0
+        assert "optimal.candidates_scanned" in counters
+        assert "optimal.suffix_min_prunes" in counters
+        names = [r["name"] for r in run.tracer.records]
+        assert names == ["optimal.compute_profiles"]
+        attrs = run.tracer.records[0]["attrs"]
+        assert attrs["sources"] == 4 and attrs["contacts"] == 3
+        timers = run.metrics.to_dict()["timers"]
+        assert timers["optimal.compute_profiles"]["wall_count"] == 1
+
+    def test_insertions_match_frontier_growth(self):
+        """On a chain, round k inserts exactly one frontier point (the
+        k-th node of the chain), and nothing is ever displaced."""
+        with observed() as run:
+            profiles = compute_profiles(
+                line_net(), hop_bounds=(1, 2, 3), sources=[0]
+            )
+        counters = run.metrics.to_dict()["counters"]
+        for hop in (1, 2, 3):
+            assert counters[f"optimal.frontier_insertions{{hop={hop}}}"] == 1
+        assert counters["optimal.frontier_points"] == 3
+        assert profiles.source_profiles(0).stats.rounds == 3
+
+    def test_disabled_mode_attaches_no_stats(self):
+        profiles = compute_profiles(line_net(), hop_bounds=(1, 2))
+        for source in range(4):
+            assert profiles.source_profiles(source).stats is None
+
+    def test_results_identical_with_and_without_instrumentation(self):
+        net = line_net()
+        plain = compute_profiles(net, hop_bounds=(1, 2))
+        with observed():
+            instrumented = compute_profiles(net, hop_bounds=(1, 2))
+        for s in range(4):
+            for d in range(4):
+                if s == d:
+                    continue
+                for bound in (1, 2, None):
+                    assert plain.profile(s, d, bound) == instrumented.profile(
+                        s, d, bound
+                    )
+
+
+class TestBaselineInstrumentation:
+    def test_flood_counters(self):
+        with observed() as run:
+            flood(line_net(), 0, 0.0)
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["flooding.floods"] == 1
+        assert counters["flooding.sweeps"] == 3  # three hops down the chain
+        assert counters["flooding.infections"] == 3
+        assert counters["flooding.events_processed"] > 0
+        hist = run.metrics.to_dict()["histograms"]
+        assert hist["flooding.infections_per_round"]["count"] == 3
+
+    def test_forwarding_counters(self):
+        with observed() as run:
+            simulate_workload(
+                line_net(),
+                [Message(source=0, destination=3, created_at=0.0)],
+                Epidemic(),
+            )
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["forwarding.messages"] == 1
+        assert counters["forwarding.delivered"] == 1
+        assert counters["forwarding.transmissions"] >= 3
+        assert [r["name"] for r in run.tracer.records] == [
+            "forwarding.simulate_workload"
+        ]

@@ -1,0 +1,118 @@
+"""Span tracing: nesting, attributes, JSONL export, no-op mode."""
+
+import json
+
+from repro.obs import NullTracer, SpanTracer
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["middle"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner"]["parent"] == by_name["middle"]["id"]
+        assert by_name["inner"]["depth"] == 2
+        assert by_name["sibling"]["parent"] == by_name["outer"]["id"]
+
+    def test_children_complete_before_parents(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r["name"] for r in tracer.records] == ["inner", "outer"]
+
+    def test_timings_are_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            sum(range(1000))
+        record = tracer.records[0]
+        assert record["wall_s"] > 0
+        assert record["cpu_s"] >= 0
+        assert record["start_unix"] > 0
+
+
+class TestAttributes:
+    def test_init_and_set(self):
+        tracer = SpanTracer()
+        with tracer.span("s", dataset="infocom05") as span:
+            span.set(contacts=42, devices=41)
+        assert tracer.records[0]["attrs"] == {
+            "dataset": "infocom05",
+            "contacts": 42,
+            "devices": 41,
+        }
+
+    def test_exception_marks_span(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        record = tracer.records[0]
+        assert record["attrs"]["error"] == "ValueError"
+        assert record["wall_s"] is not None
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("a", k=1):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        tracer.write(path)
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 2
+        assert {r["name"] for r in records} == {"a", "b"}
+        parents = {r["id"]: r["parent"] for r in records}
+        b = next(r for r in records if r["name"] == "b")
+        assert parents[b["id"]] is not None
+
+    def test_summary_aggregates_by_name(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        with tracer.span("once"):
+            pass
+        summary = {row["name"]: row for row in tracer.summary()}
+        assert summary["repeated"]["count"] == 3
+        assert summary["once"]["count"] == 1
+        assert summary["repeated"]["wall_s"] >= 0
+
+    def test_merge_renumbers_and_keeps_structure(self):
+        main = SpanTracer()
+        with main.span("main_work"):
+            pass
+        worker = SpanTracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        main.merge(worker)
+        assert len(main.records) == 3
+        ids = [r["id"] for r in main.records]
+        assert len(set(ids)) == 3
+        merged = {r["name"]: r for r in main.records}
+        assert merged["inner"]["parent"] == merged["outer"]["id"]
+
+
+class TestNullTracer:
+    def test_inert_and_allocation_free(self):
+        tracer = NullTracer()
+        first = tracer.span("a", x=1)
+        second = tracer.span("b")
+        assert first is second  # one shared no-op span
+        with first as span:
+            span.set(anything=True)
+        assert tracer.records == []
+        assert tracer.to_jsonl() == ""

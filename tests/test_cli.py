@@ -1,5 +1,7 @@
 """End-to-end tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -68,6 +70,49 @@ class TestTheory:
         out = capsys.readouterr().out
         assert "short" in out and "long" in out
         assert "2.466" in out
+
+
+class TestObservabilityFlags:
+    def test_metrics_trace_manifest_written(self, trace_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        spans = tmp_path / "spans.jsonl"
+        manifest = tmp_path / "manifest.json"
+        code = main(
+            [
+                "--metrics", str(metrics),
+                "--trace", str(spans),
+                "--manifest", str(manifest),
+                "delay-cdf", str(trace_file), "--max-hops", "2",
+            ]
+        )
+        assert code == 0
+
+        data = json.loads(metrics.read_text())
+        counters = data["counters"]
+        # Per-hop-bound frontier counters from the profile DP.
+        assert counters["optimal.frontier_insertions{hop=1}"] > 0
+        assert counters["optimal.frontier_insertions{hop=2}"] > 0
+        assert counters["optimal.sources"] == 41
+        # Span timings cover both the trace load and the computation.
+        assert data["timers"]["traces.read_contacts"]["wall_count"] == 1
+        assert data["timers"]["optimal.compute_profiles"]["wall_sum"] > 0
+
+        names = set()
+        for line in spans.read_text().splitlines():
+            names.add(json.loads(line)["name"])
+        assert {"traces.read_contacts", "optimal.compute_profiles"} <= names
+
+        run = json.loads(manifest.read_text())
+        assert run["schema"] == "repro.manifest/1"
+        assert run["runtime_s"] > 0
+        assert run["params"]["command"] == "delay-cdf"
+        assert run["params"]["exit_code"] == 0
+        assert run["python_version"]
+
+    def test_flags_off_write_nothing(self, trace_file, tmp_path, capsys):
+        assert main(["summarize", str(trace_file)]) == 0
+        # Only the input trace written by the fixture — no obs artefacts.
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.txt"]
 
 
 class TestJourneys:
