@@ -24,6 +24,7 @@ from _common import (
 from repro.analysis.grids import MINUTE, format_duration
 from repro.core import compute_profiles
 from repro.core.diameter import diameter, success_curves
+from repro.obs import get_obs
 from repro.traces.filters import remove_short
 
 THRESHOLDS = (0.0, 2 * MINUTE + 1, 10 * MINUTE, 30 * MINUTE)
@@ -41,8 +42,11 @@ def compute():
             if not threshold
             else compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS)
         )
-        curves = success_curves(profiles, grid, hop_bounds=FIGURE_HOP_BOUNDS)
-        result = diameter(profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS)
+        with get_obs().timer("bench.cdf_stage", engine="vectorized"):
+            curves = success_curves(profiles, grid, hop_bounds=FIGURE_HOP_BOUNDS)
+        result = diameter(
+            profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS, curves=curves
+        )
         removed = 1.0 - net.num_contacts / base.num_contacts
         outcomes[threshold] = (net, curves, result, removed)
     return base, grid, outcomes

@@ -23,6 +23,7 @@ from _common import (
 from repro.analysis.grids import MINUTE, format_duration
 from repro.core import compute_profiles
 from repro.core.diameter import diameter_vs_delay
+from repro.obs import get_obs
 from repro.traces.filters import remove_short
 
 VARIANTS = {
@@ -43,9 +44,10 @@ def compute():
             if not threshold
             else compute_profiles(net, hop_bounds=FIGURE_HOP_BOUNDS)
         )
-        series[label] = diameter_vs_delay(
-            profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS
-        )
+        with get_obs().timer("bench.cdf_stage", engine="vectorized"):
+            series[label] = diameter_vs_delay(
+                profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS
+            )
     return grid, series
 
 

@@ -9,6 +9,8 @@ observes that Infocom05 is by far the best connected (a direct contact
 within a day for ~65% of pairs vs under a few percent elsewhere).
 """
 
+import numpy as np
+
 from _common import (
     FIGURE_HOP_BOUNDS,
     banner,
@@ -21,7 +23,9 @@ from _common import (
     standalone,
 )
 from repro.analysis.grids import DAY
+from repro.core.delay_cdf import delay_cdf_reference
 from repro.core.diameter import diameter, success_curves
+from repro.obs import get_obs
 
 NAMES = ("infocom05", "reality", "hongkong")
 PAPER_DIAMETERS = {"infocom05": 5, "reality": 4, "hongkong": 6}
@@ -33,11 +37,26 @@ def compute_one(name):
     profiles = profiles_for(name)
     grid = figure_grid(net)
     pairs = internal_pairs(net)
-    curves = success_curves(
-        profiles, grid, hop_bounds=FIGURE_HOP_BOUNDS, pairs=pairs
-    )
+    obs = get_obs()
+    # The multi-bound CDF stage, timed for both engines so the BENCH
+    # JSON carries the before/after: the single-pass vectorized engine
+    # vs the legacy per-bound/per-budget loop it replaced.
+    with obs.timer("bench.cdf_stage", engine="vectorized", dataset=name):
+        curves = success_curves(
+            profiles, grid, hop_bounds=FIGURE_HOP_BOUNDS, pairs=pairs
+        )
+    with obs.timer("bench.cdf_stage", engine="legacy", dataset=name):
+        legacy = {
+            bound: delay_cdf_reference(profiles, grid, bound, pairs=pairs)
+            for bound in FIGURE_HOP_BOUNDS + (None,)
+        }
+    for bound, reference in legacy.items():
+        assert np.allclose(
+            curves[bound].values, reference.values, rtol=0.0, atol=1e-12
+        ), (name, bound)
     result = diameter(
-        profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS, pairs=pairs
+        profiles, grid, eps=0.01, hop_bounds=FIGURE_HOP_BOUNDS, pairs=pairs,
+        curves=curves,
     )
     return net, grid, curves, result
 

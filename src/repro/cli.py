@@ -28,6 +28,7 @@ import numpy as np
 
 from .analysis.grids import format_duration, paper_delay_grid
 from .analysis.tables import render_table
+from .core.cache import load_or_compute
 from .core.delay_cdf import delay_cdf
 from .core.diameter import diameter
 from .core.optimal import compute_profiles
@@ -64,13 +65,35 @@ def _grid(args: argparse.Namespace) -> np.ndarray:
     return paper_delay_grid(points=args.grid_points)
 
 
+def _profiles(net, bounds, args):
+    """compute_profiles honouring the --cache-dir / --workers flags."""
+    if getattr(args, "cache_dir", None):
+        return load_or_compute(
+            net, args.cache_dir, hop_bounds=bounds, workers=args.workers
+        )
+    return compute_profiles(net, hop_bounds=bounds, workers=args.workers)
+
+
 def _cmd_diameter(args: argparse.Namespace) -> int:
     net = read_contacts(args.trace)
     bounds = tuple(range(1, args.max_hops + 1))
-    profiles = compute_profiles(net, hop_bounds=bounds)
+    profiles = _profiles(net, bounds, args)
     result = diameter(profiles, _grid(args), eps=args.eps)
     if result.value is None:
-        print(f"diameter > {args.max_hops} hops (raise --max-hops)")
+        # --max-hops undershot the diameter, but the fixpoint round count
+        # of the unbounded computation bounds every optimal path's hop
+        # count, so extending the recorded bounds to it is guaranteed to
+        # pin the true value — no need to fail and ask for a bigger cap.
+        fixpoint = profiles.max_rounds_run
+        if fixpoint > args.max_hops:
+            print(
+                f"diameter > {args.max_hops} hops; extending hop bounds to "
+                f"the flooding fixpoint ({fixpoint} rounds)"
+            )
+            profiles = _profiles(net, tuple(range(1, fixpoint + 1)), args)
+            result = diameter(profiles, _grid(args), eps=args.eps)
+    if result.value is None:
+        print("error: diameter computation did not converge", file=sys.stderr)
         return 1
     print(f"({1 - args.eps:.0%})-diameter: {result.value} hops")
     return 0
@@ -79,7 +102,7 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
 def _cmd_delay_cdf(args: argparse.Namespace) -> int:
     net = read_contacts(args.trace)
     bounds = tuple(range(1, args.max_hops + 1))
-    profiles = compute_profiles(net, hop_bounds=bounds)
+    profiles = _profiles(net, bounds, args)
     grid = _grid(args)
     columns = {}
     for bound in list(bounds) + [None]:
@@ -184,17 +207,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_argument(summ)
     summ.set_defaults(func=_cmd_summarize)
 
+    def _add_compute_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="processes for the per-source profile computation",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="content-addressed profile cache directory (reuses "
+                 "profiles across invocations on the same trace)",
+        )
+
     diam = sub.add_parser("diameter", help="(1-eps)-diameter of a trace")
     _add_trace_argument(diam)
     diam.add_argument("--eps", type=float, default=0.01)
     diam.add_argument("--max-hops", type=int, default=8)
     diam.add_argument("--grid-points", type=int, default=40)
+    _add_compute_arguments(diam)
     diam.set_defaults(func=_cmd_diameter)
 
     cdf = sub.add_parser("delay-cdf", help="delay CDF per hop bound")
     _add_trace_argument(cdf)
     cdf.add_argument("--max-hops", type=int, default=4)
     cdf.add_argument("--grid-points", type=int, default=12)
+    _add_compute_arguments(cdf)
     cdf.set_defaults(func=_cmd_delay_cdf)
 
     journeys = sub.add_parser(

@@ -5,8 +5,14 @@ Pareto-frontier delivery functions, the all-starting-times optimal-path
 computation, exact delay CDFs and the (1 - eps)-diameter.
 """
 
+from .cache import cache_path, load_or_compute, profile_cache_key
 from .contact import Contact, Node, merge_intervals
-from .delay_cdf import DelayCDF, delay_cdf, delay_cdf_per_hop_bound
+from .delay_cdf import (
+    DelayCDF,
+    delay_cdf,
+    delay_cdf_per_hop_bound,
+    delay_cdf_reference,
+)
 from .delivery import DeliveryFunction
 from .diameter import DiameterResult, diameter, diameter_vs_delay, success_curves
 from .journeys import (
@@ -28,7 +34,8 @@ from .pairs import (
     strictly_dominates,
 )
 from .paths import ContactPath, is_chained, is_valid_sequence
-from .storage import load_profiles, save_profiles
+from .segments import SegmentTable, build_segment_table
+from .storage import load_profiles, save_profiles, trace_digest
 from .temporal_network import EdgeContacts, TemporalNetwork
 from .transmission import (
     SampledSuccess,
@@ -49,13 +56,17 @@ __all__ = [
     "PathPair",
     "PathProfileSet",
     "SampledSuccess",
+    "SegmentTable",
     "SourceProfiles",
     "TemporalNetwork",
+    "build_segment_table",
+    "cache_path",
     "can_concatenate",
     "compute_profiles",
     "concatenate",
     "delay_cdf",
     "delay_cdf_per_hop_bound",
+    "delay_cdf_reference",
     "diameter",
     "diameter_vs_delay",
     "dominates",
@@ -66,9 +77,11 @@ __all__ = [
     "is_chained",
     "is_valid_sequence",
     "journey_summary",
+    "load_or_compute",
     "load_profiles",
     "merge_intervals",
     "pair_of_contact",
+    "profile_cache_key",
     "sampled_diameter",
     "sampled_start_times",
     "sampled_success_curves",
@@ -76,4 +89,5 @@ __all__ = [
     "shortest_journey",
     "strictly_dominates",
     "success_curves",
+    "trace_digest",
 ]

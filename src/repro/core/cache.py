@@ -1,0 +1,148 @@
+"""Content-addressed cache of computed path profiles.
+
+Every CLI or benchmark invocation used to recompute all-pairs profiles
+from scratch even though :mod:`repro.core.storage` can persist them.
+This module closes the loop: :func:`load_or_compute` is a drop-in
+replacement for :func:`repro.core.optimal.compute_profiles` that keys a
+profiles file on the *content* of the computation —
+
+    (trace digest, hop bounds, slack, max_rounds, sources, file format)
+
+— so a cache entry can only ever be reused for the identical question.
+A hit costs one ``.npz`` read; a miss computes, then writes atomically
+(temp file + ``os.replace``) so concurrent runs never observe a torn
+entry.  Corrupt or stale entries are recomputed and overwritten, never
+trusted: :func:`repro.core.storage.load_profiles` re-verifies the
+embedded trace digest on every load.
+
+Cache traffic is observable: counters ``profiles.cache.hit`` /
+``.miss`` / ``.invalid`` and the ``cache.load_or_compute`` span land in
+the active :mod:`repro.obs` bundle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..obs import get_obs
+from .contact import Node
+from .optimal import DEFAULT_HOP_BOUNDS, PathProfileSet, compute_profiles
+from .storage import (
+    _FORMAT_VERSION,
+    _encode_node,
+    load_profiles,
+    save_profiles,
+    trace_digest,
+)
+from .temporal_network import TemporalNetwork
+
+PathLike = Union[str, Path]
+
+__all__ = ["load_or_compute", "profile_cache_key", "cache_path"]
+
+
+def profile_cache_key(
+    network: TemporalNetwork,
+    hop_bounds: Iterable[int] = DEFAULT_HOP_BOUNDS,
+    sources: Optional[Iterable[Node]] = None,
+    max_rounds: Optional[int] = None,
+    slack: float = 0.0,
+) -> str:
+    """The content key of one ``compute_profiles`` invocation.
+
+    Two invocations share a key iff they are guaranteed to produce the
+    same :class:`PathProfileSet`; ``workers`` is deliberately excluded
+    (it changes scheduling, not results).
+    """
+    document = {
+        "format": _FORMAT_VERSION,
+        "trace": trace_digest(network),
+        "contacts": network.num_contacts,
+        "hop_bounds": sorted(set(int(k) for k in hop_bounds)),
+        "sources": (
+            None
+            if sources is None
+            else sorted(_encode_node(s) for s in sources)
+        ),
+        "max_rounds": max_rounds,
+        "slack": float(slack).hex(),
+    }
+    payload = json.dumps(document, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def cache_path(cache_dir: PathLike, key: str) -> Path:
+    """The file a cache key maps to inside ``cache_dir``."""
+    return Path(cache_dir) / f"profiles-{key[:32]}.npz"
+
+
+def load_or_compute(
+    network: TemporalNetwork,
+    cache_dir: PathLike,
+    hop_bounds: Iterable[int] = DEFAULT_HOP_BOUNDS,
+    sources: Optional[Iterable[Node]] = None,
+    max_rounds: Optional[int] = None,
+    slack: float = 0.0,
+    workers: int = 1,
+) -> PathProfileSet:
+    """``compute_profiles`` with a content-addressed disk cache.
+
+    Args match :func:`repro.core.optimal.compute_profiles` plus
+    ``cache_dir``, the cache root (created on demand).  ``sources`` and
+    ``hop_bounds`` are materialised up front so they may be generators.
+    """
+    hop_bounds = tuple(hop_bounds)
+    sources = None if sources is None else list(sources)
+    key = profile_cache_key(
+        network,
+        hop_bounds=hop_bounds,
+        sources=sources,
+        max_rounds=max_rounds,
+        slack=slack,
+    )
+    path = cache_path(cache_dir, key)
+    obs = get_obs()
+    with obs.span(
+        "cache.load_or_compute", key=key[:16], path=str(path)
+    ) as span:
+        if path.exists():
+            try:
+                profiles = load_profiles(path, network)
+            except (ValueError, KeyError, OSError) as exc:
+                # A torn write, a hash collision on the truncated file
+                # name, or a format bump: recompute and overwrite.
+                obs.metrics.counter("profiles.cache.invalid").inc()
+                if obs.enabled:
+                    span.set(outcome="invalid", error=repr(exc))
+            else:
+                obs.metrics.counter("profiles.cache.hit").inc()
+                if obs.enabled:
+                    span.set(outcome="hit")
+                return profiles
+        else:
+            if obs.enabled:
+                span.set(outcome="miss")
+        obs.metrics.counter("profiles.cache.miss").inc()
+        profiles = compute_profiles(
+            network,
+            hop_bounds=hop_bounds,
+            sources=sources,
+            max_rounds=max_rounds,
+            slack=slack,
+            workers=workers,
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The temp name must keep the .npz suffix: np.savez appends one
+        # to any other extension, breaking the final os.replace.
+        tmp = path.with_name(f"tmp-{os.getpid()}-{path.name}")
+        try:
+            save_profiles(profiles, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+    return profiles

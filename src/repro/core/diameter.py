@@ -19,8 +19,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .contact import Node
-from .delay_cdf import DelayCDF, delay_cdf
+from .delay_cdf import DelayCDF, _validate_grid_window, cdf_from_table
 from .optimal import PathProfileSet
+from .segments import build_segment_table
 
 __all__ = [
     "DiameterResult",
@@ -59,13 +60,18 @@ def success_curves(
     window: Optional[Tuple[float, float]] = None,
     pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
 ) -> Dict[Optional[int], DelayCDF]:
-    """Delay CDFs per hop bound, plus the flooding optimum (key None)."""
+    """Delay CDFs per hop bound, plus the flooding optimum (key None).
+
+    All curves are evaluated from ONE traversal of the profiles (a shared
+    :class:`~repro.core.segments.SegmentTable`), so the per-bound cost is
+    the vectorized kernel only.
+    """
     if hop_bounds is None:
         hop_bounds = list(profiles.hop_bounds)
-    curves: Dict[Optional[int], DelayCDF] = {}
-    for bound in list(hop_bounds) + [None]:
-        curves[bound] = delay_cdf(profiles, grid, bound, window, pairs)
-    return curves
+    grid_arr, window = _validate_grid_window(profiles, grid, window)
+    bounds: List[Optional[int]] = list(hop_bounds) + [None]
+    table = build_segment_table(profiles, bounds, window, pairs)
+    return {bound: cdf_from_table(table, bound, grid_arr) for bound in bounds}
 
 
 def _meets(curve: np.ndarray, optimum: np.ndarray, eps: float) -> Optional[int]:
@@ -86,16 +92,24 @@ def diameter(
     hop_bounds: Optional[Sequence[int]] = None,
     window: Optional[Tuple[float, float]] = None,
     pairs: Optional[Iterable[Tuple[Node, Node]]] = None,
+    curves: Optional[Dict[Optional[int], DelayCDF]] = None,
 ) -> DiameterResult:
     """Compute the (1 - eps)-diameter of the network behind ``profiles``.
 
     The "for all t" in the definition is evaluated on the supplied delay
     grid, which mirrors the paper's practice of examining time scales from
     minutes to a week (Section 5.3.1).
+
+    ``curves`` may carry a precomputed :func:`success_curves` result for
+    the same grid/window/pairs (it must include the flooding optimum
+    under key None), in which case no profile traversal happens here.
     """
     if not 0.0 < eps < 1.0:
         raise ValueError("eps must be in (0, 1)")
-    curves = success_curves(profiles, grid, hop_bounds, window, pairs)
+    if curves is None:
+        curves = success_curves(profiles, grid, hop_bounds, window, pairs)
+    elif None not in curves:
+        raise ValueError("precomputed curves must include the flooding optimum")
     optimum = curves[None].values
     bounds = sorted(k for k in curves if k is not None)
     binding: Dict[int, float] = {}

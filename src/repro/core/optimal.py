@@ -183,6 +183,43 @@ class SourceProfiles:
         """Destinations reachable (within unbounded hops) from the source."""
         return sorted(self._final, key=repr)
 
+    def bound_profiles(
+        self,
+        destinations: Iterable[Node],
+        bounds: Sequence[Optional[int]],
+    ) -> Iterator[Tuple[Node, Tuple[DeliveryFunction, ...]]]:
+        """Resolve every destination under several hop bounds in one walk.
+
+        Yields ``(destination, funcs)`` with ``funcs`` aligned with
+        ``bounds``; each entry is the same object :meth:`profile` would
+        return for that bound, but the recorded-snapshot walk happens
+        once per destination instead of once per (destination, bound).
+        """
+        recorded = sorted(self._snapshots)
+        plan: List[Optional[int]] = []
+        for bound in bounds:
+            if bound is None or bound >= self.rounds:
+                plan.append(None)
+                continue
+            if bound not in self._snapshots:
+                raise KeyError(
+                    f"hop bound {bound} was not recorded; available: "
+                    f"{recorded} (or None for unbounded)"
+                )
+            plan.append(recorded.index(bound))
+        for destination in destinations:
+            final = self._final.get(destination, self._empty)
+            carry = self._empty
+            resolved: List[DeliveryFunction] = []
+            for bound in recorded:
+                snap = self._snapshots[bound].get(destination)
+                if snap is not None:
+                    carry = snap
+                resolved.append(carry)
+            yield destination, tuple(
+                final if p is None else resolved[p] for p in plan
+            )
+
 
 def _run_single_source(
     adjacency: _Adjacency,

@@ -6,6 +6,12 @@ This module serialises a :class:`PathProfileSet` to a single compressed
 ``.npz`` file and restores it losslessly, including the per-hop-bound
 snapshots and fixpoint round counts.
 
+Every file embeds the content digest of the trace it was computed from
+(:func:`trace_digest`) plus its contact count; :func:`load_profiles`
+verifies both against the supplied network and fails loudly on any
+mismatch, so a profiles file can never silently load against the wrong
+trace and yield wrong diameters.
+
 Node identifiers are stored through ``repr`` round-tripping for the two
 supported kinds (ints and strings), which covers every trace this
 library produces or reads.
@@ -13,6 +19,7 @@ library produces or reads.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Union
@@ -26,7 +33,31 @@ from .temporal_network import TemporalNetwork
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the embedded trace digest + contact count.
+_FORMAT_VERSION = 2
+
+
+def trace_digest(network: TemporalNetwork) -> str:
+    """Content digest of a trace: nodes, contacts and directedness.
+
+    Times are hashed through ``float.hex`` (exact), so the digest is
+    stable across processes and platforms but changes whenever any
+    contact, endpoint or the roster changes.  Used to bind profiles
+    files (and cache entries) to the exact trace they were computed on.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro.trace/1\n")
+    h.update(b"directed\n" if network.directed else b"undirected\n")
+    for node in network.nodes:
+        h.update(_encode_node(node).encode("utf-8"))
+        h.update(b"\n")
+    for c in network.contacts:
+        line = (
+            f"{_encode_node(c.u)}|{_encode_node(c.v)}"
+            f"|{float(c.t_beg).hex()}|{float(c.t_end).hex()}\n"
+        )
+        h.update(line.encode("utf-8"))
+    return h.hexdigest()
 
 
 def _encode_node(node: Node) -> str:
@@ -49,6 +80,11 @@ def save_profiles(profiles: PathProfileSet, path: PathLike) -> None:
     index: dict = {
         "version": _FORMAT_VERSION,
         "hop_bounds": list(profiles.hop_bounds),
+        "trace": {
+            "digest": trace_digest(profiles.network),
+            "contacts": profiles.network.num_contacts,
+            "nodes": len(profiles.network),
+        },
         "sources": [],
     }
     for number, source in enumerate(profiles.sources):
@@ -90,13 +126,29 @@ def load_profiles(path: PathLike, network: TemporalNetwork) -> PathProfileSet:
     """Restore a profile set saved by :func:`save_profiles`.
 
     The temporal network is supplied by the caller (profiles files do not
-    embed the trace); it must contain every node the profiles reference.
+    embed the trace itself); the file's embedded trace digest and contact
+    count must match it exactly, otherwise a ValueError is raised — a
+    profiles file must never silently load against a different trace.
     """
     with np.load(path) as data:
         index = json.loads(bytes(data["__index__"]).decode("utf-8"))
         if index.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported profiles file version {index.get('version')}"
+            )
+        recorded = index["trace"]
+        if recorded["contacts"] != network.num_contacts:
+            raise ValueError(
+                f"profiles file was computed from a different trace: it "
+                f"records {recorded['contacts']} contacts, the supplied "
+                f"network has {network.num_contacts}"
+            )
+        digest = trace_digest(network)
+        if recorded["digest"] != digest:
+            raise ValueError(
+                "profiles file was computed from a different trace: "
+                f"embedded digest {recorded['digest'][:12]}... does not "
+                f"match the supplied network ({digest[:12]}...)"
             )
         hop_bounds = tuple(index["hop_bounds"])
         by_source: Dict[Node, SourceProfiles] = {}

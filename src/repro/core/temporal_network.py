@@ -9,7 +9,7 @@ per-edge sorted indexes that the optimal-path computation needs.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .contact import Contact, Node
@@ -178,13 +178,16 @@ class TemporalNetwork:
         return (c for c in self._contacts if c.t_beg <= t <= c.t_end)
 
     def contacts_beginning_in(self, t0: float, t1: float) -> Sequence[Contact]:
-        """Contacts with ``t0 <= t_beg < t1`` (contacts are begin-sorted)."""
+        """Contacts with ``t0 <= t_beg < t1`` (contacts are begin-sorted).
+
+        The interval is half-open, so ``t0 == t1`` is empty — consistent
+        with chaining consecutive windows without double-counting.
+        """
         if self._beg_times is None:
             self._beg_times = [c.t_beg for c in self._contacts]
         lo = bisect_left(self._beg_times, t0)
-        hi = bisect_right(self._beg_times, t1)
-        selected = self._contacts[lo:hi]
-        return [c for c in selected if c.t_beg < t1 or t0 == t1 == c.t_beg]
+        hi = bisect_left(self._beg_times, t1)
+        return self._contacts[lo:max(lo, hi)]
 
     # ------------------------------------------------------------------
     # Derived networks

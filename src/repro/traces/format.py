@@ -26,10 +26,19 @@ PathLike = Union[str, Path]
 
 
 def _parse_node(token: str) -> Node:
+    """Ints for canonical integer literals, strings otherwise.
+
+    Only tokens that are the *canonical* decimal form of an integer
+    become ints: ``"5"`` -> 5 but ``"05"`` and ``"+5"`` stay strings.
+    A non-canonical token would not write back as itself, so treating it
+    as an int silently merged distinct node identities (``"05"`` used to
+    read back as node 5).
+    """
     try:
-        return int(token)
+        value = int(token)
     except ValueError:
         return token
+    return value if str(value) == token else token
 
 
 def parse_contact_line(line: str, line_number: int = 0) -> "Contact | None":
@@ -84,6 +93,27 @@ def write_contacts(
         dump_contacts(net, stream, header=header)
 
 
+def _format_node(node: Node) -> str:
+    """The on-disk token of a node id; rejects ids that cannot round-trip.
+
+    A *string* id whose text is a canonical integer literal (``"5"``) or
+    contains whitespace/``#`` would read back as a different identity —
+    refuse to write it rather than corrupt the trace.
+    """
+    text = str(node)
+    if isinstance(node, str):
+        if not text or any(c.isspace() for c in text):
+            raise ValueError(f"node id {node!r} cannot round-trip through a trace file")
+        if text.startswith("#"):
+            raise ValueError(f"node id {node!r} would parse as a comment")
+        if _parse_node(text) != node:
+            raise ValueError(
+                f"ambiguous node id {node!r}: it would read back as the "
+                f"integer {_parse_node(text)!r}"
+            )
+    return text
+
+
 def dump_contacts(net: TemporalNetwork, stream: TextIO, header: str = "") -> None:
     """Write contacts to an open stream (see :func:`write_contacts`)."""
     if header:
@@ -91,9 +121,8 @@ def dump_contacts(net: TemporalNetwork, stream: TextIO, header: str = "") -> Non
             stream.write(f"# {line}\n")
     stream.write(f"# nodes={len(net)} contacts={net.num_contacts}\n")
     for contact in net.contacts:
-        stream.write(
-            f"{contact.u} {contact.v} {contact.t_beg:.6f} {contact.t_end:.6f}\n"
-        )
+        u, v = _format_node(contact.u), _format_node(contact.v)
+        stream.write(f"{u} {v} {contact.t_beg:.6f} {contact.t_end:.6f}\n")
 
 
 def dumps_contacts(net: TemporalNetwork, header: str = "") -> str:

@@ -1,0 +1,139 @@
+"""Tests of the content-addressed profile cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Contact,
+    TemporalNetwork,
+    compute_profiles,
+    diameter,
+    load_or_compute,
+    profile_cache_key,
+)
+from repro.core.cache import cache_path
+from repro.obs import observed
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(20.0, 30.0, 1, 2),
+            Contact(40.0, 50.0, 2, 3),
+            Contact(5.0, 15.0, 0, 3),
+        ],
+        nodes=range(5),
+    )
+
+
+class TestCacheKey:
+    def test_deterministic(self, net):
+        assert profile_cache_key(net, hop_bounds=(1, 2)) == profile_cache_key(
+            net, hop_bounds=(1, 2)
+        )
+
+    def test_sensitive_to_parameters(self, net):
+        base = profile_cache_key(net, hop_bounds=(1, 2))
+        assert profile_cache_key(net, hop_bounds=(1, 3)) != base
+        assert profile_cache_key(net, hop_bounds=(1, 2), slack=1.0) != base
+        assert profile_cache_key(net, hop_bounds=(1, 2), max_rounds=5) != base
+        assert profile_cache_key(net, hop_bounds=(1, 2), sources=[0]) != base
+
+    def test_sensitive_to_trace_content(self, net):
+        shifted = TemporalNetwork(
+            [Contact(c.t_beg + 1, c.t_end + 1, c.u, c.v) for c in net.contacts],
+            nodes=net.nodes,
+        )
+        assert profile_cache_key(net) != profile_cache_key(shifted)
+
+    def test_hop_bound_order_irrelevant(self, net):
+        assert profile_cache_key(net, hop_bounds=(2, 1)) == profile_cache_key(
+            net, hop_bounds=(1, 2)
+        )
+
+
+class TestLoadOrCompute:
+    def test_miss_then_hit(self, net, tmp_path):
+        with observed() as run:
+            first = load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+            second = load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.miss"] == 1
+        assert counters["profiles.cache.hit"] == 1
+        key = profile_cache_key(net, hop_bounds=(1, 2))
+        assert cache_path(tmp_path, key).exists()
+        for s in net.nodes:
+            for d in net.nodes:
+                if s == d:
+                    continue
+                for bound in (1, 2, None):
+                    assert first.profile(s, d, bound) == second.profile(s, d, bound)
+
+    def test_hit_returns_identical_diameter_result(self, net, tmp_path):
+        grid = np.linspace(0.0, 60.0, 13)
+        fresh = diameter(load_or_compute(net, tmp_path, hop_bounds=(1, 2, 3)), grid)
+        cached = diameter(load_or_compute(net, tmp_path, hop_bounds=(1, 2, 3)), grid)
+        assert fresh.value == cached.value
+        assert fresh.binding_delay == cached.binding_delay
+        for bound in fresh.curves:
+            np.testing.assert_array_equal(
+                fresh.curves[bound].values, cached.curves[bound].values
+            )
+            assert (
+                fresh.curves[bound].success_at_infinity
+                == cached.curves[bound].success_at_infinity
+            )
+
+    def test_matches_direct_computation(self, net, tmp_path):
+        cached = load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        direct = compute_profiles(net, hop_bounds=(1, 2))
+        assert cached.hop_bounds == direct.hop_bounds
+        assert cached.max_rounds_run == direct.max_rounds_run
+
+    def test_different_parameters_do_not_collide(self, net, tmp_path):
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        load_or_compute(net, tmp_path, hop_bounds=(1,), slack=1.0)
+        entries = list(tmp_path.glob("profiles-*.npz"))
+        assert len(entries) == 3
+
+    def test_wrong_trace_never_served(self, net, tmp_path):
+        """A cache dir shared across traces must key on content."""
+        other = TemporalNetwork(
+            [Contact(c.t_beg + 7, c.t_end + 7, c.u, c.v) for c in net.contacts],
+            nodes=net.nodes,
+        )
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        with observed() as run:
+            load_or_compute(other, tmp_path, hop_bounds=(1,))
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.miss"] == 1
+        assert "profiles.cache.hit" not in counters
+
+    def test_corrupt_entry_recomputed(self, net, tmp_path):
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        key = profile_cache_key(net, hop_bounds=(1,))
+        path = cache_path(tmp_path, key)
+        path.write_bytes(b"not an npz file")
+        with observed() as run:
+            profiles = load_or_compute(net, tmp_path, hop_bounds=(1,))
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.invalid"] == 1
+        assert counters["profiles.cache.miss"] == 1
+        assert profiles.max_rounds_run >= 1
+        # The overwritten entry is valid again.
+        with observed() as run:
+            load_or_compute(net, tmp_path, hop_bounds=(1,))
+        assert run.metrics.to_dict()["counters"]["profiles.cache.hit"] == 1
+
+    def test_creates_cache_dir(self, net, tmp_path):
+        nested = tmp_path / "a" / "b"
+        load_or_compute(net, nested, hop_bounds=(1,))
+        assert list(nested.glob("profiles-*.npz"))
+
+    def test_no_tmp_files_left_behind(self, net, tmp_path):
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith("tmp-")]
+        assert leftovers == []

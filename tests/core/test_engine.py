@@ -1,0 +1,253 @@
+"""Equivalence suite: vectorized CDF engine vs the legacy reference loop.
+
+The single-pass :mod:`repro.core.segments` engine must reproduce the
+original per-budget loop (:func:`delay_cdf_reference`) to <= 1e-12 on
+every configuration: empty profiles, window clipping, pair restriction,
+slack-approximated profiles, and whole success-curve families.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    Contact,
+    TemporalNetwork,
+    build_segment_table,
+    compute_profiles,
+    delay_cdf,
+    delay_cdf_per_hop_bound,
+    delay_cdf_reference,
+    diameter,
+    diameter_vs_delay,
+    success_curves,
+)
+
+from ..conftest import small_networks
+
+TOL = 1e-12
+
+
+def assert_cdf_equal(vectorized, reference):
+    np.testing.assert_allclose(
+        vectorized.values, reference.values, rtol=0.0, atol=TOL
+    )
+    assert vectorized.success_at_infinity == pytest.approx(
+        reference.success_at_infinity, abs=TOL
+    )
+    assert vectorized.num_pairs == reference.num_pairs
+    assert vectorized.window == reference.window
+
+
+@pytest.fixture
+def clustered_net():
+    """Two clusters bridged late, plus an isolated node: mixes reachable,
+    hop-limited and never-reachable pairs."""
+    return TemporalNetwork(
+        [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(5.0, 15.0, 1, 2),
+            Contact(30.0, 40.0, 3, 4),
+            Contact(50.0, 60.0, 2, 3),
+            Contact(55.0, 65.0, 0, 1),
+        ],
+        nodes=range(6),
+    )
+
+
+class TestEquivalenceHandNetworks:
+    @pytest.mark.parametrize("bound", [1, 2, 3, None])
+    def test_line_network(self, line_network, bound):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+        grid = np.linspace(0.0, 80.0, 17)
+        assert_cdf_equal(
+            delay_cdf(profiles, grid, max_hops=bound),
+            delay_cdf_reference(profiles, grid, max_hops=bound),
+        )
+
+    @pytest.mark.parametrize("bound", [1, 2, None])
+    def test_clustered_network(self, clustered_net, bound):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2, 4))
+        grid = np.linspace(0.0, 100.0, 23)
+        assert_cdf_equal(
+            delay_cdf(profiles, grid, max_hops=bound),
+            delay_cdf_reference(profiles, grid, max_hops=bound),
+        )
+
+    def test_window_clipped(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2))
+        grid = np.linspace(0.0, 50.0, 11)
+        for window in [(5.0, 35.0), (0.0, 12.0), (58.0, 70.0)]:
+            for bound in (1, 2, None):
+                assert_cdf_equal(
+                    delay_cdf(profiles, grid, max_hops=bound, window=window),
+                    delay_cdf_reference(
+                        profiles, grid, max_hops=bound, window=window
+                    ),
+                )
+
+    def test_pair_restriction(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2))
+        grid = np.linspace(0.0, 70.0, 9)
+        pairs = [(0, 2), (2, 0), (0, 5), (3, 4), (1, 3)]
+        for bound in (1, 2, None):
+            assert_cdf_equal(
+                delay_cdf(profiles, grid, max_hops=bound, pairs=pairs),
+                delay_cdf_reference(profiles, grid, max_hops=bound, pairs=pairs),
+            )
+
+    def test_empty_profiles(self):
+        """A network where the computed source reaches nobody."""
+        net = TemporalNetwork([Contact(0.0, 10.0, 1, 2)], nodes=[0, 1, 2])
+        profiles = compute_profiles(net, hop_bounds=(1,), sources=[0])
+        grid = np.linspace(0.0, 20.0, 5)
+        vec = delay_cdf(profiles, grid, max_hops=1)
+        ref = delay_cdf_reference(profiles, grid, max_hops=1)
+        assert_cdf_equal(vec, ref)
+        assert np.all(vec.values == 0.0)
+        assert vec.success_at_infinity == 0.0
+
+    def test_slack_profiles(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2), slack=2.0)
+        grid = np.linspace(0.0, 100.0, 13)
+        for bound in (1, 2, None):
+            assert_cdf_equal(
+                delay_cdf(profiles, grid, max_hops=bound),
+                delay_cdf_reference(profiles, grid, max_hops=bound),
+            )
+
+    def test_negative_and_zero_budgets(self, line_network):
+        """The kernel must agree off the usual grid too."""
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        grid = [-5.0, 0.0, 1e-9, 40.0]
+        assert_cdf_equal(
+            delay_cdf(profiles, grid, max_hops=None),
+            delay_cdf_reference(profiles, grid, max_hops=None),
+        )
+
+
+class TestEquivalenceProperties:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(net=small_networks(max_nodes=6, max_contacts=16))
+    def test_random_networks_all_bounds(self, net):
+        if net.duration <= 0:
+            return
+        profiles = compute_profiles(net, hop_bounds=(1, 2, 3))
+        grid = np.linspace(0.0, net.duration * 1.4, 12)
+        for bound in (1, 2, 3, None):
+            assert_cdf_equal(
+                delay_cdf(profiles, grid, max_hops=bound),
+                delay_cdf_reference(profiles, grid, max_hops=bound),
+            )
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(net=small_networks(max_nodes=5, max_contacts=12))
+    def test_random_networks_clipped_window(self, net):
+        if net.duration <= 0:
+            return
+        t0, t1 = net.span
+        window = (t0 + net.duration * 0.25, t1 - net.duration * 0.25)
+        if window[1] <= window[0]:
+            return
+        profiles = compute_profiles(net, hop_bounds=(2,))
+        grid = np.linspace(0.0, net.duration, 7)
+        assert_cdf_equal(
+            delay_cdf(profiles, grid, max_hops=2, window=window),
+            delay_cdf_reference(profiles, grid, max_hops=2, window=window),
+        )
+
+
+class TestSharedTraversal:
+    def test_success_curves_match_reference(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2, 4))
+        grid = np.linspace(0.0, 100.0, 15)
+        curves = success_curves(profiles, grid)
+        for bound in (1, 2, 4, None):
+            assert_cdf_equal(
+                curves[bound],
+                delay_cdf_reference(profiles, grid, max_hops=bound),
+            )
+
+    def test_per_hop_bound_matches_individual(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2))
+        grid = np.linspace(0.0, 80.0, 9)
+        family = delay_cdf_per_hop_bound(profiles, grid, [1, 2, None])
+        for bound, cdf in family.items():
+            assert_cdf_equal(cdf, delay_cdf_reference(profiles, grid, bound))
+
+    def test_segment_table_resolution_matches_profile(self, clustered_net):
+        """bound_profiles must hand back the objects profile() returns."""
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2, 4))
+        bounds = [1, 2, 4, None]
+        for source in profiles.sources:
+            sp = profiles.source_profiles(source)
+            dests = [d for d in clustered_net.nodes if d != source]
+            for dest, funcs in sp.bound_profiles(dests, bounds):
+                for bound, func in zip(bounds, funcs):
+                    assert func == sp.profile(dest, bound), (source, dest, bound)
+
+    def test_unrecorded_bound_still_raises(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 4))
+        rounds = profiles.max_rounds_run
+        missing = 2
+        if missing >= rounds:
+            pytest.skip("fixpoint too shallow to exercise the KeyError")
+        with pytest.raises(KeyError, match="not recorded"):
+            delay_cdf(profiles, [1.0], max_hops=missing)
+
+    def test_diameter_accepts_precomputed_curves(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1, 2, 4))
+        grid = np.linspace(0.0, 100.0, 15)
+        curves = success_curves(profiles, grid)
+        direct = diameter(profiles, grid)
+        reused = diameter(profiles, grid, curves=curves)
+        assert direct.value == reused.value
+        assert direct.binding_delay == reused.binding_delay
+
+    def test_diameter_rejects_curves_without_optimum(self, clustered_net):
+        profiles = compute_profiles(clustered_net, hop_bounds=(1,))
+        grid = [1.0]
+        curves = {1: delay_cdf(profiles, grid, max_hops=1)}
+        with pytest.raises(ValueError, match="flooding optimum"):
+            diameter(profiles, grid, curves=curves)
+
+    def test_diameter_vs_delay_unchanged(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2, 3))
+        grid = np.linspace(0.0, 80.0, 9)
+        needed = diameter_vs_delay(profiles, grid)
+        reference_curves = {
+            b: delay_cdf_reference(profiles, grid, b) for b in (1, 2, 3, None)
+        }
+        optimum = reference_curves[None].values
+        for i, k in enumerate(needed):
+            if k is not None:
+                assert reference_curves[k].values[i] >= (
+                    0.99 * optimum[i] - 1e-12
+                )
+
+
+class TestSegmentTable:
+    def test_counts_and_bounds(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2))
+        table = build_segment_table(profiles, [1, 2, None])
+        assert set(table.bounds) == {1, 2, None}
+        assert table.num_pairs == 4 * 3
+        # More hops can only add delivery segments.
+        assert table.num_segments(1) <= table.num_segments(None)
+
+    def test_duplicate_bounds_deduped(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1, 2))
+        table = build_segment_table(profiles, [1, 1, None, None])
+        assert table.bounds == [1, None]
+
+    def test_self_pair_rejected(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        with pytest.raises(ValueError, match="must differ"):
+            build_segment_table(profiles, [1], pairs=[(0, 0)])
+
+    def test_unknown_source_rejected(self, line_network):
+        profiles = compute_profiles(line_network, hop_bounds=(1,))
+        with pytest.raises(KeyError):
+            delay_cdf(profiles, [1.0], max_hops=1, pairs=[(99, 0)])

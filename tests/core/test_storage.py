@@ -67,13 +67,41 @@ class TestRoundTrip:
 
 
 class TestValidation:
-    def test_missing_node_rejected(self, mixed_net, tmp_path):
+    def test_different_trace_rejected(self, mixed_net, tmp_path):
         original = compute_profiles(mixed_net, hop_bounds=(1,))
         path = tmp_path / "p.npz"
         save_profiles(original, path)
         smaller = TemporalNetwork([Contact(0.0, 1.0, 0, 1)], nodes=[0, 1])
-        with pytest.raises(KeyError, match="missing"):
+        with pytest.raises(ValueError, match="different trace"):
             load_profiles(path, smaller)
+
+    def test_same_shape_different_times_rejected(self, mixed_net, tmp_path):
+        """Same roster and contact count, shifted times: must fail loudly."""
+        original = compute_profiles(mixed_net, hop_bounds=(1,))
+        path = tmp_path / "p.npz"
+        save_profiles(original, path)
+        shifted = TemporalNetwork(
+            [
+                Contact(c.t_beg + 1.0, c.t_end + 1.0, c.u, c.v)
+                for c in mixed_net.contacts
+            ],
+            nodes=mixed_net.nodes,
+        )
+        with pytest.raises(ValueError, match="digest"):
+            load_profiles(path, shifted)
+
+    def test_digest_embedded_in_file(self, mixed_net, tmp_path):
+        import json
+
+        from repro.core.storage import trace_digest
+
+        original = compute_profiles(mixed_net, hop_bounds=(1,))
+        path = tmp_path / "p.npz"
+        save_profiles(original, path)
+        with np.load(path) as data:
+            index = json.loads(bytes(data["__index__"]).decode())
+        assert index["trace"]["digest"] == trace_digest(mixed_net)
+        assert index["trace"]["contacts"] == mixed_net.num_contacts
 
     def test_unsupported_node_type(self, tmp_path):
         net = TemporalNetwork([Contact(0.0, 1.0, (1, 2), 3)])

@@ -105,6 +105,31 @@ class TestQueries:
         assert len(net.contacts_beginning_in(0.0, 2.0)) == 2
         assert len(net.contacts_beginning_in(4.0, 10.0)) == 1
 
+    def test_contacts_beginning_in_half_open(self, net):
+        # Begins at 0.0, 1.0 and 5.0; the interval is [t0, t1).
+        assert len(net.contacts_beginning_in(0.0, 1.0)) == 1     # excl. 1.0
+        assert len(net.contacts_beginning_in(1.0, 5.0)) == 1     # excl. 5.0
+        assert len(net.contacts_beginning_in(5.0, 5.5)) == 1     # incl. t0
+        assert len(net.contacts_beginning_in(0.0, 5.0 + 1e-9)) == 3
+
+    def test_contacts_beginning_in_empty_interval(self, net):
+        # t0 == t1 is an empty half-open interval — even on a begin time.
+        assert list(net.contacts_beginning_in(1.0, 1.0)) == []
+        assert list(net.contacts_beginning_in(0.0, 0.0)) == []
+        assert list(net.contacts_beginning_in(4.0, 4.0)) == []
+
+    def test_contacts_beginning_in_inverted_interval(self, net):
+        assert list(net.contacts_beginning_in(3.0, 1.0)) == []
+
+    def test_contacts_beginning_in_partitions_without_double_count(self, net):
+        """Chained windows cover every contact exactly once."""
+        edges = [0.0, 1.0, 1.0, 2.0, 5.0, 7.0]
+        pieces = [
+            net.contacts_beginning_in(a, b) for a, b in zip(edges, edges[1:])
+        ]
+        counted = sum(len(p) for p in pieces)
+        assert counted == net.num_contacts
+
     def test_event_times(self, net):
         assert net.event_times() == [0.0, 1.0, 2.0, 3.0, 5.0, 6.0]
 

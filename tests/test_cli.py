@@ -45,16 +45,45 @@ class TestDiameter:
         assert code == 0
         assert "diameter:" in out
 
-    def test_insufficient_bounds_reports_failure(self, tmp_path, capsys):
-        # A 3-hop chain with max-hops 1 cannot reach the flooding optimum.
+    def test_insufficient_bounds_extended_from_fixpoint(self, tmp_path, capsys):
+        # A 3-hop chain with max-hops 1 cannot reach the flooding optimum
+        # with the recorded bounds, but the unbounded fixpoint (3 rounds)
+        # bounds the true diameter — the command must report it, exit 0.
         path = tmp_path / "chain.txt"
         path.write_text(
             "0 1 0 100\n1 2 0 100\n2 3 0 100\n"
         )
         code = main(["diameter", str(path), "--max-hops", "1"])
         out = capsys.readouterr().out
-        assert code == 1
-        assert "raise --max-hops" in out
+        assert code == 0
+        assert "extending hop bounds" in out
+        assert "diameter: 3 hops" in out
+
+    def test_workers_flag(self, tmp_path, capsys):
+        path = tmp_path / "chain.txt"
+        path.write_text("0 1 0 100\n1 2 0 100\n2 3 0 100\n")
+        code = main(["diameter", str(path), "--max-hops", "4", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diameter: 3 hops" in out
+
+    def test_cache_dir_reuses_profiles(self, tmp_path, capsys):
+        path = tmp_path / "chain.txt"
+        path.write_text("0 1 0 100\n1 2 0 100\n2 3 0 100\n")
+        cache = tmp_path / "cache"
+        first = main(
+            ["diameter", str(path), "--max-hops", "4", "--cache-dir", str(cache)]
+        )
+        out_first = capsys.readouterr().out
+        entries = sorted(p.name for p in cache.iterdir())
+        assert first == 0 and len(entries) == 1
+        second = main(
+            ["diameter", str(path), "--max-hops", "4", "--cache-dir", str(cache)]
+        )
+        out_second = capsys.readouterr().out
+        assert second == 0
+        assert out_first == out_second
+        assert sorted(p.name for p in cache.iterdir()) == entries
 
 
 class TestDelayCdf:

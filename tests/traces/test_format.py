@@ -79,3 +79,50 @@ class TestRoundTrip:
         path = tmp_path / "empty.txt"
         write_contacts(net, path)
         assert read_contacts(path).num_contacts == 0
+
+
+class TestNodeIdentityRoundTrip:
+    """Regression: string ids that *look* numeric must keep their identity.
+
+    ``"05"`` used to be written verbatim and read back as the int 5 —
+    silently merging two distinct devices.
+    """
+
+    def test_leading_zero_id_stays_string(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, "05", 7)])
+        loaded = loads_contacts(dumps_contacts(net))
+        assert set(loaded.nodes) == {"05", 7}
+        contact = loaded.contacts[0]
+        assert contact.u == "05" and isinstance(contact.u, str)
+
+    def test_leading_zero_and_int_coexist(self):
+        net = TemporalNetwork(
+            [Contact(0.0, 1.0, "05", 5), Contact(2.0, 3.0, 5, 1)]
+        )
+        loaded = loads_contacts(dumps_contacts(net))
+        assert set(loaded.nodes) == {"05", 5, 1}
+
+    def test_plus_sign_id_stays_string(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, "+5", 1)])
+        loaded = loads_contacts(dumps_contacts(net))
+        assert set(loaded.nodes) == {"+5", 1}
+
+    def test_canonical_int_token_parses_as_int(self):
+        loaded = loads_contacts("5 -3 0 1\n")
+        assert set(loaded.nodes) == {5, -3}
+
+    def test_ambiguous_string_id_rejected_at_write_time(self):
+        # A str "5" would read back as the int 5: refuse to write it.
+        net = TemporalNetwork([Contact(0.0, 1.0, "5", 1)])
+        with pytest.raises(ValueError, match="ambiguous"):
+            dumps_contacts(net)
+
+    def test_whitespace_id_rejected_at_write_time(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, "a b", 1)])
+        with pytest.raises(ValueError, match="round-trip"):
+            dumps_contacts(net)
+
+    def test_comment_like_id_rejected_at_write_time(self):
+        net = TemporalNetwork([Contact(0.0, 1.0, "#x", 1)])
+        with pytest.raises(ValueError, match="comment"):
+            dumps_contacts(net)
