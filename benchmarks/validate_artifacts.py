@@ -1,0 +1,131 @@
+"""Validate benchmark artefacts emitted by ``bench_session``.
+
+CI runs this instead of inline heredocs so the assertions are
+importable, testable, and usable locally::
+
+    PYTHONPATH=src python benchmarks/validate_artifacts.py bench bench-out
+    PYTHONPATH=src python benchmarks/validate_artifacts.py cache-rerun \\
+        bench-cold/BENCH_fig9_delay_cdf.json \\
+        bench-warm/BENCH_fig9_delay_cdf.json
+
+``bench`` checks every ``BENCH_*.json`` under a directory against the
+bench payload schema.  ``cache-rerun`` checks a cold/warm pair of runs
+against a shared profile cache: the cold run must miss, the warm run
+must hit without a single miss or invalidation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import validate_bench_payload  # noqa: E402
+
+
+class ValidationError(Exception):
+    """An artefact failed validation."""
+
+
+def _load(path: pathlib.Path) -> Dict[str, object]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValidationError(f"{path}: cannot load: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError(f"{path}: payload is not a JSON object")
+    return payload
+
+
+def validate_bench_dir(out_dir: pathlib.Path) -> List[str]:
+    """Check every ``BENCH_*.json`` in ``out_dir``; returns report lines."""
+    paths = sorted(out_dir.glob("BENCH_*.json"))
+    if not paths:
+        raise ValidationError(f"{out_dir}: no BENCH_*.json artefacts found")
+    lines = []
+    for path in paths:
+        payload = _load(path)
+        try:
+            validate_bench_payload(payload)
+        except ValueError as exc:
+            raise ValidationError(f"{path}: {exc}") from exc
+        manifest = payload["manifest"]
+        assert isinstance(manifest, dict)
+        lines.append(
+            f"{path}: ok (schema {payload['schema']}, "
+            f"runtime {manifest['runtime_s']:.3f}s)"
+        )
+    return lines
+
+
+def _counters(payload: Dict[str, object], path: pathlib.Path) -> Dict[str, int]:
+    if payload.get("exit_code") != 0:
+        raise ValidationError(f"{path}: exit_code {payload.get('exit_code')!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not isinstance(
+        metrics.get("counters"), dict
+    ):
+        raise ValidationError(f"{path}: no metrics.counters section")
+    return metrics["counters"]
+
+
+def validate_cache_rerun(
+    cold_path: pathlib.Path, warm_path: pathlib.Path
+) -> List[str]:
+    """Check a cold/warm bench pair sharing one profile cache."""
+    cold = _counters(_load(cold_path), cold_path)
+    warm = _counters(_load(warm_path), warm_path)
+    if cold.get("profiles.cache.miss", 0) <= 0:
+        raise ValidationError(
+            f"{cold_path}: cold run recorded no cache misses: {cold}"
+        )
+    if warm.get("profiles.cache.hit", 0) <= 0:
+        raise ValidationError(
+            f"{warm_path}: warm run recorded no cache hits: {warm}"
+        )
+    if warm.get("profiles.cache.miss", 0) != 0:
+        raise ValidationError(
+            f"{warm_path}: warm run still missed the cache: {warm}"
+        )
+    if warm.get("profiles.cache.invalid", 0) != 0:
+        raise ValidationError(
+            f"{warm_path}: warm run invalidated cache entries: {warm}"
+        )
+    return [
+        f"cold run misses: {cold['profiles.cache.miss']}",
+        f"warm run hits:   {warm['profiles.cache.hit']}",
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="validate_artifacts", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    bench = sub.add_parser("bench", help="validate BENCH_*.json in a directory")
+    bench.add_argument("out_dir", type=pathlib.Path)
+    rerun = sub.add_parser(
+        "cache-rerun", help="validate a cold/warm cached bench pair"
+    )
+    rerun.add_argument("cold", type=pathlib.Path)
+    rerun.add_argument("warm", type=pathlib.Path)
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "bench":
+            lines = validate_bench_dir(args.out_dir)
+        else:
+            lines = validate_cache_rerun(args.cold, args.warm)
+    except ValidationError as exc:
+        print(f"validate_artifacts: {exc}", file=sys.stderr)
+        return 1
+    for line in lines:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

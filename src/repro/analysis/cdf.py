@@ -13,6 +13,8 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core.floats import is_pinned_zero
+
 
 class EmpiricalCDF:
     """Empirical CDF of a sample that may contain +infinity.
@@ -22,7 +24,7 @@ class EmpiricalCDF:
     present).
     """
 
-    def __init__(self, sample: Iterable[float]):
+    def __init__(self, sample: Iterable[float]) -> None:
         values = list(sample)
         if not values:
             raise ValueError("empty sample")
@@ -57,7 +59,7 @@ class EmpiricalCDF:
         """Smallest x with ``F(x) >= q``; inf when q exceeds the finite mass."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile level must be in [0, 1]")
-        if q == 0.0:
+        if is_pinned_zero(q):
             return float(self._finite[0]) if len(self._finite) else float("inf")
         rank = math.ceil(q * self.size)
         if rank > len(self._finite):

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +31,8 @@ from .analysis.tables import render_table
 from .core.cache import load_or_compute
 from .core.delay_cdf import delay_cdf
 from .core.diameter import diameter
-from .core.optimal import compute_profiles
+from .core.optimal import PathProfileSet, compute_profiles
+from .core.temporal_network import TemporalNetwork
 from .random_temporal import theory
 from .traces import datasets
 from .traces.format import read_contacts, write_contacts
@@ -65,7 +66,11 @@ def _grid(args: argparse.Namespace) -> np.ndarray:
     return paper_delay_grid(points=args.grid_points)
 
 
-def _profiles(net, bounds, args):
+def _profiles(
+    net: TemporalNetwork,
+    bounds: Tuple[int, ...],
+    args: argparse.Namespace,
+) -> PathProfileSet:
     """compute_profiles honouring the --cache-dir / --workers flags."""
     if getattr(args, "cache_dir", None):
         return load_or_compute(

@@ -48,7 +48,7 @@ class Contact:
         if self.u == self.v:
             raise ValueError(f"self-contact on node {self.u!r}")
 
-    def _sort_key(self) -> tuple:
+    def _sort_key(self) -> "tuple[float, float, str, str]":
         return (self.t_beg, self.t_end, repr(self.u), repr(self.v))
 
     def __lt__(self, other: "Contact") -> bool:
@@ -77,7 +77,7 @@ class Contact:
         return self.t_end - self.t_beg
 
     @property
-    def nodes(self) -> tuple:
+    def nodes(self) -> "tuple[Node, Node]":
         """The two endpoints, in recorded order."""
         return (self.u, self.v)
 
@@ -88,6 +88,24 @@ class Contact:
     def overlaps(self, other: "Contact") -> bool:
         """Whether the two contact intervals intersect in time."""
         return self.t_beg <= other.t_end and other.t_beg <= self.t_end
+
+    def active_at(self, t: float) -> bool:
+        """Whether the contact is in progress at instant ``t``.
+
+        Contact intervals are closed: a contact is usable at both its
+        begin and end instants (paper Section 4.2 labels edges with
+        ``[t_beg; t_end]``).
+        """
+        return self.t_beg <= t <= self.t_end
+
+    def within(self, t_min: float, t_max: float) -> bool:
+        """Whether the whole contact lies inside the closed ``[t_min; t_max]``.
+
+        Windowing keeps a contact only when *all* of it is observable —
+        a contact straddling the window edge would report a truncated
+        duration (use :meth:`clipped` to truncate instead of drop).
+        """
+        return self.t_beg >= t_min and self.t_end <= t_max
 
     def shifted(self, offset: float) -> "Contact":
         """A copy translated in time by ``offset``."""

@@ -17,7 +17,7 @@ window), with no start-time sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,9 +85,9 @@ def _segment_arrays(
     Returns (piece start, piece end, arrival) arrays and the pair count.
     """
     t0, t1 = window
-    seg_beg: list = []
-    seg_end: list = []
-    arrivals: list = []
+    seg_beg: List[float] = []
+    seg_end: List[float] = []
+    arrivals: List[float] = []
     if pairs is None:
         iterator = profiles.items(max_hops)
         num_pairs = 0

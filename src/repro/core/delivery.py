@@ -34,7 +34,7 @@ class DeliveryFunction:
 
     __slots__ = ("lds", "eas")
 
-    def __init__(self, pairs: Iterable[Tuple[float, float]] = ()):
+    def __init__(self, pairs: Iterable[Tuple[float, float]] = ()) -> None:
         self.lds: List[float] = []
         self.eas: List[float] = []
         for ld, ea in pairs:

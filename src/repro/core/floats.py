@@ -1,0 +1,31 @@
+"""Pinned float equality: the one sanctioned home of ``==`` on floats.
+
+Exact IEEE-754 equality between floats is a bug when either side went
+through arithmetic, and entirely sound when both sides are *pinned* —
+copied, parsed or defaulted, never computed.  The delay pipeline relies
+on pinned comparisons in a few places (a user-supplied quantile level of
+exactly ``0.0``, a probability knob left at its default), and reprolint's
+REP002 bans float-literal equality everywhere in ``core/`` and
+``analysis/`` *except* through these helpers, which make the intent
+auditable at the call site.
+
+If a value may have been computed, do not reach for this module — compare
+with an explicit tolerance instead (``math.isclose`` or a domain bound).
+"""
+
+from __future__ import annotations
+
+
+def pinned_equal(value: float, pin: float) -> bool:
+    """Exact equality against a pinned (never-computed) reference value."""
+    return value == pin
+
+
+def is_pinned_zero(value: float) -> bool:
+    """Exact test for the ``0.0`` sentinel (covers ``-0.0`` as well)."""
+    return value == 0.0
+
+
+def is_pinned_one(value: float) -> bool:
+    """Exact test for the ``1.0`` sentinel."""
+    return value == 1.0

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from .contact import Node
 from .delivery import DeliveryFunction
@@ -37,7 +37,7 @@ from .temporal_network import TemporalNetwork
 INFINITY = float("inf")
 
 
-def _earliest_arrival_path(*args, **kwargs):
+def _earliest_arrival_path(*args: Any, **kwargs: Any) -> Any:
     # Imported lazily: baselines depends on core, so a module-level import
     # here would be circular.
     from ..baselines.dijkstra import earliest_arrival_path

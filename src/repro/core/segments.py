@@ -51,7 +51,7 @@ class _BoundKernel:
 
     __slots__ = ("num_segments", "finite_measure", "_lengths", "_lo", "_hi")
 
-    def __init__(self, beg: np.ndarray, end: np.ndarray, arrival: np.ndarray):
+    def __init__(self, beg: np.ndarray, end: np.ndarray, arrival: np.ndarray) -> None:
         self._lengths = end - beg
         self._lo = arrival - end
         self._hi = arrival - beg
@@ -96,7 +96,7 @@ class SegmentTable:
         window: Tuple[float, float],
         num_pairs: int,
         raw: Dict[BoundKey, Tuple[np.ndarray, np.ndarray, np.ndarray]],
-    ):
+    ) -> None:
         self.window = window
         self.num_pairs = num_pairs
         self._raw = raw

@@ -77,7 +77,8 @@ def _decode_node(token: str) -> Node:
 def save_profiles(profiles: PathProfileSet, path: PathLike) -> None:
     """Write a profile set to a compressed ``.npz`` file."""
     arrays: Dict[str, np.ndarray] = {}
-    index: dict = {
+    sources: List[Dict[str, object]] = []
+    index: Dict[str, object] = {
         "version": _FORMAT_VERSION,
         "hop_bounds": list(profiles.hop_bounds),
         "trace": {
@@ -85,30 +86,32 @@ def save_profiles(profiles: PathProfileSet, path: PathLike) -> None:
             "contacts": profiles.network.num_contacts,
             "nodes": len(profiles.network),
         },
-        "sources": [],
+        "sources": sources,
     }
     for number, source in enumerate(profiles.sources):
         sp = profiles.source_profiles(source)
-        entry = {
+        final: List[List[str]] = []
+        snapshots: Dict[str, List[List[str]]] = {}
+        entry: Dict[str, object] = {
             "node": _encode_node(source),
             "rounds": sp.rounds,
-            "final": [],
-            "snapshots": {},
+            "final": final,
+            "snapshots": snapshots,
         }
         for destination in sp.destinations():
             func = sp.profile(destination, None)
-            key = f"s{number}_final_{len(entry['final'])}"
+            key = f"s{number}_final_{len(final)}"
             arrays[key] = np.asarray([func.lds, func.eas], dtype=float)
-            entry["final"].append([_encode_node(destination), key])
+            final.append([_encode_node(destination), key])
         for bound in profiles.hop_bounds:
             snap = sp._snapshots.get(bound, {})
-            listed = []
+            listed: List[List[str]] = []
             for destination, func in snap.items():
                 key = f"s{number}_b{bound}_{len(listed)}"
                 arrays[key] = np.asarray([func.lds, func.eas], dtype=float)
                 listed.append([_encode_node(destination), key])
-            entry["snapshots"][str(bound)] = listed
-        index["sources"].append(entry)
+            snapshots[str(bound)] = listed
+        sources.append(entry)
     arrays["__index__"] = np.frombuffer(
         json.dumps(index).encode("utf-8"), dtype=np.uint8
     )

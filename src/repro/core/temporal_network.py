@@ -10,7 +10,7 @@ per-edge sorted indexes that the optimal-path computation needs.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .contact import Contact, Node
 
@@ -33,7 +33,7 @@ class EdgeContacts:
 
     __slots__ = ("ends", "begs", "suffix_min_beg")
 
-    def __init__(self, contacts: Sequence[Contact]):
+    def __init__(self, contacts: Sequence[Contact]) -> None:
         by_end = sorted(contacts, key=lambda c: (c.t_end, c.t_beg))
         self.ends: List[float] = [c.t_end for c in by_end]
         self.begs: List[float] = [c.t_beg for c in by_end]
@@ -70,7 +70,7 @@ class TemporalNetwork:
         contacts: Iterable[Contact],
         nodes: Optional[Iterable[Node]] = None,
         directed: bool = False,
-    ):
+    ) -> None:
         self._contacts: List[Contact] = sorted(contacts)
         node_set = set() if nodes is None else set(nodes)
         for contact in self._contacts:
@@ -157,7 +157,7 @@ class TemporalNetwork:
     def out_neighbors(self, u: Node) -> Sequence[Node]:
         """Nodes that u has at least one contact towards."""
         if self._out_neighbors is None:
-            neighbors: Dict[Node, set] = {}
+            neighbors: Dict[Node, Set[Node]] = {}
             for (src, dst) in self._build_edge_index():
                 neighbors.setdefault(src, set()).add(dst)
             self._out_neighbors = {
@@ -175,7 +175,7 @@ class TemporalNetwork:
 
     def contacts_active_at(self, t: float) -> Iterator[Contact]:
         """Contacts whose interval contains time t."""
-        return (c for c in self._contacts if c.t_beg <= t <= c.t_end)
+        return (c for c in self._contacts if c.active_at(t))
 
     def contacts_beginning_in(self, t0: float, t1: float) -> Sequence[Contact]:
         """Contacts with ``t0 <= t_beg < t1`` (contacts are begin-sorted).

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..core.contact import Node
 from .simulator import Copy, Message
 
 INFINITY = float("inf")
@@ -34,7 +35,7 @@ class Epidemic:
         return 0
 
     def should_transfer(
-        self, message: Message, giver: Copy, receiver, time: float
+        self, message: Message, giver: Copy, receiver: Node, time: float
     ) -> bool:
         if self.max_hops is not None and giver.hops >= self.max_hops:
             return False
@@ -55,7 +56,7 @@ class DirectDelivery:
         return 0
 
     def should_transfer(
-        self, message: Message, giver: Copy, receiver, time: float
+        self, message: Message, giver: Copy, receiver: Node, time: float
     ) -> bool:
         return receiver == message.destination
 
@@ -72,7 +73,7 @@ class TwoHopRelay:
         return 0
 
     def should_transfer(
-        self, message: Message, giver: Copy, receiver, time: float
+        self, message: Message, giver: Copy, receiver: Node, time: float
     ) -> bool:
         if receiver == message.destination:
             return True
@@ -101,7 +102,7 @@ class SprayAndWait:
         return self.copies
 
     def should_transfer(
-        self, message: Message, giver: Copy, receiver, time: float
+        self, message: Message, giver: Copy, receiver: Node, time: float
     ) -> bool:
         if receiver == message.destination:
             return True

@@ -91,7 +91,7 @@ class DeliveryReport:
 class _NodeContacts:
     """Per-node contact opportunities sorted by begin time."""
 
-    def __init__(self, net: TemporalNetwork):
+    def __init__(self, net: TemporalNetwork) -> None:
         self._by_node: Dict[Node, List[Tuple[float, float, Node]]] = {
             node: [] for node in net.nodes
         }

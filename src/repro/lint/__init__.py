@@ -1,0 +1,51 @@
+"""reprolint: repo-specific static analysis for the repro package.
+
+The type system cannot see the conventions the paper reproduction rests
+on — half-open interval semantics, determinism of the random-temporal
+generators, the obs layer's "no-op mode costs nothing" discipline.  This
+package turns them into an AST-based gate: a rule registry (REP001..),
+line suppressions with mandatory justifications, text/JSON reporters and
+a CLI (``python -m repro.lint <paths>``).
+
+Programmatic use::
+
+    from repro.lint import lint_paths, lint_source
+
+    findings, files = lint_paths(["src"])          # real trees
+    findings = lint_source(code, "src/repro/core/x.py")  # fixtures
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    HYGIENE_CODE,
+    LintError,
+    Suppression,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_path,
+    parse_suppressions,
+)
+from .findings import Finding
+from .registry import FileContext, Rule, get_rules, register, rule_codes
+from .reporters import render_json, render_text
+
+__all__ = [
+    "HYGIENE_CODE",
+    "FileContext",
+    "Finding",
+    "LintError",
+    "Rule",
+    "Suppression",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_path",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_codes",
+]

@@ -1,0 +1,82 @@
+"""The reprolint command line: ``python -m repro.lint <paths>``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or lint errors (unreadable or
+syntactically invalid input).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import HYGIENE_CODE, LintError, lint_paths
+from .registry import get_rules
+from .reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: domain-invariant static analysis for the repro "
+            "package (interval discipline, determinism, obs hot-loop "
+            "contract, annotations)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = [
+        f"{HYGIENE_CODE}  suppression-hygiene  every '# reprolint: disable' "
+        "must carry a '-- <justification>' and name known codes (engine "
+        "built-in, not selectable)"
+    ]
+    for rule in get_rules():
+        lines.append(f"{rule.code}  {rule.name}  {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        findings, files_checked = lint_paths(args.paths, select)
+    except (LintError, KeyError) as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, files_checked))
+    return 1 if findings else 0

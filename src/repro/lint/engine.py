@@ -1,0 +1,228 @@
+"""The reprolint engine: file walking, suppressions, rule dispatch.
+
+Suppression syntax (line-scoped, never file-wide)::
+
+    frontier = eas[lo]  # reprolint: disable=REP002 -- exact frontier identity
+
+The ``-- <reason>`` justification is mandatory: a disable without one is
+itself a finding (REP000), so every suppression in the tree documents
+why the convention does not apply.  Unknown codes in a disable list are
+REP000 findings too.  There is deliberately no file-wide disable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from . import rules as _rules  # noqa: F401  (imports register the rules)
+from .findings import Finding
+from .registry import FileContext, Rule, get_rules, is_known_code
+
+#: code of the engine's own suppression-hygiene checks.
+HYGIENE_CODE = "REP000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>\S.*))?$"
+)
+
+
+class LintError(Exception):
+    """A file could not be linted at all (unreadable or unparseable)."""
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# reprolint: disable=...`` comment.
+
+    ``target_line`` is where the suppression takes effect: the comment's
+    own line for a trailing comment, or the next non-blank non-comment
+    line for a standalone comment (so a justification too long for one
+    line can sit above the code it covers).
+    """
+
+    line: int
+    col: int
+    codes: Tuple[str, ...]
+    justified: bool
+    target_line: int
+
+
+def _is_comment_or_blank(line: str) -> bool:
+    stripped = line.strip()
+    return not stripped or stripped.startswith("#")
+
+
+def module_path(path: "str | Path") -> Optional[str]:
+    """Package-relative posix path under ``src/repro``, else None.
+
+    ``/root/repo/src/repro/core/optimal.py`` -> ``core/optimal.py``; the
+    pretend paths fixture tests pass to :func:`lint_source` resolve the
+    same way, so rules scope identically for real and synthetic input.
+    """
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            rest = parts[i + 2 :]
+            return "/".join(rest) if rest else None
+    return None
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """All reprolint disable comments of a source text, by line."""
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return suppressions
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        line = token.start[0]
+        target = line
+        own_line = lines[line - 1] if line - 1 < len(lines) else ""
+        if own_line[: token.start[1]].strip() == "":
+            # Standalone comment: effective on the next code line.
+            target = line + 1
+            while target <= len(lines) and _is_comment_or_blank(lines[target - 1]):
+                target += 1
+        suppressions.append(
+            Suppression(
+                line=line,
+                col=token.start[1],
+                codes=codes,
+                justified=match.group("reason") is not None,
+                target_line=target,
+            )
+        )
+    return suppressions
+
+
+def _hygiene_findings(path: str, suppressions: Sequence[Suppression]) -> List[Finding]:
+    findings: List[Finding] = []
+    for sup in suppressions:
+        if not sup.justified:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=sup.col,
+                    code=HYGIENE_CODE,
+                    message=(
+                        "suppression lacks a justification; write "
+                        "'# reprolint: disable=REPxxx -- <why the rule "
+                        "does not apply here>'"
+                    ),
+                )
+            )
+        for code in sup.codes:
+            if code != HYGIENE_CODE and not is_known_code(code):
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=sup.line,
+                        col=sup.col,
+                        code=HYGIENE_CODE,
+                        message=f"unknown rule code {code!r} in suppression",
+                    )
+                )
+    return findings
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], suppressions: Sequence[Suppression]
+) -> List[Finding]:
+    by_line: Dict[int, Set[str]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.line, set()).update(sup.codes)
+        by_line.setdefault(sup.target_line, set()).update(sup.codes)
+    kept: List[Finding] = []
+    for finding in findings:
+        if finding.code == HYGIENE_CODE:
+            # Hygiene findings are about the suppression comments
+            # themselves and cannot be suppressed away.
+            kept.append(finding)
+            continue
+        if finding.code in by_line.get(finding.line, ()):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source text as if it lived at ``path``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
+    ctx = FileContext(
+        path=path, module=module_path(path), source=source, tree=tree
+    )
+    try:
+        rules = get_rules(select)
+    except KeyError as exc:
+        raise LintError(str(exc.args[0])) from exc
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    suppressions = parse_suppressions(source)
+    findings = _apply_suppressions(raw, suppressions)
+    findings.extend(_hygiene_findings(path, suppressions))
+    return sorted(findings)
+
+
+def lint_file(path: "str | Path", select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{file_path}: cannot read: {exc}") from exc
+    return lint_source(source, str(file_path), select)
+
+
+def iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: Dict[Path, None] = {}
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            for file_path in sorted(root.rglob("*.py")):
+                if any(part.startswith(".") for part in file_path.parts):
+                    continue
+                seen.setdefault(file_path, None)
+        elif root.suffix == ".py":
+            seen.setdefault(root, None)
+        elif not root.exists():
+            raise LintError(f"{root}: no such file or directory")
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint files and directories; returns (findings, files checked)."""
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, select))
+    return sorted(findings), len(files)

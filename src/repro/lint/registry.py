@@ -1,0 +1,107 @@
+"""Rule protocol and registry.
+
+A rule is a class with a ``REPxxx`` code, a human summary, a package
+scope, and a ``check`` method over one parsed file.  Rules register
+themselves with :func:`register` at import time; the engine and the CLI
+only ever talk to the registry, so adding a rule is: write the class in
+:mod:`repro.lint.rules`, decorate it, done.
+
+Scoping: the domain rules encode conventions of the ``repro`` package
+itself (interval discipline, obs hot-loop contract, ...), so they apply
+only to files whose path shows they live under ``src/repro`` — the
+engine resolves that to a package-relative module path like
+``core/optimal.py`` and rules declare prefix scopes against it.  Files
+outside the package (tests, benchmarks) still get the universal
+suppression-hygiene checks the engine performs itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from .findings import Finding
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    #: path as given to the engine; reproduced verbatim in findings.
+    path: str
+    #: package-relative posix path under ``src/repro`` (``core/optimal.py``),
+    #: or None when the file is outside the repro package.
+    module: Optional[str]
+    source: str
+    tree: ast.Module
+
+
+class Rule(ABC):
+    """Base class for reprolint rules."""
+
+    #: unique ``REPxxx`` identifier, used in reports and suppressions.
+    code: ClassVar[str]
+    #: short kebab-case name for ``--list-rules``.
+    name: ClassVar[str]
+    #: one-line description of the convention the rule enforces.
+    summary: ClassVar[str]
+    #: package-relative prefixes the rule applies to; None = whole package.
+    packages: ClassVar[Optional[Tuple[str, ...]]] = None
+    #: package-relative files exempt because they *implement* the sanctioned
+    #: helpers the rule points everyone else at.
+    exempt: ClassVar[Tuple[str, ...]] = ()
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.module is None:
+            return False
+        if ctx.module in self.exempt:
+            return False
+        if self.packages is None:
+            return True
+        return any(ctx.module.startswith(prefix) for prefix in self.packages)
+
+    @abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file (already scope-filtered)."""
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_cls.code
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def rule_codes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select``."""
+    if select is None:
+        return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+    chosen = list(select)
+    unknown = [code for code in chosen if code not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule codes: {', '.join(sorted(unknown))}")
+    return [_REGISTRY[code]() for code in sorted(set(chosen))]
+
+
+def is_known_code(code: str) -> bool:
+    return code in _REGISTRY

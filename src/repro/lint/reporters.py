@@ -1,0 +1,43 @@
+"""Reporters: render findings as human text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from .findings import Finding
+
+JSON_SCHEMA = "repro.lint/1"
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
+    lines = [finding.render() for finding in findings]
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        counts = count_by_code(findings)
+        breakdown = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+        lines.append(
+            f"{len(findings)} finding(s) in {files_checked} {noun} ({breakdown})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """A stable JSON document (schema ``repro.lint/1``)."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "files_checked": files_checked,
+        "counts": count_by_code(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def count_by_code(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return counts

@@ -1,0 +1,28 @@
+"""The domain rules reprolint ships.
+
+Each module defines and registers one rule; importing this package (which
+the engine does) populates the registry.  The codes:
+
+* REP001 — interval discipline: no raw ``<=``/``>=`` membership tests on
+  contact endpoint attributes outside ``core/contact.py``.
+* REP002 — no float-literal ``==``/``!=`` in ``core/`` and ``analysis/``
+  outside the pinned-equality helpers in ``core/floats.py``.
+* REP003 — obs hot-loop discipline: no instrument lookups inside loop
+  bodies in ``core/``, ``baselines/``, ``forwarding/``.
+* REP004 — determinism: no wall clocks or global RNG state in ``core/``,
+  ``random_temporal/``, ``mobility/``.
+* REP005 — public functions in ``core/`` carry complete annotations.
+
+REP000 (suppression hygiene) is implemented by the engine itself and is
+not a registrable rule.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (import for the registration side effect)
+    rep001_intervals,
+    rep002_float_equality,
+    rep003_hot_loops,
+    rep004_determinism,
+    rep005_annotations,
+)

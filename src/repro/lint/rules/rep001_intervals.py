@@ -1,0 +1,58 @@
+"""REP001: contact-interval membership tests belong in core/contact.py.
+
+The paper's journey semantics hinge on which interval conventions are
+closed and which are half-open (the seed's ``contacts_beginning_in``
+treated its window as closed at both ends and double-counted boundary
+contacts — exactly an inline ``t_beg <= t1`` membership test).  Raw
+``<=``/``>=`` comparisons against ``.t_beg``/``.t_end`` scattered through
+the tree make those conventions impossible to audit, so they are only
+allowed inside ``core/contact.py``, whose helpers (``Contact.active_at``,
+``Contact.within``, ``Contact.overlaps``, ``Contact.clipped``) everyone
+else must call.
+
+Strict ``<``/``>`` comparisons are deliberately not flagged: ordering
+contacts is fine; it is *boundary-including membership* that encodes an
+interval convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+_ENDPOINT_ATTRS = frozenset({"t_beg", "t_end"})
+
+
+@register
+class IntervalDiscipline(Rule):
+    code = "REP001"
+    name = "interval-discipline"
+    summary = (
+        "no raw <=/>= membership tests on contact endpoints outside "
+        "core/contact.py's helpers"
+    )
+    packages = None  # the whole repro package
+    exempt = ("core/contact.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.LtE, ast.GtE)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Attribute)
+                and operand.attr in _ENDPOINT_ATTRS
+                for operand in operands
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "raw <=/>= membership test on a contact endpoint; use "
+                    "Contact.active_at/within/overlaps/clipped (core/contact.py) "
+                    "so the half-open vs closed convention lives in one place",
+                )

@@ -1,0 +1,59 @@
+"""REP002: no float-literal equality in core/ and analysis/.
+
+Delay values, CDF levels and frontier coordinates are floats that flow
+through arithmetic; comparing them to a float literal with ``==``/``!=``
+is either a bug (rounding drift) or an intentional *pinned* equality
+against a sentinel that arithmetic never touched.  The second case must
+be spelled through :func:`repro.core.floats.pinned_equal` (or its
+companions), which documents the intent and is the rule's one exempt
+module.
+
+Only comparisons against float *literals* are flagged: variable-to-
+variable float equality cannot be recognised syntactically, and the
+frontier DP legitimately pins equality between untouched coordinates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    # A negated literal (-1.0) parses as UnaryOp(USub, Constant).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatLiteralEquality(Rule):
+    code = "REP002"
+    name = "float-literal-equality"
+    summary = (
+        "no ==/!= against float literals in core/ and analysis/ outside "
+        "the pinned-equality helpers (core/floats.py)"
+    )
+    packages = ("core/", "analysis/")
+    exempt = ("core/floats.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_float_literal(operand) for operand in operands):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "==/!= against a float literal; if the equality is "
+                    "intentional (an untouched sentinel), spell it with "
+                    "repro.core.floats.pinned_equal / is_pinned_zero",
+                )

@@ -1,0 +1,94 @@
+"""REP003: metrics instrument lookups must be hoisted out of loops.
+
+The :mod:`repro.obs.metrics` design contract: accessor calls like
+``registry.counter("name", **labels)`` build a key tuple and hash it, so
+hot paths look instruments up *once* and call ``inc()``/``observe()`` on
+the held reference inside the loop.  PR 2's profile-metrics fold-in
+violated this (``metrics.counter("optimal.frontier_insertions", hop=hop)``
+inside the per-source loop — one dict lookup and key build per source per
+hop); this rule makes the convention mechanical for ``core/``,
+``baselines/`` and ``forwarding/``.
+
+Detection: a call ``<anything>.counter/gauge/histogram/timer("literal
+name", ...)`` lexically inside a ``for``/``while`` *body*.  Loop headers
+(the iterable / the condition) run once per loop entry and per test
+respectively and are not flagged; neither are comprehensions, whose
+element expressions cannot hold a hoisted reference at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+_ACCESSORS = frozenset({"counter", "gauge", "histogram", "timer"})
+
+
+class _LoopBodyVisitor(ast.NodeVisitor):
+    """Collect instrument-accessor calls inside for/while bodies."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.calls: List[ast.Call] = []
+
+    def _visit_loop_body(self, body: List[ast.stmt], orelse: List[ast.stmt]) -> None:
+        self.depth += 1
+        for stmt in body:
+            self.visit(stmt)
+        self.depth -= 1
+        # else: runs once, after the loop.
+        for stmt in orelse:
+            self.visit(stmt)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_loop_body(node.body, node.orelse)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_loop_body(node.body, node.orelse)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._visit_loop_body(node.body, node.orelse)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ACCESSORS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self.calls.append(node)
+        self.generic_visit(node)
+
+
+@register
+class HotLoopInstrumentLookup(Rule):
+    code = "REP003"
+    name = "hot-loop-instrument-lookup"
+    summary = (
+        "no registry.counter/gauge/histogram/timer lookups inside for/while "
+        "bodies in core/, baselines/, forwarding/ — hoist the reference"
+    )
+    packages = ("core/", "baselines/", "forwarding/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        visitor = _LoopBodyVisitor()
+        visitor.visit(ctx.tree)
+        for call in visitor.calls:
+            assert isinstance(call.func, ast.Attribute)
+            yield self.finding(
+                ctx,
+                call,
+                f"instrument lookup .{call.func.attr}(...) inside a loop "
+                "body; hoist the instrument reference before the loop and "
+                "mutate it inside (obs/metrics.py no-op-mode contract)",
+            )

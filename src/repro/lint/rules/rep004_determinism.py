@@ -1,0 +1,110 @@
+"""REP004: core computations must be deterministic and clock-free.
+
+The §3 phase-transition claims are Monte-Carlo estimates over the
+random-temporal generators; they are reproducible only because every
+sampling path threads an explicitly seeded ``np.random.Generator``.
+Wall-clock reads and global RNG state would silently break that (and the
+content-addressed profile cache, which assumes identical inputs produce
+identical outputs), so in ``core/``, ``random_temporal/`` and
+``mobility/`` this rule bans:
+
+* wall clocks — ``time.time()``, ``time.time_ns()``, ``datetime.now()``
+  and friends (clocks belong to :mod:`repro.obs`);
+* the module-level ``random`` API (``random.random()``, ``random.seed()``,
+  ...) — instantiating a seeded ``random.Random(seed)`` is fine;
+* the global-state ``np.random`` API (``np.random.normal()``,
+  ``np.random.seed()``, ...) and *unseeded* ``np.random.default_rng()`` —
+  ``default_rng(seed)`` and the capitalised constructors
+  (``Generator``, ``SeedSequence``, ``PCG64``, ...) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class Determinism(Rule):
+    code = "REP004"
+    name = "determinism"
+    summary = (
+        "no wall clocks, module-level random, or global np.random state in "
+        "core/, random_temporal/, mobility/"
+    )
+    packages = ("core/", "random_temporal/", "mobility/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCKS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {name}() in deterministic code; "
+                    "clocks belong to repro.obs",
+                )
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1][:1].islower()
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() uses the module-level global RNG; thread an "
+                    "explicitly seeded random.Random or np.random.Generator",
+                )
+                continue
+            if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+                attr = parts[2]
+                if attr == "default_rng":
+                    if not node.args:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "np.random.default_rng() without a seed is "
+                            "non-deterministic; pass an explicit seed "
+                            "(or seed sequence)",
+                        )
+                elif attr[:1].islower():
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() draws from numpy's global RNG state; use "
+                        "a seeded np.random.default_rng(...) Generator",
+                    )

@@ -1,0 +1,97 @@
+"""REP005: public functions in core/ carry complete type annotations.
+
+``mypy --strict`` enforces this globally in CI, but only for trees where
+mypy runs; this rule keeps the core package self-policing from the test
+suite alone (the container running tier-1 need not have mypy).  A
+function is *public* when its name has no leading underscore and, for
+methods, the enclosing class is public too; ``__init__`` of a public
+class counts as public.  Complete means: every parameter except
+``self``/``cls`` (first parameter of a non-static method) is annotated,
+including ``*args``/``**kwargs``, and the return type is spelled —
+``-> None`` included.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_staticmethod(node: _FunctionNode) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in node.decorator_list
+    )
+
+
+def _missing_annotations(node: _FunctionNode, is_method: bool) -> List[str]:
+    missing: List[str] = []
+    positional = list(node.args.posonlyargs) + list(node.args.args)
+    if is_method and not _is_staticmethod(node) and positional:
+        positional = positional[1:]  # self / cls
+    for arg in positional + list(node.args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if node.args.vararg is not None and node.args.vararg.annotation is None:
+        missing.append("*" + node.args.vararg.arg)
+    if node.args.kwarg is not None and node.args.kwarg.annotation is None:
+        missing.append("**" + node.args.kwarg.arg)
+    return missing
+
+
+@register
+class PublicAnnotations(Rule):
+    code = "REP005"
+    name = "public-annotations"
+    summary = "public functions in core/ must have complete type annotations"
+    packages = ("core/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._walk_body(ctx, ctx.tree.body, class_name=None)
+
+    def _walk_body(
+        self,
+        ctx: FileContext,
+        body: List[ast.stmt],
+        class_name: "str | None",
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._walk_body(ctx, stmt.body, class_name=stmt.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, stmt, class_name)
+                # Nested defs are implementation details; not descended.
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        node: _FunctionNode,
+        class_name: "str | None",
+    ) -> Iterator[Finding]:
+        if class_name is not None and class_name.startswith("_"):
+            return
+        if node.name.startswith("_") and node.name != "__init__":
+            return
+        if node.name == "__init__" and class_name is None:
+            return
+        qualified = node.name if class_name is None else f"{class_name}.{node.name}"
+        missing = _missing_annotations(node, is_method=class_name is not None)
+        if missing:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {qualified!r} has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {qualified!r} is missing a return "
+                "annotation (-> None counts)",
+            )

@@ -202,8 +202,8 @@ class CommunityProcess:
 
     def _pair_contacts(
         self,
-        u,
-        v,
+        u: int,
+        v: int,
         rate: float,
         durations: DurationModel,
         rng: np.random.Generator,

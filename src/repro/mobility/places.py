@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -89,7 +89,7 @@ class PlacesProcess:
     # ------------------------------------------------------------------
 
     def _unit_mean_lognormal(
-        self, rng: np.random.Generator, sigma: float, size
+        self, rng: np.random.Generator, sigma: float, size: "int | tuple[int, ...]"
     ) -> np.ndarray:
         if sigma == 0.0:
             return np.ones(size)
@@ -195,7 +195,7 @@ class PlacesProcess:
     def calibrated_to(
         self,
         target_contacts: float,
-        rng_factory,
+        rng_factory: Callable[[int], np.random.Generator],
         max_iterations: int = 4,
         tolerance: float = 0.15,
     ) -> "PlacesProcess":

@@ -21,7 +21,8 @@ import platform
 import subprocess
 import sys
 import time
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, cast
 
 SCHEMA = "repro.manifest/1"
 
@@ -74,7 +75,7 @@ class RunManifest:
         dataset: Optional[str] = None,
         scale: Optional[float] = None,
         params: Optional[Dict[str, object]] = None,
-    ):
+    ) -> None:
         from .. import __version__
 
         self.seed = seed
@@ -92,7 +93,7 @@ class RunManifest:
         self.platform = platform.platform()
         self.argv = list(sys.argv)
 
-    def update(self, **params) -> "RunManifest":
+    def update(self, **params: object) -> "RunManifest":
         """Record extra run parameters (overwrites on key collision)."""
         self.params.update(params)
         return self
@@ -125,26 +126,32 @@ class RunManifest:
     def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
         """Rehydrate a manifest from its JSON form (for tooling/tests)."""
         manifest = cls.__new__(cls)
-        manifest.seed = data.get("seed")
-        manifest.dataset = data.get("dataset")
-        manifest.scale = data.get("scale")
-        manifest.params = dict(data.get("params") or {})
-        manifest.started_unix = data.get("started_unix", 0.0)
+        manifest.seed = cast(Optional[int], data.get("seed"))
+        manifest.dataset = cast(Optional[str], data.get("dataset"))
+        manifest.scale = cast(Optional[float], data.get("scale"))
+        manifest.params = dict(
+            cast(Optional[Dict[str, object]], data.get("params")) or {}
+        )
+        manifest.started_unix = cast(float, data.get("started_unix", 0.0))
         manifest._wall0 = 0.0
-        manifest.runtime_s = data.get("runtime_s")
-        manifest.peak_rss_bytes = data.get("peak_rss_bytes")
-        manifest.git_sha = data.get("git_sha")
-        manifest.package_version = data.get("package_version")
-        manifest.python_version = data.get("python_version")
-        manifest.numpy_version = data.get("numpy_version")
-        manifest.platform = data.get("platform")
-        manifest.argv = list(data.get("argv") or [])
+        manifest.runtime_s = cast(Optional[float], data.get("runtime_s"))
+        manifest.peak_rss_bytes = cast(
+            Optional[int], data.get("peak_rss_bytes")
+        )
+        manifest.git_sha = cast(Optional[str], data.get("git_sha"))
+        manifest.package_version = cast(str, data.get("package_version"))
+        manifest.python_version = cast(str, data.get("python_version"))
+        manifest.numpy_version = cast(
+            Optional[str], data.get("numpy_version")
+        )
+        manifest.platform = cast(str, data.get("platform"))
+        manifest.argv = list(cast(Optional[List[str]], data.get("argv")) or [])
         return manifest
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=repr)
 
-    def write(self, path) -> None:
+    def write(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as stream:
             stream.write(self.to_json())
             stream.write("\n")

@@ -19,15 +19,22 @@ Labels: every instrument accessor accepts keyword labels
 (``registry.counter("optimal.frontier_insertions", hop=3)``); each label
 combination is a distinct instrument, rendered in snapshots as
 ``name{hop=3}`` — the per-hop-bound counters of the profile DP use this.
+Label values containing the structural characters ``, = { } " \\`` are
+rendered double-quoted with ``\\``-escaping, so distinct label sets can
+never collide into one snapshot key.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
 _Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: characters in a label value that would make `k=v,k2=v2` ambiguous.
+_NEEDS_QUOTING = frozenset('\\,={}"')
 
 
 def _key(name: str, labels: Dict[str, object]) -> _Key:
@@ -36,11 +43,18 @@ def _key(name: str, labels: Dict[str, object]) -> _Key:
     return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
 
 
+def _render_value(value: str) -> str:
+    if not _NEEDS_QUOTING.intersection(value):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
 def _render(key: _Key) -> str:
     name, labels = key
     if not labels:
         return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f"{k}={_render_value(v)}" for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
@@ -114,9 +128,13 @@ class Histogram:
             return
         self.count += other.count
         self.total += other.total
-        if self.minimum is None or other.minimum < self.minimum:
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
             self.minimum = other.minimum
-        if self.maximum is None or other.maximum > self.maximum:
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
             self.maximum = other.maximum
 
     @property
@@ -153,7 +171,7 @@ class Timer:
         self._cpu0 = time.process_time()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.wall.observe(time.perf_counter() - self._wall0)
         self.cpu_total += time.process_time() - self._cpu0
 
@@ -183,28 +201,28 @@ class MetricsRegistry:
         self._timers: Dict[_Key, Timer] = {}
 
     # -- accessors (create on first use) -------------------------------
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         key = _key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
             instrument = self._counters[key] = Counter()
         return instrument
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         key = _key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
             instrument = self._gauges[key] = Gauge()
         return instrument
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         key = _key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
             instrument = self._histograms[key] = Histogram()
         return instrument
 
-    def timer(self, name: str, **labels) -> Timer:
+    def timer(self, name: str, **labels: object) -> Timer:
         key = _key(name, labels)
         instrument = self._timers.get(key)
         if instrument is None:
@@ -243,7 +261,7 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def write(self, path) -> None:
+    def write(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as stream:
             stream.write(self.to_json())
             stream.write("\n")
@@ -287,7 +305,7 @@ class _NullTimer(Timer):
     def __enter__(self) -> "Timer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
     def record(self, wall_seconds: float, cpu_seconds: float = 0.0) -> None:
@@ -314,16 +332,16 @@ class NullRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return _NULL_COUNTER
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return _NULL_GAUGE
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return _NULL_HISTOGRAM
 
-    def timer(self, name: str, **labels) -> Timer:
+    def timer(self, name: str, **labels: object) -> Timer:
         return _NULL_TIMER
 
     def merge(self, other: MetricsRegistry) -> None:

@@ -28,8 +28,15 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 from .manifest import RunManifest
-from .metrics import MetricsRegistry, NullRegistry
-from .spans import NullTracer, SpanTracer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from .spans import NullTracer, Span, SpanTracer
 
 
 class Instrumentation:
@@ -43,7 +50,7 @@ class Instrumentation:
         tracer: SpanTracer,
         manifest: Optional[RunManifest],
         enabled: bool,
-    ):
+    ) -> None:
         self.metrics = metrics
         self.tracer = tracer
         self.manifest = manifest
@@ -73,19 +80,19 @@ class Instrumentation:
 
     # Convenience delegates, so call sites read `obs.span(...)` /
     # `obs.counter(...)` without reaching into the bundle.
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> Span:
         return self.tracer.span(name, **attrs)
 
-    def counter(self, name: str, **labels):
+    def counter(self, name: str, **labels: object) -> Counter:
         return self.metrics.counter(name, **labels)
 
-    def gauge(self, name: str, **labels):
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self.metrics.gauge(name, **labels)
 
-    def histogram(self, name: str, **labels):
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return self.metrics.histogram(name, **labels)
 
-    def timer(self, name: str, **labels):
+    def timer(self, name: str, **labels: object) -> Timer:
         return self.metrics.timer(name, **labels)
 
 

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, List, Optional
+from pathlib import Path
+from types import TracebackType
+from typing import Dict, List, Optional, Type
 
 
 class Span:
@@ -55,7 +57,7 @@ class Span:
         parent_id: Optional[int],
         depth: int,
         attrs: Dict[str, object],
-    ):
+    ) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
@@ -68,7 +70,7 @@ class Span:
         self._wall0 = 0.0
         self._cpu0 = 0.0
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: object) -> "Span":
         """Attach (or overwrite) attributes on the open span."""
         self.attrs.update(attrs)
         return self
@@ -80,7 +82,12 @@ class Span:
         self._tracer._push(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.wall_s = time.perf_counter() - self._wall0
         self.cpu_s = time.process_time() - self._cpu0
         if exc_type is not None:
@@ -110,7 +117,7 @@ class SpanTracer:
         self._stack: List[Span] = []
         self._next_id = 1
 
-    def span(self, name: str, **attrs) -> Span:
+    def span(self, name: str, **attrs: object) -> Span:
         parent = self._stack[-1] if self._stack else None
         span = Span(
             tracer=self,
@@ -152,7 +159,7 @@ class SpanTracer:
     def to_jsonl(self) -> str:
         return "".join(json.dumps(r, default=repr) + "\n" for r in self.records)
 
-    def write(self, path) -> None:
+    def write(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as stream:
             stream.write(self.to_jsonl())
 
@@ -164,24 +171,40 @@ class SpanTracer:
                 str(record["name"]), {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
             )
             entry["count"] += 1
-            entry["wall_s"] += record["wall_s"] or 0.0
-            entry["cpu_s"] += record["cpu_s"] or 0.0
+            wall_s, cpu_s = record["wall_s"], record["cpu_s"]
+            entry["wall_s"] += wall_s if isinstance(wall_s, float) else 0.0
+            entry["cpu_s"] += cpu_s if isinstance(cpu_s, float) else 0.0
         ranked = sorted(totals.items(), key=lambda kv: -kv[1]["wall_s"])
         return [{"name": name, **stats} for name, stats in ranked[:top]]
 
 
-class _NullSpan:
-    """Shared inert span: enter/exit/set do nothing, allocate nothing."""
+class _NullSpan(Span):
+    """Shared inert span: enter/exit/set do nothing, record nothing."""
 
     __slots__ = ()
 
-    def set(self, **attrs) -> "_NullSpan":
+    def __init__(self) -> None:
+        super().__init__(
+            tracer=SpanTracer(),
+            name="",
+            span_id=0,
+            parent_id=None,
+            depth=0,
+            attrs={},
+        )
+
+    def set(self, **attrs: object) -> "_NullSpan":
         return self
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         pass
 
 
@@ -193,7 +216,7 @@ class NullTracer(SpanTracer):
 
     enabled = False
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> Span:
         return _NULL_SPAN
 
     def merge(self, other: SpanTracer) -> None:

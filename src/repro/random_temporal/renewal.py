@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Tuple
+from typing import Callable, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -146,7 +146,7 @@ def renewal_instants(
 def renewal_temporal_network(
     n: int,
     contact_rate: float,
-    gaps_factory,
+    gaps_factory: Callable[[float], InterContactModel],
     horizon: float,
     rng: np.random.Generator,
     contact_duration: float = 0.0,
@@ -175,7 +175,7 @@ def renewal_temporal_network(
 def first_passage_renewal(
     n: int,
     contact_rate: float,
-    gaps_factory,
+    gaps_factory: Callable[[float], InterContactModel],
     horizon: float,
     rng: np.random.Generator,
     source: int = 0,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,7 +67,7 @@ def _relax_long(minhops: List[float], edges: Sequence[Tuple[int, int]]) -> None:
     The slot graph is sparse (about lambda * n / 2 edges), so a simple
     queue-driven relaxation is linear in practice.
     """
-    adjacency: dict = {}
+    adjacency: Dict[int, List[int]] = {}
     for u, v in edges:
         adjacency.setdefault(u, []).append(v)
         adjacency.setdefault(v, []).append(u)

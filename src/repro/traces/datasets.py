@@ -298,7 +298,11 @@ def _conference_dataset(
         lambda i: np.random.default_rng([seed, 200 + i]),
     )
 
-    def realise(corridor_proc, sessions_proc, stream):
+    def realise(
+        corridor_proc: CommunityProcess,
+        sessions_proc: PlacesProcess,
+        stream: int,
+    ) -> "tuple[TemporalNetwork, TemporalNetwork]":
         rng = np.random.default_rng([seed, stream])
         contacts = list(corridor_proc.generate(rng).contacts)
         contacts.extend(sessions_proc.generate(rng).contacts)
@@ -527,7 +531,7 @@ BUILDERS: Dict[str, Callable[..., TemporalNetwork]] = {
 }
 
 
-def build(name: str, seed: int = 1, scale: float = 1.0, **kwargs) -> TemporalNetwork:
+def build(name: str, seed: int = 1, scale: float = 1.0, **kwargs: object) -> TemporalNetwork:
     """Build a data set by key (see :data:`BUILDERS`)."""
     try:
         builder = BUILDERS[name]

@@ -79,7 +79,7 @@ def time_window(
     if clip:
         clipped = (c.clipped(t0, t1) for c in net.contacts)
         return net.with_contacts(c for c in clipped if c is not None)
-    return keep_if(net, lambda c: c.t_beg >= t0 and c.t_end <= t1)
+    return keep_if(net, lambda c: c.within(t0, t1))
 
 
 def restrict_nodes(

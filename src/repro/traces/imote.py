@@ -64,7 +64,7 @@ class ScanningModel:
         phases: Dict[Node, float] = {
             node: float(rng.uniform(0.0, self.granularity)) for node in net.nodes
         }
-        by_pair: Dict[tuple, List[Contact]] = {}
+        by_pair: Dict["tuple[Node, Node]", List[Contact]] = {}
         for contact in net.contacts:
             for recorded in self._scan_contact(contact, phases[contact.u], rng):
                 by_pair.setdefault((recorded.u, recorded.v), []).append(recorded)

@@ -1,0 +1,34 @@
+"""Shared fixture loading for the reprolint tests.
+
+Fixture files live in ``fixtures/`` with a ``.pytxt`` extension so the
+engine's directory walk (``*.py``) never lints them as part of the real
+tree — their whole point is to contain violations.  Line 1 of every
+fixture is ``# path: <pretend path>``; the loader strips it and lints the
+rest as if it lived at that path, which is how the package-scoped rules
+are exercised.
+"""
+
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name):
+    """Return (source, pretend_path) of one ``.pytxt`` fixture."""
+    text = (FIXTURES / f"{name}.pytxt").read_text(encoding="utf-8")
+    first, _, rest = text.partition("\n")
+    prefix = "# path:"
+    assert first.startswith(prefix), f"{name}: line 1 must be '# path: ...'"
+    return rest, first[len(prefix):].strip()
+
+
+@pytest.fixture
+def fixture_loader():
+    return load_fixture
+
+
+@pytest.fixture
+def repo_root():
+    return pathlib.Path(__file__).resolve().parents[2]

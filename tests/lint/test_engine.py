@@ -1,0 +1,200 @@
+"""Engine-level tests: suppression parsing and application, REP000
+hygiene, path scoping, reporters, the CLI entry point, and the
+self-clean guarantee that the shipped tree lints clean."""
+
+import json
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.cli import main
+from repro.lint.engine import (
+    LintError,
+    module_path,
+    parse_suppressions,
+)
+from repro.lint.reporters import JSON_SCHEMA, render_json, render_text
+
+VIOLATION = (
+    '"""doc"""\n'
+    "import time\n\n\n"
+    "def stamp() -> float:\n"
+    "    return time.time()\n"
+)
+
+SUPPRESSED = (
+    '"""doc"""\n'
+    "import time\n\n\n"
+    "def stamp() -> float:\n"
+    "    return time.time()  # reprolint: disable=REP004 -- frozen in tests\n"
+)
+
+STANDALONE = (
+    '"""doc"""\n'
+    "import time\n\n\n"
+    "def stamp() -> float:\n"
+    "    # reprolint: disable=REP004 -- frozen in tests\n"
+    "    return time.time()\n"
+)
+
+CORE_PATH = "src/repro/core/example.py"
+
+
+class TestModulePath:
+    def test_resolves_inside_src_repro(self):
+        assert module_path("src/repro/core/optimal.py") == "core/optimal.py"
+        assert (
+            module_path("/root/repo/src/repro/obs/metrics.py")
+            == "obs/metrics.py"
+        )
+
+    def test_outside_package_is_none(self):
+        assert module_path("tests/core/test_x.py") is None
+        assert module_path("benchmarks/run.py") is None
+
+
+class TestSuppressions:
+    def test_trailing_comment_parsed(self):
+        sups = parse_suppressions(SUPPRESSED)
+        assert len(sups) == 1
+        sup = sups[0]
+        assert sup.codes == ("REP004",)
+        assert sup.justified
+        assert sup.target_line == sup.line == 6
+
+    def test_standalone_comment_targets_next_code_line(self):
+        sups = parse_suppressions(STANDALONE)
+        assert len(sups) == 1
+        assert sups[0].line == 6
+        assert sups[0].target_line == 7
+
+    def test_trailing_suppression_silences_finding(self):
+        assert lint_source(VIOLATION, CORE_PATH, select=["REP004"]) != []
+        assert lint_source(SUPPRESSED, CORE_PATH, select=["REP004"]) == []
+
+    def test_standalone_suppression_silences_finding(self):
+        assert lint_source(STANDALONE, CORE_PATH, select=["REP004"]) == []
+
+    def test_suppression_is_code_specific(self):
+        source = SUPPRESSED.replace("REP004", "REP002")
+        findings = lint_source(source, CORE_PATH, select=["REP002", "REP004"])
+        assert [f.code for f in findings] == ["REP004"]
+
+    def test_multiple_codes_in_one_comment(self):
+        source = (
+            "import time\n\n\n"
+            "def f() -> bool:\n"
+            "    return time.time() == 0.0"
+            "  # reprolint: disable=REP002,REP004 -- fixture\n"
+        )
+        assert lint_source(source, CORE_PATH) == []
+
+
+class TestHygiene:
+    def test_bare_disable_fires_rep000(self):
+        source = VIOLATION.replace(
+            "return time.time()",
+            "return time.time()  # reprolint: disable=REP004",
+        )
+        findings = lint_source(source, CORE_PATH, select=["REP004"])
+        # The bare disable still silences REP004, but is itself a
+        # finding — the run stays red until the justification is added.
+        assert [f.code for f in findings] == ["REP000"]
+        assert "justification" in findings[0].message
+
+    def test_unknown_code_fires_rep000(self):
+        source = (
+            "def f() -> int:\n"
+            "    return 1  # reprolint: disable=REP999 -- no such rule\n"
+        )
+        findings = lint_source(source, CORE_PATH)
+        assert [f.code for f in findings] == ["REP000"]
+        assert "REP999" in findings[0].message
+
+    def test_rep000_cannot_be_suppressed(self):
+        source = (
+            "def f() -> int:\n"
+            "    return 1  # reprolint: disable=REP000,REP999 -- nice try\n"
+        )
+        findings = lint_source(source, CORE_PATH)
+        assert any(f.code == "REP000" for f in findings)
+
+
+class TestErrors:
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError):
+            lint_source("def broken(:\n", CORE_PATH)
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(LintError):
+            lint_source("x = 1\n", CORE_PATH, select=["REP999"])
+
+
+class TestReporters:
+    def _findings(self):
+        return lint_source(VIOLATION, CORE_PATH, select=["REP004"])
+
+    def test_text_reporter_lists_findings_and_summary(self):
+        text = render_text(self._findings(), files_checked=1)
+        assert f"{CORE_PATH}:6:" in text
+        assert "REP004" in text
+        assert "1 finding(s) in 1 file" in text
+
+    def test_text_reporter_clean(self):
+        assert "clean: 0 findings in 3 files" in render_text([], 3)
+
+    def test_json_reporter_shape(self):
+        payload = json.loads(render_json(self._findings(), files_checked=1))
+        assert payload["schema"] == JSON_SCHEMA
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"REP004": 1}
+        (finding,) = payload["findings"]
+        assert finding["path"] == CORE_PATH
+        assert finding["code"] == "REP004"
+        assert finding["line"] == 6
+
+
+class TestCli:
+    def _write(self, tmp_path, name, source):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / name
+        path.write_text(source)
+        return path
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self._write(tmp_path, "clean.py", "def f(x: int) -> int:\n    return x\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        self._write(tmp_path, "dirty.py", VIOLATION)
+        assert main([str(tmp_path)]) == 1
+        assert "REP004" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        self._write(tmp_path, "dirty.py", VIOLATION)
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"REP004": 1}
+
+    def test_select_filter(self, tmp_path):
+        self._write(tmp_path, "dirty.py", VIOLATION)
+        assert main(["--select", "REP002", str(tmp_path)]) == 0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out
+
+
+class TestSelfClean:
+    def test_shipped_tree_lints_clean(self, repo_root):
+        findings, files_checked = lint_paths([str(repo_root / "src")])
+        assert findings == []
+        assert files_checked > 50

@@ -1,0 +1,171 @@
+"""Fixture-driven tests: every REP rule fires on its minimal violation
+and stays silent on the compliant variant, and REP001/REP003 catch the
+pre-fix forms of real convention violations from this repo's history."""
+
+import pytest
+
+from repro.lint import lint_source
+
+from .conftest import load_fixture
+
+
+def codes_of(findings):
+    return sorted({f.code for f in findings})
+
+
+def lint_fixture(name, select=None):
+    source, path = load_fixture(name)
+    return lint_source(source, path, select=select)
+
+
+class TestFireAndSilence:
+    """The minimal-violation / compliant-variant pair of every rule."""
+
+    @pytest.mark.parametrize(
+        "code,expected_count",
+        [
+            ("REP001", 2),  # two Compare nodes in the and-joined test
+            ("REP002", 2),
+            ("REP003", 2),
+            ("REP004", 4),
+            ("REP005", 5),
+        ],
+    )
+    def test_fires_on_minimal_violation(self, code, expected_count):
+        findings = lint_fixture(f"{code.lower()}_violation")
+        assert codes_of(findings) == [code]
+        assert len(findings) == expected_count
+
+    @pytest.mark.parametrize(
+        "code", ["REP001", "REP002", "REP003", "REP004", "REP005"]
+    )
+    def test_silent_on_compliant_variant(self, code):
+        assert lint_fixture(f"{code.lower()}_clean") == []
+
+
+class TestHistoricalBugs:
+    """At least one rule demonstrably catches a real past defect."""
+
+    def test_rep001_catches_seed_contacts_beginning_in(self):
+        # The seed's closed-interval window selection (fixed in PR 2):
+        # the membership test `t0 <= c.t_beg <= t1` double-counts
+        # boundary contacts when chaining windows.
+        findings = lint_fixture("rep001_seed_contacts_beginning_in")
+        rep001 = [f for f in findings if f.code == "REP001"]
+        assert len(rep001) == 1
+        assert "t0 <= c.t_beg <= t1" in load_fixture(
+            "rep001_seed_contacts_beginning_in"
+        )[0].splitlines()[rep001[0].line - 1]
+
+    def test_rep003_catches_pr2_record_profile_metrics(self):
+        # Verbatim pre-fix loop body of core/optimal.py (commit d168df7):
+        # labelled counter lookup once per (source, hop).
+        findings = lint_fixture("rep003_pr2_record_profile_metrics")
+        rep003 = [f for f in findings if f.code == "REP003"]
+        assert len(rep003) == 2
+        assert all(".counter(...)" in f.message for f in rep003)
+
+
+class TestScoping:
+    """Rules apply only inside their package scopes."""
+
+    def test_rep001_exempts_contact_module(self):
+        source = (
+            "def overlaps(a: object, b: object) -> bool:\n"
+            "    return a.t_beg <= b.t_end\n"
+        )
+        assert lint_source(source, "src/repro/core/contact.py") == []
+        findings = lint_source(source, "src/repro/core/journeys.py")
+        assert codes_of(findings) == ["REP001"]
+
+    def test_rep002_exempts_floats_module(self):
+        source = (
+            "def pinned_equal(x: float, y: float) -> bool:\n"
+            "    return x == 0.0\n"
+        )
+        assert lint_source(source, "src/repro/core/floats.py") == []
+        assert codes_of(lint_source(source, "src/repro/core/paths.py")) == [
+            "REP002"
+        ]
+
+    def test_rep002_ignores_out_of_scope_packages(self):
+        source = "def f(p):\n    return p == 0.0\n"
+        assert lint_source(source, "src/repro/traces/filters.py") == []
+
+    def test_rep003_only_in_hot_packages(self):
+        source, _ = load_fixture("rep003_violation")
+        assert lint_source(source, "src/repro/traces/example.py") == []
+        assert (
+            codes_of(lint_source(source, "src/repro/forwarding/example.py"))
+            == ["REP003"]
+        )
+
+    def test_rep004_wall_clock_allowed_in_obs(self):
+        source = "import time\n\ndef stamp() -> float:\n    return time.time()\n"
+        assert lint_source(source, "src/repro/obs/spans.py") == []
+        assert codes_of(lint_source(source, "src/repro/core/cache.py")) == [
+            "REP004"
+        ]
+
+    def test_outside_repro_package_no_domain_rules(self):
+        source, _ = load_fixture("rep004_violation")
+        assert lint_source(source, "tests/core/test_example.py") == []
+
+    def test_select_restricts_rules(self):
+        source, path = load_fixture("rep005_violation")
+        assert lint_source(source, path, select=["REP001"]) == []
+        assert codes_of(lint_source(source, path, select=["REP005"])) == [
+            "REP005"
+        ]
+
+
+class TestRuleDetails:
+    def test_rep003_timer_lookup_in_while(self):
+        source = (
+            "def f(metrics):\n"
+            "    while True:\n"
+            "        with metrics.timer(\"x\"):\n"
+            "            pass\n"
+        )
+        findings = lint_source(
+            source, "src/repro/core/example.py", select=["REP003"]
+        )
+        assert codes_of(findings) == ["REP003"]
+
+    def test_rep003_requires_string_name(self):
+        # threading.Timer(...)-style calls with a non-literal first arg
+        # are not instrument lookups.
+        source = (
+            "def f(factory, interval):\n"
+            "    for _ in range(3):\n"
+            "        factory.timer(interval)\n"
+        )
+        assert (
+            lint_source(source, "src/repro/core/example.py", select=["REP003"])
+            == []
+        )
+
+    def test_rep004_seeded_default_rng_allowed(self):
+        source = (
+            "import numpy as np\n\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert lint_source(source, "src/repro/mobility/example.py") == []
+
+    def test_rep005_kwonly_and_starargs(self):
+        source = (
+            "def run(*args, workers=1, **kwargs) -> int:\n"
+            "    return workers\n"
+        )
+        findings = lint_source(source, "src/repro/core/example.py")
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "*args" in message and "workers" in message and "**kwargs" in message
+
+    def test_rep002_negative_literal(self):
+        source = "def f(x):\n    return x == -1.0\n"
+        findings = lint_source(
+            source, "src/repro/core/example.py", select=["REP002"]
+        )
+        assert codes_of(findings) == ["REP002"]

@@ -30,6 +30,42 @@ class TestCounters:
         assert registry.counter("c", b=2, a=1).value == 1
 
 
+class TestLabelRendering:
+    def test_benign_values_render_bare(self):
+        registry = MetricsRegistry()
+        registry.counter("c", hop=3, trace="infocom06").inc()
+        snap = registry.to_dict()["counters"]
+        assert snap == {"c{hop=3,trace=infocom06}": 1}
+
+    def test_structural_characters_are_quoted(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path="a=b,c").inc(1)
+        registry.counter("c", path="a", extra="b,c").inc(2)
+        snap = registry.to_dict()["counters"]
+        # Without quoting both keys would render as c{path=a=b,c...}-ish
+        # ambiguous strings; with it they stay distinct.
+        assert snap == {'c{path="a=b,c"}': 1, 'c{extra="b,c",path=a}': 2}
+
+    def test_quotes_and_backslashes_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", label='say "hi"\\now').set(1.0)
+        snap = registry.to_dict()["gauges"]
+        assert snap == {'g{label="say \\"hi\\"\\\\now"}': 1.0}
+
+    def test_braces_trigger_quoting(self):
+        registry = MetricsRegistry()
+        registry.counter("c", pattern="{x}").inc()
+        assert registry.to_dict()["counters"] == {'c{pattern="{x}"}': 1}
+
+    def test_distinct_label_sets_never_collide(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="x=1,b=2").inc(1)
+        registry.counter("c", a="x=1", b="2").inc(2)
+        snap = registry.to_dict()["counters"]
+        assert len(snap) == 2
+        assert sorted(snap.values()) == [1, 2]
+
+
 class TestHistograms:
     def test_summary_statistics(self):
         registry = MetricsRegistry()

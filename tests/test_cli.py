@@ -93,6 +93,27 @@ class TestDelayCdf:
         assert "k=1" in out and "k=2" in out and "k=inf" in out
 
 
+class TestWorkerParity:
+    """Parallel profile computation must be invisible in the output:
+    ``--workers 2`` byte-identical to ``--workers 1``."""
+
+    @pytest.mark.parametrize(
+        "command,extra",
+        [
+            ("diameter", ["--max-hops", "6", "--grid-points", "8"]),
+            ("delay-cdf", ["--max-hops", "3"]),
+        ],
+    )
+    def test_workers_do_not_change_output(
+        self, trace_file, capsys, command, extra
+    ):
+        assert main([command, str(trace_file), *extra, "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([command, str(trace_file), *extra, "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+
 class TestTheory:
     def test_prints_constants(self, capsys):
         assert main(["theory", "0.5"]) == 0

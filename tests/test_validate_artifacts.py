@@ -1,0 +1,150 @@
+"""Tests for benchmarks/validate_artifacts.py — the artefact checks CI
+runs after the smoke benchmarks (extracted from inline workflow
+heredocs so they can be exercised here)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_artifacts", _ROOT / "benchmarks" / "validate_artifacts.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+va = _load_validator()
+
+
+def _bench_payload(**overrides):
+    payload = {
+        "schema": "repro.bench/1",
+        "bench": "fig9_delay_cdf",
+        "seed": 7,
+        "scale": 0.05,
+        "exit_code": 0,
+        "metrics": {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timers": {},
+        },
+        "manifest": {
+            "runtime_s": 1.25,
+            "python_version": "3.11.0",
+            "started_unix": 1700000000.0,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestBenchDir:
+    def test_valid_directory_reports_each_artifact(self, tmp_path):
+        _write(tmp_path / "BENCH_a.json", _bench_payload(bench="a"))
+        _write(tmp_path / "BENCH_b.json", _bench_payload(bench="b"))
+        lines = va.validate_bench_dir(tmp_path)
+        assert len(lines) == 2
+        assert all("ok" in line for line in lines)
+
+    def test_empty_directory_fails(self, tmp_path):
+        with pytest.raises(va.ValidationError, match="no BENCH_"):
+            va.validate_bench_dir(tmp_path)
+
+    def test_malformed_payload_fails(self, tmp_path):
+        _write(tmp_path / "BENCH_bad.json", _bench_payload(schema="wrong"))
+        with pytest.raises(va.ValidationError, match="bad schema"):
+            va.validate_bench_dir(tmp_path)
+
+    def test_unparseable_json_fails(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        with pytest.raises(va.ValidationError, match="cannot load"):
+            va.validate_bench_dir(tmp_path)
+
+
+def _cached_payload(counters):
+    metrics = {"counters": counters, "gauges": {}, "histograms": {}, "timers": {}}
+    return _bench_payload(metrics=metrics)
+
+
+class TestCacheRerun:
+    def _pair(self, tmp_path, cold_counters, warm_counters):
+        cold = _write(tmp_path / "cold.json", _cached_payload(cold_counters))
+        warm = _write(tmp_path / "warm.json", _cached_payload(warm_counters))
+        return cold, warm
+
+    def test_clean_cold_warm_pair_passes(self, tmp_path):
+        cold, warm = self._pair(
+            tmp_path,
+            {"profiles.cache.miss": 6},
+            {"profiles.cache.hit": 6, "profiles.cache.miss": 0},
+        )
+        lines = va.validate_cache_rerun(cold, warm)
+        assert any("misses: 6" in line for line in lines)
+        assert any("hits:   6" in line for line in lines)
+
+    def test_cold_run_without_misses_fails(self, tmp_path):
+        cold, warm = self._pair(tmp_path, {}, {"profiles.cache.hit": 6})
+        with pytest.raises(va.ValidationError, match="no cache misses"):
+            va.validate_cache_rerun(cold, warm)
+
+    def test_warm_run_with_misses_fails(self, tmp_path):
+        cold, warm = self._pair(
+            tmp_path,
+            {"profiles.cache.miss": 6},
+            {"profiles.cache.hit": 4, "profiles.cache.miss": 2},
+        )
+        with pytest.raises(va.ValidationError, match="still missed"):
+            va.validate_cache_rerun(cold, warm)
+
+    def test_warm_run_with_invalidations_fails(self, tmp_path):
+        cold, warm = self._pair(
+            tmp_path,
+            {"profiles.cache.miss": 6},
+            {"profiles.cache.hit": 6, "profiles.cache.invalid": 1},
+        )
+        with pytest.raises(va.ValidationError, match="invalidated"):
+            va.validate_cache_rerun(cold, warm)
+
+    def test_nonzero_exit_code_fails(self, tmp_path):
+        cold = _write(
+            tmp_path / "cold.json",
+            _bench_payload(exit_code=3),
+        )
+        warm = _write(tmp_path / "warm.json", _cached_payload({}))
+        with pytest.raises(va.ValidationError, match="exit_code"):
+            va.validate_cache_rerun(cold, warm)
+
+
+class TestCli:
+    def test_bench_subcommand_exit_codes(self, tmp_path, capsys):
+        _write(tmp_path / "BENCH_a.json", _bench_payload())
+        assert va.main(["bench", str(tmp_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert va.main(["bench", str(empty)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_cache_rerun_subcommand(self, tmp_path, capsys):
+        cold = _write(
+            tmp_path / "cold.json", _cached_payload({"profiles.cache.miss": 2})
+        )
+        warm = _write(
+            tmp_path / "warm.json", _cached_payload({"profiles.cache.hit": 2})
+        )
+        assert va.main(["cache-rerun", str(cold), str(warm)]) == 0
+        assert "warm run hits" in capsys.readouterr().out
