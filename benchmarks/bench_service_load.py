@@ -1,0 +1,227 @@
+"""Load harness for ``repro.service`` — the concurrent query front end.
+
+Three phases against in-process service instances, all inside one
+observed bench session so ``BENCH_service_load.json`` carries the
+counters CI validates:
+
+* **coalesce** — 8 concurrent identical delay-CDF queries must reach
+  the backend exactly once (single-flight) and every response must be
+  byte-identical to the ``repro`` CLI's output for the same arguments;
+* **throughput** — a closed-loop sweep over the warm result store,
+  reporting requests/s and p50/p99 latency of the HTTP path;
+* **backpressure** — a deliberately tiny pool (1 worker, 1 queue slot)
+  must shed a third distinct in-flight query with ``429`` and a
+  ``Retry-After`` hint rather than buffer it without bound.
+
+The summary lands on the run manifest (``params.service_load``), which
+``validate_artifacts.py service-load`` checks in CI.
+"""
+
+import io
+import os
+import tempfile
+import threading
+import time
+from contextlib import redirect_stdout
+
+import numpy as np
+
+from _common import SEED, banner, standalone
+from repro.cli import main as cli_main
+from repro.obs import get_obs
+from repro.service import (
+    ReproService,
+    ServiceClient,
+    ServiceConfig,
+    serve_in_thread,
+)
+
+#: Concurrent identical queries in the coalescing phase (the issue's
+#: acceptance bar: >= 7/8 of them coalesced onto one computation).
+CONCURRENCY = 8
+
+#: Closed-loop requests in the throughput phase.
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "60"))
+
+#: The query every phase issues (small enough for smoke CI).
+QUERY = {"max_hops": 3, "grid_points": 8}
+
+
+def cli_reference_bytes(trace):
+    """The CLI's stdout for the phase-A query — the parity oracle."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli_main(
+            [
+                "delay-cdf", trace,
+                "--max-hops", str(QUERY["max_hops"]),
+                "--grid-points", str(QUERY["grid_points"]),
+            ]
+        )
+    assert code == 0, f"reference CLI run failed with exit code {code}"
+    return buffer.getvalue().encode("utf-8")
+
+
+def start_service(root, **overrides):
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("allow_test_delay", True)
+    service = ReproService(ServiceConfig(cache_dir=root, **overrides))
+    server, _thread, url = serve_in_thread(service)
+    return service, server, ServiceClient(url, timeout_s=300.0)
+
+
+def phase_coalesce(client, trace, expected):
+    """8 concurrent identical queries: one computation, identical bytes."""
+    responses = [None] * CONCURRENCY
+    # A short pre-computation delay keeps every late joiner inside the
+    # in-flight window, making the coalesce count deterministic.
+    def issue(i):
+        responses[i] = client.delay_cdf(trace, _test_delay_s=0.5, **QUERY)
+
+    threads = [
+        threading.Thread(target=issue, args=(i,)) for i in range(CONCURRENCY)
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+
+    statuses = [r.status for r in responses]
+    assert statuses == [200] * CONCURRENCY, f"statuses: {statuses}"
+    bodies = {r.body for r in responses}
+    assert len(bodies) == 1, "coalesced responses disagreed"
+    byte_identical = bodies == {expected}
+    assert byte_identical, "service response differs from the CLI's bytes"
+
+    counters = get_obs().metrics.to_dict()["counters"]
+    computed = int(counters.get("service.jobs.computed", 0))
+    coalesced = int(counters.get("service.jobs.coalesced", 0))
+    assert computed == 1, f"expected exactly 1 computation, got {computed}"
+    assert coalesced >= CONCURRENCY - 1, f"only {coalesced} coalesced"
+    return {
+        "concurrency": CONCURRENCY,
+        "computed": computed,
+        "coalesced": coalesced,
+        "coalesce_ratio": coalesced / CONCURRENCY,
+        "byte_identical": byte_identical,
+        "wall_s": elapsed,
+    }
+
+
+def phase_throughput(client, trace):
+    """Closed-loop sweep over the warm store: requests/s, p50/p99."""
+    latencies = []
+    begin = time.perf_counter()
+    for _ in range(REQUESTS):
+        t0 = time.perf_counter()
+        response = client.delay_cdf(trace, **QUERY)
+        latencies.append(time.perf_counter() - t0)
+        assert response.status == 200
+    elapsed = time.perf_counter() - begin
+    counters = get_obs().metrics.to_dict()["counters"]
+    hits = int(counters.get("service.store.hit", 0))
+    p50, p99 = np.percentile(latencies, [50, 99])
+    return {
+        "requests": REQUESTS,
+        "throughput_rps": REQUESTS / elapsed,
+        "latency_p50_s": float(p50),
+        "latency_p99_s": float(p99),
+        "store_hits": hits,
+        "store_hit_ratio": hits / REQUESTS,
+    }
+
+
+def phase_backpressure(root, trace):
+    """1 worker + 1 queue slot: the third distinct query is shed."""
+    service, server, client = start_service(
+        os.path.join(root, "tiny"), workers=1, queue_capacity=1
+    )
+    try:
+        holders = [None, None]
+
+        def occupy(i):
+            # Distinct max_hops so neither occupant coalesces or hits
+            # the store; the delay keeps both slots held.
+            holders[i] = client.delay_cdf(
+                trace, max_hops=4 + i, grid_points=8, _test_delay_s=2.0
+            )
+
+        threads = [
+            threading.Thread(target=occupy, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)  # both occupants admitted (worker + queue slot)
+        shed = client.delay_cdf(trace, max_hops=6, grid_points=8)
+        for thread in threads:
+            thread.join()
+
+        assert shed.status == 429, f"expected 429, got {shed.status}"
+        retry_after = int(shed.headers["Retry-After"])
+        assert retry_after >= 1
+        assert [h.status for h in holders] == [200, 200]
+        counters = get_obs().metrics.to_dict()["counters"]
+        return {
+            "rejected_status": shed.status,
+            "retry_after_s": retry_after,
+            "pool_rejected": int(counters.get("service.pool.rejected", 0)),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close(drain=True, timeout_s=30.0)
+
+
+def main():
+    banner(
+        "service_load",
+        "query service under load: coalescing, throughput, backpressure",
+    )
+    root = tempfile.mkdtemp(prefix="repro-service-bench-")
+    trace = os.path.join(root, "trace.txt")
+    code = cli_main(
+        ["generate", "infocom05", trace, "--seed", str(SEED), "--scale", "0.02"]
+    )
+    assert code == 0, "trace generation failed"
+    expected = cli_reference_bytes(trace)
+
+    service, server, client = start_service(os.path.join(root, "main"))
+    try:
+        coalesce = phase_coalesce(client, trace, expected)
+        throughput = phase_throughput(client, trace)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close(drain=True, timeout_s=30.0)
+    backpressure = phase_backpressure(root, trace)
+
+    summary = {
+        "coalesce": coalesce,
+        "throughput": throughput,
+        "backpressure": backpressure,
+    }
+    obs = get_obs()
+    if obs.enabled and obs.manifest is not None:
+        obs.manifest.update(service_load=summary)
+
+    print()
+    print(f"coalesce:      {coalesce['coalesced']}/{CONCURRENCY} requests "
+          f"coalesced onto {coalesce['computed']} computation "
+          f"(ratio {coalesce['coalesce_ratio']:.3f}, byte-identical "
+          f"{coalesce['byte_identical']})")
+    print(f"throughput:    {throughput['throughput_rps']:.1f} req/s over "
+          f"{REQUESTS} warm requests "
+          f"(p50 {throughput['latency_p50_s'] * 1000:.1f} ms, "
+          f"p99 {throughput['latency_p99_s'] * 1000:.1f} ms, "
+          f"store-hit ratio {throughput['store_hit_ratio']:.3f})")
+    print(f"backpressure:  saturated pool shed with "
+          f"{backpressure['rejected_status']} + Retry-After "
+          f"{backpressure['retry_after_s']}s "
+          f"({backpressure['pool_rejected']} rejection(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    standalone(main)

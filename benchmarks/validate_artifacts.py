@@ -7,11 +7,17 @@ importable, testable, and usable locally::
     PYTHONPATH=src python benchmarks/validate_artifacts.py cache-rerun \\
         bench-cold/BENCH_fig9_delay_cdf.json \\
         bench-warm/BENCH_fig9_delay_cdf.json
+    PYTHONPATH=src python benchmarks/validate_artifacts.py service-load \\
+        bench-out/BENCH_service_load.json
 
 ``bench`` checks every ``BENCH_*.json`` under a directory against the
 bench payload schema.  ``cache-rerun`` checks a cold/warm pair of runs
 against a shared profile cache: the cold run must miss, the warm run
-must hit without a single miss or invalidation.
+must hit without a single miss or invalidation.  ``service-load``
+checks the query-service load harness record: single-flight coalescing
+(exactly one computation for the concurrent burst, ratio >= 7/8),
+byte-identical responses, and at least one ``429`` shed under
+saturation.
 """
 
 from __future__ import annotations
@@ -101,6 +107,61 @@ def validate_cache_rerun(
     ]
 
 
+def validate_service_load(path: pathlib.Path) -> List[str]:
+    """Check one ``BENCH_service_load.json`` load-harness record."""
+    payload = _load(path)
+    counters = _counters(payload, path)
+    manifest = payload.get("manifest")
+    if not isinstance(manifest, dict) or not isinstance(
+        manifest.get("params"), dict
+    ):
+        raise ValidationError(f"{path}: no manifest params")
+    summary = manifest["params"].get("service_load")
+    if not isinstance(summary, dict):
+        raise ValidationError(f"{path}: no service_load summary on manifest")
+    for section in ("coalesce", "throughput", "backpressure"):
+        if not isinstance(summary.get(section), dict):
+            raise ValidationError(f"{path}: summary missing {section!r}")
+    coalesce = summary["coalesce"]
+    if coalesce.get("computed") != 1:
+        raise ValidationError(
+            f"{path}: concurrent burst computed "
+            f"{coalesce.get('computed')!r} times, expected exactly 1"
+        )
+    concurrency = int(coalesce.get("concurrency", 0))
+    ratio = float(coalesce.get("coalesce_ratio", 0.0))
+    if concurrency < 2 or ratio < (concurrency - 1) / concurrency:
+        raise ValidationError(
+            f"{path}: coalesce ratio {ratio:.3f} below "
+            f"{concurrency - 1}/{concurrency}"
+        )
+    if coalesce.get("byte_identical") is not True:
+        raise ValidationError(
+            f"{path}: service responses were not byte-identical to the CLI"
+        )
+    throughput = summary["throughput"]
+    if not float(throughput.get("throughput_rps", 0.0)) > 0.0:
+        raise ValidationError(f"{path}: non-positive throughput")
+    backpressure = summary["backpressure"]
+    if backpressure.get("rejected_status") != 429:
+        raise ValidationError(
+            f"{path}: saturation was not shed with 429: "
+            f"{backpressure.get('rejected_status')!r}"
+        )
+    if counters.get("service.pool.rejected", 0) <= 0:
+        raise ValidationError(
+            f"{path}: no service.pool.rejected counter recorded"
+        )
+    return [
+        f"coalesce: {coalesce['coalesced']}/{concurrency} "
+        f"(ratio {ratio:.3f}, byte-identical)",
+        f"throughput: {float(throughput['throughput_rps']):.1f} req/s "
+        f"(p99 {float(throughput.get('latency_p99_s', 0.0)) * 1000:.1f} ms)",
+        f"backpressure: 429 + Retry-After "
+        f"{backpressure.get('retry_after_s')}s",
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="validate_artifacts", description=__doc__.splitlines()[0]
@@ -113,12 +174,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     rerun.add_argument("cold", type=pathlib.Path)
     rerun.add_argument("warm", type=pathlib.Path)
+    service = sub.add_parser(
+        "service-load", help="validate the service load harness record"
+    )
+    service.add_argument("artifact", type=pathlib.Path)
     args = parser.parse_args(argv)
     try:
         if args.command == "bench":
             lines = validate_bench_dir(args.out_dir)
-        else:
+        elif args.command == "cache-rerun":
             lines = validate_cache_rerun(args.cold, args.warm)
+        else:
+            lines = validate_service_load(args.artifact)
     except ValidationError as exc:
         print(f"validate_artifacts: {exc}", file=sys.stderr)
         return 1

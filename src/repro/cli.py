@@ -43,6 +43,17 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("trace", help="contact-trace file (u v t_beg t_end lines)")
 
 
+def positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (workers, pool sizes)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     net = datasets.build(args.dataset, seed=args.seed, scale=args.scale)
     write_contacts(net, args.output, header=f"synthetic {args.dataset}")
@@ -214,8 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_compute_arguments(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--workers", type=int, default=1,
-            help="processes for the per-source profile computation",
+            "--workers", type=positive_int, default=1,
+            help="processes for the per-source profile computation (>= 1)",
         )
         p.add_argument(
             "--cache-dir", metavar="DIR",

@@ -16,8 +16,16 @@ trusted: :func:`repro.core.storage.load_profiles` re-verifies the
 embedded trace digest on every load.
 
 Cache traffic is observable: counters ``profiles.cache.hit`` /
-``.miss`` / ``.invalid`` and the ``cache.load_or_compute`` span land in
-the active :mod:`repro.obs` bundle.
+``.miss`` / ``.invalid`` / ``.evict`` and the ``cache.load_or_compute``
+span land in the active :mod:`repro.obs` bundle.
+
+Bounded mode: pass ``max_bytes`` to cap the directory's total size.
+Hits refresh an entry's mtime, so eviction (oldest mtime first) is LRU.
+Eviction uses ``unlink`` only — on POSIX an entry that another process
+is concurrently reading stays readable through its open file descriptor
+until the read completes, so eviction can never tear an in-progress
+load.  The default (``max_bytes=None``) keeps the historical unbounded
+behaviour.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Collection, Iterable, Optional, Union
 
 from ..obs import get_obs
 from .contact import Node
@@ -42,7 +50,7 @@ from .temporal_network import TemporalNetwork
 
 PathLike = Union[str, Path]
 
-__all__ = ["load_or_compute", "profile_cache_key", "cache_path"]
+__all__ = ["load_or_compute", "profile_cache_key", "cache_path", "evict_lru"]
 
 
 def profile_cache_key(
@@ -80,6 +88,53 @@ def cache_path(cache_dir: PathLike, key: str) -> Path:
     return Path(cache_dir) / f"profiles-{key[:32]}.npz"
 
 
+def evict_lru(
+    directory: PathLike,
+    pattern: str,
+    max_bytes: int,
+    keep: Collection[PathLike] = (),
+    counter: str = "profiles.cache.evict",
+) -> int:
+    """Unlink oldest-mtime files matching ``pattern`` until the total is
+    at most ``max_bytes``; returns the number of evictions.
+
+    ``keep`` paths are never evicted (typically the entry just written
+    or served).  Entries that vanish mid-scan — another process racing
+    the same budget — are skipped, not errors.  Unlinking is safe
+    against concurrent readers on POSIX: an open descriptor keeps the
+    data alive until closed.  Each eviction increments ``counter`` on
+    the active :mod:`repro.obs` bundle.
+    """
+    root = Path(directory)
+    protected = {Path(p).resolve() for p in keep}
+    entries = []
+    total = 0
+    for path in root.glob(pattern):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime_ns, stat.st_size, path))
+        total += stat.st_size
+    if total <= max_bytes:
+        return 0
+    evicted = 0
+    evictions = get_obs().metrics.counter(counter)
+    for _, size, path in sorted(entries):
+        if total <= max_bytes:
+            break
+        if path.resolve() in protected:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        evicted += 1
+    evictions.inc(evicted)
+    return evicted
+
+
 def load_or_compute(
     network: TemporalNetwork,
     cache_dir: PathLike,
@@ -88,12 +143,15 @@ def load_or_compute(
     max_rounds: Optional[int] = None,
     slack: float = 0.0,
     workers: int = 1,
+    max_bytes: Optional[int] = None,
 ) -> PathProfileSet:
     """``compute_profiles`` with a content-addressed disk cache.
 
     Args match :func:`repro.core.optimal.compute_profiles` plus
-    ``cache_dir``, the cache root (created on demand).  ``sources`` and
-    ``hop_bounds`` are materialised up front so they may be generators.
+    ``cache_dir``, the cache root (created on demand), and ``max_bytes``,
+    the LRU size budget for the directory (None = unbounded).
+    ``sources`` and ``hop_bounds`` are materialised up front so they may
+    be generators.
     """
     hop_bounds = tuple(hop_bounds)
     sources = None if sources is None else list(sources)
@@ -122,6 +180,11 @@ def load_or_compute(
                 obs.metrics.counter("profiles.cache.hit").inc()
                 if obs.enabled:
                     span.set(outcome="hit")
+                # Refresh recency so a bounded cache evicts LRU-first.
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
                 return profiles
         else:
             if obs.enabled:
@@ -145,4 +208,6 @@ def load_or_compute(
         finally:
             if tmp.exists():
                 tmp.unlink()
+        if max_bytes is not None:
+            evict_lru(path.parent, "profiles-*.npz", max_bytes, keep=(path,))
     return profiles

@@ -7,7 +7,8 @@ the held reference inside the loop.  PR 2's profile-metrics fold-in
 violated this (``metrics.counter("optimal.frontier_insertions", hop=hop)``
 inside the per-source loop — one dict lookup and key build per source per
 hop); this rule makes the convention mechanical for ``core/``,
-``baselines/`` and ``forwarding/``.
+``baselines/``, ``forwarding/`` and ``service/`` (whose request loop and
+pool supervisor run hot under load).
 
 Detection: a call ``<anything>.counter/gauge/histogram/timer("literal
 name", ...)`` lexically inside a ``for``/``while`` *body*.  Loop headers
@@ -76,9 +77,10 @@ class HotLoopInstrumentLookup(Rule):
     name = "hot-loop-instrument-lookup"
     summary = (
         "no registry.counter/gauge/histogram/timer lookups inside for/while "
-        "bodies in core/, baselines/, forwarding/ — hoist the reference"
+        "bodies in core/, baselines/, forwarding/, service/ — hoist the "
+        "reference"
     )
-    packages = ("core/", "baselines/", "forwarding/")
+    packages = ("core/", "baselines/", "forwarding/", "service/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         visitor = _LoopBodyVisitor()

@@ -5,8 +5,9 @@ random-temporal generators; they are reproducible only because every
 sampling path threads an explicitly seeded ``np.random.Generator``.
 Wall-clock reads and global RNG state would silently break that (and the
 content-addressed profile cache, which assumes identical inputs produce
-identical outputs), so in ``core/``, ``random_temporal/`` and
-``mobility/`` this rule bans:
+identical outputs), so in ``core/``, ``random_temporal/``, ``mobility/``
+and ``service/`` (whose job keys and result store inherit the cache's
+contract; deadlines there use the monotonic clock) this rule bans:
 
 * wall clocks — ``time.time()``, ``time.time_ns()``, ``datetime.now()``
   and friends (clocks belong to :mod:`repro.obs`);
@@ -58,9 +59,9 @@ class Determinism(Rule):
     name = "determinism"
     summary = (
         "no wall clocks, module-level random, or global np.random state in "
-        "core/, random_temporal/, mobility/"
+        "core/, random_temporal/, mobility/, service/"
     )
-    packages = ("core/", "random_temporal/", "mobility/")
+    packages = ("core/", "random_temporal/", "mobility/", "service/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -58,6 +58,29 @@ def _render(key: _Key) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _prometheus_value(value: str) -> str:
+    escaped = (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    return f'"{escaped}"'
+
+
+def _render_prometheus(key: _Key, suffix: str = "") -> str:
+    """Render a key in Prometheus exposition syntax.
+
+    Metric names swap the registry's dotted convention for underscores
+    (``profiles.cache.hit`` -> ``profiles_cache_hit``) and label values
+    are always double-quoted with ``\\``/``"``/newline escaping, per the
+    text format.
+    """
+    name, labels = key
+    name = name.replace(".", "_").replace("-", "_") + suffix
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={_prometheus_value(v)}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -260,6 +283,48 @@ class MetricsRegistry:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Counters and gauges render one sample each; histograms render
+        ``_count``/``_sum``/``_min``/``_max`` samples and timers the
+        same over their wall histogram plus ``_cpu_sum``.  Unset gauges
+        and empty histograms are omitted (no sample to report), so the
+        output is scrape-ready for ``GET /metrics``.
+        """
+        lines: list[str] = []
+        for key, counter in sorted(self._counters.items()):
+            lines.append(f"{_render_prometheus(key)} {counter.value}")
+        for key, gauge in sorted(self._gauges.items()):
+            if gauge.value is not None:
+                lines.append(f"{_render_prometheus(key)} {gauge.value}")
+        for key, histogram in sorted(self._histograms.items()):
+            lines.extend(self._histogram_samples(key, histogram, ""))
+        for key, timer in sorted(self._timers.items()):
+            lines.extend(self._histogram_samples(key, timer.wall, "_wall"))
+            lines.append(
+                f"{_render_prometheus(key, '_cpu_sum')} {timer.cpu_total}"
+            )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    @staticmethod
+    def _histogram_samples(
+        key: _Key, histogram: "Histogram", prefix: str
+    ) -> "list[str]":
+        samples = [
+            f"{_render_prometheus(key, prefix + '_count')} {histogram.count}",
+            f"{_render_prometheus(key, prefix + '_sum')} {histogram.total}",
+        ]
+        if histogram.minimum is not None:
+            samples.append(
+                f"{_render_prometheus(key, prefix + '_min')} {histogram.minimum}"
+            )
+        if histogram.maximum is not None:
+            samples.append(
+                f"{_render_prometheus(key, prefix + '_max')} {histogram.maximum}"
+            )
+        return samples
 
     def write(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as stream:

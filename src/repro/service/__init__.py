@@ -1,0 +1,52 @@
+"""The repro query service: diameter/delay-CDF answers over HTTP.
+
+The batch pipeline computes; this package *serves*.  It is a front end
+to the exact same engine — every response body is byte-identical to the
+corresponding ``repro diameter`` / ``repro delay-cdf`` CLI output — with
+the semantics a query service needs under load:
+
+* **single-flight coalescing** (:mod:`repro.service.jobs`) — concurrent
+  identical queries share one computation, keyed on the same
+  content-addressed key discipline as the profile cache;
+* **a bounded process worker pool** (:mod:`repro.service.pool`) — per-job
+  timeouts, 429 backpressure when saturated, crash detection with
+  respawn, graceful drain on shutdown;
+* **a content-addressed LRU result store** (:mod:`repro.service.store`)
+  — repeat queries are one file read;
+* **an HTTP shell** (:mod:`repro.service.app`) — ``POST /v1/diameter``,
+  ``POST /v1/delay-cdf``, ``GET /v1/jobs/<id>``, ``GET /healthz``,
+  ``GET /metrics`` (Prometheus text via :mod:`repro.obs`);
+* **a thin client and CLI** (:mod:`repro.service.client`,
+  ``python -m repro.service serve|submit|ping``).
+
+Quickstart::
+
+    python -m repro.service serve --cache-dir /tmp/repro-cache --port 8765
+    python -m repro.service submit --url http://127.0.0.1:8765 \\
+        diameter trace.txt --max-hops 8
+"""
+
+from .app import ReproService, Response, ServiceConfig, make_server, serve_in_thread
+from .client import ServiceClient, ServiceResponse
+from .jobs import BadRequest, JobSpec, JobTable, job_key, normalize_request
+from .pool import PoolClosed, PoolSaturated, WorkerPool
+from .store import ResultStore
+
+__all__ = [
+    "BadRequest",
+    "JobSpec",
+    "JobTable",
+    "PoolClosed",
+    "PoolSaturated",
+    "ReproService",
+    "Response",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceResponse",
+    "WorkerPool",
+    "job_key",
+    "make_server",
+    "normalize_request",
+    "serve_in_thread",
+]

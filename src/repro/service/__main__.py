@@ -1,0 +1,173 @@
+"""``python -m repro.service`` — run, query, or ping the service.
+
+Subcommands:
+
+* ``serve`` — start the HTTP server (blocks; SIGTERM/SIGINT drain the
+  worker pool gracefully before exiting);
+* ``submit`` — send one query to a running server and print the raw
+  response body (byte-identical to the equivalent ``repro`` CLI run);
+* ``ping`` — fetch ``/healthz`` and report it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+import types
+from typing import List, Optional
+
+from ..cli import positive_int
+from ..obs import observed
+from .app import ReproService, ServiceConfig, make_server
+from .client import ServiceClient
+from .jobs import COMMANDS
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        job_timeout_s=args.job_timeout,
+        store_max_bytes=args.store_max_bytes,
+        allow_test_delay=args.allow_test_delay,
+    )
+    with observed(params={"command": "service.serve"}):
+        service = ReproService(config)
+        server = make_server(service)
+        host, port = server.server_address[0], server.server_address[1]
+        print(
+            f"repro.service: listening on http://{host}:{port} "
+            f"(workers={config.workers}, queue={config.queue_capacity}, "
+            f"cache={config.cache_dir})",
+            flush=True,
+        )
+
+        def _graceful(signum: int, frame: Optional[types.FrameType]) -> None:
+            print(
+                f"repro.service: signal {signum}, draining...",
+                file=sys.stderr,
+                flush=True,
+            )
+            # shutdown() blocks until serve_forever returns; calling it
+            # from the signal handler's thread would deadlock the loop.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+            drained = service.close(drain=True)
+            print(
+                "repro.service: drained and stopped"
+                if drained
+                else "repro.service: stopped (drain timed out)",
+                file=sys.stderr,
+                flush=True,
+            )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    params: dict[str, object] = {}
+    if args.max_hops is not None:
+        params["max_hops"] = args.max_hops
+    if args.grid_points is not None:
+        params["grid_points"] = args.grid_points
+    if args.eps is not None:
+        params["eps"] = args.eps
+    response = client.query(args.service_command, args.trace, **params)
+    if response.ok:
+        sys.stdout.write(response.text())
+        return 0
+    sys.stderr.write(response.text())
+    if response.status == 429:
+        retry = response.headers.get("Retry-After", "?")
+        print(f"service saturated; Retry-After: {retry}s", file=sys.stderr)
+        return 3
+    return 1
+
+
+def _cmd_ping(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    try:
+        response = client.health()
+    except OSError as exc:
+        print(f"repro.service: {args.url} unreachable: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(response.text())
+    return 0 if response.status == 200 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="Concurrent query service for diameter/delay-CDF results",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=positive_int, default=2,
+        help="worker processes in the pool (>= 1)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=positive_int, default=16,
+        help="pending jobs accepted beyond the busy workers (>= 1)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="kill a computation running longer than this",
+    )
+    serve.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="root for the profile cache and the result store",
+    )
+    serve.add_argument(
+        "--store-max-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU size cap for the result store (default: unbounded)",
+    )
+    serve.add_argument(
+        "--allow-test-delay", action="store_true", help=argparse.SUPPRESS
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    def _add_client_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:8765")
+        p.add_argument("--timeout", type=float, default=300.0)
+
+    submit = sub.add_parser("submit", help="send one query, print the body")
+    _add_client_arguments(submit)
+    submit.add_argument("service_command", choices=COMMANDS, metavar="command")
+    submit.add_argument("trace", help="trace path as visible to the server")
+    submit.add_argument("--max-hops", type=positive_int, default=None)
+    submit.add_argument("--grid-points", type=positive_int, default=None)
+    submit.add_argument("--eps", type=float, default=None)
+    submit.set_defaults(func=_cmd_submit)
+
+    ping = sub.add_parser("ping", help="print /healthz")
+    _add_client_arguments(ping)
+    ping.set_defaults(func=_cmd_ping)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    result = args.func(args)
+    return int(result)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

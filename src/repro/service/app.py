@@ -1,0 +1,400 @@
+"""The HTTP front door: query endpoints, job status, health, metrics.
+
+Endpoints (all under a threaded stdlib :class:`ThreadingHTTPServer`):
+
+* ``POST /v1/diameter`` and ``POST /v1/delay-cdf`` — a JSON query
+  (``{"trace": path, "max_hops": ..., ...}``); the response body is the
+  **byte-identical stdout of the equivalent ``repro`` CLI invocation**
+  (``text/plain``).  Errors come back as structured JSON.  The request
+  path is: normalise → job key → result store → single-flight job table
+  → worker pool, so identical concurrent queries compute once and
+  repeated queries never compute at all.  A saturated pool answers
+  ``429`` with ``Retry-After``.
+* ``GET /v1/jobs/<id>`` — JSON status of an in-flight or recent job.
+* ``GET /healthz`` — pool/queue/store health; ``200`` healthy, ``503``
+  degraded (a worker died and has not been respawned yet) or draining.
+* ``GET /metrics`` — the active :mod:`repro.obs` registry in Prometheus
+  text format (:meth:`MetricsRegistry.render_text`).
+
+The service records into whatever obs bundle is active when it starts
+(``python -m repro.service serve`` installs one; the benchmark harness
+runs the server inside its own ``bench_session``), so service counters
+land in the same snapshot as engine counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Type
+
+from ..obs import get_obs
+from .jobs import (
+    BadRequest,
+    COMMANDS,
+    Job,
+    JobSpec,
+    JobTable,
+    NetworkCache,
+    job_key,
+    normalize_request,
+)
+from .pool import PoolClosed, PoolSaturated, Result, Task, WorkerPool
+from .store import ResultStore
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one service instance needs to run."""
+
+    cache_dir: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    queue_capacity: int = 16
+    job_timeout_s: float = 300.0
+    store_max_bytes: Optional[int] = None
+    max_attempts: int = 2
+    respawn_delay_s: float = 0.0
+    allow_test_delay: bool = False
+    #: ceiling on one request body, to bound parsing work.
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+
+
+@dataclass
+class Response:
+    """A transport-independent response (the handler serialises it)."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls,
+        status: int,
+        document: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        payload = (
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        return cls(status, payload, "application/json", dict(headers or {}))
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        error_type: str,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+        **extra: object,
+    ) -> "Response":
+        document: Dict[str, object] = {
+            "error": {"type": error_type, "message": message, **extra}
+        }
+        return cls.json(status, document, headers)
+
+
+class ReproService:
+    """The service core: everything the HTTP handler delegates to.
+
+    Transport-free by design — tests can drive :meth:`handle_query`
+    and friends directly, and the HTTP layer stays a thin shell.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        root = Path(config.cache_dir)
+        self.profile_cache_dir = root / "profiles"
+        self.profile_cache_dir.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(
+            root / "results", max_bytes=config.store_max_bytes
+        )
+        self.networks = NetworkCache()
+        self.jobs = JobTable()
+        self.pool = WorkerPool(
+            size=config.workers,
+            queue_capacity=config.queue_capacity,
+            job_timeout_s=config.job_timeout_s,
+            on_complete=self._on_complete,
+            max_attempts=config.max_attempts,
+            respawn_delay_s=config.respawn_delay_s,
+        )
+        self.pool.start()
+
+    # -- pool callback --------------------------------------------------
+    def _on_complete(self, task: Task, result: Result) -> None:
+        key = str(task["key"])
+        error = result.get("error")
+        if error is not None:
+            self.jobs.complete(key, stderr=str(result.get("stderr", "")),
+                               error=dict(error))
+            return
+        exit_code = int(result["exit_code"])
+        output = str(result["output"]).encode("utf-8")
+        stderr = str(result.get("stderr", ""))
+        if exit_code != 0:
+            self.jobs.complete(
+                key,
+                exit_code=exit_code,
+                output=output,
+                stderr=stderr,
+                error={
+                    "type": "command-failed",
+                    "message": stderr.strip() or "command exited non-zero",
+                    "exit_code": exit_code,
+                },
+            )
+            return
+        self.store.put(key, output)
+        self.jobs.complete(key, exit_code=0, output=output, stderr=stderr)
+
+    # -- request handling -----------------------------------------------
+    def handle_query(self, command: str, raw_body: bytes) -> Response:
+        obs = get_obs()
+        with obs.metrics.timer("service.http.latency", endpoint=command):
+            return self._handle_query(command, raw_body)
+
+    def _handle_query(self, command: str, raw_body: bytes) -> Response:
+        try:
+            body = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except ValueError as exc:
+            return Response.error(400, "bad-request", f"invalid JSON: {exc}")
+        try:
+            spec = normalize_request(
+                command, body, allow_test_delay=self.config.allow_test_delay
+            )
+            network = self.networks.get(spec.trace)
+        except BadRequest as exc:
+            return Response.error(
+                400, "bad-request", exc.message,
+                **({} if exc.field is None else {"field": exc.field}),
+            )
+        except OSError as exc:
+            return Response.error(400, "bad-request", f"cannot read trace: {exc}")
+
+        key = job_key(spec, network)
+        stored = self.store.get(key)
+        if stored is not None:
+            return self._success(stored, key, source="store")
+
+        job, created = self.jobs.get_or_create(key, spec)
+        if created:
+            task: Task = {
+                "key": key,
+                "argv": spec.to_argv(str(self.profile_cache_dir)),
+                "test_delay_s": spec.test_delay_s,
+                "on_running": self._mark_running,
+            }
+            try:
+                self.pool.submit(task)
+            except PoolSaturated:
+                self.jobs.complete(
+                    key, error={"type": "rejected", "message": "queue full"}
+                )
+                retry_after = self.pool.retry_after_s()
+                return Response.error(
+                    429,
+                    "saturated",
+                    "worker pool and queue are full; retry later",
+                    headers={"Retry-After": str(int(retry_after))},
+                )
+            except PoolClosed:
+                self.jobs.complete(
+                    key, error={"type": "shutdown", "message": "pool shut down"}
+                )
+                return Response.error(
+                    503, "shutting-down", "service is draining"
+                )
+        return self._await_job(job, coalesced=not created)
+
+    def _mark_running(self, task: Task) -> None:
+        self.jobs.mark_running(str(task["key"]), int(task["attempts"]))
+
+    def _await_job(self, job: Job, coalesced: bool) -> Response:
+        # Worst case the job runs max_attempts times back to back, plus
+        # scheduler slack; the pool's own timeout fires well before this.
+        budget = self.config.job_timeout_s * self.config.max_attempts + 30.0
+        if not job.done.wait(budget):
+            return Response.error(
+                504,
+                "wait-timeout",
+                f"job {job.id} did not finish within {budget:g}s",
+                job=job.id,
+            )
+        if job.error is not None or job.output is None:
+            error = dict(
+                job.error
+                or {"type": "unknown", "message": "job produced no output"}
+            )
+            return Response.json(
+                500,
+                {"error": error, "job": job.id, "stderr": job.stderr},
+            )
+        return self._success(
+            job.output,
+            job.key,
+            source="coalesced" if coalesced else "computed",
+        )
+
+    def _success(self, payload: bytes, key: str, source: str) -> Response:
+        get_obs().metrics.counter(
+            "service.http.responses", source=source
+        ).inc()
+        return Response(
+            200,
+            payload,
+            content_type="text/plain; charset=utf-8",
+            headers={
+                "X-Repro-Job": key[:32],
+                "X-Repro-Source": source,
+            },
+        )
+
+    def handle_job(self, job_id: str) -> Response:
+        job = self.jobs.lookup(job_id)
+        if job is not None:
+            return Response.json(200, job.describe())
+        # A job can age out of the table while its result lives on in
+        # the store (the id doubles as the store file stem).
+        if (self.store.root / f"result-{job_id}.bin").exists():
+            return Response.json(
+                200, {"job": job_id, "state": "done", "source": "store"}
+            )
+        return Response.error(404, "not-found", f"unknown job {job_id!r}")
+
+    def handle_health(self) -> Response:
+        pool = self.pool.health()
+        document: Dict[str, object] = {
+            "status": pool["state"],
+            "pool": pool,
+            "store": self.store.stats(),
+            "jobs": {
+                "inflight": self.jobs.inflight_count(),
+                "finished": self.jobs.finished_count(),
+            },
+        }
+        status = 200 if pool["state"] == "healthy" else 503
+        return Response.json(status, document)
+
+    def handle_metrics(self) -> Response:
+        text = get_obs().metrics.render_text()
+        return Response(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
+        """Shut the pool down; with ``drain``, let queued work finish."""
+        return self.pool.shutdown(drain=drain, timeout_s=timeout_s)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shell over a :class:`ReproService`."""
+
+    service: ReproService
+    server_version = "repro-service/1"
+
+    # -- plumbing -------------------------------------------------------
+    def _send(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Request logging is a metrics concern, not a stderr concern.
+        pass
+
+    def _read_body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.service.config.max_body_bytes:
+            return None
+        return self.rfile.read(length) if length else b""
+
+    # -- routes ---------------------------------------------------------
+    def do_POST(self) -> None:
+        obs = get_obs()
+        obs.metrics.counter("service.http.requests", method="POST").inc()
+        for command in COMMANDS:
+            if self.path == f"/v1/{command}":
+                body = self._read_body()
+                if body is None:
+                    self._send(
+                        Response.error(413, "too-large", "request body too large")
+                    )
+                    return
+                self._send(self.service.handle_query(command, body))
+                return
+        self._send(Response.error(404, "not-found", f"no route {self.path!r}"))
+
+    def do_GET(self) -> None:
+        obs = get_obs()
+        obs.metrics.counter("service.http.requests", method="GET").inc()
+        if self.path == "/healthz":
+            self._send(self.service.handle_health())
+        elif self.path == "/metrics":
+            self._send(self.service.handle_metrics())
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            self._send(self.service.handle_job(job_id))
+        else:
+            self._send(
+                Response.error(404, "not-found", f"no route {self.path!r}")
+            )
+
+
+def make_server(
+    service: ReproService,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve threaded HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address``.
+    """
+    handler: Type[_Handler] = type(
+        "_BoundHandler", (_Handler,), {"service": service}
+    )
+    address: Tuple[str, int] = (
+        service.config.host if host is None else host,
+        service.config.port if port is None else port,
+    )
+    server = ThreadingHTTPServer(address, handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_in_thread(
+    service: ReproService,
+) -> Tuple[ThreadingHTTPServer, threading.Thread, str]:
+    """Start serving on a background thread; returns (server, thread, url).
+
+    The caller owns shutdown: ``server.shutdown()`` then
+    ``service.close()``.  Used by tests and the load benchmark.
+    """
+    server = make_server(service)
+    host, port = server.server_address[0], server.server_address[1]
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread, f"http://{host}:{port}"

@@ -1,0 +1,100 @@
+"""A thin stdlib client for the repro query service.
+
+Wraps ``urllib.request`` so callers (the ``python -m repro.service``
+CLI, the load benchmark, tests) never hand-roll HTTP: every call returns
+a :class:`ServiceResponse` carrying the status, headers and raw body —
+error statuses are *returned*, not raised, because 429/503 are expected
+signals (backpressure, draining) a load-aware caller must see.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class ServiceResponse:
+    """One HTTP exchange: status, headers, body bytes."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def __repr__(self) -> str:
+        return f"ServiceResponse(status={self.status}, bytes={len(self.body)})"
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8765``)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> ServiceResponse:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return ServiceResponse(
+                    resp.status, dict(resp.headers.items()), resp.read()
+                )
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx are application-level answers here, not exceptions.
+            return ServiceResponse(
+                exc.code, dict(exc.headers.items()), exc.read()
+            )
+
+    # -- convenience wrappers ------------------------------------------
+    def query(
+        self, command: str, trace: str, **params: object
+    ) -> ServiceResponse:
+        payload: Dict[str, object] = {"trace": trace, **params}
+        return self.request("POST", f"/v1/{command}", payload)
+
+    def diameter(self, trace: str, **params: object) -> ServiceResponse:
+        return self.query("diameter", trace, **params)
+
+    def delay_cdf(self, trace: str, **params: object) -> ServiceResponse:
+        return self.query("delay-cdf", trace, **params)
+
+    def job(self, job_id: str) -> ServiceResponse:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def health(self) -> ServiceResponse:
+        return self.request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self.request("GET", "/metrics").text()
+
+    def ping(self) -> bool:
+        try:
+            return self.health().status in (200, 503)
+        except OSError:
+            return False

@@ -1,0 +1,362 @@
+"""Request normalisation, content-addressed job keys, single-flight jobs.
+
+A query arrives as loose JSON; this module turns it into a frozen
+:class:`JobSpec` (every field validated, defaults matching the ``repro``
+CLI exactly so the service answers are byte-identical to CLI output),
+and then into a *job key*: a sha256 over the command, the query
+parameters, and :func:`repro.core.cache.profile_cache_key` of the trace
+— two requests share a key iff they are guaranteed the same response
+bytes.
+
+The :class:`JobTable` provides single-flight coalescing on those keys:
+the first request for a key creates a :class:`Job` and submits it to the
+worker pool; every concurrent duplicate attaches to the same job and
+waits on its completion event, so N identical in-flight requests trigger
+exactly one backend computation (counter ``service.jobs.coalesced``
+counts the attached N-1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cache import profile_cache_key
+from ..core.temporal_network import TemporalNetwork
+from ..obs import get_obs
+from ..traces.format import read_contacts
+
+#: bump when the response format of a command changes incompatibly.
+_JOB_FORMAT = "repro.service/1"
+
+#: query fields and their CLI defaults, per command (mirrors cli.py).
+_COMMAND_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "diameter": {"eps": 0.01, "max_hops": 8, "grid_points": 40},
+    "delay-cdf": {"max_hops": 4, "grid_points": 12},
+}
+
+COMMANDS = tuple(sorted(_COMMAND_DEFAULTS))
+
+
+class BadRequest(ValueError):
+    """A request that cannot be normalised into a job."""
+
+    def __init__(self, message: str, field: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.field = field
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-normalised query: the unit of coalescing and caching.
+
+    ``test_delay_s`` is a fault-injection/load-testing knob (the worker
+    sleeps that long before computing); it is deliberately *excluded*
+    from the job key because it cannot change the response bytes.
+    """
+
+    command: str
+    trace: str
+    max_hops: int
+    grid_points: int
+    eps: Optional[float] = None
+    test_delay_s: float = 0.0
+
+    def to_argv(self, cache_dir: Optional[str] = None) -> List[str]:
+        """The equivalent ``repro`` CLI invocation."""
+        argv = [
+            self.command,
+            self.trace,
+            "--max-hops",
+            str(self.max_hops),
+            "--grid-points",
+            str(self.grid_points),
+        ]
+        if self.eps is not None:
+            argv += ["--eps", str(self.eps)]
+        if cache_dir is not None:
+            argv += ["--cache-dir", cache_dir]
+        return argv
+
+
+def _require_int(value: object, field: str, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"{field} must be an integer", field=field)
+    if value < minimum:
+        raise BadRequest(f"{field} must be >= {minimum}", field=field)
+    return value
+
+
+def normalize_request(
+    command: str, body: object, allow_test_delay: bool = False
+) -> JobSpec:
+    """Validate a parsed request body into a :class:`JobSpec`.
+
+    Unknown fields are rejected rather than ignored: a typo like
+    ``max_hop`` silently falling back to the default would coalesce the
+    request into the wrong job.
+    """
+    if command not in _COMMAND_DEFAULTS:
+        raise BadRequest(f"unknown command {command!r}")
+    if not isinstance(body, dict):
+        raise BadRequest("request body must be a JSON object")
+    defaults = _COMMAND_DEFAULTS[command]
+    allowed = set(defaults) | {"trace", "_test_delay_s"}
+    unknown = sorted(set(body) - allowed)
+    if unknown:
+        raise BadRequest(
+            f"unknown field(s) {', '.join(unknown)}; allowed: "
+            f"{', '.join(sorted(allowed - {'_test_delay_s'}))}",
+            field=unknown[0],
+        )
+
+    trace = body.get("trace")
+    if not isinstance(trace, str) or not trace:
+        raise BadRequest("trace must be a non-empty path string", field="trace")
+    if not os.path.isfile(trace):
+        raise BadRequest(f"trace file not found: {trace}", field="trace")
+
+    max_hops = _require_int(
+        body.get("max_hops", defaults["max_hops"]), "max_hops", 1
+    )
+    grid_points = _require_int(
+        body.get("grid_points", defaults["grid_points"]), "grid_points", 2
+    )
+
+    eps: Optional[float] = None
+    if "eps" in defaults:
+        raw_eps = body.get("eps", defaults["eps"])
+        if isinstance(raw_eps, bool) or not isinstance(raw_eps, (int, float)):
+            raise BadRequest("eps must be a number", field="eps")
+        eps = float(raw_eps)
+        if not 0.0 < eps < 1.0:
+            raise BadRequest("eps must be in (0, 1)", field="eps")
+
+    test_delay_s = 0.0
+    if "_test_delay_s" in body:
+        if not allow_test_delay:
+            raise BadRequest(
+                "_test_delay_s requires the server to run with "
+                "--allow-test-delay",
+                field="_test_delay_s",
+            )
+        raw_delay = body["_test_delay_s"]
+        if isinstance(raw_delay, bool) or not isinstance(
+            raw_delay, (int, float)
+        ):
+            raise BadRequest("_test_delay_s must be a number", field="_test_delay_s")
+        test_delay_s = float(raw_delay)
+        if not 0.0 <= test_delay_s <= 60.0:
+            raise BadRequest(
+                "_test_delay_s must be in [0, 60]", field="_test_delay_s"
+            )
+
+    return JobSpec(
+        command=command,
+        trace=str(Path(trace).resolve()),
+        max_hops=max_hops,
+        grid_points=grid_points,
+        eps=eps,
+        test_delay_s=test_delay_s,
+    )
+
+
+def job_key(spec: JobSpec, network: TemporalNetwork) -> str:
+    """The content key of one query's response bytes.
+
+    Builds on :func:`profile_cache_key` — the key of the profile
+    computation the command runs — plus the command and its presentation
+    parameters.  The diameter command may internally extend its hop
+    bounds to the flooding fixpoint; that extension is a deterministic
+    function of the same inputs, so the key still pins the output.
+    """
+    profile_key = profile_cache_key(
+        network, hop_bounds=range(1, spec.max_hops + 1)
+    )
+    document = {
+        "format": _JOB_FORMAT,
+        "command": spec.command,
+        "profiles": profile_key,
+        "eps": None if spec.eps is None else float(spec.eps).hex(),
+        "grid_points": spec.grid_points,
+        "max_hops": spec.max_hops,
+    }
+    payload = json.dumps(document, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def job_id_of(key: str) -> str:
+    """The external job id of a key (also the result-store file stem)."""
+    return key[:32]
+
+
+class NetworkCache:
+    """Loaded traces keyed by (path, mtime_ns, size), LRU-bounded.
+
+    The service re-reads a trace only when the file changes on disk;
+    the stat triple keys the parsed :class:`TemporalNetwork` so a
+    replaced trace file is never served stale.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self._capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, int, int], TemporalNetwork]"
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, trace: str) -> TemporalNetwork:
+        stat = os.stat(trace)
+        key = (trace, stat.st_mtime_ns, stat.st_size)
+        obs = get_obs()
+        with self._lock:
+            network = self._entries.get(key)
+            if network is not None:
+                self._entries.move_to_end(key)
+                obs.metrics.counter("service.traces.hit").inc()
+                return network
+            # Loading under the lock serialises duplicate loads of the
+            # same trace; traces are small relative to the profile DP.
+            network = read_contacts(trace)
+            self._entries[key] = network
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        obs.metrics.counter("service.traces.miss").inc()
+        return network
+
+
+#: job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class Job:
+    """One in-flight (or finished) computation, shared by coalesced waiters."""
+
+    __slots__ = (
+        "key",
+        "id",
+        "spec",
+        "state",
+        "attempts",
+        "exit_code",
+        "output",
+        "stderr",
+        "error",
+        "waiters",
+        "done",
+    )
+
+    def __init__(self, key: str, spec: JobSpec) -> None:
+        self.key = key
+        self.id = job_id_of(key)
+        self.spec = spec
+        self.state = QUEUED
+        self.attempts = 0
+        self.exit_code: Optional[int] = None
+        self.output: Optional[bytes] = None
+        self.stderr = ""
+        self.error: Optional[Dict[str, object]] = None
+        self.waiters = 1
+        self.done = threading.Event()
+
+    def describe(self) -> Dict[str, object]:
+        """The ``GET /v1/jobs/<id>`` document."""
+        return {
+            "job": self.id,
+            "state": self.state,
+            "command": self.spec.command,
+            "trace": self.spec.trace,
+            "attempts": self.attempts,
+            "waiters": self.waiters,
+            "exit_code": self.exit_code,
+            "output_bytes": None if self.output is None else len(self.output),
+            "error": self.error,
+        }
+
+
+class JobTable:
+    """Single-flight registry of jobs by content key.
+
+    In-flight jobs live in ``_inflight``; finished jobs move to a
+    bounded ring so ``GET /v1/jobs/<id>`` can answer for a while after
+    completion without growing forever.
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        self._history = history
+        self._inflight: Dict[str, Job] = {}
+        self._finished: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_create(self, key: str, spec: JobSpec) -> Tuple[Job, bool]:
+        """The in-flight job for ``key``, creating it if absent.
+
+        Returns ``(job, created)``; ``created`` is False for coalesced
+        requests, which are counted on ``service.jobs.coalesced``.
+        """
+        obs = get_obs()
+        with self._lock:
+            job = self._inflight.get(key)
+            if job is not None:
+                job.waiters += 1
+                obs.metrics.counter("service.jobs.coalesced").inc()
+                return job, False
+            job = Job(key, spec)
+            self._inflight[key] = job
+            obs.metrics.counter("service.jobs.submitted").inc()
+            return job, True
+
+    def lookup(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            for job in self._inflight.values():
+                if job.id == job_id:
+                    return job
+            return self._finished.get(job_id)
+
+    def mark_running(self, key: str, attempts: int) -> None:
+        with self._lock:
+            job = self._inflight.get(key)
+            if job is not None:
+                job.state = RUNNING
+                job.attempts = attempts
+
+    def complete(
+        self,
+        key: str,
+        exit_code: Optional[int] = None,
+        output: Optional[bytes] = None,
+        stderr: str = "",
+        error: Optional[Dict[str, object]] = None,
+    ) -> Optional[Job]:
+        """Finish a job (success or failure) and wake every waiter."""
+        with self._lock:
+            job = self._inflight.pop(key, None)
+            if job is None:
+                return None
+            job.exit_code = exit_code
+            job.output = output
+            job.stderr = stderr
+            job.error = error
+            job.state = FAILED if error is not None else DONE
+            self._finished[job.id] = job
+            while len(self._finished) > self._history:
+                self._finished.popitem(last=False)
+        job.done.set()
+        return job
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def finished_count(self) -> int:
+        with self._lock:
+            return len(self._finished)

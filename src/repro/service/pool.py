@@ -1,0 +1,445 @@
+"""Bounded process worker pool: backpressure, timeouts, crash respawn.
+
+The pool owns N single-purpose worker *processes* (a crashed or wedged
+computation must never take the server down, and the GIL must never
+serialise two queries), a bounded pending queue, and one supervisor
+thread that does all orchestration:
+
+* **assignment** — pending tasks go to idle workers, one in flight per
+  worker, so the supervisor always knows which process owns which job;
+* **backpressure** — :meth:`WorkerPool.submit` raises
+  :class:`PoolSaturated` once every worker is busy and the pending queue
+  is full; the HTTP layer turns that into ``429`` + ``Retry-After``;
+* **timeouts** — a task past its deadline gets its worker killed and
+  fails with a structured ``timeout`` error;
+* **crash detection** — a worker that dies mid-job is detected by
+  liveness polling; the task is retried once on a fresh worker, then
+  failed with a structured ``worker-crashed`` error.  Respawning can be
+  delayed (``respawn_delay_s``) so health checks can observe the
+  degraded window deterministically in tests;
+* **graceful drain** — :meth:`shutdown` stops intake, lets the pending
+  queue and running jobs finish, then retires the workers.
+
+All clocks here are monotonic (deadlines, not wall time) and all pool
+instruments are bound once at :meth:`start`, per the repro conventions
+(reprolint REP003/REP004 cover ``service/``).
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import queue
+import threading
+import time
+from contextlib import redirect_stderr, redirect_stdout
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from ..obs import get_obs
+
+#: a task handed to a worker / a result handed back.
+Task = Dict[str, Any]
+Result = Dict[str, Any]
+
+#: how often the supervisor polls results, liveness and deadlines.
+_TICK_S = 0.05
+
+
+class PoolSaturated(RuntimeError):
+    """Every worker is busy and the pending queue is at capacity."""
+
+
+class PoolClosed(RuntimeError):
+    """The pool is draining or shut down; no new work is accepted."""
+
+
+def execute_task(task: Task) -> Result:
+    """Run one task (in the worker process) and package the outcome.
+
+    The task carries the ``repro`` CLI argv for the query; running the
+    actual CLI entry point — stdout captured — is what guarantees the
+    service's response bytes are identical to the CLI's.  The optional
+    ``test_delay_s`` sleep runs *before* the computation so fault
+    injection can kill the worker deterministically mid-job.
+    """
+    from ..cli import main as cli_main
+
+    delay = float(task.get("test_delay_s") or 0.0)
+    if delay > 0.0:
+        time.sleep(delay)
+    out = io.StringIO()
+    err = io.StringIO()
+    try:
+        with redirect_stdout(out), redirect_stderr(err):
+            exit_code = cli_main(list(task["argv"]))
+    except SystemExit as exc:  # argparse-style exits inside the command
+        exit_code = exc.code if isinstance(exc.code, int) else 1
+    except BaseException as exc:
+        return {
+            "key": task["key"],
+            "error": {
+                "type": "exception",
+                "message": f"{type(exc).__name__}: {exc}",
+            },
+            "stderr": err.getvalue(),
+        }
+    return {
+        "key": task["key"],
+        "exit_code": exit_code,
+        "output": out.getvalue(),
+        "stderr": err.getvalue(),
+    }
+
+
+def _worker_main(
+    inbox: "multiprocessing.queues.Queue[Optional[Task]]",
+    results: "multiprocessing.queues.Queue[Result]",
+) -> None:
+    """Worker process loop: execute tasks until the None sentinel."""
+    while True:
+        task = inbox.get()
+        if task is None:
+            return
+        results.put(execute_task(task))
+
+
+class _Worker:
+    """Supervisor-side view of one worker process."""
+
+    __slots__ = ("process", "inbox", "task", "deadline", "respawn_at")
+
+    def __init__(self) -> None:
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.inbox: Any = None
+        self.task: Optional[Task] = None
+        self.deadline = 0.0
+        #: monotonic instant at which a dead slot may be respawned.
+        self.respawn_at: Optional[float] = None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def idle(self) -> bool:
+        return self.alive() and self.task is None
+
+
+class WorkerPool:
+    """A fixed-size pool of worker processes with a bounded intake queue.
+
+    ``on_complete(task, result)`` is invoked from the supervisor thread
+    for every finished task — successes carry ``output``/``exit_code``,
+    failures carry a structured ``error`` dict (types: ``timeout``,
+    ``worker-crashed``, ``exception``, ``shutdown``).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        queue_capacity: int,
+        job_timeout_s: float,
+        on_complete: Callable[[Task, Result], None],
+        max_attempts: int = 2,
+        respawn_delay_s: float = 0.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1, got {queue_capacity}"
+            )
+        self.size = size
+        self.queue_capacity = queue_capacity
+        self.job_timeout_s = job_timeout_s
+        self.max_attempts = max_attempts
+        self.respawn_delay_s = respawn_delay_s
+        self._on_complete = on_complete
+        self._ctx = multiprocessing.get_context()
+        self._results: Any = None
+        self._workers: List[_Worker] = []
+        self._pending: Deque[Task] = deque()
+        self._lock = threading.Lock()
+        self._draining = False
+        self._stopped = threading.Event()
+        self._idle = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        self._results = self._ctx.Queue()
+        self._workers = [_Worker() for _ in range(self.size)]
+        for worker in self._workers:
+            self._spawn(worker)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn(self, worker: _Worker) -> None:
+        worker.inbox = self._ctx.Queue(maxsize=1)
+        worker.process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker.inbox, self._results),
+            name="repro-pool-worker",
+            daemon=True,
+        )
+        worker.process.start()
+        worker.task = None
+        worker.respawn_at = None
+
+    def shutdown(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
+        """Stop the pool; with ``drain`` let queued/running work finish.
+
+        Returns True when all work completed before ``timeout_s``.
+        Without ``drain``, pending tasks fail with a ``shutdown`` error
+        and running workers are killed.
+        """
+        with self._lock:
+            self._draining = True
+            if not drain:
+                abandoned = list(self._pending)
+                self._pending.clear()
+            else:
+                abandoned = []
+        for task in abandoned:
+            self._on_complete(
+                task,
+                {
+                    "key": task["key"],
+                    "error": {"type": "shutdown", "message": "pool shut down"},
+                },
+            )
+        drained = True
+        if drain:
+            drained = self._idle.wait(timeout_s)
+        self._stopped.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=timeout_s)
+        # Any task still running (non-drain shutdown, or drain timeout)
+        # must fail loudly rather than leave its waiters hanging.
+        for worker in self._workers:
+            task = worker.task
+            worker.task = None
+            if task is not None:
+                self._on_complete(
+                    task,
+                    {
+                        "key": task["key"],
+                        "error": {
+                            "type": "shutdown",
+                            "message": "pool shut down mid-job",
+                        },
+                    },
+                )
+        for worker in self._workers:
+            process = worker.process
+            if process is None:
+                continue
+            if drain and worker.task is None and process.is_alive():
+                try:
+                    worker.inbox.put_nowait(None)
+                except queue.Full:
+                    pass
+                process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        return drained
+
+    # -- intake ---------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Queue a task, or raise on saturation/shutdown.
+
+        Saturation counts both queue slots and busy workers: with every
+        worker busy and ``queue_capacity`` tasks pending, the pool is
+        full and the caller must shed load (HTTP 429).
+        """
+        with self._lock:
+            if self._draining or self._stopped.is_set():
+                raise PoolClosed("pool is shut down")
+            # Outstanding work is counted against total capacity (busy
+            # workers + queue slots) rather than "is any worker idle
+            # right now": assignment happens on the supervisor tick, so
+            # a burst of submits must not over-admit in the window
+            # before tasks reach the workers.
+            busy = sum(1 for w in self._workers if w.task is not None)
+            if len(self._pending) + busy >= self.size + self.queue_capacity:
+                get_obs().metrics.counter("service.pool.rejected").inc()
+                raise PoolSaturated(
+                    f"{len(self._pending)} tasks pending, "
+                    f"{busy}/{self.size} workers busy"
+                )
+            task.setdefault("attempts", 0)
+            self._pending.append(task)
+            self._idle.clear()
+
+    def retry_after_s(self) -> float:
+        """A client back-off hint: the per-job timeout bounds how long
+        the queue head can occupy a worker."""
+        return max(1.0, min(self.job_timeout_s, 30.0))
+
+    # -- introspection --------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        with self._lock:
+            alive = sum(1 for w in self._workers if w.alive())
+            busy = sum(1 for w in self._workers if w.task is not None)
+            pending = len(self._pending)
+        state = "healthy" if alive == self.size else "degraded"
+        if self._draining or self._stopped.is_set():
+            state = "draining"
+        return {
+            "state": state,
+            "workers": self.size,
+            "alive": alive,
+            "busy": busy,
+            "pending": pending,
+            "queue_capacity": self.queue_capacity,
+        }
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current worker process ids (for tests and fault injection)."""
+        return [
+            None if w.process is None else w.process.pid
+            for w in self._workers
+        ]
+
+    # -- supervisor -----------------------------------------------------
+    def _supervise(self) -> None:
+        # Instruments are bound once, outside the loop (REP003): the
+        # pool lives inside one obs session.
+        obs = get_obs()
+        computed = obs.metrics.counter("service.jobs.computed")
+        crashes = obs.metrics.counter("service.pool.crashes")
+        retries = obs.metrics.counter("service.pool.retries")
+        timeouts = obs.metrics.counter("service.pool.timeouts")
+        respawns = obs.metrics.counter("service.pool.respawns")
+        pending_gauge = obs.metrics.gauge("service.pool.pending")
+        while not self._stopped.is_set():
+            self._assign(computed)
+            self._drain_results()
+            self._check_workers(crashes, retries, timeouts, respawns)
+            with self._lock:
+                pending_gauge.set(len(self._pending))
+                if not self._pending and all(
+                    w.task is None for w in self._workers
+                ):
+                    self._idle.set()
+
+    def _assign(self, computed: Any) -> None:
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                worker = next(
+                    (w for w in self._workers if w.idle()), None
+                )
+                if worker is None:
+                    return
+                task = self._pending.popleft()
+                task["attempts"] = int(task.get("attempts", 0)) + 1
+                worker.task = task
+                worker.deadline = (
+                    time.monotonic() + self.job_timeout_s
+                )
+            # The inbox has capacity 1 and the worker is idle: put cannot
+            # block.  Callbacks ("on_*" keys) stay on the supervisor side
+            # — the pickled payload carries data only.
+            worker.inbox.put(
+                {k: v for k, v in task.items() if not k.startswith("on_")}
+            )
+            computed.inc()
+            if "on_running" in task:
+                task["on_running"](task)
+
+    def _drain_results(self) -> None:
+        try:
+            result = self._results.get(timeout=_TICK_S)
+        except queue.Empty:
+            return
+        self._finish(result)
+
+    def _finish(self, result: Result) -> None:
+        key = result.get("key")
+        with self._lock:
+            worker = next(
+                (
+                    w
+                    for w in self._workers
+                    if w.task is not None and w.task.get("key") == key
+                ),
+                None,
+            )
+            task = None if worker is None else worker.task
+            if worker is not None:
+                worker.task = None
+        if task is not None:
+            self._on_complete(task, result)
+
+    def _check_workers(
+        self, crashes: Any, retries: Any, timeouts: Any, respawns: Any
+    ) -> None:
+        now = time.monotonic()
+        for worker in self._workers:
+            if worker.alive():
+                task = worker.task
+                if task is not None and now > worker.deadline:
+                    timeouts.inc()
+                    assert worker.process is not None
+                    worker.process.kill()
+                    worker.process.join(timeout=2.0)
+                    with self._lock:
+                        worker.task = None
+                        worker.respawn_at = now + self.respawn_delay_s
+                    self._on_complete(
+                        task,
+                        {
+                            "key": task["key"],
+                            "error": {
+                                "type": "timeout",
+                                "message": (
+                                    "job exceeded the "
+                                    f"{self.job_timeout_s:g}s pool timeout"
+                                ),
+                                "timeout_s": self.job_timeout_s,
+                            },
+                        },
+                    )
+                continue
+            if worker.process is None:
+                continue
+            # Worker process died.
+            task = worker.task
+            if task is not None:
+                crashes.inc()
+                with self._lock:
+                    worker.task = None
+                attempts = int(task.get("attempts", 1))
+                if attempts < self.max_attempts:
+                    retries.inc()
+                    with self._lock:
+                        self._pending.appendleft(task)
+                        self._idle.clear()
+                else:
+                    self._on_complete(
+                        task,
+                        {
+                            "key": task["key"],
+                            "error": {
+                                "type": "worker-crashed",
+                                "message": (
+                                    "worker process died while running the "
+                                    f"job ({attempts} attempt(s))"
+                                ),
+                                "attempts": attempts,
+                            },
+                        },
+                    )
+            if worker.respawn_at is None:
+                worker.respawn_at = now + self.respawn_delay_s
+            if now >= worker.respawn_at and not (
+                self._draining or self._stopped.is_set()
+            ):
+                worker.process.join(timeout=0.1)
+                self._spawn(worker)
+                respawns.inc()

@@ -1,0 +1,98 @@
+"""The result store: served response bytes, content-addressed and LRU.
+
+Once a job finishes, its exact response bytes are stored under the job
+key — the same content-addressing discipline as the profile cache in
+:mod:`repro.core.cache`, and the same on-disk hygiene (atomic tmp +
+``os.replace`` writes, ``unlink``-only eviction so concurrent readers
+are never torn).  A later identical query is then served straight from
+disk without touching the worker pool at all.
+
+The store is size-capped: ``max_bytes`` evicts least-recently-served
+entries first (hits refresh mtime), via the shared
+:func:`repro.core.cache.evict_lru`.  Traffic counters:
+``service.store.hit`` / ``.miss`` / ``.evict``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.cache import evict_lru
+from ..obs import get_obs
+from .jobs import job_id_of
+
+PathLike = Union[str, Path]
+
+_PATTERN = "result-*.bin"
+
+
+class ResultStore:
+    """Response bytes by job key, on disk, size-capped LRU."""
+
+    def __init__(self, root: PathLike, max_bytes: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def path(self, key: str) -> Path:
+        return self.root / f"result-{job_id_of(key)}.bin"
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The stored response bytes, or None; hits refresh recency."""
+        path = self.path(key)
+        obs = get_obs()
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            obs.metrics.counter("service.store.miss").inc()
+            return None
+        obs.metrics.counter("service.store.hit").inc()
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return payload
+
+    def put(self, key: str, payload: bytes) -> Path:
+        """Store response bytes atomically, then enforce the budget."""
+        path = self.path(key)
+        tmp = path.with_name(f"tmp-{os.getpid()}-{path.name}")
+        with self._lock:
+            try:
+                tmp.write_bytes(payload)
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+            if self.max_bytes is not None:
+                evict_lru(
+                    self.root,
+                    _PATTERN,
+                    self.max_bytes,
+                    keep=(path,),
+                    counter="service.store.evict",
+                )
+        return path
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count and byte total, for ``/healthz``."""
+        entries = 0
+        total = 0
+        for path in self.root.glob(_PATTERN):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {
+            "entries": entries,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+        }

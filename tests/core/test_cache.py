@@ -1,5 +1,8 @@
 """Tests of the content-addressed profile cache."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -11,8 +14,42 @@ from repro.core import (
     load_or_compute,
     profile_cache_key,
 )
-from repro.core.cache import cache_path
+from repro.core.cache import cache_path, evict_lru
 from repro.obs import observed
+
+_RACE_CONTACTS = (
+    (0.0, 10.0, 0, 1),
+    (20.0, 30.0, 1, 2),
+    (40.0, 50.0, 2, 3),
+    (5.0, 15.0, 0, 3),
+)
+
+
+def _race_network():
+    return TemporalNetwork(
+        [Contact(*row) for row in _RACE_CONTACTS], nodes=range(5)
+    )
+
+
+def _race_load(cache_dir, barrier, results):
+    """Child-process body: race ``load_or_compute`` on a shared key.
+
+    Puts a semantic digest of the returned profiles (plain tuples, so
+    it crosses the process boundary) rather than the npz bytes — the
+    zip container embeds timestamps, so byte comparison would flake.
+    """
+    net = _race_network()
+    barrier.wait()
+    profiles = load_or_compute(net, cache_dir, hop_bounds=(1, 2))
+    digest = []
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            for bound in (1, 2, None):
+                p = profiles.profile(s, d, bound)
+                digest.append((s, d, bound, tuple(p.lds), tuple(p.eas)))
+    results.put(digest)
 
 
 @pytest.fixture
@@ -137,3 +174,110 @@ class TestLoadOrCompute:
         load_or_compute(net, tmp_path, hop_bounds=(1, 2))
         leftovers = [p for p in tmp_path.iterdir() if p.name.startswith("tmp-")]
         assert leftovers == []
+
+
+class TestEviction:
+    def _backdate(self, path, age_s):
+        """Shift an entry's mtime into the past for deterministic LRU."""
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - age_s, stat.st_mtime - age_s))
+
+    def _entry(self, net, tmp_path, hop_bounds):
+        return cache_path(tmp_path, profile_cache_key(net, hop_bounds=hop_bounds))
+
+    def test_evicts_oldest_first(self, net, tmp_path):
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2, 3))
+        oldest = self._entry(net, tmp_path, (1,))
+        middle = self._entry(net, tmp_path, (1, 2))
+        newest = self._entry(net, tmp_path, (1, 2, 3))
+        self._backdate(oldest, 300)
+        self._backdate(middle, 200)
+        total = sum(p.stat().st_size for p in (oldest, middle, newest))
+        with observed() as run:
+            evicted = evict_lru(
+                tmp_path, "profiles-*.npz", total - oldest.stat().st_size
+            )
+        assert evicted == 1
+        assert not oldest.exists()
+        assert middle.exists() and newest.exists()
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.evict"] == 1
+
+    def test_within_budget_is_noop(self, net, tmp_path):
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        total = sum(p.stat().st_size for p in tmp_path.glob("profiles-*.npz"))
+        assert evict_lru(tmp_path, "profiles-*.npz", total) == 0
+        assert self._entry(net, tmp_path, (1,)).exists()
+
+    def test_bounded_mode_keeps_just_written_entry(self, net, tmp_path):
+        """Even a zero budget never evicts the entry being written: the
+        caller is about to serve it."""
+        load_or_compute(net, tmp_path, hop_bounds=(1,), max_bytes=0)
+        first = self._entry(net, tmp_path, (1,))
+        assert first.exists()
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2), max_bytes=0)
+        assert not first.exists()
+        assert self._entry(net, tmp_path, (1, 2)).exists()
+
+    def test_hit_refreshes_recency(self, net, tmp_path):
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        first = self._entry(net, tmp_path, (1,))
+        second = self._entry(net, tmp_path, (1, 2))
+        self._backdate(first, 300)
+        self._backdate(second, 200)
+        # A hit on the older entry promotes it past the younger one.
+        load_or_compute(net, tmp_path, hop_bounds=(1,))
+        total = first.stat().st_size + second.stat().st_size
+        evict_lru(tmp_path, "profiles-*.npz", total - second.stat().st_size)
+        assert first.exists()
+        assert not second.exists()
+
+    def test_eviction_never_tears_concurrent_read(self, net, tmp_path):
+        """Regression: evicting an entry another reader holds open must
+        not corrupt that read.  POSIX ``unlink`` keeps the data alive
+        through the open descriptor, and eviction relies on exactly
+        that — no truncation, no rewrite-in-place."""
+        load_or_compute(net, tmp_path, hop_bounds=(1, 2))
+        path = self._entry(net, tmp_path, (1, 2))
+        with np.load(path) as reader:  # a load in progress
+            assert evict_lru(tmp_path, "profiles-*.npz", 0) == 1
+            assert not path.exists()
+            # Every member is still fully readable through the open fd.
+            for name in reader.files:
+                assert reader[name] is not None
+
+
+class TestConcurrentAccess:
+    def test_two_processes_racing_same_key(self, tmp_path):
+        """Two processes missing on the same key at the same instant
+        must both succeed and agree — the atomic temp-file + ``replace``
+        write is what makes the race safe."""
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        results = ctx.Queue()
+        children = [
+            ctx.Process(
+                target=_race_load, args=(str(tmp_path), barrier, results)
+            )
+            for _ in range(2)
+        ]
+        for child in children:
+            child.start()
+        digests = [results.get(timeout=120) for _ in children]
+        for child in children:
+            child.join(timeout=120)
+        assert [child.exitcode for child in children] == [0, 0]
+        assert digests[0] == digests[1]
+        # One winner on disk, no torn temp files left behind.
+        assert len(list(tmp_path.glob("profiles-*.npz"))) == 1
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith("tmp-")]
+        assert leftovers == []
+        # Whatever survived the race is a valid entry: pure hit.
+        with observed() as run:
+            load_or_compute(_race_network(), tmp_path, hop_bounds=(1, 2))
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.hit"] == 1
+        assert "profiles.cache.invalid" not in counters

@@ -192,3 +192,60 @@ class TestNullRegistry:
         null = NullRegistry()
         null.merge(real)
         assert len(null) == 0
+
+
+class TestPrometheusRender:
+    """``render_text`` backs ``GET /metrics`` on the query service."""
+
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("service.jobs.computed").inc(3)
+        registry.counter("service.http.requests", method="POST").inc()
+        registry.gauge("service.pool.pending").set(2)
+        lines = set(registry.render_text().strip().splitlines())
+        assert "service_jobs_computed 3" in lines
+        assert 'service_http_requests{method="POST"} 1' in lines
+        assert "service_pool_pending 2" in lines
+
+    def test_histogram_summary_samples(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in registry.render_text().strip().splitlines()
+        )
+        assert lines["lat_count"] == "2"
+        assert float(lines["lat_sum"]) == 4.0
+        assert float(lines["lat_min"]) == 1.0
+        assert float(lines["lat_max"]) == 3.0
+
+    def test_timer_samples(self):
+        registry = MetricsRegistry()
+        with registry.timer("step"):
+            pass
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in registry.render_text().strip().splitlines()
+        )
+        assert lines["step_wall_count"] == "1"
+        assert float(lines["step_wall_sum"]) >= 0.0
+        assert "step_cpu_sum" in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c').inc()
+        text = registry.render_text()
+        assert 'c{path="a\\"b\\\\c"} 1' in text
+
+    def test_unset_gauge_and_empty_registry_omitted(self):
+        registry = MetricsRegistry()
+        assert registry.render_text() == ""
+        registry.gauge("g")  # created but never set: no sample
+        assert registry.render_text() == ""
+
+    def test_ends_with_newline_when_nonempty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.render_text().endswith("\n")

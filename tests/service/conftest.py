@@ -1,0 +1,47 @@
+"""Shared fixtures: a tiny trace and a running service instance."""
+
+import pytest
+
+from repro.obs import Instrumentation, set_obs
+from repro.service import ReproService, ServiceConfig, ServiceClient, serve_in_thread
+
+
+@pytest.fixture
+def chain_trace(tmp_path):
+    """A 4-node chain: diameter 3 hops, computes in milliseconds."""
+    path = tmp_path / "chain.txt"
+    path.write_text("0 1 0 100\n1 2 0 100\n2 3 0 100\n")
+    return str(path)
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Start fully-wired service instances; tears everything down.
+
+    Each ``start(**config_overrides)`` installs a fresh obs bundle (the
+    pool binds its instruments at start), boots a service on an
+    ephemeral port, and returns ``(service, client, bundle)``.
+    """
+    running = []
+
+    def start(**overrides):
+        bundle = Instrumentation.started()
+        previous = set_obs(bundle)
+        overrides.setdefault("workers", 1)
+        overrides.setdefault("allow_test_delay", True)
+        overrides.setdefault(
+            "cache_dir", str(tmp_path / f"service-cache-{len(running)}")
+        )
+        service = ReproService(ServiceConfig(**overrides))
+        server, _thread, url = serve_in_thread(service)
+        client = ServiceClient(url, timeout_s=60.0)
+        running.append((service, server, previous))
+        return service, client, bundle
+
+    yield start
+
+    for service, server, previous in reversed(running):
+        server.shutdown()
+        server.server_close()
+        service.close(drain=True, timeout_s=10.0)
+        set_obs(previous)

@@ -1,0 +1,241 @@
+"""End-to-end tests of the HTTP service over a real socket."""
+
+import io
+import json
+import threading
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def cli_bytes(argv):
+    """Capture the stdout bytes of one ``repro`` CLI invocation."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli_main(argv)
+    assert code == 0
+    return buffer.getvalue().encode("utf-8")
+
+
+class TestByteParity:
+    """The service is a front end to the engine, not a fork of it."""
+
+    def test_diameter_byte_identical_to_cli(self, service_factory, chain_trace):
+        _service, client, _ = service_factory()
+        response = client.diameter(chain_trace, max_hops=4, grid_points=8)
+        assert response.status == 200
+        assert response.headers["X-Repro-Source"] == "computed"
+        expected = cli_bytes(
+            ["diameter", chain_trace, "--max-hops", "4", "--grid-points", "8"]
+        )
+        assert response.body == expected
+
+    def test_delay_cdf_byte_identical_to_cli(self, service_factory, chain_trace):
+        _service, client, _ = service_factory()
+        response = client.delay_cdf(chain_trace, max_hops=2, grid_points=6)
+        assert response.status == 200
+        expected = cli_bytes(
+            ["delay-cdf", chain_trace, "--max-hops", "2", "--grid-points", "6"]
+        )
+        assert response.body == expected
+
+    def test_default_parameters_match_cli_defaults(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory()
+        response = client.delay_cdf(chain_trace)
+        assert response.body == cli_bytes(["delay-cdf", chain_trace])
+
+
+class TestResultStore:
+    def test_repeat_query_served_from_store(self, service_factory, chain_trace):
+        _service, client, bundle = service_factory()
+        first = client.diameter(chain_trace, max_hops=4, grid_points=8)
+        second = client.diameter(chain_trace, max_hops=4, grid_points=8)
+        assert first.headers["X-Repro-Source"] == "computed"
+        assert second.headers["X-Repro-Source"] == "store"
+        assert second.body == first.body
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters["service.jobs.computed"] == 1
+        assert counters["service.store.hit"] == 1
+
+    def test_distinct_queries_compute_separately(
+        self, service_factory, chain_trace
+    ):
+        _service, client, bundle = service_factory()
+        client.diameter(chain_trace, max_hops=4, grid_points=8)
+        client.diameter(chain_trace, max_hops=5, grid_points=8)
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters["service.jobs.computed"] == 2
+
+
+class TestCoalescing:
+    def test_concurrent_identical_queries_compute_once(
+        self, service_factory, chain_trace
+    ):
+        service, client, bundle = service_factory(workers=2)
+        results = [None] * 8
+
+        def issue(i):
+            results[i] = client.delay_cdf(
+                chain_trace, max_hops=3, grid_points=6, _test_delay_s=0.5
+            )
+
+        threads = [
+            threading.Thread(target=issue, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sorted(r.status for r in results) == [200] * 8
+        assert len({r.body for r in results}) == 1
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters["service.jobs.computed"] == 1
+        assert counters["service.jobs.coalesced"] == 7
+        sources = sorted(r.headers["X-Repro-Source"] for r in results)
+        assert sources.count("computed") == 1
+        assert sources.count("coalesced") == 7
+
+
+class TestBackpressure:
+    def test_saturated_pool_returns_429_with_retry_after(
+        self, service_factory, chain_trace
+    ):
+        # 1 worker + 1 queue slot: the third *distinct* in-flight query
+        # must be shed, not buffered without bound.
+        _service, client, _ = service_factory(workers=1, queue_capacity=1)
+        results = [None] * 3
+        barrier = threading.Barrier(3)
+
+        def issue(i):
+            barrier.wait()
+            results[i] = client.delay_cdf(
+                chain_trace, max_hops=i + 1, grid_points=6, _test_delay_s=1.0
+            )
+
+        threads = [
+            threading.Thread(target=issue, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        statuses = sorted(r.status for r in results)
+        assert statuses == [200, 200, 429]
+        rejected = next(r for r in results if r.status == 429)
+        assert int(rejected.headers["Retry-After"]) >= 1
+        assert rejected.json()["error"]["type"] == "saturated"
+
+
+class TestErrors:
+    def test_invalid_json_body(self, service_factory):
+        service, client, _ = service_factory()
+        response = client.request("POST", "/v1/diameter", None)
+        # An empty body parses as {} and fails trace validation instead.
+        raw = service.handle_query("diameter", b"{not json")
+        assert raw.status == 400
+        assert json.loads(raw.body)["error"]["type"] == "bad-request"
+        assert response.status == 400
+
+    def test_unknown_field(self, service_factory, chain_trace):
+        _service, client, _ = service_factory()
+        response = client.diameter(chain_trace, max_hop=4)
+        assert response.status == 400
+        assert response.json()["error"]["field"] == "max_hop"
+
+    def test_unknown_route(self, service_factory):
+        _service, client, _ = service_factory()
+        assert client.request("GET", "/v1/nope").status == 404
+        assert client.request("POST", "/v1/nope", {}).status == 404
+
+    def test_worker_failure_is_structured(self, service_factory, tmp_path):
+        """A trace deleted between normalisation and execution fails the
+        job with a structured error body, not a hung request."""
+        _service, client, _ = service_factory()
+        doomed = tmp_path / "doomed.txt"
+        doomed.write_text("0 1 0 100\n")
+        holder = [None]
+
+        def issue():
+            holder[0] = client.delay_cdf(
+                str(doomed), max_hops=2, grid_points=6, _test_delay_s=0.8
+            )
+
+        thread = threading.Thread(target=issue)
+        thread.start()
+        import time
+
+        time.sleep(0.3)  # normalised and queued; worker still sleeping
+        doomed.unlink()
+        thread.join()
+        response = holder[0]
+        assert response.status == 500
+        error = response.json()["error"]
+        assert error["type"] in ("exception", "command-failed")
+        assert error["message"]
+
+
+class TestJobsEndpoint:
+    def test_finished_job_is_queryable(self, service_factory, chain_trace):
+        _service, client, _ = service_factory()
+        response = client.diameter(chain_trace, max_hops=4, grid_points=8)
+        job_id = response.headers["X-Repro-Job"]
+        status = client.job(job_id)
+        assert status.status == 200
+        document = status.json()
+        assert document["state"] == "done"
+        assert document["exit_code"] == 0
+        assert document["output_bytes"] == len(response.body)
+
+    def test_unknown_job_404(self, service_factory):
+        _service, client, _ = service_factory()
+        assert client.job("f" * 32).status == 404
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, service_factory):
+        _service, client, _ = service_factory(workers=2)
+        response = client.health()
+        assert response.status == 200
+        document = response.json()
+        assert document["status"] == "healthy"
+        assert document["pool"]["alive"] == 2
+        assert document["store"]["entries"] == 0
+
+    def test_metrics_exposition(self, service_factory, chain_trace):
+        _service, client, _ = service_factory()
+        client.diameter(chain_trace, max_hops=4, grid_points=8)
+        text = client.metrics_text()
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().splitlines()
+        )
+        assert lines["service_jobs_computed"] == "1"
+        assert lines["service_jobs_submitted"] == "1"
+        assert 'service_http_requests{method="POST"}' in lines
+        # Engine counters share the same registry and scrape.
+        assert "service_http_responses{source=\"computed\"}" in lines
+
+
+class TestConfigValidation:
+    def test_pool_size_validated(self, tmp_path):
+        from repro.service import ServiceConfig
+
+        with pytest.raises(ValueError):
+            ServiceConfig(cache_dir=str(tmp_path), workers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(cache_dir=str(tmp_path), queue_capacity=0)
+
+    def test_serve_cli_rejects_zero_workers(self, tmp_path, capsys):
+        from repro.service.__main__ import main as service_main
+
+        with pytest.raises(SystemExit) as exc:
+            service_main(
+                ["serve", "--cache-dir", str(tmp_path), "--workers", "0"]
+            )
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,165 @@
+"""Unit tests: request normalisation, job keys, single-flight table."""
+
+import pytest
+
+from repro.service import BadRequest, JobTable, job_key, normalize_request
+from repro.service.jobs import NetworkCache, job_id_of
+from repro.traces.format import read_contacts
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("0 1 0 100\n1 2 0 100\n")
+    return str(path)
+
+
+class TestNormalizeRequest:
+    def test_defaults_match_cli(self, trace):
+        spec = normalize_request("diameter", {"trace": trace})
+        # cli.py: --eps 0.01 --max-hops 8 --grid-points 40
+        assert (spec.eps, spec.max_hops, spec.grid_points) == (0.01, 8, 40)
+        spec = normalize_request("delay-cdf", {"trace": trace})
+        # cli.py: --max-hops 4 --grid-points 12, no eps
+        assert (spec.eps, spec.max_hops, spec.grid_points) == (None, 4, 12)
+
+    def test_argv_round_trip(self, trace):
+        spec = normalize_request(
+            "diameter", {"trace": trace, "max_hops": 5, "eps": 0.05}
+        )
+        argv = spec.to_argv("/cache")
+        assert argv[0] == "diameter"
+        assert argv[1] == spec.trace
+        assert argv[-2:] == ["--cache-dir", "/cache"]
+        assert "--eps" in argv and "0.05" in argv
+
+    def test_unknown_command(self, trace):
+        with pytest.raises(BadRequest):
+            normalize_request("summarize", {"trace": trace})
+
+    def test_unknown_field_rejected_not_ignored(self, trace):
+        with pytest.raises(BadRequest) as exc:
+            normalize_request("diameter", {"trace": trace, "max_hop": 5})
+        assert exc.value.field == "max_hop"
+
+    def test_missing_trace(self):
+        with pytest.raises(BadRequest) as exc:
+            normalize_request("diameter", {})
+        assert exc.value.field == "trace"
+
+    def test_nonexistent_trace(self, tmp_path):
+        with pytest.raises(BadRequest):
+            normalize_request(
+                "diameter", {"trace": str(tmp_path / "missing.txt")}
+            )
+
+    def test_body_must_be_object(self):
+        with pytest.raises(BadRequest):
+            normalize_request("diameter", ["not", "a", "dict"])
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5, "a lot", True])
+    def test_bad_eps(self, trace, eps):
+        with pytest.raises(BadRequest):
+            normalize_request("diameter", {"trace": trace, "eps": eps})
+
+    @pytest.mark.parametrize("hops", [0, -1, 2.5, "8", True])
+    def test_bad_max_hops(self, trace, hops):
+        with pytest.raises(BadRequest):
+            normalize_request("diameter", {"trace": trace, "max_hops": hops})
+
+    def test_eps_rejected_for_delay_cdf(self, trace):
+        with pytest.raises(BadRequest):
+            normalize_request("delay-cdf", {"trace": trace, "eps": 0.01})
+
+    def test_test_delay_gated(self, trace):
+        with pytest.raises(BadRequest):
+            normalize_request("diameter", {"trace": trace, "_test_delay_s": 1})
+        spec = normalize_request(
+            "diameter", {"trace": trace, "_test_delay_s": 1},
+            allow_test_delay=True,
+        )
+        assert spec.test_delay_s == 1.0
+
+
+class TestJobKey:
+    def test_deterministic_and_parameter_sensitive(self, trace):
+        net = read_contacts(trace)
+        spec = normalize_request("diameter", {"trace": trace})
+        base = job_key(spec, net)
+        assert job_key(spec, net) == base
+        for body in (
+            {"trace": trace, "max_hops": 9},
+            {"trace": trace, "grid_points": 41},
+            {"trace": trace, "eps": 0.02},
+        ):
+            other = normalize_request("diameter", body)
+            assert job_key(other, net) != base
+        cdf = normalize_request("delay-cdf", {"trace": trace, "max_hops": 8,
+                                              "grid_points": 40})
+        assert job_key(cdf, net) != base
+
+    def test_test_delay_excluded_from_key(self, trace):
+        """The fault-injection knob cannot change response bytes, so it
+        must coalesce with the undelayed query."""
+        net = read_contacts(trace)
+        plain = normalize_request("diameter", {"trace": trace})
+        delayed = normalize_request(
+            "diameter", {"trace": trace, "_test_delay_s": 2},
+            allow_test_delay=True,
+        )
+        assert job_key(plain, net) == job_key(delayed, net)
+
+
+class TestJobTable:
+    def _spec(self, trace):
+        return normalize_request("diameter", {"trace": trace})
+
+    def test_single_flight(self, trace):
+        table = JobTable()
+        job, created = table.get_or_create("k1", self._spec(trace))
+        dup, dup_created = table.get_or_create("k1", self._spec(trace))
+        assert created and not dup_created
+        assert dup is job
+        assert job.waiters == 2
+
+    def test_complete_moves_to_finished(self, trace):
+        table = JobTable()
+        job, _ = table.get_or_create("k1", self._spec(trace))
+        assert not job.done.is_set()
+        table.complete("k1", exit_code=0, output=b"body")
+        assert job.done.is_set()
+        assert job.state == "done"
+        assert table.inflight_count() == 0
+        assert table.lookup(job.id) is job
+        # A fresh request for the same key is a new job, not a coalesce.
+        again, created = table.get_or_create("k1", self._spec(trace))
+        assert created and again is not job
+
+    def test_failure_is_structured(self, trace):
+        table = JobTable()
+        job, _ = table.get_or_create("k1", self._spec(trace))
+        table.complete("k1", error={"type": "timeout", "message": "too slow"})
+        assert job.state == "failed"
+        assert job.describe()["error"]["type"] == "timeout"
+
+    def test_history_bounded(self, trace):
+        table = JobTable(history=2)
+        for i in range(4):
+            table.get_or_create(f"key-{i:02d}{'0' * 62}", self._spec(trace))
+            table.complete(f"key-{i:02d}{'0' * 62}", exit_code=0, output=b"")
+        assert table.finished_count() == 2
+        assert table.lookup(job_id_of("key-00" + "0" * 62)) is None
+        assert table.lookup(job_id_of("key-03" + "0" * 62)) is not None
+
+
+class TestNetworkCache:
+    def test_reload_only_on_change(self, trace, tmp_path):
+        cache = NetworkCache()
+        first = cache.get(trace)
+        assert cache.get(trace) is first
+        # Rewriting the file (different size) invalidates the entry.
+        with open(trace, "a") as stream:
+            stream.write("2 3 0 100\n")
+        second = cache.get(trace)
+        assert second is not first
+        assert second.num_contacts == first.num_contacts + 1

@@ -1,0 +1,161 @@
+"""Fault injection and lifecycle tests of the worker pool.
+
+These drive the full service (HTTP included) because the interesting
+behaviour — a crashed worker failing a request cleanly, health flipping
+degraded and back — only exists end to end.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+
+def _kill_worker(service):
+    """SIGKILL the service's (single) current worker; returns its pid."""
+    pid = service.pool.worker_pids()[0]
+    assert pid is not None
+    os.kill(pid, signal.SIGKILL)
+    return pid
+
+
+def _wait_for(predicate, timeout_s=10.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+class TestWorkerCrash:
+    def test_crash_mid_job_retries_and_succeeds(
+        self, service_factory, chain_trace
+    ):
+        service, client, bundle = service_factory(
+            workers=1, respawn_delay_s=0.3
+        )
+        holder = [None]
+
+        def issue():
+            holder[0] = client.delay_cdf(
+                chain_trace, max_hops=2, grid_points=6, _test_delay_s=1.0
+            )
+
+        thread = threading.Thread(target=issue)
+        thread.start()
+        time.sleep(0.4)  # the worker is inside the job's delay window
+        old_pid = _kill_worker(service)
+
+        # healthz flips degraded while the slot awaits respawn...
+        assert _wait_for(
+            lambda: client.health().json()["status"] == "degraded"
+        ), "healthz never reported degraded after the worker was killed"
+
+        thread.join()
+        response = holder[0]
+        # ...the job was retried on the respawned worker and succeeded...
+        assert response.status == 200
+        assert response.body.startswith(b"delay")
+
+        # ...and the pool healed: fresh worker, healthy health.
+        assert _wait_for(
+            lambda: client.health().json()["status"] == "healthy"
+        ), "healthz never recovered to healthy"
+        assert service.pool.worker_pids()[0] != old_pid
+
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters["service.pool.crashes"] == 1
+        assert counters["service.pool.retries"] == 1
+        assert counters["service.pool.respawns"] == 1
+
+    def test_repeated_crash_fails_cleanly(self, service_factory, chain_trace):
+        """Both attempts killed: the client gets a structured error, not
+        a hang, and the pool still respawns back to healthy."""
+        service, client, bundle = service_factory(
+            workers=1, max_attempts=2
+        )
+        holder = [None]
+
+        def issue():
+            holder[0] = client.delay_cdf(
+                chain_trace, max_hops=3, grid_points=6, _test_delay_s=1.5
+            )
+
+        thread = threading.Thread(target=issue)
+        thread.start()
+        for _ in range(2):
+            assert _wait_for(
+                lambda: service.pool.health()["busy"] == 1
+            ), "job never reached a worker"
+            time.sleep(0.2)
+            try:
+                _kill_worker(service)
+            except ProcessLookupError:
+                pass
+        thread.join()
+
+        response = holder[0]
+        assert response.status == 500
+        error = response.json()["error"]
+        assert error["type"] == "worker-crashed"
+        assert error["attempts"] == 2
+        assert _wait_for(
+            lambda: client.health().json()["status"] == "healthy"
+        )
+
+
+class TestTimeout:
+    def test_overrunning_job_killed_with_structured_error(
+        self, service_factory, chain_trace
+    ):
+        service, client, bundle = service_factory(
+            workers=1, job_timeout_s=0.5
+        )
+        response = client.delay_cdf(
+            chain_trace, max_hops=2, grid_points=6, _test_delay_s=30.0
+        )
+        assert response.status == 500
+        error = response.json()["error"]
+        assert error["type"] == "timeout"
+        assert error["timeout_s"] == 0.5
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters["service.pool.timeouts"] == 1
+        # The killed worker's slot respawns.
+        assert _wait_for(
+            lambda: client.health().json()["status"] == "healthy"
+        )
+
+
+class TestDrain:
+    def test_graceful_drain_finishes_queued_work(
+        self, service_factory, chain_trace
+    ):
+        service, client, _ = service_factory(workers=1, queue_capacity=4)
+        holders = [None, None]
+
+        def issue(i):
+            holders[i] = client.delay_cdf(
+                chain_trace, max_hops=i + 2, grid_points=6, _test_delay_s=0.5
+            )
+
+        threads = [
+            threading.Thread(target=issue, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        assert service.close(drain=True, timeout_s=30.0)
+        for thread in threads:
+            thread.join()
+        assert [h.status for h in holders] == [200, 200]
+
+    def test_submit_after_close_is_rejected(self, service_factory, chain_trace):
+        from repro.service import PoolClosed
+
+        service, _client, _ = service_factory(workers=1)
+        service.close(drain=True, timeout_s=10.0)
+        with pytest.raises(PoolClosed):
+            service.pool.submit({"key": "k", "argv": []})

@@ -1,0 +1,88 @@
+"""Tests of the LRU result store."""
+
+import os
+
+from repro.obs import observed
+from repro.service import ResultStore
+
+K1 = "a" * 64
+K2 = "b" * 64
+K3 = "c" * 64
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert store.get(K1) is None
+        store.put(K1, b"diameter: 3 hops\n")
+        assert store.get(K1) == b"diameter: 3 hops\n"
+        assert store.contains(K1)
+
+    def test_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with observed() as run:
+            store.get(K1)
+            store.put(K1, b"x")
+            store.get(K1)
+            store.get(K1)
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["service.store.miss"] == 1
+        assert counters["service.store.hit"] == 2
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(K1, b"x" * 1000)
+        leftovers = [p for p in store.root.iterdir() if p.name.startswith("tmp-")]
+        assert leftovers == []
+
+    def test_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "s", max_bytes=100)
+        store.put(K1, b"x" * 10)
+        stats = store.stats()
+        assert stats == {"entries": 1, "bytes": 10, "max_bytes": 100}
+
+
+class TestEviction:
+    def _age(self, store, key, age_s):
+        """Backdate an entry's mtime so LRU order is deterministic."""
+        path = store.path(key)
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - age_s, stat.st_mtime - age_s))
+
+    def test_lru_eviction_under_budget(self, tmp_path):
+        store = ResultStore(tmp_path / "s", max_bytes=250)
+        with observed() as run:
+            store.put(K1, b"1" * 100)
+            self._age(store, K1, 100)
+            store.put(K2, b"2" * 100)
+            self._age(store, K2, 50)
+            store.put(K3, b"3" * 100)  # 300 bytes total: evict oldest
+        assert store.get(K1) is None
+        assert store.get(K2) == b"2" * 100
+        assert store.get(K3) == b"3" * 100
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["service.store.evict"] == 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        store = ResultStore(tmp_path / "s", max_bytes=250)
+        store.put(K1, b"1" * 100)
+        self._age(store, K1, 100)
+        store.put(K2, b"2" * 100)
+        self._age(store, K2, 50)
+        # Serving K1 makes it the most recent: K2 must go instead.
+        assert store.get(K1) is not None
+        store.put(K3, b"3" * 100)
+        assert store.get(K1) is not None
+        assert store.get(K2) is None
+
+    def test_just_written_entry_protected(self, tmp_path):
+        """One oversized entry must survive its own write."""
+        store = ResultStore(tmp_path / "s", max_bytes=50)
+        store.put(K1, b"1" * 100)
+        assert store.get(K1) == b"1" * 100
+
+    def test_unbounded_by_default(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for i, key in enumerate((K1, K2, K3)):
+            store.put(key, bytes([65 + i]) * 1000)
+        assert store.stats()["entries"] == 3

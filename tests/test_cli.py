@@ -93,6 +93,21 @@ class TestDelayCdf:
         assert "k=1" in out and "k=2" in out and "k=inf" in out
 
 
+class TestArgumentValidation:
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_workers_must_be_positive(self, trace_file, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["diameter", str(trace_file), "--workers", value])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_workers_must_be_an_integer(self, trace_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["diameter", str(trace_file), "--workers", "two"])
+        assert exc.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+
 class TestWorkerParity:
     """Parallel profile computation must be invisible in the output:
     ``--workers 2`` byte-identical to ``--workers 1``."""

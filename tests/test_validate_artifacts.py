@@ -129,6 +129,99 @@ class TestCacheRerun:
             va.validate_cache_rerun(cold, warm)
 
 
+def _service_summary(**overrides):
+    summary = {
+        "coalesce": {
+            "concurrency": 8,
+            "computed": 1,
+            "coalesced": 7,
+            "coalesce_ratio": 7 / 8,
+            "byte_identical": True,
+            "wall_s": 1.0,
+        },
+        "throughput": {
+            "requests": 60,
+            "throughput_rps": 500.0,
+            "latency_p50_s": 0.002,
+            "latency_p99_s": 0.003,
+            "store_hits": 60,
+            "store_hit_ratio": 1.0,
+        },
+        "backpressure": {
+            "rejected_status": 429,
+            "retry_after_s": 30,
+            "pool_rejected": 1,
+        },
+    }
+    summary.update(overrides)
+    return summary
+
+
+def _service_payload(tmp_path, summary=None, counters=None):
+    payload = _bench_payload(bench="service_load")
+    payload["manifest"]["params"] = {
+        "service_load": _service_summary() if summary is None else summary
+    }
+    payload["metrics"]["counters"] = (
+        {"service.pool.rejected": 1} if counters is None else counters
+    )
+    return _write(tmp_path / "BENCH_service_load.json", payload)
+
+
+class TestServiceLoad:
+    def test_clean_record_passes(self, tmp_path):
+        lines = va.validate_service_load(_service_payload(tmp_path))
+        assert any("coalesce: 7/8" in line for line in lines)
+        assert any("429" in line for line in lines)
+
+    def test_multiple_computations_fail(self, tmp_path):
+        summary = _service_summary()
+        summary["coalesce"] = dict(summary["coalesce"], computed=3)
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="expected exactly 1"):
+            va.validate_service_load(path)
+
+    def test_low_coalesce_ratio_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["coalesce"] = dict(
+            summary["coalesce"], coalesced=4, coalesce_ratio=0.5
+        )
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="coalesce ratio"):
+            va.validate_service_load(path)
+
+    def test_byte_divergence_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["coalesce"] = dict(summary["coalesce"], byte_identical=False)
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="byte-identical"):
+            va.validate_service_load(path)
+
+    def test_missing_rejection_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["backpressure"] = dict(
+            summary["backpressure"], rejected_status=200
+        )
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="429"):
+            va.validate_service_load(path)
+
+    def test_missing_summary_fails(self, tmp_path):
+        payload = _bench_payload(bench="service_load")
+        path = _write(tmp_path / "BENCH_service_load.json", payload)
+        with pytest.raises(va.ValidationError, match="manifest params"):
+            va.validate_service_load(path)
+        payload["manifest"]["params"] = {}
+        path = _write(tmp_path / "BENCH_service_load.json", payload)
+        with pytest.raises(va.ValidationError, match="service_load"):
+            va.validate_service_load(path)
+
+    def test_missing_rejected_counter_fails(self, tmp_path):
+        path = _service_payload(tmp_path, counters={})
+        with pytest.raises(va.ValidationError, match="rejected"):
+            va.validate_service_load(path)
+
+
 class TestCli:
     def test_bench_subcommand_exit_codes(self, tmp_path, capsys):
         _write(tmp_path / "BENCH_a.json", _bench_payload())
