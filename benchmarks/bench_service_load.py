@@ -13,8 +13,11 @@ counters CI validates:
   must shed a third distinct in-flight query with ``429`` and a
   ``Retry-After`` hint rather than buffer it without bound.
 
-The summary lands on the run manifest (``params.service_load``), which
-``validate_artifacts.py service-load`` checks in CI.
+The summary (including p10/p50/p90/p99 request latencies) lands on the
+run manifest (``params.service_load``), which
+``validate_artifacts.py service-load`` checks in CI; the coalesce
+leader's trace is exported to ``TRACE_service_load.jsonl`` for
+``validate_artifacts.py trace``.
 """
 
 import io
@@ -100,6 +103,10 @@ def phase_coalesce(client, trace, expected):
     coalesced = int(counters.get("service.jobs.coalesced", 0))
     assert computed == 1, f"expected exactly 1 computation, got {computed}"
     assert coalesced >= CONCURRENCY - 1, f"only {coalesced} coalesced"
+    leaders = [
+        r for r in responses if r.headers.get("X-Repro-Source") == "computed"
+    ]
+    assert len(leaders) == 1, "expected exactly one computed response"
     return {
         "concurrency": CONCURRENCY,
         "computed": computed,
@@ -107,6 +114,9 @@ def phase_coalesce(client, trace, expected):
         "coalesce_ratio": coalesced / CONCURRENCY,
         "byte_identical": byte_identical,
         "wall_s": elapsed,
+        # The leader's trace covers HTTP -> pool -> worker -> engine;
+        # main() exports it for `validate_artifacts.py trace` in CI.
+        "leader_trace_id": leaders[0].trace_id,
     }
 
 
@@ -122,12 +132,18 @@ def phase_throughput(client, trace):
     elapsed = time.perf_counter() - begin
     counters = get_obs().metrics.to_dict()["counters"]
     hits = int(counters.get("service.store.hit", 0))
-    p50, p99 = np.percentile(latencies, [50, 99])
+    p10, p50, p90, p99 = np.percentile(latencies, [10, 50, 90, 99])
     return {
         "requests": REQUESTS,
         "throughput_rps": REQUESTS / elapsed,
         "latency_p50_s": float(p50),
         "latency_p99_s": float(p99),
+        "latency_percentiles_s": {
+            "p10": float(p10),
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        },
         "store_hits": hits,
         "store_hit_ratio": hits / REQUESTS,
     }
@@ -174,6 +190,24 @@ def phase_backpressure(root, trace):
         service.close(drain=True, timeout_s=30.0)
 
 
+def export_leader_trace(client, trace_id):
+    """Save the coalesce leader's trace next to the BENCH JSON.
+
+    ``GET /debug/traces/<id>`` already speaks ``repro.trace/1`` JSONL,
+    so the bytes land on disk verbatim and CI validates them with
+    ``validate_artifacts.py trace``.
+    """
+    assert trace_id, "leader response carried no X-Repro-Trace header"
+    response = client.trace(trace_id)
+    assert response.status == 200, f"trace export failed: {response.status}"
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "TRACE_service_load.jsonl")
+    with open(path, "wb") as stream:
+        stream.write(response.body)
+    return path
+
+
 def main():
     banner(
         "service_load",
@@ -191,6 +225,7 @@ def main():
     try:
         coalesce = phase_coalesce(client, trace, expected)
         throughput = phase_throughput(client, trace)
+        trace_path = export_leader_trace(client, coalesce["leader_trace_id"])
     finally:
         server.shutdown()
         server.server_close()
@@ -220,6 +255,8 @@ def main():
           f"{backpressure['rejected_status']} + Retry-After "
           f"{backpressure['retry_after_s']}s "
           f"({backpressure['pool_rejected']} rejection(s))")
+    print(f"trace:         leader trace {coalesce['leader_trace_id']} "
+          f"exported to {trace_path}")
     return 0
 
 

@@ -9,6 +9,9 @@ importable, testable, and usable locally::
         bench-warm/BENCH_fig9_delay_cdf.json
     PYTHONPATH=src python benchmarks/validate_artifacts.py service-load \\
         bench-out/BENCH_service_load.json
+    PYTHONPATH=src python benchmarks/validate_artifacts.py trace \\
+        bench-out/TRACE_service_load.jsonl \\
+        --require-span worker.execute --require-origin worker
 
 ``bench`` checks every ``BENCH_*.json`` under a directory against the
 bench payload schema.  ``cache-rerun`` checks a cold/warm pair of runs
@@ -16,8 +19,11 @@ against a shared profile cache: the cold run must miss, the warm run
 must hit without a single miss or invalidation.  ``service-load``
 checks the query-service load harness record: single-flight coalescing
 (exactly one computation for the concurrent burst, ratio >= 7/8),
-byte-identical responses, and at least one ``429`` shed under
-saturation.
+byte-identical responses, at least one ``429`` shed under saturation,
+and the latency percentile record.  ``trace`` checks an exported
+``repro.trace/1`` JSONL document (ids well-formed, parents resolve,
+header counts match) and asserts coverage via ``--require-span`` /
+``--require-origin`` / ``--require-link``.
 """
 
 from __future__ import annotations
@@ -26,9 +32,12 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
 
 from _common import validate_bench_payload  # noqa: E402
 
@@ -142,6 +151,20 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
     throughput = summary["throughput"]
     if not float(throughput.get("throughput_rps", 0.0)) > 0.0:
         raise ValidationError(f"{path}: non-positive throughput")
+    percentiles = throughput.get("latency_percentiles_s")
+    if not isinstance(percentiles, dict):
+        raise ValidationError(
+            f"{path}: throughput missing latency_percentiles_s"
+        )
+    previous = 0.0
+    for quantile in ("p10", "p50", "p90", "p99"):
+        value = percentiles.get(quantile)
+        if not isinstance(value, (int, float)) or value < previous:
+            raise ValidationError(
+                f"{path}: latency percentiles not monotone at {quantile}: "
+                f"{percentiles}"
+            )
+        previous = float(value)
     backpressure = summary["backpressure"]
     if backpressure.get("rejected_status") != 429:
         raise ValidationError(
@@ -162,6 +185,36 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
     ]
 
 
+def validate_trace_export(
+    path: pathlib.Path,
+    require_spans: Sequence[str] = (),
+    require_origins: Sequence[str] = (),
+    require_links: Sequence[str] = (),
+) -> List[str]:
+    """Check one exported ``repro.trace/1`` JSONL document."""
+    from repro.obs.tracestore import validate_trace_jsonl
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"{path}: cannot read: {exc}") from exc
+    try:
+        summary = validate_trace_jsonl(
+            text,
+            require_names=tuple(require_spans),
+            require_origins=tuple(require_origins),
+            require_link_types=tuple(require_links),
+        )
+    except ValueError as exc:
+        raise ValidationError(f"{path}: {exc}") from exc
+    return [
+        f"{path}: ok (trace {summary['trace_id']}, "
+        f"{summary['spans']} spans, {summary['links']} links)",
+        f"origins: {', '.join(summary['origins'])}",
+        f"spans:   {', '.join(summary['names'])}",
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="validate_artifacts", description=__doc__.splitlines()[0]
@@ -178,12 +231,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "service-load", help="validate the service load harness record"
     )
     service.add_argument("artifact", type=pathlib.Path)
+    trace = sub.add_parser(
+        "trace", help="validate an exported repro.trace/1 JSONL document"
+    )
+    trace.add_argument("artifact", type=pathlib.Path)
+    trace.add_argument(
+        "--require-span", action="append", default=[], metavar="NAME",
+        help="fail unless a span with this name is present (repeatable)",
+    )
+    trace.add_argument(
+        "--require-origin", action="append", default=[], metavar="ORIGIN",
+        help="fail unless a span from this origin is present (repeatable)",
+    )
+    trace.add_argument(
+        "--require-link", action="append", default=[], metavar="TYPE",
+        help="fail unless a link of this type is present (repeatable)",
+    )
     args = parser.parse_args(argv)
     try:
         if args.command == "bench":
             lines = validate_bench_dir(args.out_dir)
         elif args.command == "cache-rerun":
             lines = validate_cache_rerun(args.cold, args.warm)
+        elif args.command == "trace":
+            lines = validate_trace_export(
+                args.artifact,
+                require_spans=args.require_span,
+                require_origins=args.require_origin,
+                require_links=args.require_link,
+            )
         else:
             lines = validate_service_load(args.artifact)
     except ValidationError as exc:

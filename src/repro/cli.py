@@ -54,6 +54,38 @@ def positive_int(text: str) -> int:
     return value
 
 
+def log_level(text: str) -> str:
+    """argparse type for ``--log-level`` (validated like positive_int)."""
+    from .obs.log import coerce_level
+
+    try:
+        return coerce_level(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def add_log_level_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--log-level`` flag (default: ``$REPRO_LOG`` or info)."""
+    parser.add_argument(
+        "--log-level",
+        type=log_level,
+        default=None,
+        metavar="LEVEL",
+        help="structured-log threshold: debug, info, warning or error "
+             "(default: $REPRO_LOG, else info)",
+    )
+
+
+def configure_logging_from(args: argparse.Namespace) -> str:
+    """Apply ``--log-level`` / ``REPRO_LOG`` to the structured loggers."""
+    from .obs.log import configure, level_from_env
+
+    level = getattr(args, "log_level", None)
+    if level is None:
+        level = level_from_env()
+    return configure(level=level)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     net = datasets.build(args.dataset, seed=args.seed, scale=args.scale)
     write_contacts(net, args.output, header=f"synthetic {args.dataset}")
@@ -109,7 +141,11 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
             profiles = _profiles(net, tuple(range(1, fixpoint + 1)), args)
             result = diameter(profiles, _grid(args), eps=args.eps)
     if result.value is None:
-        print("error: diameter computation did not converge", file=sys.stderr)
+        from .obs.log import get_logger
+
+        get_logger("repro.cli").error(
+            "cli.diameter.no-convergence", trace=args.trace
+        )
         return 1
     print(f"({1 - args.eps:.0%})-diameter: {result.value} hops")
     return 0
@@ -210,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run manifest (JSON) after the command",
     )
+    add_log_level_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesise a data set")
@@ -268,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging_from(args)
     if not (args.metrics_out or args.span_trace_out or args.manifest_out):
         return args.func(args)
     from .obs import observed
@@ -292,7 +330,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             writer(path)
         except OSError as exc:
-            print(f"repro: cannot write {path}: {exc}", file=sys.stderr)
+            from .obs.log import get_logger
+
+            get_logger("repro.cli").error(
+                "cli.output.unwritable", path=path, error=str(exc)
+            )
             code = code or 1
     return code
 

@@ -11,7 +11,15 @@ simulator, and the benchmark harness — a shared instrumentation layer:
 * :mod:`repro.obs.manifest` — a run-provenance document (seed, dataset,
   scale, versions, git SHA, peak RSS, total runtime);
 * :mod:`repro.obs.runtime` — the session switch: a disabled-by-default
-  active bundle, enabled via :func:`observed`.
+  active bundle, enabled via :func:`observed`;
+* :mod:`repro.obs.tracectx` — request-scoped trace contexts
+  (W3C-traceparent ids) that stitch spans recorded in different threads
+  and processes into one trace;
+* :mod:`repro.obs.tracestore` — the ring-buffered store of reassembled
+  traces behind the service's ``GET /debug/traces`` endpoints, with
+  ``repro.trace/1`` JSONL export and validation;
+* :mod:`repro.obs.log` — structured JSONL logging with correlation ids
+  (replaces ad-hoc stderr prints in the CLI and the service).
 
 Typical use::
 
@@ -29,6 +37,7 @@ When nothing is activated, every instrumented call site sees the shared
 uninstrumented speed.
 """
 
+from .log import StructuredLogger, configure as configure_logging, get_logger
 from .manifest import RunManifest
 from .metrics import (
     Counter,
@@ -46,6 +55,8 @@ from .runtime import (
     set_obs,
 )
 from .spans import NullTracer, Span, SpanTracer
+from .tracectx import TraceContext, bind_records, derive_span_id, now_unix
+from .tracestore import TRACE_SCHEMA, TraceStore, validate_trace_jsonl
 
 __all__ = [
     "Counter",
@@ -59,8 +70,18 @@ __all__ = [
     "RunManifest",
     "Span",
     "SpanTracer",
+    "StructuredLogger",
+    "TRACE_SCHEMA",
     "Timer",
+    "TraceContext",
+    "TraceStore",
+    "bind_records",
+    "configure_logging",
+    "derive_span_id",
+    "get_logger",
     "get_obs",
+    "now_unix",
     "observed",
     "set_obs",
+    "validate_trace_jsonl",
 ]

@@ -1,0 +1,170 @@
+"""Structured JSONL logging with correlation ids.
+
+Ad-hoc ``print(..., file=sys.stderr)`` lines cannot be grepped by trace
+id, filtered by level, or shipped to a collector; this module replaces
+them across the CLI and the service.  One log record is one JSON object
+per line on stderr::
+
+    {"ts": 1722950000.123, "level": "warning", "logger": "repro.service",
+     "event": "service.job.slow", "trace_id": "4bf9...", "wall_s": 31.2}
+
+Design points:
+
+* **Lazy streams.**  A logger bound to ``stream=None`` resolves
+  ``sys.stderr`` at *emit* time, so ``redirect_stderr`` (used by the
+  worker pool to capture job stderr) and pytest's capture both see log
+  lines without any re-plumbing.
+* **Level threshold.**  ``debug < info < warning < error``; the shared
+  default comes from :func:`configure` (the CLIs wire ``--log-level`` /
+  ``REPRO_LOG`` into it, validated by :func:`coerce_level` the way
+  ``positive_int`` validates counts).
+* **Bound fields.**  ``logger.bind(trace_id=...)`` returns a child whose
+  every record carries the correlation id — request handlers bind once
+  and log freely.
+
+Emission is serialised by a module lock and written as a single
+``write`` call, so concurrent handler threads never interleave lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, Optional, TextIO
+
+#: ordered severity levels (names are the public API).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+DEFAULT_LEVEL = "info"
+
+#: environment variable consulted by the CLIs for the default level.
+ENV_VAR = "REPRO_LOG"
+
+_emit_lock = threading.Lock()
+_registry_lock = threading.Lock()
+_default_level = DEFAULT_LEVEL
+_loggers: Dict[str, "StructuredLogger"] = {}
+
+
+def coerce_level(value: object) -> str:
+    """Normalise a level name; raise ValueError for anything unknown."""
+    if not isinstance(value, str):
+        raise ValueError(f"log level must be a string, got {value!r}")
+    level = value.strip().lower()
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {value!r}; choose from {', '.join(LEVELS)}"
+        )
+    return level
+
+
+def level_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """The ``REPRO_LOG`` level, or None if unset/invalid.
+
+    An invalid value in the environment must not crash an otherwise
+    correct invocation; callers that want strictness (the ``--log-level``
+    flags) validate explicitly via :func:`coerce_level`.
+    """
+    env: Dict[str, str] = dict(os.environ) if environ is None else environ
+    raw = env.get(ENV_VAR)
+    if raw is None:
+        return None
+    try:
+        return coerce_level(raw)
+    except ValueError:
+        return None
+
+
+class StructuredLogger:
+    """A named JSONL logger with a level threshold and bound fields."""
+
+    __slots__ = ("name", "level", "_stream", "_bound")
+
+    def __init__(
+        self,
+        name: str,
+        level: Optional[str] = None,
+        stream: Optional[TextIO] = None,
+        bound: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.level = coerce_level(level) if level is not None else _default_level
+        self._stream = stream
+        self._bound: Dict[str, object] = dict(bound or {})
+
+    def bind(self, **fields: object) -> "StructuredLogger":
+        """A child logger whose every record carries ``fields``."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        return StructuredLogger(
+            self.name, level=self.level, stream=self._stream, bound=merged
+        )
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= LEVELS[self.level]
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        level = coerce_level(level)
+        if not self.enabled_for(level):
+            return
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(self._bound)
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=repr) + "\n"
+        stream = self._stream if self._stream is not None else sys.stderr
+        with _emit_lock:
+            stream.write(line)
+            try:
+                stream.flush()
+            except (OSError, ValueError):  # closed/broken stream: drop, not die
+                pass
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The shared logger for ``name`` (created at the default level)."""
+    with _registry_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger
+
+
+def configure(
+    level: Optional[str] = None, stream: Optional[TextIO] = None
+) -> str:
+    """Set the process-wide default level (and optionally the stream).
+
+    Updates every logger already handed out by :func:`get_logger`, so a
+    CLI can parse ``--log-level`` after modules imported their loggers.
+    Returns the level now in force.
+    """
+    global _default_level
+    with _registry_lock:
+        if level is not None:
+            _default_level = coerce_level(level)
+        for logger in _loggers.values():
+            if level is not None:
+                logger.level = _default_level
+            if stream is not None:
+                logger._stream = stream
+        return _default_level

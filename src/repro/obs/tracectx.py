@@ -1,0 +1,207 @@
+"""Request-scoped trace context: W3C-traceparent ids across processes.
+
+The PR-1 span layer (:mod:`repro.obs.spans`) records one process's call
+tree with small local integer ids; that is enough for a batch run, but a
+service request crosses *three* execution contexts — the HTTP handler
+thread, the pool supervisor thread, and a worker process — and its spans
+must reassemble into one trace afterwards.  This module provides the
+glue:
+
+* :class:`TraceContext` — an immutable ``(trace_id, span_id)`` pair with
+  W3C ``traceparent`` encoding (``00-<32 hex>-<16 hex>-<flags>``), so the
+  context survives HTTP headers and pickled worker envelopes verbatim;
+* :func:`derive_span_id` — deterministic child-span ids
+  (``sha256(parent_span_id "/" qualifier)[:16]``).  Each process derives
+  the ids of the spans it will record from the random id it was handed,
+  so no id allocator is shared across processes and a retried attempt
+  gets a distinct id from its attempt number;
+* :func:`bind_records` — rewrites one :class:`~repro.obs.spans.SpanTracer`
+  export (local integer ids) into trace-scoped records carrying
+  ``trace_id`` / ``span_id`` / ``parent_span_id`` hex ids plus an
+  ``origin`` tag (``server`` / ``supervisor`` / ``worker``).
+
+Wall-clock reads live here on purpose: reprolint REP004 bans them in
+``service/`` (clocks belong to :mod:`repro.obs`), so the pool timestamps
+its attempt spans through :func:`now_unix`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, cast
+
+#: hex digits of a trace id / span id (W3C trace context sizes).
+_TRACE_ID_CHARS = 32
+_SPAN_ID_CHARS = 16
+
+_HEX = frozenset("0123456789abcdef")
+
+
+def now_unix() -> float:
+    """Wall-clock timestamp for span records built outside a tracer."""
+    return time.time()
+
+
+def _is_hex_id(value: str, length: int) -> bool:
+    return (
+        len(value) == length
+        and set(value) <= _HEX
+        and set(value) != {"0"}
+    )
+
+
+def new_trace_id() -> str:
+    return secrets.token_hex(_TRACE_ID_CHARS // 2)
+
+
+def new_span_id() -> str:
+    return secrets.token_hex(_SPAN_ID_CHARS // 2)
+
+
+def derive_span_id(parent_span_id: str, qualifier: object) -> str:
+    """A deterministic 16-hex child id, namespaced under its parent.
+
+    The parent id is random per request, so derived ids are unique as
+    long as ``qualifier`` is unique *within* that parent (tracer-local
+    span ids, attempt numbers, ...).
+    """
+    digest = hashlib.sha256(
+        f"{parent_span_id}/{qualifier}".encode("utf-8")
+    ).hexdigest()
+    return digest[:_SPAN_ID_CHARS]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a distributed trace: the id pair children hang off."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (new trace, new root span id)."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self, qualifier: object) -> "TraceContext":
+        """The context of a derived child span (same trace)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_span_id(self.span_id, qualifier),
+            sampled=self.sampled,
+        )
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` value; None for anything malformed.
+
+        Malformed inbound headers must never fail a request — the server
+        simply starts a fresh trace — so this returns None instead of
+        raising.
+        """
+        if not header or not isinstance(header, str):
+            return None
+        parts = header.strip().lower().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, flags = parts
+        if version != "00" or len(flags) != 2 or not set(flags) <= _HEX:
+            return None
+        if not _is_hex_id(trace_id, _TRACE_ID_CHARS):
+            return None
+        if not _is_hex_id(span_id, _SPAN_ID_CHARS):
+            return None
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(int(flags, 16) & 1),
+        )
+
+
+#: where a trace-scoped span record was produced.
+ORIGINS = ("server", "supervisor", "worker", "client")
+
+
+def span_record(
+    ctx: TraceContext,
+    name: str,
+    parent_span_id: Optional[str],
+    origin: str,
+    start_unix: float,
+    wall_s: float,
+    attrs: Optional[Dict[str, object]] = None,
+    cpu_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """One trace-scoped span record built by hand (no tracer involved).
+
+    The pool supervisor uses this for its per-attempt spans: attempts
+    interleave across worker slots, so they cannot share the tracer's
+    lexically-nested stack.
+    """
+    return {
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.span_id,
+        "parent_span_id": parent_span_id,
+        "name": name,
+        "origin": origin,
+        "start_unix": start_unix,
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "attrs": dict(attrs or {}),
+    }
+
+
+def bind_records(
+    ctx: TraceContext,
+    records: Iterable[Dict[str, object]],
+    origin: str,
+    parent_span_id: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Rewrite one tracer's local-id records into trace-scoped records.
+
+    The tracer's (single) root span takes ``ctx.span_id`` itself — the
+    context *is* that span's address, which is what lets another process
+    parent its own spans under it before these records even exist.
+    Every other local id maps to ``derive_span_id(ctx.span_id, local_id)``
+    and local parent links are rewritten through the same mapping; root
+    spans parent at ``parent_span_id`` (the remote parent, or None for a
+    trace root).
+    """
+    materialized = list(records)
+    root_ids = {r["id"] for r in materialized if r["parent"] is None}
+    single_root = len(root_ids) == 1
+    mapping: Dict[object, str] = {}
+    for record in materialized:
+        local_id = record["id"]
+        if single_root and local_id in root_ids:
+            mapping[local_id] = ctx.span_id
+        else:
+            mapping[local_id] = derive_span_id(ctx.span_id, local_id)
+    bound: List[Dict[str, object]] = []
+    for record in materialized:
+        parent = record["parent"]
+        bound.append(
+            {
+                "trace_id": ctx.trace_id,
+                "span_id": mapping[record["id"]],
+                "parent_span_id": (
+                    parent_span_id if parent is None else mapping.get(parent)
+                ),
+                "name": record["name"],
+                "origin": origin,
+                "start_unix": record["start_unix"],
+                "wall_s": record["wall_s"],
+                "cpu_s": record["cpu_s"],
+                "attrs": dict(cast(Dict[str, object], record["attrs"])),
+            }
+        )
+    return bound

@@ -1,0 +1,324 @@
+"""A ring-buffered store of reassembled traces, with JSONL export.
+
+The service's three execution contexts each contribute trace-scoped span
+records (see :mod:`repro.obs.tracectx`): the HTTP handler binds its
+request tracer, the pool supervisor hands in per-attempt records, and a
+worker process ships its spans back inside the result envelope.  The
+:class:`TraceStore` is where they meet — records are grouped by
+``trace_id``, coalesce fan-in is kept as *link* records, and the whole
+trace exports as JSON Lines under schema ``repro.trace/1``::
+
+    {"kind": "header", "schema": "repro.trace/1", "trace_id": ..., ...}
+    {"kind": "span", "trace_id": ..., "span_id": ..., "parent_span_id": ...,
+     "name": "service.http.request", "origin": "server", "start_unix": ...,
+     "wall_s": ..., "cpu_s": ..., "attrs": {...}}
+    {"kind": "link", "type": "coalesce", "trace_id": ..., "span_id": ...,
+     "linked_trace_id": ..., "linked_span_id": ...}
+
+The store is a bounded ring: once ``capacity`` traces are held, the
+oldest trace is dropped for each new one, so a long-lived server's
+``GET /debug/traces`` stays O(capacity) forever.  :func:`validate_trace_jsonl`
+is the matching checker — ``benchmarks/validate_artifacts.py trace``
+and the tests run exported artefacts through it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, cast
+
+TRACE_SCHEMA = "repro.trace/1"
+
+#: span-record keys every bound record must carry.
+_SPAN_KEYS = (
+    "trace_id",
+    "span_id",
+    "parent_span_id",
+    "name",
+    "origin",
+    "start_unix",
+    "wall_s",
+    "attrs",
+)
+
+#: link-record keys (a link lives in one trace and points at another span,
+#: possibly in a different trace).
+_LINK_KEYS = ("type", "trace_id", "span_id", "linked_trace_id", "linked_span_id")
+
+_HEX = frozenset("0123456789abcdef")
+
+
+class _TraceEntry:
+    """One trace under assembly: its spans and links, in arrival order."""
+
+    __slots__ = ("spans", "links")
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, object]] = []
+        self.links: List[Dict[str, object]] = []
+
+
+class TraceStore:
+    """Completed/in-flight traces keyed by trace id, ring-bounded."""
+
+    def __init__(self, capacity: int = 256, max_spans_per_trace: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.max_spans_per_trace = max_spans_per_trace
+        self.evicted = 0
+        self.dropped_spans = 0
+        self._traces: "OrderedDict[str, _TraceEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _entry(self, trace_id: str) -> _TraceEntry:
+        entry = self._traces.get(trace_id)
+        if entry is None:
+            entry = self._traces[trace_id] = _TraceEntry()
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self.evicted += 1
+        return entry
+
+    def add_spans(
+        self, trace_id: str, records: Iterable[Dict[str, object]]
+    ) -> None:
+        """Append span records to a trace (created on first touch)."""
+        with self._lock:
+            entry = self._entry(trace_id)
+            for record in records:
+                if len(entry.spans) >= self.max_spans_per_trace:
+                    self.dropped_spans += 1
+                    continue
+                entry.spans.append(record)
+
+    def add_link(self, trace_id: str, link: Dict[str, object]) -> None:
+        """Record a span link (e.g. coalesce fan-in) on a trace."""
+        document = dict(link)
+        document["trace_id"] = trace_id
+        with self._lock:
+            self._entry(trace_id).links.append(document)
+
+    def get(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """The assembled trace document, or None if unknown/evicted."""
+        with self._lock:
+            entry = self._traces.get(trace_id)
+            if entry is None:
+                return None
+            spans = list(entry.spans)
+            links = list(entry.links)
+        return {
+            "schema": TRACE_SCHEMA,
+            "trace_id": trace_id,
+            "spans": spans,
+            "links": links,
+        }
+
+    def summaries(self) -> List[Dict[str, object]]:
+        """One summary row per held trace, newest first."""
+        with self._lock:
+            items = list(self._traces.items())
+        rows: List[Dict[str, object]] = []
+        for trace_id, entry in reversed(items):
+            root = next(
+                (s for s in entry.spans if s.get("parent_span_id") is None),
+                None,
+            )
+            rows.append(
+                {
+                    "trace_id": trace_id,
+                    "spans": len(entry.spans),
+                    "links": len(entry.links),
+                    "root": None if root is None else root.get("name"),
+                    "start_unix": (
+                        None if root is None else root.get("start_unix")
+                    ),
+                    "wall_s": None if root is None else root.get("wall_s"),
+                }
+            )
+        return rows
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "capacity": self.capacity,
+                "evicted": self.evicted,
+                "dropped_spans": self.dropped_spans,
+            }
+
+    def export_jsonl(self, trace_id: str) -> Optional[str]:
+        """The trace as ``repro.trace/1`` JSON Lines (header first)."""
+        document = self.get(trace_id)
+        if document is None:
+            return None
+        spans = cast(List[Dict[str, object]], document["spans"])
+        links = cast(List[Dict[str, object]], document["links"])
+        lines = [
+            json.dumps(
+                {
+                    "kind": "header",
+                    "schema": TRACE_SCHEMA,
+                    "trace_id": trace_id,
+                    "spans": len(spans),
+                    "links": len(links),
+                },
+                sort_keys=True,
+            )
+        ]
+        for span in spans:
+            lines.append(
+                json.dumps({"kind": "span", **span}, sort_keys=True, default=repr)
+            )
+        for link in links:
+            lines.append(
+                json.dumps({"kind": "link", **link}, sort_keys=True, default=repr)
+            )
+        return "\n".join(lines) + "\n"
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+def _require_hex(value: object, length: int, what: str) -> str:
+    if (
+        not isinstance(value, str)
+        or len(value) != length
+        or not set(value) <= _HEX
+    ):
+        raise ValueError(f"{what} is not a {length}-hex id: {value!r}")
+    return value
+
+
+def validate_trace_jsonl(
+    text: str,
+    require_names: Sequence[str] = (),
+    require_origins: Sequence[str] = (),
+    require_link_types: Sequence[str] = (),
+) -> Dict[str, object]:
+    """Validate one exported ``repro.trace/1`` JSONL document.
+
+    Checks the header, every span record (ids well-formed and unique,
+    parents resolve inside the trace, non-negative timings), every link
+    record (the local end resolves, the remote end is well-formed), and
+    that the header's counts match.  The ``require_*`` arguments assert
+    coverage — e.g. CI requires a ``worker``-origin span and a
+    ``coalesce`` link so a silently server-only trace fails loudly.
+
+    Returns a summary dict; raises ValueError on the first violation.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace export")
+    try:
+        parsed = [json.loads(line) for line in lines]
+    except ValueError as exc:
+        raise ValueError(f"unparseable trace line: {exc}") from exc
+    header = parsed[0]
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise ValueError("first line is not a trace header")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"schema {header.get('schema')!r}, expected {TRACE_SCHEMA!r}"
+        )
+    trace_id = _require_hex(header.get("trace_id"), 32, "header trace_id")
+
+    spans: List[Dict[str, object]] = []
+    links: List[Dict[str, object]] = []
+    for record in parsed[1:]:
+        if not isinstance(record, dict):
+            raise ValueError(f"trace line is not an object: {record!r}")
+        kind = record.get("kind")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "link":
+            links.append(record)
+        else:
+            raise ValueError(f"unknown record kind: {kind!r}")
+    if not spans:
+        raise ValueError("trace contains no spans")
+
+    span_ids: Dict[str, Dict[str, object]] = {}
+    for span in spans:
+        missing = [key for key in _SPAN_KEYS if key not in span]
+        if missing:
+            raise ValueError(f"span missing keys {missing}: {span!r}")
+        if span["trace_id"] != trace_id:
+            raise ValueError(
+                f"span trace_id {span['trace_id']!r} != header {trace_id!r}"
+            )
+        span_id = _require_hex(span["span_id"], 16, "span_id")
+        if span_id in span_ids:
+            raise ValueError(f"duplicate span_id {span_id}")
+        if not isinstance(span["name"], str) or not span["name"]:
+            raise ValueError(f"span has no name: {span!r}")
+        wall_s = span["wall_s"]
+        if not isinstance(wall_s, (int, float)) or wall_s < 0:
+            raise ValueError(f"span wall_s invalid: {span!r}")
+        start_unix = span["start_unix"]
+        if not isinstance(start_unix, (int, float)) or start_unix <= 0:
+            raise ValueError(f"span start_unix invalid: {span!r}")
+        if not isinstance(span["attrs"], dict):
+            raise ValueError(f"span attrs is not an object: {span!r}")
+        span_ids[span_id] = span
+    for span in spans:
+        parent = span["parent_span_id"]
+        if parent is None:
+            continue
+        parent_id = _require_hex(parent, 16, "parent_span_id")
+        if parent_id not in span_ids:
+            raise ValueError(
+                f"span {span['span_id']} parent {parent_id} not in trace"
+            )
+
+    for link in links:
+        missing = [key for key in _LINK_KEYS if key not in link]
+        if missing:
+            raise ValueError(f"link missing keys {missing}: {link!r}")
+        if link["trace_id"] != trace_id:
+            raise ValueError(
+                f"link trace_id {link['trace_id']!r} != header {trace_id!r}"
+            )
+        local = _require_hex(link["span_id"], 16, "link span_id")
+        if local not in span_ids:
+            raise ValueError(f"link span_id {local} not in trace")
+        _require_hex(link["linked_trace_id"], 32, "linked_trace_id")
+        _require_hex(link["linked_span_id"], 16, "linked_span_id")
+
+    if header.get("spans") != len(spans) or header.get("links") != len(links):
+        raise ValueError(
+            f"header counts ({header.get('spans')} spans, "
+            f"{header.get('links')} links) do not match the export "
+            f"({len(spans)} spans, {len(links)} links)"
+        )
+
+    names = {cast(str, span["name"]) for span in spans}
+    origins = {cast(str, span["origin"]) for span in spans}
+    link_types = {str(link["type"]) for link in links}
+    for name in require_names:
+        if name not in names:
+            raise ValueError(f"required span {name!r} absent; have {sorted(names)}")
+    for origin in require_origins:
+        if origin not in origins:
+            raise ValueError(
+                f"required origin {origin!r} absent; have {sorted(origins)}"
+            )
+    for link_type in require_link_types:
+        if link_type not in link_types:
+            raise ValueError(
+                f"required link type {link_type!r} absent; "
+                f"have {sorted(link_types)}"
+            )
+    roots = [s for s in spans if s["parent_span_id"] is None]
+    return {
+        "trace_id": trace_id,
+        "spans": len(spans),
+        "links": len(links),
+        "roots": len(roots),
+        "names": sorted(names),
+        "origins": sorted(origins),
+        "link_types": sorted(link_types),
+    }

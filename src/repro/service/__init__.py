@@ -15,7 +15,13 @@ the semantics a query service needs under load:
   — repeat queries are one file read;
 * **an HTTP shell** (:mod:`repro.service.app`) — ``POST /v1/diameter``,
   ``POST /v1/delay-cdf``, ``GET /v1/jobs/<id>``, ``GET /healthz``,
-  ``GET /metrics`` (Prometheus text via :mod:`repro.obs`);
+  ``GET /metrics`` (Prometheus text via :mod:`repro.obs`), plus the live
+  trace ring under ``GET /debug/traces[/<trace_id>]``;
+* **request tracing end to end** — every request carries a
+  :class:`repro.obs.TraceContext`; spans recorded in the handler thread,
+  the pool supervisor and the worker process reassemble into one
+  ``repro.trace/1`` trace, with coalesced requests linked to their
+  leader (``X-Repro-Trace`` names the trace on every response);
 * **a thin client and CLI** (:mod:`repro.service.client`,
   ``python -m repro.service serve|submit|ping``).
 
@@ -26,7 +32,15 @@ Quickstart::
         diameter trace.txt --max-hops 8
 """
 
-from .app import ReproService, Response, ServiceConfig, make_server, serve_in_thread
+from .app import (
+    ReproService,
+    Response,
+    ServiceConfig,
+    make_server,
+    mint_context,
+    serve_in_thread,
+    with_trace,
+)
 from .client import ServiceClient, ServiceResponse
 from .jobs import BadRequest, JobSpec, JobTable, job_key, normalize_request
 from .pool import PoolClosed, PoolSaturated, WorkerPool
@@ -47,6 +61,8 @@ __all__ = [
     "WorkerPool",
     "job_key",
     "make_server",
+    "mint_context",
     "normalize_request",
     "serve_in_thread",
+    "with_trace",
 ]

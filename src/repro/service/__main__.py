@@ -18,8 +18,9 @@ import threading
 import types
 from typing import List, Optional
 
-from ..cli import positive_int
+from ..cli import add_log_level_argument, configure_logging_from, positive_int
 from ..obs import observed
+from ..obs.log import get_logger
 from .app import ReproService, ServiceConfig, make_server
 from .client import ServiceClient
 from .jobs import COMMANDS
@@ -35,24 +36,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_timeout_s=args.job_timeout,
         store_max_bytes=args.store_max_bytes,
         allow_test_delay=args.allow_test_delay,
+        slow_job_threshold_s=args.slow_job_threshold,
+        trace_capacity=args.trace_capacity,
     )
+    log = get_logger("repro.service")
     with observed(params={"command": "service.serve"}):
         service = ReproService(config)
         server = make_server(service)
         host, port = server.server_address[0], server.server_address[1]
-        print(
-            f"repro.service: listening on http://{host}:{port} "
-            f"(workers={config.workers}, queue={config.queue_capacity}, "
-            f"cache={config.cache_dir})",
-            flush=True,
+        # The URL stays on stdout (scripts read it); everything else is
+        # a structured log line.
+        print(f"repro.service: listening on http://{host}:{port}", flush=True)
+        log.info(
+            "service.listening",
+            url=f"http://{host}:{port}",
+            workers=config.workers,
+            queue_capacity=config.queue_capacity,
+            cache_dir=config.cache_dir,
+            slow_job_threshold_s=config.slow_job_threshold_s,
         )
 
         def _graceful(signum: int, frame: Optional[types.FrameType]) -> None:
-            print(
-                f"repro.service: signal {signum}, draining...",
-                file=sys.stderr,
-                flush=True,
-            )
+            log.info("service.signal", signum=signum, action="drain")
             # shutdown() blocks until serve_forever returns; calling it
             # from the signal handler's thread would deadlock the loop.
             threading.Thread(target=server.shutdown, daemon=True).start()
@@ -64,13 +69,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             server.server_close()
             drained = service.close(drain=True)
-            print(
-                "repro.service: drained and stopped"
-                if drained
-                else "repro.service: stopped (drain timed out)",
-                file=sys.stderr,
-                flush=True,
-            )
+            log.info("service.drained", clean=drained)
     return 0
 
 
@@ -111,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.service",
         description="Concurrent query service for diameter/delay-CDF results",
     )
+    add_log_level_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     serve = sub.add_parser("serve", help="run the HTTP server")
@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU size cap for the result store (default: unbounded)",
     )
     serve.add_argument(
+        "--slow-job-threshold", type=float, default=30.0, metavar="SECONDS",
+        help="log service.job.slow for jobs taking longer than this",
+    )
+    serve.add_argument(
+        "--trace-capacity", type=positive_int, default=256,
+        help="traces retained by the /debug/traces ring (>= 1)",
+    )
+    serve.add_argument(
         "--allow-test-delay", action="store_true", help=argparse.SUPPRESS
     )
     serve.set_defaults(func=_cmd_serve)
@@ -165,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging_from(args)
     result = args.func(args)
     return int(result)
 

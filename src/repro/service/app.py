@@ -15,23 +15,49 @@ Endpoints (all under a threaded stdlib :class:`ThreadingHTTPServer`):
   degraded (a worker died and has not been respawned yet) or draining.
 * ``GET /metrics`` — the active :mod:`repro.obs` registry in Prometheus
   text format (:meth:`MetricsRegistry.render_text`).
+* ``GET /debug/traces`` and ``GET /debug/traces/<trace_id>`` — the live
+  trace ring: a summary listing, and one trace exported as
+  ``repro.trace/1`` JSON Lines.
+
+Tracing: every request gets a :class:`~repro.obs.tracectx.TraceContext`
+(minted fresh, or continued from an inbound W3C ``traceparent`` header).
+Query requests record their spans on a *per-request*
+:class:`~repro.obs.spans.SpanTracer` (the session tracer's stack is
+single-threaded; handler threads are not), bound into trace-scoped
+records afterwards.  The pool supervisor adds per-attempt spans through
+its ``trace_sink`` and the worker ships its spans back in the result
+envelope, so ``GET /debug/traces/<id>`` shows the whole request — HTTP
+handling, admission, attempts, worker execution, engine internals — as
+one tree.  Every response carries ``X-Repro-Trace``; every JSON error
+body carries a top-level ``trace_id``.
 
 The service records into whatever obs bundle is active when it starts
 (``python -m repro.service serve`` installs one; the benchmark harness
 runs the server inside its own ``bench_session``), so service counters
-land in the same snapshot as engine counters.
+land in the same snapshot as engine counters — including the worker
+registries merged back per job.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Type
 
 from ..obs import get_obs
+from ..obs.log import get_logger
+from ..obs.spans import SpanTracer
+from ..obs.tracectx import (
+    TraceContext,
+    bind_records,
+    derive_span_id,
+    new_span_id,
+)
+from ..obs.tracestore import TraceStore
 from .jobs import (
     BadRequest,
     COMMANDS,
@@ -62,6 +88,11 @@ class ServiceConfig:
     allow_test_delay: bool = False
     #: ceiling on one request body, to bound parsing work.
     max_body_bytes: int = 1 << 20
+    #: jobs whose queued→done wall time exceeds this log a
+    #: ``service.job.slow`` warning and count on ``service.jobs.slow``.
+    slow_job_threshold_s: float = 30.0
+    #: how many traces the debug ring retains.
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -69,6 +100,15 @@ class ServiceConfig:
         if self.queue_capacity < 1:
             raise ValueError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.slow_job_threshold_s <= 0:
+            raise ValueError(
+                "slow_job_threshold_s must be > 0, got "
+                f"{self.slow_job_threshold_s}"
+            )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
 
 
@@ -108,6 +148,47 @@ class Response:
         return cls.json(status, document, headers)
 
 
+def mint_context(
+    traceparent: Optional[str],
+) -> Tuple[TraceContext, Optional[str]]:
+    """The request's trace context and its remote parent span id.
+
+    A valid inbound ``traceparent`` continues the caller's trace (fresh
+    random span id for our root, the caller's span as its parent);
+    anything absent or malformed starts a new trace — a bad header must
+    never fail the request.
+    """
+    inbound = TraceContext.from_traceparent(traceparent)
+    if inbound is None:
+        return TraceContext.new(), None
+    return (
+        TraceContext(trace_id=inbound.trace_id, span_id=new_span_id()),
+        inbound.span_id,
+    )
+
+
+def with_trace(response: Response, ctx: TraceContext) -> Response:
+    """Stamp the trace id onto a response (header + JSON error body).
+
+    Injection is centralised here — after the handler built the
+    response — so no error call site can forget its correlation id.
+    """
+    response.headers.setdefault("X-Repro-Trace", ctx.trace_id)
+    if response.status >= 400 and response.content_type.startswith(
+        "application/json"
+    ):
+        try:
+            document = json.loads(response.body.decode("utf-8"))
+        except ValueError:
+            return response
+        if isinstance(document, dict) and "trace_id" not in document:
+            document["trace_id"] = ctx.trace_id
+            response.body = (
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            ).encode("utf-8")
+    return response
+
+
 class ReproService:
     """The service core: everything the HTTP handler delegates to.
 
@@ -125,6 +206,8 @@ class ReproService:
         )
         self.networks = NetworkCache()
         self.jobs = JobTable()
+        self.traces = TraceStore(capacity=config.trace_capacity)
+        self.log = get_logger("repro.service")
         self.pool = WorkerPool(
             size=config.workers,
             queue_capacity=config.queue_capacity,
@@ -132,22 +215,38 @@ class ReproService:
             on_complete=self._on_complete,
             max_attempts=config.max_attempts,
             respawn_delay_s=config.respawn_delay_s,
+            trace_sink=self._ingest_span,
         )
         self.pool.start()
 
-    # -- pool callback --------------------------------------------------
+    # -- pool callbacks -------------------------------------------------
+    def _ingest_span(self, record: Dict[str, Any]) -> None:
+        """File a supervisor-built span record under its trace."""
+        self.traces.add_spans(str(record["trace_id"]), [record])
+
     def _on_complete(self, task: Task, result: Result) -> None:
         key = str(task["key"])
+        trace_id = task.get("trace_id")
+        spans = result.get("spans")
+        if trace_id and spans:
+            self.traces.add_spans(str(trace_id), list(spans))
+        worker_metrics = result.get("metrics")
+        if worker_metrics is not None:
+            # Engine counters recorded inside the worker process land in
+            # the same /metrics snapshot as the service's own.
+            get_obs().metrics.merge(worker_metrics)
         error = result.get("error")
         if error is not None:
-            self.jobs.complete(key, stderr=str(result.get("stderr", "")),
-                               error=dict(error))
+            job = self.jobs.complete(
+                key, stderr=str(result.get("stderr", "")), error=dict(error)
+            )
+            self._note_completion(job)
             return
         exit_code = int(result["exit_code"])
         output = str(result["output"]).encode("utf-8")
         stderr = str(result.get("stderr", ""))
         if exit_code != 0:
-            self.jobs.complete(
+            job = self.jobs.complete(
                 key,
                 exit_code=exit_code,
                 output=output,
@@ -158,77 +257,216 @@ class ReproService:
                     "exit_code": exit_code,
                 },
             )
+            self._note_completion(job)
             return
         self.store.put(key, output)
-        self.jobs.complete(key, exit_code=0, output=output, stderr=stderr)
+        job = self.jobs.complete(
+            key, exit_code=0, output=output, stderr=stderr
+        )
+        self._note_completion(job)
+
+    def _note_completion(self, job: Optional[Job]) -> None:
+        """Log failures and slow jobs (the slow-job log satellite)."""
+        if job is None:
+            return
+        wall_s = time.monotonic() - job.queued_monotonic
+        if job.error is not None:
+            self.log.warning(
+                "service.job.failed",
+                job=job.id,
+                trace_id=job.trace_id,
+                command=job.spec.command,
+                error_type=str(job.error.get("type")),
+                attempts=job.attempts,
+                wall_s=round(wall_s, 3),
+            )
+        if wall_s >= self.config.slow_job_threshold_s:
+            get_obs().metrics.counter("service.jobs.slow").inc()
+            self.log.warning(
+                "service.job.slow",
+                job=job.id,
+                trace_id=job.trace_id,
+                command=job.spec.command,
+                attempts=job.attempts,
+                wall_s=round(wall_s, 3),
+                threshold_s=self.config.slow_job_threshold_s,
+            )
 
     # -- request handling -----------------------------------------------
-    def handle_query(self, command: str, raw_body: bytes) -> Response:
-        obs = get_obs()
-        with obs.metrics.timer("service.http.latency", endpoint=command):
-            return self._handle_query(command, raw_body)
+    def handle_query(
+        self,
+        command: str,
+        raw_body: bytes,
+        ctx: Optional[TraceContext] = None,
+        remote_parent: Optional[str] = None,
+    ) -> Response:
+        """One query request, traced end to end.
 
-    def _handle_query(self, command: str, raw_body: bytes) -> Response:
+        Spans go on a per-request tracer (handler threads must not share
+        the session tracer's stack) and are bound into the trace store
+        once the request's root span closes.  Unexpected exceptions
+        become structured 500s that still carry the trace id.
+        """
+        if ctx is None:
+            ctx, remote_parent = mint_context(None)
+        obs = get_obs()
+        tracer = SpanTracer()
+        try:
+            with obs.metrics.timer("service.http.latency", endpoint=command):
+                with tracer.span("service.http.request", endpoint=command):
+                    response = self._handle_query(
+                        command, raw_body, ctx, tracer
+                    )
+        except Exception as exc:  # pragma: no cover - defence in depth
+            obs.metrics.counter("service.http.errors").inc()
+            self.log.error(
+                "service.request.error",
+                trace_id=ctx.trace_id,
+                endpoint=command,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            response = Response.error(
+                500, "internal-error", f"{type(exc).__name__}: {exc}"
+            )
+        # The inbound caller's span lives in *its* process, not in this
+        # store, so it is recorded as an attribute rather than as the
+        # root's parent_span_id — exported traces stay self-contained
+        # (every parent resolves; the validator enforces it).
+        bound = bind_records(ctx, tracer.records, origin="server")
+        if remote_parent is not None:
+            for record in bound:
+                if record["span_id"] == ctx.span_id:
+                    attrs = record["attrs"]
+                    if isinstance(attrs, dict):
+                        attrs["remote_parent"] = remote_parent
+        self.traces.add_spans(ctx.trace_id, bound)
+        return with_trace(response, ctx)
+
+    def _handle_query(
+        self,
+        command: str,
+        raw_body: bytes,
+        ctx: TraceContext,
+        tracer: SpanTracer,
+    ) -> Response:
+        log = self.log.bind(trace_id=ctx.trace_id, endpoint=command)
         try:
             body = json.loads(raw_body.decode("utf-8")) if raw_body else {}
         except ValueError as exc:
+            log.warning("service.request.bad", reason="invalid-json")
             return Response.error(400, "bad-request", f"invalid JSON: {exc}")
-        try:
-            spec = normalize_request(
-                command, body, allow_test_delay=self.config.allow_test_delay
-            )
-            network = self.networks.get(spec.trace)
-        except BadRequest as exc:
-            return Response.error(
-                400, "bad-request", exc.message,
-                **({} if exc.field is None else {"field": exc.field}),
-            )
-        except OSError as exc:
-            return Response.error(400, "bad-request", f"cannot read trace: {exc}")
-
-        key = job_key(spec, network)
-        stored = self.store.get(key)
+        with tracer.span("service.admit", endpoint=command):
+            try:
+                spec = normalize_request(
+                    command,
+                    body,
+                    allow_test_delay=self.config.allow_test_delay,
+                )
+                network = self.networks.get(spec.trace)
+            except BadRequest as exc:
+                log.warning(
+                    "service.request.bad",
+                    reason="bad-request",
+                    field=exc.field,
+                )
+                return Response.error(
+                    400, "bad-request", exc.message,
+                    **({} if exc.field is None else {"field": exc.field}),
+                )
+            except OSError as exc:
+                log.warning("service.request.bad", reason="trace-unreadable")
+                return Response.error(
+                    400, "bad-request", f"cannot read trace: {exc}"
+                )
+            key = job_key(spec, network)
+            stored = self.store.get(key)
         if stored is not None:
             return self._success(stored, key, source="store")
 
-        job, created = self.jobs.get_or_create(key, spec)
-        if created:
-            task: Task = {
-                "key": key,
-                "argv": spec.to_argv(str(self.profile_cache_dir)),
-                "test_delay_s": spec.test_delay_s,
-                "on_running": self._mark_running,
-            }
-            try:
-                self.pool.submit(task)
-            except PoolSaturated:
-                self.jobs.complete(
-                    key, error={"type": "rejected", "message": "queue full"}
+        with tracer.span("service.execute", key=key[:32]) as exec_span:
+            # The execute span's trace-scoped id must exist *before* the
+            # span record does: the supervisor and the worker parent
+            # their spans under it, and coalesced followers link to it.
+            exec_span_id = derive_span_id(ctx.span_id, exec_span.span_id)
+            job, created = self.jobs.get_or_create(
+                key, spec, trace_id=ctx.trace_id, span_id=exec_span_id
+            )
+            exec_span.set(coalesced=not created)
+            if created:
+                task: Task = {
+                    "key": key,
+                    "argv": spec.to_argv(str(self.profile_cache_dir)),
+                    "test_delay_s": spec.test_delay_s,
+                    "on_running": self._mark_running,
+                    "trace_id": ctx.trace_id,
+                    "parent_span": exec_span_id,
+                }
+                try:
+                    self.pool.submit(task)
+                except PoolSaturated:
+                    self.jobs.complete(
+                        key,
+                        error={"type": "rejected", "message": "queue full"},
+                    )
+                    log.warning("service.request.shed", job=job.id)
+                    retry_after = self.pool.retry_after_s()
+                    return Response.error(
+                        429,
+                        "saturated",
+                        "worker pool and queue are full; retry later",
+                        headers={"Retry-After": str(int(retry_after))},
+                    )
+                except PoolClosed:
+                    self.jobs.complete(
+                        key,
+                        error={
+                            "type": "shutdown",
+                            "message": "pool shut down",
+                        },
+                    )
+                    return Response.error(
+                        503, "shutting-down", "service is draining"
+                    )
+            elif job.trace_id is not None and job.span_id is not None:
+                # Coalesce fan-in, kept as links in both traces: the
+                # follower points at the leader's compute span, and the
+                # leader's trace records every follower that attached.
+                self.traces.add_link(
+                    ctx.trace_id,
+                    {
+                        "type": "coalesce",
+                        "span_id": exec_span_id,
+                        "linked_trace_id": job.trace_id,
+                        "linked_span_id": job.span_id,
+                    },
                 )
-                retry_after = self.pool.retry_after_s()
-                return Response.error(
-                    429,
-                    "saturated",
-                    "worker pool and queue are full; retry later",
-                    headers={"Retry-After": str(int(retry_after))},
+                self.traces.add_link(
+                    job.trace_id,
+                    {
+                        "type": "coalesce-fan-in",
+                        "span_id": job.span_id,
+                        "linked_trace_id": ctx.trace_id,
+                        "linked_span_id": exec_span_id,
+                    },
                 )
-            except PoolClosed:
-                self.jobs.complete(
-                    key, error={"type": "shutdown", "message": "pool shut down"}
-                )
-                return Response.error(
-                    503, "shutting-down", "service is draining"
-                )
-        return self._await_job(job, coalesced=not created)
+            return self._await_job(job, coalesced=not created, log=log)
 
     def _mark_running(self, task: Task) -> None:
         self.jobs.mark_running(str(task["key"]), int(task["attempts"]))
 
-    def _await_job(self, job: Job, coalesced: bool) -> Response:
+    def _await_job(
+        self, job: Job, coalesced: bool, log: Any = None
+    ) -> Response:
         # Worst case the job runs max_attempts times back to back, plus
         # scheduler slack; the pool's own timeout fires well before this.
         budget = self.config.job_timeout_s * self.config.max_attempts + 30.0
         if not job.done.wait(budget):
+            if log is not None:
+                log.error(
+                    "service.request.wait-timeout",
+                    job=job.id,
+                    budget_s=budget,
+                )
             return Response.error(
                 504,
                 "wait-timeout",
@@ -286,6 +524,7 @@ class ReproService:
                 "inflight": self.jobs.inflight_count(),
                 "finished": self.jobs.finished_count(),
             },
+            "traces": self.traces.stats(),
         }
         status = 200 if pool["state"] == "healthy" else 503
         return Response.json(status, document)
@@ -296,6 +535,26 @@ class ReproService:
             200,
             text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def handle_traces(self) -> Response:
+        """``GET /debug/traces`` — the ring's summary listing."""
+        return Response.json(
+            200,
+            {"traces": self.traces.summaries(), "stats": self.traces.stats()},
+        )
+
+    def handle_trace(self, trace_id: str) -> Response:
+        """``GET /debug/traces/<id>`` — one trace as repro.trace/1 JSONL."""
+        export = self.traces.export_jsonl(trace_id.strip().lower())
+        if export is None:
+            return Response.error(
+                404, "not-found", f"unknown or evicted trace {trace_id!r}"
+            )
+        return Response(
+            200,
+            export.encode("utf-8"),
+            content_type="application/x-ndjson",
         )
 
     def close(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
@@ -320,7 +579,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(response.body)
 
     def log_message(self, format: str, *args: object) -> None:
-        # Request logging is a metrics concern, not a stderr concern.
+        # Request logging is a structured-logger concern, not stderr's.
         pass
 
     def _read_body(self) -> Optional[bytes]:
@@ -331,34 +590,71 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------
     def do_POST(self) -> None:
-        obs = get_obs()
-        obs.metrics.counter("service.http.requests", method="POST").inc()
-        for command in COMMANDS:
-            if self.path == f"/v1/{command}":
-                body = self._read_body()
-                if body is None:
-                    self._send(
-                        Response.error(413, "too-large", "request body too large")
-                    )
-                    return
-                self._send(self.service.handle_query(command, body))
-                return
-        self._send(Response.error(404, "not-found", f"no route {self.path!r}"))
+        get_obs().metrics.counter("service.http.requests", method="POST").inc()
+        self._route("POST")
 
     def do_GET(self) -> None:
-        obs = get_obs()
-        obs.metrics.counter("service.http.requests", method="GET").inc()
-        if self.path == "/healthz":
-            self._send(self.service.handle_health())
-        elif self.path == "/metrics":
-            self._send(self.service.handle_metrics())
-        elif self.path.startswith("/v1/jobs/"):
-            job_id = self.path[len("/v1/jobs/"):]
-            self._send(self.service.handle_job(job_id))
-        else:
-            self._send(
-                Response.error(404, "not-found", f"no route {self.path!r}")
+        get_obs().metrics.counter("service.http.requests", method="GET").inc()
+        self._route("GET")
+
+    def _route(self, method: str) -> None:
+        """Mint the trace context, dispatch, and never leak a bare 500."""
+        ctx, remote_parent = mint_context(self.headers.get("traceparent"))
+        try:
+            response = self._dispatch(method, ctx, remote_parent)
+        except Exception as exc:
+            get_obs().metrics.counter("service.http.errors").inc()
+            get_logger("repro.service").error(
+                "service.request.error",
+                trace_id=ctx.trace_id,
+                path=self.path,
+                error=f"{type(exc).__name__}: {exc}",
             )
+            response = Response.error(
+                500, "internal-error", f"{type(exc).__name__}: {exc}"
+            )
+        self._send(with_trace(response, ctx))
+
+    def _dispatch(
+        self, method: str, ctx: TraceContext, remote_parent: Optional[str]
+    ) -> Response:
+        obs = get_obs()
+        if method == "POST":
+            for command in COMMANDS:
+                if self.path == f"/v1/{command}":
+                    body = self._read_body()
+                    if body is None:
+                        return Response.error(
+                            413, "too-large", "request body too large"
+                        )
+                    return self.service.handle_query(
+                        command, body, ctx=ctx, remote_parent=remote_parent
+                    )
+            return Response.error(
+                404, "not-found", f"no route {self.path!r}"
+            )
+        if self.path == "/healthz":
+            with obs.metrics.timer("service.http.latency", endpoint="healthz"):
+                return self.service.handle_health()
+        if self.path == "/metrics":
+            with obs.metrics.timer("service.http.latency", endpoint="metrics"):
+                return self.service.handle_metrics()
+        if self.path == "/debug/traces":
+            with obs.metrics.timer(
+                "service.http.latency", endpoint="debug-traces"
+            ):
+                return self.service.handle_traces()
+        if self.path.startswith("/debug/traces/"):
+            with obs.metrics.timer(
+                "service.http.latency", endpoint="debug-trace"
+            ):
+                return self.service.handle_trace(
+                    self.path[len("/debug/traces/"):]
+                )
+        if self.path.startswith("/v1/jobs/"):
+            with obs.metrics.timer("service.http.latency", endpoint="jobs"):
+                return self.service.handle_job(self.path[len("/v1/jobs/"):])
+        return Response.error(404, "not-found", f"no route {self.path!r}")
 
 
 def make_server(

@@ -29,6 +29,11 @@ class ServiceResponse:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The server-assigned trace id (``X-Repro-Trace``), if any."""
+        return self.headers.get("X-Repro-Trace")
+
     def json(self) -> Any:
         return json.loads(self.body.decode("utf-8"))
 
@@ -51,12 +56,15 @@ class ServiceClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, object]] = None,
+        traceparent: Optional[str] = None,
     ) -> ServiceResponse:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
         req = urllib.request.Request(
             self.base_url + path, data=body, headers=headers, method=method
         )
@@ -73,10 +81,16 @@ class ServiceClient:
 
     # -- convenience wrappers ------------------------------------------
     def query(
-        self, command: str, trace: str, **params: object
+        self,
+        command: str,
+        trace: str,
+        traceparent: Optional[str] = None,
+        **params: object,
     ) -> ServiceResponse:
         payload: Dict[str, object] = {"trace": trace, **params}
-        return self.request("POST", f"/v1/{command}", payload)
+        return self.request(
+            "POST", f"/v1/{command}", payload, traceparent=traceparent
+        )
 
     def diameter(self, trace: str, **params: object) -> ServiceResponse:
         return self.query("diameter", trace, **params)
@@ -89,6 +103,14 @@ class ServiceClient:
 
     def health(self) -> ServiceResponse:
         return self.request("GET", "/healthz")
+
+    def traces(self) -> ServiceResponse:
+        """``GET /debug/traces`` — the trace-ring summary listing."""
+        return self.request("GET", "/debug/traces")
+
+    def trace(self, trace_id: str) -> ServiceResponse:
+        """``GET /debug/traces/<id>`` — one trace as repro.trace/1 JSONL."""
+        return self.request("GET", f"/debug/traces/{trace_id}")
 
     def metrics_text(self) -> str:
         return self.request("GET", "/metrics").text()

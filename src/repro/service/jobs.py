@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -253,9 +254,18 @@ class Job:
         "error",
         "waiters",
         "done",
+        "trace_id",
+        "span_id",
+        "queued_monotonic",
     )
 
-    def __init__(self, key: str, spec: JobSpec) -> None:
+    def __init__(
+        self,
+        key: str,
+        spec: JobSpec,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+    ) -> None:
         self.key = key
         self.id = job_id_of(key)
         self.spec = spec
@@ -267,6 +277,12 @@ class Job:
         self.error: Optional[Dict[str, object]] = None
         self.waiters = 1
         self.done = threading.Event()
+        #: the leader request's trace and execute-span ids — every span
+        #: recorded for this job (attempts, worker) hangs off them, and
+        #: coalesced followers link to them.
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.queued_monotonic = time.monotonic()
 
     def describe(self) -> Dict[str, object]:
         """The ``GET /v1/jobs/<id>`` document."""
@@ -280,6 +296,7 @@ class Job:
             "exit_code": self.exit_code,
             "output_bytes": None if self.output is None else len(self.output),
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -297,11 +314,19 @@ class JobTable:
         self._finished: "OrderedDict[str, Job]" = OrderedDict()
         self._lock = threading.Lock()
 
-    def get_or_create(self, key: str, spec: JobSpec) -> Tuple[Job, bool]:
+    def get_or_create(
+        self,
+        key: str,
+        spec: JobSpec,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+    ) -> Tuple[Job, bool]:
         """The in-flight job for ``key``, creating it if absent.
 
         Returns ``(job, created)``; ``created`` is False for coalesced
-        requests, which are counted on ``service.jobs.coalesced``.
+        requests, which are counted on ``service.jobs.coalesced``.  The
+        creator's trace/span ids stick to the job — followers keep their
+        own trace and *link* to the leader's instead.
         """
         obs = get_obs()
         with self._lock:
@@ -310,7 +335,7 @@ class JobTable:
                 job.waiters += 1
                 obs.metrics.counter("service.jobs.coalesced").inc()
                 return job, False
-            job = Job(key, spec)
+            job = Job(key, spec, trace_id=trace_id, span_id=span_id)
             self._inflight[key] = job
             obs.metrics.counter("service.jobs.submitted").inc()
             return job, True

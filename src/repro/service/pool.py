@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import io
 import multiprocessing
+import os
 import queue
 import threading
 import time
@@ -38,6 +39,8 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 from collections import deque
 
 from ..obs import get_obs
+from ..obs.spans import SpanTracer
+from ..obs.tracectx import TraceContext, bind_records, derive_span_id, now_unix
 
 #: a task handed to a worker / a result handed back.
 Task = Dict[str, Any]
@@ -63,21 +66,51 @@ def execute_task(task: Task) -> Result:
     service's response bytes are identical to the CLI's.  The optional
     ``test_delay_s`` sleep runs *before* the computation so fault
     injection can kill the worker deterministically mid-job.
+
+    When the envelope carries a ``traceparent`` (see
+    :mod:`repro.obs.tracectx`), the computation runs under a fresh
+    enabled obs bundle: every span the engine records (``cli`` down
+    through ``core/``) is bound under the envelope's span and shipped
+    back in ``result["spans"]``, and the worker's metrics registry rides
+    along in ``result["metrics"]`` for merging into the service session —
+    that is how one request's trace crosses the process boundary.
     """
     from ..cli import main as cli_main
+    from ..obs import Instrumentation, MetricsRegistry, set_obs
 
     delay = float(task.get("test_delay_s") or 0.0)
     if delay > 0.0:
         time.sleep(delay)
+    ctx = TraceContext.from_traceparent(task.get("traceparent"))
+    bundle: Optional[Instrumentation] = None
+    previous: Optional[Instrumentation] = None
+    if ctx is not None:
+        bundle = Instrumentation(
+            metrics=MetricsRegistry(),
+            tracer=SpanTracer(),
+            manifest=None,
+            enabled=True,
+        )
+        previous = set_obs(bundle)
     out = io.StringIO()
     err = io.StringIO()
+    result: Result
     try:
         with redirect_stdout(out), redirect_stderr(err):
-            exit_code = cli_main(list(task["argv"]))
+            if bundle is not None:
+                with bundle.tracer.span(
+                    "worker.execute",
+                    key=str(task["key"])[:32],
+                    attempt=int(task.get("attempts", 0)),
+                    pid=os.getpid(),
+                ):
+                    exit_code = cli_main(list(task["argv"]))
+            else:
+                exit_code = cli_main(list(task["argv"]))
     except SystemExit as exc:  # argparse-style exits inside the command
         exit_code = exc.code if isinstance(exc.code, int) else 1
     except BaseException as exc:
-        return {
+        result = {
             "key": task["key"],
             "error": {
                 "type": "exception",
@@ -85,12 +118,37 @@ def execute_task(task: Task) -> Result:
             },
             "stderr": err.getvalue(),
         }
-    return {
+        return _attach_worker_trace(result, ctx, bundle, previous)
+    result = {
         "key": task["key"],
         "exit_code": exit_code,
         "output": out.getvalue(),
         "stderr": err.getvalue(),
     }
+    return _attach_worker_trace(result, ctx, bundle, previous)
+
+
+def _attach_worker_trace(
+    result: Result,
+    ctx: Optional[TraceContext],
+    bundle: Optional[Any],
+    previous: Optional[Any],
+) -> Result:
+    """Bind the worker bundle's spans under the envelope's attempt span."""
+    if ctx is None or bundle is None:
+        return result
+    from ..obs import set_obs
+
+    set_obs(previous)
+    worker_ctx = ctx.child("worker")
+    result["spans"] = bind_records(
+        worker_ctx,
+        bundle.tracer.records,
+        origin="worker",
+        parent_span_id=ctx.span_id,
+    )
+    result["metrics"] = bundle.metrics
+    return result
 
 
 def _worker_main(
@@ -142,6 +200,7 @@ class WorkerPool:
         on_complete: Callable[[Task, Result], None],
         max_attempts: int = 2,
         respawn_delay_s: float = 0.0,
+        trace_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
@@ -155,6 +214,7 @@ class WorkerPool:
         self.max_attempts = max_attempts
         self.respawn_delay_s = respawn_delay_s
         self._on_complete = on_complete
+        self._trace_sink = trace_sink
         self._ctx = multiprocessing.get_context()
         self._results: Any = None
         self._workers: List[_Worker] = []
@@ -222,6 +282,7 @@ class WorkerPool:
             task = worker.task
             worker.task = None
             if task is not None:
+                self._emit_attempt(task, "shutdown")
                 self._on_complete(
                     task,
                     {
@@ -338,6 +399,7 @@ class WorkerPool:
                     return
                 task = self._pending.popleft()
                 task["attempts"] = int(task.get("attempts", 0)) + 1
+                self._stamp_attempt(task)
                 worker.task = task
                 worker.deadline = (
                     time.monotonic() + self.job_timeout_s
@@ -346,11 +408,68 @@ class WorkerPool:
             # block.  Callbacks ("on_*" keys) stay on the supervisor side
             # — the pickled payload carries data only.
             worker.inbox.put(
-                {k: v for k, v in task.items() if not k.startswith("on_")}
+                {
+                    k: v
+                    for k, v in task.items()
+                    if not k.startswith(("on_", "_attempt"))
+                }
             )
             computed.inc()
             if "on_running" in task:
                 task["on_running"](task)
+
+    def _stamp_attempt(self, task: Task) -> None:
+        """Derive this attempt's span id and stamp the worker envelope.
+
+        Each assignment gets its own attempt span (derived from the
+        leader's execute span and the attempt number), so a crash-retried
+        job shows two distinct attempts in one trace.  The supervisor
+        keeps the bookkeeping under ``_attempt*`` keys, which never cross
+        the process boundary.
+        """
+        trace_id = task.get("trace_id")
+        parent_span = task.get("parent_span")
+        if not trace_id or not parent_span:
+            return
+        attempt_span = derive_span_id(
+            str(parent_span), f"attempt-{task['attempts']}"
+        )
+        task["_attempt_span"] = attempt_span
+        task["_attempt_wall0"] = time.monotonic()
+        task["_attempt_start_unix"] = now_unix()
+        task["traceparent"] = TraceContext(
+            str(trace_id), attempt_span
+        ).to_traceparent()
+
+    def _emit_attempt(self, task: Task, outcome: str) -> None:
+        """Hand the supervisor's span for the current attempt to the sink.
+
+        Attempts interleave across worker slots, so they cannot share a
+        tracer's lexically-nested stack — the record is built by hand
+        from the monotonic delta since assignment.
+        """
+        sink = self._trace_sink
+        attempt_span = task.get("_attempt_span")
+        if sink is None or attempt_span is None:
+            return
+        wall0 = float(task.get("_attempt_wall0") or 0.0)
+        sink(
+            {
+                "trace_id": str(task["trace_id"]),
+                "span_id": str(attempt_span),
+                "parent_span_id": str(task["parent_span"]),
+                "name": "service.pool.attempt",
+                "origin": "supervisor",
+                "start_unix": float(task.get("_attempt_start_unix") or 0.0),
+                "wall_s": max(0.0, time.monotonic() - wall0),
+                "cpu_s": None,
+                "attrs": {
+                    "attempt": int(task.get("attempts", 0)),
+                    "outcome": outcome,
+                    "key": str(task.get("key"))[:32],
+                },
+            }
+        )
 
     def _drain_results(self) -> None:
         try:
@@ -374,6 +493,9 @@ class WorkerPool:
             if worker is not None:
                 worker.task = None
         if task is not None:
+            self._emit_attempt(
+                task, "ok" if result.get("error") is None else "error"
+            )
             self._on_complete(task, result)
 
     def _check_workers(
@@ -391,6 +513,7 @@ class WorkerPool:
                     with self._lock:
                         worker.task = None
                         worker.respawn_at = now + self.respawn_delay_s
+                    self._emit_attempt(task, "timeout")
                     self._on_complete(
                         task,
                         {
@@ -414,6 +537,7 @@ class WorkerPool:
                 crashes.inc()
                 with self._lock:
                     worker.task = None
+                self._emit_attempt(task, "crashed")
                 attempts = int(task.get("attempts", 1))
                 if attempts < self.max_attempts:
                     retries.inc()

@@ -1,0 +1,93 @@
+"""Unit tests for the structured JSONL logger."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import (
+    DEFAULT_LEVEL,
+    ENV_VAR,
+    StructuredLogger,
+    coerce_level,
+    configure,
+    get_logger,
+    level_from_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_level():
+    yield
+    configure(level=DEFAULT_LEVEL)
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestLevels:
+    def test_coerce_normalises_case_and_whitespace(self):
+        assert coerce_level(" Warning ") == "warning"
+
+    @pytest.mark.parametrize("bad", ["verbose", "", 3, None])
+    def test_coerce_rejects_unknown(self, bad):
+        with pytest.raises(ValueError):
+            coerce_level(bad)
+
+    def test_level_from_env(self):
+        assert level_from_env({}) is None
+        assert level_from_env({ENV_VAR: "debug"}) == "debug"
+        # Invalid values degrade to None instead of crashing startup.
+        assert level_from_env({ENV_VAR: "shout"}) is None
+
+    def test_threshold_filters_records(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", level="warning", stream=stream)
+        logger.info("quiet")
+        logger.warning("loud")
+        events = [r["event"] for r in _lines(stream)]
+        assert events == ["loud"]
+
+
+class TestEmission:
+    def test_record_shape(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("repro.test", stream=stream)
+        logger.info("an.event", job="abc", wall_s=1.5)
+        (record,) = _lines(stream)
+        assert record["event"] == "an.event"
+        assert record["logger"] == "repro.test"
+        assert record["level"] == "info"
+        assert record["job"] == "abc"
+        assert record["wall_s"] == 1.5
+        assert record["ts"] > 0
+
+    def test_bound_fields_carry_and_override(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", stream=stream).bind(trace_id="aa")
+        logger.info("one")
+        logger.bind(trace_id="bb", job="j").info("two")
+        records = _lines(stream)
+        assert records[0]["trace_id"] == "aa"
+        assert records[1]["trace_id"] == "bb"
+        assert records[1]["job"] == "j"
+
+    def test_unserialisable_values_fall_back_to_repr(self):
+        stream = io.StringIO()
+        StructuredLogger("t", stream=stream).info("e", obj=object())
+        (record,) = _lines(stream)
+        assert "object" in record["obj"]
+
+
+class TestConfigure:
+    def test_configure_updates_existing_loggers(self):
+        logger = get_logger("repro.test.configure")
+        assert logger.level == DEFAULT_LEVEL
+        assert configure(level="debug") == "debug"
+        assert logger.level == "debug"
+        assert get_logger("repro.test.configure") is logger
+
+    def test_configure_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            configure(level="blaring")

@@ -1,0 +1,142 @@
+"""Unit tests for the trace-context layer (ids, traceparent, binding)."""
+
+import pytest
+
+from repro.obs.spans import SpanTracer
+from repro.obs.tracectx import (
+    TraceContext,
+    bind_records,
+    derive_span_id,
+    new_span_id,
+    new_trace_id,
+    span_record,
+)
+
+
+class TestIds:
+    def test_fresh_ids_are_well_formed_and_distinct(self):
+        trace_ids = {new_trace_id() for _ in range(32)}
+        span_ids = {new_span_id() for _ in range(32)}
+        assert len(trace_ids) == 32
+        assert len(span_ids) == 32
+        assert all(len(t) == 32 for t in trace_ids)
+        assert all(len(s) == 16 for s in span_ids)
+
+    def test_derive_is_deterministic_and_parent_namespaced(self):
+        parent = new_span_id()
+        a = derive_span_id(parent, "attempt-1")
+        assert a == derive_span_id(parent, "attempt-1")
+        assert a != derive_span_id(parent, "attempt-2")
+        assert a != derive_span_id(new_span_id(), "attempt-1")
+        assert len(a) == 16
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = TraceContext.new()
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_unsampled_flag_round_trips(self):
+        ctx = TraceContext(new_trace_id(), new_span_id(), sampled=False)
+        header = ctx.to_traceparent()
+        assert header.endswith("-00")
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None and parsed.sampled is False
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-abc-def-01",
+            "99-" + "a" * 32 + "-" + "b" * 16 + "-01",  # unknown version
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "00-" + "a" * 32 + "-" + "b" * 16,  # missing flags
+            "00-" + "A" * 31 + "Z-" + "b" * 16 + "-01",  # non-hex
+        ],
+    )
+    def test_malformed_headers_return_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_child_derivation_matches_derive_span_id(self):
+        ctx = TraceContext.new()
+        child = ctx.child("worker")
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == derive_span_id(ctx.span_id, "worker")
+
+
+class TestBindRecords:
+    def _traced(self):
+        tracer = SpanTracer()
+        with tracer.span("root", endpoint="diameter"):
+            with tracer.span("child-a"):
+                pass
+            with tracer.span("child-b"):
+                pass
+        return tracer
+
+    def test_single_root_takes_the_context_span_id(self):
+        ctx = TraceContext.new()
+        bound = bind_records(ctx, self._traced().records, origin="server")
+        by_name = {r["name"]: r for r in bound}
+        assert by_name["root"]["span_id"] == ctx.span_id
+        assert by_name["root"]["parent_span_id"] is None
+        assert by_name["root"]["origin"] == "server"
+        for child in ("child-a", "child-b"):
+            assert by_name[child]["parent_span_id"] == ctx.span_id
+            assert by_name[child]["span_id"] != ctx.span_id
+        assert len({r["span_id"] for r in bound}) == 3
+        assert all(r["trace_id"] == ctx.trace_id for r in bound)
+
+    def test_remote_parent_attaches_the_root(self):
+        ctx = TraceContext.new()
+        remote = new_span_id()
+        bound = bind_records(
+            ctx,
+            self._traced().records,
+            origin="worker",
+            parent_span_id=remote,
+        )
+        root = next(r for r in bound if r["name"] == "root")
+        assert root["parent_span_id"] == remote
+
+    def test_binding_is_deterministic_across_processes(self):
+        """Two bindings of the same records yield identical ids — the
+        property that lets the server pre-compute the worker's ids."""
+        ctx = TraceContext.new()
+        records = self._traced().records
+        first = bind_records(ctx, records, origin="worker")
+        second = bind_records(ctx, records, origin="worker")
+        assert [r["span_id"] for r in first] == [
+            r["span_id"] for r in second
+        ]
+
+    def test_attrs_are_copied_not_aliased(self):
+        ctx = TraceContext.new()
+        records = self._traced().records
+        bound = bind_records(ctx, records, origin="server")
+        bound[0]["attrs"]["mutated"] = True
+        assert "mutated" not in records[0]["attrs"]
+
+
+class TestSpanRecord:
+    def test_hand_built_record_shape(self):
+        ctx = TraceContext.new()
+        record = span_record(
+            ctx,
+            "service.pool.attempt",
+            parent_span_id=new_span_id(),
+            origin="supervisor",
+            start_unix=123.0,
+            wall_s=0.5,
+            attrs={"attempt": 1},
+        )
+        assert record["trace_id"] == ctx.trace_id
+        assert record["span_id"] == ctx.span_id
+        assert record["name"] == "service.pool.attempt"
+        assert record["origin"] == "supervisor"
+        assert record["attrs"] == {"attempt": 1}
+        assert record["cpu_s"] is None

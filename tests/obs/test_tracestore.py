@@ -1,0 +1,135 @@
+"""Unit tests for the trace ring store and the repro.trace/1 validator."""
+
+import pytest
+
+from repro.obs.tracectx import TraceContext, derive_span_id, span_record
+from repro.obs.tracestore import TraceStore, validate_trace_jsonl
+
+
+def _trace(store, name="service.http.request", links=0):
+    """Install one tiny two-span trace; returns its context."""
+    ctx = TraceContext.new()
+    child = derive_span_id(ctx.span_id, 2)
+    store.add_spans(
+        ctx.trace_id,
+        [
+            span_record(
+                ctx, name, None, "server", start_unix=100.0, wall_s=1.0
+            ),
+            span_record(
+                TraceContext(ctx.trace_id, child),
+                "service.execute",
+                parent_span_id=ctx.span_id,
+                origin="server",
+                start_unix=100.1,
+                wall_s=0.9,
+            ),
+        ],
+    )
+    for i in range(links):
+        other = TraceContext.new()
+        store.add_link(
+            ctx.trace_id,
+            {
+                "type": "coalesce-fan-in",
+                "span_id": ctx.span_id,
+                "linked_trace_id": other.trace_id,
+                "linked_span_id": other.span_id,
+            },
+        )
+    return ctx
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        first = _trace(store)
+        _trace(store)
+        _trace(store)
+        assert len(store) == 2
+        assert store.get(first.trace_id) is None
+        assert store.stats()["evicted"] == 1
+
+    def test_span_cap_drops_excess(self):
+        store = TraceStore(capacity=4, max_spans_per_trace=1)
+        ctx = _trace(store)
+        document = store.get(ctx.trace_id)
+        assert len(document["spans"]) == 1
+        assert store.stats()["dropped_spans"] == 1
+
+    def test_summaries_newest_first_with_root_info(self):
+        store = TraceStore()
+        _trace(store)
+        newest = _trace(store)
+        rows = store.summaries()
+        assert rows[0]["trace_id"] == newest.trace_id
+        assert rows[0]["root"] == "service.http.request"
+        assert rows[0]["spans"] == 2
+
+    def test_get_unknown_returns_none(self):
+        assert TraceStore().get("ab" * 16) is None
+        assert TraceStore().export_jsonl("ab" * 16) is None
+
+
+class TestExportAndValidate:
+    def test_round_trip_validates(self):
+        store = TraceStore()
+        ctx = _trace(store, links=2)
+        export = store.export_jsonl(ctx.trace_id)
+        summary = validate_trace_jsonl(
+            export,
+            require_names=("service.http.request", "service.execute"),
+            require_origins=("server",),
+            require_link_types=("coalesce-fan-in",),
+        )
+        assert summary["trace_id"] == ctx.trace_id
+        assert summary["spans"] == 2
+        assert summary["links"] == 2
+        assert summary["roots"] == 1
+
+    def test_missing_required_name_fails(self):
+        store = TraceStore()
+        ctx = _trace(store)
+        export = store.export_jsonl(ctx.trace_id)
+        with pytest.raises(ValueError, match="worker.execute"):
+            validate_trace_jsonl(export, require_names=("worker.execute",))
+
+    def test_unresolved_parent_fails(self):
+        store = TraceStore()
+        ctx = TraceContext.new()
+        store.add_spans(
+            ctx.trace_id,
+            [
+                span_record(
+                    ctx,
+                    "orphan",
+                    parent_span_id="ab" * 8,
+                    origin="server",
+                    start_unix=1.0,
+                    wall_s=0.1,
+                )
+            ],
+        )
+        export = store.export_jsonl(ctx.trace_id)
+        with pytest.raises(ValueError, match="not in trace"):
+            validate_trace_jsonl(export)
+
+    def test_header_count_mismatch_fails(self):
+        store = TraceStore()
+        ctx = _trace(store)
+        export = store.export_jsonl(ctx.trace_id)
+        truncated = "\n".join(export.splitlines()[:-1]) + "\n"
+        with pytest.raises(ValueError, match="do not match"):
+            validate_trace_jsonl(truncated)
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("", "empty"),
+            ("{}", "not a trace header"),
+            ('{"kind": "header", "schema": "bogus/9"}', "schema"),
+        ],
+    )
+    def test_malformed_documents_fail(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            validate_trace_jsonl(text)

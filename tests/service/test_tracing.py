@@ -1,0 +1,367 @@
+"""End-to-end request tracing: span reassembly across the three contexts.
+
+These tests drive the full service over HTTP and then read the traces
+back through ``GET /debug/traces/<id>``, asserting the acceptance
+criterion of the tracing layer: one request produces one trace whose
+spans cover HTTP handling, job admission, the pool attempt, worker
+execution and the engine internals — with coalesced followers linked to
+their leader and a crash-retried job showing both attempts.
+"""
+
+import io
+import json
+import os
+import signal
+import threading
+import time
+
+from repro.obs.log import StructuredLogger
+from repro.obs.tracectx import TraceContext
+from repro.obs.tracestore import validate_trace_jsonl
+
+
+def _kill_worker(service):
+    pid = service.pool.worker_pids()[0]
+    assert pid is not None
+    os.kill(pid, signal.SIGKILL)
+    return pid
+
+
+def _spans_by_name(export):
+    spans = {}
+    for line in export.splitlines():
+        record = json.loads(line)
+        if record.get("kind") == "span":
+            spans.setdefault(record["name"], []).append(record)
+    return spans
+
+
+def _export(client, trace_id):
+    response = client.trace(trace_id)
+    assert response.status == 200, response.body
+    assert response.headers["Content-Type"] == "application/x-ndjson"
+    return response.text()
+
+
+class TestLayerCoverage:
+    def test_one_request_one_trace_across_all_layers(
+        self, service_factory, chain_trace
+    ):
+        """The PR's acceptance criterion, asserted end to end."""
+        service, client, _ = service_factory(workers=1)
+        response = client.diameter(chain_trace, max_hops=3, grid_points=6)
+        assert response.status == 200
+        assert response.headers["X-Repro-Source"] == "computed"
+        trace_id = response.trace_id
+        assert trace_id is not None and len(trace_id) == 32
+
+        export = _export(client, trace_id)
+        summary = validate_trace_jsonl(
+            export,
+            require_names=(
+                "service.http.request",
+                "service.admit",
+                "service.execute",
+                "service.pool.attempt",
+                "worker.execute",
+                # at least one span from core/, recorded *inside* the
+                # worker process:
+                "optimal.compute_profiles",
+                "cache.load_or_compute",
+            ),
+            require_origins=("server", "supervisor", "worker"),
+        )
+        assert summary["trace_id"] == trace_id
+        assert summary["roots"] == 1
+
+        # The hierarchy reassembles: request -> execute -> attempt ->
+        # worker -> engine.
+        spans = _spans_by_name(export)
+        root = spans["service.http.request"][0]
+        execute = spans["service.execute"][0]
+        attempt = spans["service.pool.attempt"][0]
+        worker = spans["worker.execute"][0]
+        assert root["parent_span_id"] is None
+        assert execute["parent_span_id"] == root["span_id"]
+        assert attempt["parent_span_id"] == execute["span_id"]
+        assert worker["parent_span_id"] == attempt["span_id"]
+        assert attempt["attrs"]["outcome"] == "ok"
+        engine = spans["optimal.compute_profiles"][0]
+        assert engine["origin"] == "worker"
+
+    def test_store_hit_trace_has_no_worker_spans(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1)
+        params = {"max_hops": 3, "grid_points": 6}
+        first = client.diameter(chain_trace, **params)
+        second = client.diameter(chain_trace, **params)
+        assert second.headers["X-Repro-Source"] == "store"
+        assert second.trace_id != first.trace_id
+        spans = _spans_by_name(_export(client, second.trace_id))
+        assert "service.admit" in spans
+        assert "worker.execute" not in spans
+
+    def test_inbound_traceparent_continues_the_trace(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1)
+        upstream = TraceContext.new()
+        response = client.diameter(
+            chain_trace,
+            max_hops=2,
+            grid_points=6,
+            traceparent=upstream.to_traceparent(),
+        )
+        assert response.status == 200
+        assert response.trace_id == upstream.trace_id
+        export = _export(client, upstream.trace_id)
+        validate_trace_jsonl(export, require_origins=("server", "worker"))
+        root = _spans_by_name(export)["service.http.request"][0]
+        # The caller's span is attached as an attribute (it lives in the
+        # caller's process, so it cannot resolve inside this export).
+        assert root["attrs"]["remote_parent"] == upstream.span_id
+        assert root["span_id"] != upstream.span_id
+
+
+class TestCoalescing:
+    def test_eight_way_coalesce_links_to_the_leader(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1)
+        responses = [None] * 8
+
+        def issue(i):
+            responses[i] = client.delay_cdf(
+                chain_trace, max_hops=2, grid_points=6, _test_delay_s=1.0
+            )
+
+        threads = [
+            threading.Thread(target=issue, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert all(r.status == 200 for r in responses)
+        bodies = {r.body for r in responses}
+        assert len(bodies) == 1, "coalesced responses must be byte-identical"
+        by_source = {}
+        for r in responses:
+            by_source.setdefault(r.headers["X-Repro-Source"], []).append(r)
+        leaders = by_source.get("computed", [])
+        followers = by_source.get("coalesced", [])
+        assert len(leaders) == 1
+        assert len(followers) == 7
+
+        leader_export = _export(client, leaders[0].trace_id)
+        summary = validate_trace_jsonl(
+            leader_export,
+            require_names=("worker.execute",),
+            require_link_types=("coalesce-fan-in",),
+        )
+        assert summary["links"] == 7
+
+        leader_spans = _spans_by_name(leader_export)
+        leader_execute = leader_spans["service.execute"][0]["span_id"]
+        follower_trace_ids = set()
+        for follower in followers:
+            export = _export(client, follower.trace_id)
+            validate_trace_jsonl(export, require_link_types=("coalesce",))
+            links = [
+                json.loads(line)
+                for line in export.splitlines()
+                if json.loads(line).get("kind") == "link"
+            ]
+            (link,) = links
+            # Every follower links its execute span to the leader's
+            # compute span.
+            assert link["linked_trace_id"] == leaders[0].trace_id
+            assert link["linked_span_id"] == leader_execute
+            follower_trace_ids.add(follower.trace_id)
+        assert len(follower_trace_ids) == 7
+
+        # And the fan-in links on the leader point back at them.
+        fan_in = [
+            json.loads(line)
+            for line in leader_export.splitlines()
+            if json.loads(line).get("kind") == "link"
+        ]
+        assert {l["linked_trace_id"] for l in fan_in} == follower_trace_ids
+        assert all(l["span_id"] == leader_execute for l in fan_in)
+
+
+class TestCrashRetry:
+    def test_crash_and_retry_is_one_trace_with_both_attempts(
+        self, service_factory, chain_trace
+    ):
+        service, client, _ = service_factory(workers=1, respawn_delay_s=0.2)
+        holder = [None]
+
+        def issue():
+            holder[0] = client.delay_cdf(
+                chain_trace, max_hops=2, grid_points=6, _test_delay_s=1.0
+            )
+
+        thread = threading.Thread(target=issue)
+        thread.start()
+        time.sleep(0.4)  # inside the first attempt's delay window
+        _kill_worker(service)
+        thread.join()
+
+        response = holder[0]
+        assert response.status == 200
+
+        export = _export(client, response.trace_id)
+        validate_trace_jsonl(
+            export,
+            require_names=("service.pool.attempt", "worker.execute"),
+            require_origins=("server", "supervisor", "worker"),
+        )
+        spans = _spans_by_name(export)
+        attempts = sorted(
+            spans["service.pool.attempt"],
+            key=lambda s: s["attrs"]["attempt"],
+        )
+        assert [a["attrs"]["attempt"] for a in attempts] == [1, 2]
+        assert [a["attrs"]["outcome"] for a in attempts] == ["crashed", "ok"]
+        assert attempts[0]["span_id"] != attempts[1]["span_id"]
+        # The crashed attempt's worker spans died with the process; the
+        # surviving worker.execute hangs off the *second* attempt.
+        (worker,) = spans["worker.execute"]
+        assert worker["parent_span_id"] == attempts[1]["span_id"]
+        assert worker["attrs"]["attempt"] == 2
+
+
+class TestErrorPaths:
+    def test_malformed_json_is_a_structured_400_with_trace_id(
+        self, service_factory
+    ):
+        import urllib.error
+        import urllib.request
+
+        _service, client, _ = service_factory(workers=1)
+        req = urllib.request.Request(
+            client.base_url + "/v1/diameter",
+            data=b"{not json",
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30.0) as resp:
+                status, headers, body = (
+                    resp.status,
+                    dict(resp.headers.items()),
+                    resp.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            status, headers, body = (
+                exc.code,
+                dict(exc.headers.items()),
+                exc.read(),
+            )
+        assert status == 400
+        document = json.loads(body)
+        assert document["error"]["type"] == "bad-request"
+        assert document["trace_id"] == headers["X-Repro-Trace"]
+
+    def test_unknown_job_is_a_structured_404_with_trace_id(
+        self, service_factory
+    ):
+        _service, client, _ = service_factory(workers=1)
+        response = client.job("no-such-job")
+        assert response.status == 404
+        document = response.json()
+        assert document["error"]["type"] == "not-found"
+        assert document["trace_id"] == response.trace_id
+
+    def test_unknown_route_and_unknown_trace_carry_trace_ids(
+        self, service_factory
+    ):
+        _service, client, _ = service_factory(workers=1)
+        for response in (
+            client.request("GET", "/nope"),
+            client.request("POST", "/v1/nope"),
+            client.trace("ab" * 16),
+        ):
+            assert response.status == 404
+            assert response.json()["trace_id"] == response.trace_id
+
+    def test_unexpected_exception_is_a_structured_500_with_trace_id(
+        self, service_factory, monkeypatch
+    ):
+        service, client, _ = service_factory(workers=1)
+
+        def boom(job_id):
+            raise RuntimeError("wired to fail")
+
+        monkeypatch.setattr(service, "handle_job", boom)
+        response = client.job("whatever")
+        assert response.status == 500
+        document = response.json()
+        assert document["error"]["type"] == "internal-error"
+        assert "RuntimeError" in document["error"]["message"]
+        assert document["trace_id"] == response.trace_id
+
+    def test_success_responses_carry_the_trace_header_too(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1)
+        assert client.health().trace_id is not None
+        response = client.diameter(chain_trace, max_hops=2, grid_points=6)
+        assert response.trace_id is not None
+
+
+class TestDiagnostics:
+    def test_debug_traces_lists_recent_traces_newest_first(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1)
+        first = client.diameter(chain_trace, max_hops=2, grid_points=6)
+        second = client.diameter(chain_trace, max_hops=3, grid_points=6)
+        listing = client.traces().json()
+        rows = listing["traces"]
+        ids = [row["trace_id"] for row in rows]
+        assert ids.index(second.trace_id) < ids.index(first.trace_id)
+        row = rows[ids.index(first.trace_id)]
+        assert row["root"] == "service.http.request"
+        assert row["spans"] >= 3
+        assert listing["stats"]["capacity"] == 256
+
+    def test_trace_capacity_is_configurable_and_bounds_the_ring(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1, trace_capacity=2)
+        for hops in (2, 3, 4):
+            client.diameter(chain_trace, max_hops=hops, grid_points=6)
+        listing = client.traces().json()
+        assert listing["stats"]["capacity"] == 2
+        assert len(listing["traces"]) <= 2
+
+    def test_slow_job_logged_and_counted(self, service_factory, chain_trace):
+        service, client, bundle = service_factory(
+            workers=1, slow_job_threshold_s=0.1
+        )
+        sink = io.StringIO()
+        service.log = StructuredLogger("repro.service", stream=sink)
+        response = client.delay_cdf(
+            chain_trace, max_hops=2, grid_points=6, _test_delay_s=0.4
+        )
+        assert response.status == 200
+        counters = bundle.metrics.to_dict()["counters"]
+        assert counters["service.jobs.slow"] == 1
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        (slow,) = [e for e in events if e["event"] == "service.job.slow"]
+        assert slow["trace_id"] == response.trace_id
+        assert slow["wall_s"] >= 0.4
+        assert slow["threshold_s"] == 0.1
+
+    def test_per_endpoint_latency_histograms_in_metrics(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory(workers=1)
+        client.diameter(chain_trace, max_hops=2, grid_points=6)
+        client.health()
+        text = client.metrics_text()
+        assert 'service_http_latency_wall_count{endpoint="diameter"}' in text
+        assert 'service_http_latency_wall_count{endpoint="healthz"}' in text

@@ -108,6 +108,44 @@ class TestArgumentValidation:
         assert "expected an integer" in capsys.readouterr().err
 
 
+class TestLogLevel:
+    """The shared ``--log-level`` flag (and its $REPRO_LOG fallback)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_level(self, monkeypatch):
+        from repro.obs.log import DEFAULT_LEVEL, configure
+
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        yield
+        configure(level=DEFAULT_LEVEL)
+
+    def test_flag_sets_logger_threshold(self, trace_file):
+        from repro.obs.log import get_logger
+
+        assert main(["--log-level", "debug", "summarize", str(trace_file)]) == 0
+        assert get_logger("repro.cli").level == "debug"
+
+    def test_invalid_level_rejected_like_positive_int(self, trace_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--log-level", "loud", "summarize", str(trace_file)])
+        assert exc.value.code == 2
+        assert "unknown log level" in capsys.readouterr().err
+
+    def test_env_var_fallback(self, trace_file, monkeypatch):
+        from repro.obs.log import get_logger
+
+        monkeypatch.setenv("REPRO_LOG", "warning")
+        assert main(["summarize", str(trace_file)]) == 0
+        assert get_logger("repro.cli").level == "warning"
+
+    def test_flag_overrides_env(self, trace_file, monkeypatch):
+        from repro.obs.log import get_logger
+
+        monkeypatch.setenv("REPRO_LOG", "error")
+        assert main(["--log-level", "debug", "summarize", str(trace_file)]) == 0
+        assert get_logger("repro.cli").level == "debug"
+
+
 class TestWorkerParity:
     """Parallel profile computation must be invisible in the output:
     ``--workers 2`` byte-identical to ``--workers 1``."""

@@ -144,6 +144,12 @@ def _service_summary(**overrides):
             "throughput_rps": 500.0,
             "latency_p50_s": 0.002,
             "latency_p99_s": 0.003,
+            "latency_percentiles_s": {
+                "p10": 0.001,
+                "p50": 0.002,
+                "p90": 0.0025,
+                "p99": 0.003,
+            },
             "store_hits": 60,
             "store_hit_ratio": 1.0,
         },
@@ -221,6 +227,111 @@ class TestServiceLoad:
         with pytest.raises(va.ValidationError, match="rejected"):
             va.validate_service_load(path)
 
+    def test_missing_latency_percentiles_fail(self, tmp_path):
+        summary = _service_summary()
+        summary["throughput"] = dict(summary["throughput"])
+        del summary["throughput"]["latency_percentiles_s"]
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="latency_percentiles_s"):
+            va.validate_service_load(path)
+
+    def test_non_monotone_percentiles_fail(self, tmp_path):
+        summary = _service_summary()
+        summary["throughput"] = dict(
+            summary["throughput"],
+            latency_percentiles_s={
+                "p10": 0.003, "p50": 0.002, "p90": 0.004, "p99": 0.005,
+            },
+        )
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="not monotone at p50"):
+            va.validate_service_load(path)
+
+
+def _trace_export(tmp_path, mutate=None):
+    """Write a real two-span trace export and return its path."""
+    from repro.obs.tracectx import TraceContext, derive_span_id, span_record
+    from repro.obs.tracestore import TraceStore
+
+    store = TraceStore()
+    ctx = TraceContext.new()
+    worker = derive_span_id(ctx.span_id, "worker")
+    store.add_spans(
+        ctx.trace_id,
+        [
+            span_record(
+                ctx, "service.http.request", None, "server",
+                start_unix=100.0, wall_s=1.0,
+            ),
+            span_record(
+                TraceContext(ctx.trace_id, worker),
+                "worker.execute",
+                parent_span_id=ctx.span_id,
+                origin="worker",
+                start_unix=100.1,
+                wall_s=0.9,
+            ),
+        ],
+    )
+    other = TraceContext.new()
+    store.add_link(
+        ctx.trace_id,
+        {
+            "type": "coalesce-fan-in",
+            "span_id": ctx.span_id,
+            "linked_trace_id": other.trace_id,
+            "linked_span_id": other.span_id,
+        },
+    )
+    text = store.export_jsonl(ctx.trace_id)
+    if mutate is not None:
+        text = mutate(text)
+    path = tmp_path / "TRACE_service_load.jsonl"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestTraceExport:
+    def test_valid_export_passes_with_requirements(self, tmp_path):
+        path = _trace_export(tmp_path)
+        lines = va.validate_trace_export(
+            path,
+            require_spans=("service.http.request", "worker.execute"),
+            require_origins=("server", "worker"),
+            require_links=("coalesce-fan-in",),
+        )
+        assert any("ok" in line for line in lines)
+        assert any("worker" in line for line in lines)
+
+    def test_missing_required_span_fails(self, tmp_path):
+        path = _trace_export(tmp_path)
+        with pytest.raises(va.ValidationError, match="optimal.compute"):
+            va.validate_trace_export(
+                path, require_spans=("optimal.compute_profiles",)
+            )
+
+    def test_missing_required_origin_fails(self, tmp_path):
+        path = _trace_export(tmp_path)
+        with pytest.raises(va.ValidationError, match="supervisor"):
+            va.validate_trace_export(path, require_origins=("supervisor",))
+
+    def test_missing_required_link_fails(self, tmp_path):
+        path = _trace_export(tmp_path)
+        with pytest.raises(va.ValidationError, match="coalesce"):
+            va.validate_trace_export(path, require_links=("coalesce",))
+
+    def test_truncated_document_fails(self, tmp_path):
+        path = _trace_export(
+            tmp_path,
+            mutate=lambda text: "\n".join(text.splitlines()[:-1]) + "\n",
+        )
+        with pytest.raises(va.ValidationError, match="do not match"):
+            va.validate_trace_export(path)
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(va.ValidationError, match="cannot read"):
+            va.validate_trace_export(tmp_path / "absent.jsonl")
+
 
 class TestCli:
     def test_bench_subcommand_exit_codes(self, tmp_path, capsys):
@@ -241,3 +352,16 @@ class TestCli:
         )
         assert va.main(["cache-rerun", str(cold), str(warm)]) == 0
         assert "warm run hits" in capsys.readouterr().out
+
+    def test_trace_subcommand_exit_codes(self, tmp_path, capsys):
+        path = _trace_export(tmp_path)
+        argv = [
+            "trace", str(path),
+            "--require-span", "worker.execute",
+            "--require-origin", "worker",
+            "--require-link", "coalesce-fan-in",
+        ]
+        assert va.main(argv) == 0
+        assert "ok" in capsys.readouterr().out
+        assert va.main(["trace", str(path), "--require-span", "nope"]) == 1
+        assert "nope" in capsys.readouterr().err
