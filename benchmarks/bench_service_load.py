@@ -11,7 +11,12 @@ counters CI validates:
   reporting requests/s and p50/p99 latency of the HTTP path;
 * **backpressure** — a deliberately tiny pool (1 worker, 1 queue slot)
   must shed a third distinct in-flight query with ``429`` and a
-  ``Retry-After`` hint rather than buffer it without bound.
+  ``Retry-After`` hint rather than buffer it without bound;
+* **sharded** — the same query fanned out over 4 source shards on a
+  cold service must answer byte-identically to the monolithic path,
+  report complete ``shards_done/shards_total`` progress, and record the
+  ``service.shards.*`` counters; monolithic and sharded cold wall times
+  ride along so EXPERIMENTS.md can cite the overhead/benefit.
 
 The summary (including p10/p50/p90/p99 request latencies) lands on the
 run manifest (``params.service_load``), which
@@ -190,6 +195,57 @@ def phase_backpressure(root, trace):
         service.close(drain=True, timeout_s=30.0)
 
 
+def phase_sharded(root, trace, expected):
+    """Cold sharded vs cold monolithic: byte parity, progress, wall time.
+
+    Each leg runs on a fresh service (fresh profile cache and result
+    store), so both wall times are cold-path and comparable.
+    """
+    service, server, client = start_service(os.path.join(root, "mono"))
+    try:
+        begin = time.perf_counter()
+        mono = client.delay_cdf(trace, **QUERY)
+        mono_wall = time.perf_counter() - begin
+        assert mono.status == 200, f"monolithic run failed: {mono.status}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close(drain=True, timeout_s=30.0)
+
+    shards = 4
+    service, server, client = start_service(os.path.join(root, "shard"))
+    try:
+        begin = time.perf_counter()
+        sharded = client.delay_cdf(trace, shards=shards, **QUERY)
+        sharded_wall = time.perf_counter() - begin
+        assert sharded.status == 200, f"sharded run failed: {sharded.status}"
+        byte_identical = sharded.body == expected and mono.body == expected
+        assert byte_identical, "sharded bytes differ from the CLI's"
+        job = client.job(sharded.headers["X-Repro-Job"]).json()
+        assert job["shards_total"] == shards, f"job progress: {job}"
+        assert job["shards_done"] == job["shards_total"], f"job: {job}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close(drain=True, timeout_s=30.0)
+
+    counters = get_obs().metrics.to_dict()["counters"]
+    completed = int(counters.get("service.shards.completed", 0))
+    dispatched = int(counters.get("service.shards.dispatched", 0))
+    assert completed >= shards, f"shards completed: {completed}"
+    assert dispatched >= shards, f"shards dispatched: {dispatched}"
+    return {
+        "shards": shards,
+        "shards_total": int(job["shards_total"]),
+        "shards_done": int(job["shards_done"]),
+        "byte_identical": byte_identical,
+        "wall_s": sharded_wall,
+        "monolithic_wall_s": mono_wall,
+        "shards_completed": completed,
+        "shards_dispatched": dispatched,
+    }
+
+
 def export_leader_trace(client, trace_id):
     """Save the coalesce leader's trace next to the BENCH JSON.
 
@@ -231,11 +287,13 @@ def main():
         server.server_close()
         service.close(drain=True, timeout_s=30.0)
     backpressure = phase_backpressure(root, trace)
+    sharded = phase_sharded(root, trace, expected)
 
     summary = {
         "coalesce": coalesce,
         "throughput": throughput,
         "backpressure": backpressure,
+        "sharded": sharded,
     }
     obs = get_obs()
     if obs.enabled and obs.manifest is not None:
@@ -255,6 +313,10 @@ def main():
           f"{backpressure['rejected_status']} + Retry-After "
           f"{backpressure['retry_after_s']}s "
           f"({backpressure['pool_rejected']} rejection(s))")
+    print(f"sharded:       {sharded['shards_done']}/{sharded['shards_total']} "
+          f"shards, byte-identical {sharded['byte_identical']}, "
+          f"cold wall {sharded['wall_s']:.2f}s vs monolithic "
+          f"{sharded['monolithic_wall_s']:.2f}s")
     print(f"trace:         leader trace {coalesce['leader_trace_id']} "
           f"exported to {trace_path}")
     return 0

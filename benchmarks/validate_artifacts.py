@@ -128,7 +128,7 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
     summary = manifest["params"].get("service_load")
     if not isinstance(summary, dict):
         raise ValidationError(f"{path}: no service_load summary on manifest")
-    for section in ("coalesce", "throughput", "backpressure"):
+    for section in ("coalesce", "throughput", "backpressure", "sharded"):
         if not isinstance(summary.get(section), dict):
             raise ValidationError(f"{path}: summary missing {section!r}")
     coalesce = summary["coalesce"]
@@ -175,6 +175,24 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
         raise ValidationError(
             f"{path}: no service.pool.rejected counter recorded"
         )
+    sharded = summary["sharded"]
+    if sharded.get("byte_identical") is not True:
+        raise ValidationError(
+            f"{path}: sharded responses were not byte-identical to the CLI"
+        )
+    shards_total = int(sharded.get("shards_total", 0))
+    shards_done = int(sharded.get("shards_done", -1))
+    if shards_total <= 1 or shards_done != shards_total:
+        raise ValidationError(
+            f"{path}: sharded progress incomplete: "
+            f"{shards_done}/{shards_total}"
+        )
+    for name in ("service.shards.completed", "service.shards.dispatched"):
+        if counters.get(name, 0) < shards_total:
+            raise ValidationError(
+                f"{path}: counter {name} below shard count "
+                f"({counters.get(name, 0)} < {shards_total})"
+            )
     return [
         f"coalesce: {coalesce['coalesced']}/{concurrency} "
         f"(ratio {ratio:.3f}, byte-identical)",
@@ -182,6 +200,7 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
         f"(p99 {float(throughput.get('latency_p99_s', 0.0)) * 1000:.1f} ms)",
         f"backpressure: 429 + Retry-After "
         f"{backpressure.get('retry_after_s')}s",
+        f"sharded: {shards_done}/{shards_total} shards, byte-identical",
     ]
 
 

@@ -114,7 +114,21 @@ def _profiles(
     bounds: Tuple[int, ...],
     args: argparse.Namespace,
 ) -> PathProfileSet:
-    """compute_profiles honouring the --cache-dir / --workers flags."""
+    """compute_profiles honouring --cache-dir / --workers / --shards."""
+    shards = int(getattr(args, "shards", 1) or 1)
+    if shards > 1:
+        from .core.shards import compute_profiles_sharded
+
+        # Sharded output is byte-identical to the unsharded path (the
+        # shards partition the sorted roster); with --cache-dir each
+        # shard is a durable checkpoint a re-run resumes from.
+        return compute_profiles_sharded(
+            net,
+            shards=shards,
+            hop_bounds=bounds,
+            workers=args.workers,
+            cache_dir=getattr(args, "cache_dir", None) or None,
+        )
     if getattr(args, "cache_dir", None):
         return load_or_compute(
             net, args.cache_dir, hop_bounds=bounds, workers=args.workers
@@ -122,8 +136,31 @@ def _profiles(
     return compute_profiles(net, hop_bounds=bounds, workers=args.workers)
 
 
+def _require_analyzable(net: TemporalNetwork, args: argparse.Namespace) -> bool:
+    """Reject empty/zero-span traces with a structured error (exit 2).
+
+    An over-aggressive ablation (``remove_random(p=1.0)``, a tight
+    ``time_window``) used to flow into the engine and either crash with
+    a bare traceback or yield nonsense CDFs over a zero-measure window.
+    """
+    reason = net.degenerate_reason()
+    if reason is None:
+        return True
+    from .obs.log import get_logger
+
+    get_logger("repro.cli").error(
+        "cli.trace.degenerate",
+        command=args.command,
+        trace=args.trace,
+        reason=reason,
+    )
+    return False
+
+
 def _cmd_diameter(args: argparse.Namespace) -> int:
     net = read_contacts(args.trace)
+    if not _require_analyzable(net, args):
+        return 2
     bounds = tuple(range(1, args.max_hops + 1))
     profiles = _profiles(net, bounds, args)
     result = diameter(profiles, _grid(args), eps=args.eps)
@@ -153,6 +190,8 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
 
 def _cmd_delay_cdf(args: argparse.Namespace) -> int:
     net = read_contacts(args.trace)
+    if not _require_analyzable(net, args):
+        return 2
     bounds = tuple(range(1, args.max_hops + 1))
     profiles = _profiles(net, bounds, args)
     grid = _grid(args)
@@ -269,6 +308,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", metavar="DIR",
             help="content-addressed profile cache directory (reuses "
                  "profiles across invocations on the same trace)",
+        )
+        p.add_argument(
+            "--shards", type=positive_int, default=1,
+            help="partition the sources into this many deterministic "
+                 "shards (>= 1); output is byte-identical to --shards 1, "
+                 "and with --cache-dir each shard checkpoints so a "
+                 "crashed run resumes from completed shards",
         )
 
     diam = sub.add_parser("diameter", help="(1-eps)-diameter of a trace")

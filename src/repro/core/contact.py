@@ -107,6 +107,19 @@ class Contact:
         """
         return self.t_beg >= t_min and self.t_end <= t_max
 
+    def within_window(self, t0: float, t1: float) -> bool:
+        """Whether the whole contact lies inside the half-open ``[t0, t1)``.
+
+        Observation windows across the codebase are half-open (see
+        ``TemporalNetwork.contacts_beginning_in``: ``t0 == t1`` is
+        empty), while contact intervals themselves are closed.  A
+        contact touching ``t1`` therefore extends to an instant the
+        window does not observe and is excluded; the closed containment
+        test :meth:`within` is for interval-vs-interval questions, not
+        windowing.
+        """
+        return self.t_beg >= t0 and self.t_end < t1
+
     def shifted(self, offset: float) -> "Contact":
         """A copy translated in time by ``offset``."""
         return Contact(self.t_beg + offset, self.t_end + offset, self.u, self.v)

@@ -1,0 +1,251 @@
+"""Source-sharded profile computation with shard-level checkpointing.
+
+The paper's Section 4.4 algorithm is *per-source separable*: the
+``(LD, EA)`` frontier of one source never reads another source's state.
+:func:`repro.core.optimal.compute_profiles` already exploits that for
+in-process parallelism (``workers``); this module exploits it across
+*failures and machines*: the source roster is partitioned into
+deterministic contiguous shards, each shard is computed (and optionally
+checkpointed through :func:`repro.core.cache.load_or_compute`) on its
+own, and the shard results merge back into a single
+:class:`~repro.core.optimal.PathProfileSet` whose downstream output is
+**byte-identical** to the unsharded computation.
+
+Why byte-identity holds, and is asserted rather than hoped for:
+
+* shards partition ``network.nodes`` — the repr-sorted roster — into
+  contiguous runs, so the union of shard rosters is the unsharded
+  roster, in order;
+* each per-source DP run is independent of which other sources share its
+  invocation, so a shard computes exactly the ``SourceProfiles`` objects
+  the monolithic run would;
+* every consumer iterates ``PathProfileSet.sources`` (repr-sorted), so
+  the merged set feeds :func:`~repro.core.segments.build_segment_table`
+  the same segments in the same concatenation order — identical float
+  summation order, bitwise-identical CDFs.
+
+Checkpointing falls out of the existing content-addressed cache: a
+shard's entry is keyed by :func:`~repro.core.cache.profile_cache_key`
+with the shard's explicit source list (plus trace digest, hop bounds and
+format version), so a crashed or timed-out job that re-runs recomputes
+only the shards whose entries are missing — the ``profiles.cache.hit`` /
+``.miss`` counters make resume behaviour observable and testable.
+
+The worker-facing entry point :func:`warm_shard` computes exactly one
+shard into a shared cache directory; the service's pool fans one
+admitted job out into ``warm_shard`` tasks and finishes with a normal
+(all-hits) CLI run that merges and formats.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..obs import get_obs
+from .contact import Node
+from .optimal import (
+    DEFAULT_HOP_BOUNDS,
+    PathProfileSet,
+    SourceProfiles,
+    compute_profiles,
+)
+from .segments import SegmentTable
+from .temporal_network import TemporalNetwork
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "shard_sources",
+    "compute_profiles_sharded",
+    "merge_profile_sets",
+    "merge_segment_tables",
+    "warm_shard",
+]
+
+
+def shard_sources(
+    sources: Sequence[Node], shards: int
+) -> List[List[Node]]:
+    """Partition sources into deterministic, contiguous, balanced shards.
+
+    The roster is repr-sorted first (the order ``TemporalNetwork.nodes``
+    and ``PathProfileSet.sources`` use), then cut into ``shards``
+    contiguous runs whose sizes differ by at most one.  The effective
+    shard count is clamped to ``len(sources)`` so no shard is empty; an
+    empty roster yields no shards at all.
+
+    Contiguity over the sorted roster is what makes sharded output
+    byte-identical: concatenating the shards reproduces the exact source
+    order of the monolithic computation.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    ordered = sorted(sources, key=repr)
+    if not ordered:
+        return []
+    effective = min(shards, len(ordered))
+    base, extra = divmod(len(ordered), effective)
+    plan: List[List[Node]] = []
+    start = 0
+    for index in range(effective):
+        size = base + (1 if index < extra else 0)
+        plan.append(ordered[start : start + size])
+        start += size
+    return plan
+
+
+def merge_profile_sets(
+    network: TemporalNetwork,
+    parts: Sequence[PathProfileSet],
+    hop_bounds: Tuple[int, ...],
+) -> PathProfileSet:
+    """Union disjoint per-shard profile sets into one.
+
+    The per-source DP is independent across sources, so merging is a
+    plain dict union; overlapping shards would silently double-count
+    pairs downstream, so they are rejected.
+    """
+    merged: Dict[Node, SourceProfiles] = {}
+    for part in parts:
+        for source in part.sources:
+            if source in merged:
+                raise ValueError(
+                    f"shards overlap on source {source!r}; shards must "
+                    "partition the roster"
+                )
+            merged[source] = part.source_profiles(source)
+    return PathProfileSet(network, merged, hop_bounds)
+
+
+def merge_segment_tables(tables: Sequence[SegmentTable]) -> SegmentTable:
+    """Concatenate per-shard segment tables into one, order-preserving.
+
+    All tables must share the window and the bound set.  Given tables
+    built from contiguous shards of the sorted roster, in shard order,
+    the concatenated arrays are element-for-element the arrays the
+    monolithic :func:`~repro.core.segments.build_segment_table` builds —
+    so every downstream measure is bitwise identical, not just close.
+    """
+    if not tables:
+        raise ValueError("cannot merge zero segment tables")
+    window = tables[0].window
+    bounds = tables[0].bounds
+    for table in tables[1:]:
+        if table.window != window:
+            raise ValueError(
+                f"window mismatch: {table.window} != {window}"
+            )
+        if table.bounds != bounds:
+            raise ValueError(
+                f"bound set mismatch: {table.bounds} != {bounds}"
+            )
+    raw = {
+        bound: tuple(
+            np.concatenate([table.segments(bound)[i] for table in tables])
+            for i in range(3)
+        )
+        for bound in bounds
+    }
+    num_pairs = sum(table.num_pairs for table in tables)
+    return SegmentTable(window=window, num_pairs=num_pairs, raw=raw)
+
+
+def compute_profiles_sharded(
+    network: TemporalNetwork,
+    shards: int,
+    hop_bounds: Sequence[int] = DEFAULT_HOP_BOUNDS,
+    sources: Optional[Sequence[Node]] = None,
+    max_rounds: Optional[int] = None,
+    slack: float = 0.0,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    max_bytes: Optional[int] = None,
+) -> PathProfileSet:
+    """``compute_profiles`` in deterministic source shards, then merged.
+
+    With ``cache_dir`` each shard goes through
+    :func:`~repro.core.cache.load_or_compute`, so every completed shard
+    is a durable, content-addressed checkpoint: re-running after a crash
+    recomputes only the missing shards.  Without a cache directory the
+    shards still run independently (useful for bounding peak memory of
+    one invocation) but nothing persists.
+
+    The merged result is byte-compatible with the unsharded call: same
+    sources, same per-source profiles, same downstream iteration order.
+    """
+    bounds = tuple(sorted(set(int(k) for k in hop_bounds)))
+    roster = list(network.nodes) if sources is None else list(sources)
+    plan = shard_sources(roster, shards)
+    obs = get_obs()
+    completed = obs.metrics.counter("shards.completed")
+    with obs.span(
+        "shards.compute_profiles",
+        shards=len(plan),
+        sources=len(roster),
+        cached=cache_dir is not None,
+    ):
+        parts: List[PathProfileSet] = []
+        for shard in plan:
+            if cache_dir is not None:
+                from .cache import load_or_compute
+
+                part = load_or_compute(
+                    network,
+                    cache_dir,
+                    hop_bounds=bounds,
+                    sources=shard,
+                    max_rounds=max_rounds,
+                    slack=slack,
+                    workers=workers,
+                    max_bytes=max_bytes,
+                )
+            else:
+                part = compute_profiles(
+                    network,
+                    hop_bounds=bounds,
+                    sources=shard,
+                    max_rounds=max_rounds,
+                    slack=slack,
+                    workers=workers,
+                )
+            parts.append(part)
+            completed.inc()
+    return merge_profile_sets(network, parts, bounds)
+
+
+def warm_shard(
+    trace: PathLike,
+    cache_dir: PathLike,
+    max_hops: int,
+    shard_index: int,
+    shard_count: int,
+) -> int:
+    """Compute one shard of a trace's profiles into a shared cache.
+
+    The service's worker pool runs this for each shard of a fanned-out
+    job; the final merge is then a plain CLI run over an all-hits cache.
+    Returns the number of sources in the shard.  ``shard_index`` must
+    address a shard of the *effective* plan (``shard_count`` clamped to
+    the roster size, exactly as :func:`shard_sources` clamps).
+    """
+    from ..traces.format import read_contacts
+    from .cache import load_or_compute
+
+    network = read_contacts(trace)
+    plan = shard_sources(network.nodes, shard_count)
+    if not 0 <= shard_index < len(plan):
+        raise ValueError(
+            f"shard index {shard_index} outside the effective plan of "
+            f"{len(plan)} shard(s)"
+        )
+    shard = plan[shard_index]
+    load_or_compute(
+        network,
+        cache_dir,
+        hop_bounds=range(1, max_hops + 1),
+        sources=shard,
+    )
+    return len(shard)

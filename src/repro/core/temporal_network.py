@@ -117,6 +117,27 @@ class TemporalNetwork:
         t_max = max(c.t_end for c in self._contacts)
         return (t_min, t_max)
 
+    def degenerate_reason(self) -> Optional[str]:
+        """Why window-averaged statistics are undefined here, or None.
+
+        An empty contact set (e.g. after ``remove_random(p=1.0)`` or an
+        aggressive ``time_window``) collapses :attr:`span` to
+        ``(0.0, 0.0)``; a trace whose contacts all sit at one instant
+        collapses it to a point.  Either way the observation window has
+        zero measure, so delay-CDF and diameter denominators are
+        meaningless — callers (CLI, service admission) must turn this
+        into a structured error instead of producing garbage.
+        """
+        if not self._contacts:
+            return "trace has no contacts"
+        t0, t1 = self.span
+        if t1 <= t0:
+            return (
+                f"trace span [{t0:g}; {t1:g}] has zero length; no "
+                "observation window"
+            )
+        return None
+
     @property
     def duration(self) -> float:
         t_min, t_max = self.span

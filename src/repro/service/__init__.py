@@ -41,7 +41,7 @@ from .app import (
     serve_in_thread,
     with_trace,
 )
-from .client import ServiceClient, ServiceResponse
+from .client import ServiceClient, ServiceResponse, ServiceUnreachable
 from .jobs import BadRequest, JobSpec, JobTable, job_key, normalize_request
 from .pool import PoolClosed, PoolSaturated, WorkerPool
 from .store import ResultStore
@@ -58,6 +58,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceResponse",
+    "ServiceUnreachable",
     "WorkerPool",
     "job_key",
     "make_server",

@@ -22,7 +22,7 @@ from ..cli import add_log_level_argument, configure_logging_from, positive_int
 from ..obs import observed
 from ..obs.log import get_logger
 from .app import ReproService, ServiceConfig, make_server
-from .client import ServiceClient
+from .client import ServiceClient, ServiceUnreachable
 from .jobs import COMMANDS
 
 
@@ -82,7 +82,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         params["grid_points"] = args.grid_points
     if args.eps is not None:
         params["eps"] = args.eps
-    response = client.query(args.service_command, args.trace, **params)
+    if args.shards is not None:
+        params["shards"] = args.shards
+    try:
+        response = client.query(
+            args.service_command, args.trace, retries=2, **params
+        )
+    except ServiceUnreachable as exc:
+        print(f"repro.service: {exc}", file=sys.stderr)
+        return 2
     if response.ok:
         sys.stdout.write(response.text())
         return 0
@@ -97,9 +105,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_ping(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url, timeout_s=args.timeout)
     try:
-        response = client.health()
-    except OSError as exc:
-        print(f"repro.service: {args.url} unreachable: {exc}", file=sys.stderr)
+        response = client.health(retries=2)
+    except ServiceUnreachable as exc:
+        print(f"repro.service: {exc}", file=sys.stderr)
         return 1
     sys.stdout.write(response.text())
     return 0 if response.status == 200 else 1
@@ -162,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-hops", type=positive_int, default=None)
     submit.add_argument("--grid-points", type=positive_int, default=None)
     submit.add_argument("--eps", type=float, default=None)
+    submit.add_argument(
+        "--shards", type=positive_int, default=None,
+        help="fan the job out over this many source shards on the server "
+        "(byte-identical output; completed shards survive worker crashes)",
+    )
     submit.set_defaults(func=_cmd_submit)
 
     ping = sub.add_parser("ping", help="print /healthz")

@@ -48,6 +48,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Type
 
+from ..core.shards import shard_sources
 from ..obs import get_obs
 from ..obs.log import get_logger
 from ..obs.spans import SpanTracer
@@ -235,6 +236,9 @@ class ReproService:
             # Engine counters recorded inside the worker process land in
             # the same /metrics snapshot as the service's own.
             get_obs().metrics.merge(worker_metrics)
+        if task.get("kind") == "shard":
+            self._on_shard_complete(task, result)
+            return
         error = result.get("error")
         if error is not None:
             job = self.jobs.complete(
@@ -264,6 +268,72 @@ class ReproService:
             key, exit_code=0, output=output, stderr=stderr
         )
         self._note_completion(job)
+
+    def _on_shard_complete(self, task: Task, result: Result) -> None:
+        """Account one shard's outcome; dispatch the merge when all land.
+
+        A failed shard fails the whole job (its waiters must not hang),
+        annotated with which shard died.  The final shard triggers the
+        ordinary CLI task for the parent job: its profile reads are all
+        cache hits, so it only merges and formats.
+        """
+        parent_key = str(task["parent_key"])
+        shard_no = int(task["shard_index"]) + 1
+        shard_count = int(task["shard_count"])
+        metrics = get_obs().metrics
+        error = result.get("error")
+        if error is None and int(result.get("exit_code", 1)) != 0:
+            error = {
+                "type": "command-failed",
+                "message": str(result.get("stderr", "")).strip()
+                or "shard task exited non-zero",
+                "exit_code": int(result.get("exit_code", 1)),
+            }
+        if error is not None:
+            metrics.counter("service.shards.failed").inc()
+            job = self.jobs.complete(
+                parent_key,
+                stderr=str(result.get("stderr", "")),
+                error={
+                    **dict(error),
+                    "shard": shard_no,
+                    "shard_count": shard_count,
+                },
+            )
+            self._note_completion(job)
+            return
+        metrics.counter("service.shards.completed").inc()
+        progress = self.jobs.note_shard_done(parent_key)
+        if progress is None:
+            # The job already failed (a sibling shard died) — nothing to
+            # dispatch.
+            return
+        done, total = progress
+        if done < total:
+            return
+        job = self.jobs.by_key(parent_key)
+        if job is None:
+            return
+        final: Task = {
+            "key": parent_key,
+            "argv": job.spec.to_argv(str(self.profile_cache_dir)),
+            "test_delay_s": 0.0,
+            "on_running": self._mark_running,
+            "trace_id": job.trace_id,
+            "parent_span": job.span_id,
+        }
+        try:
+            # Never capacity-reject the merge of an admitted job.
+            self.pool.submit(final, enforce_capacity=False)
+        except (PoolSaturated, PoolClosed):
+            completed = self.jobs.complete(
+                parent_key,
+                error={
+                    "type": "shutdown",
+                    "message": "pool shut down before the shard merge",
+                },
+            )
+            self._note_completion(completed)
 
     def _note_completion(self, job: Optional[Job]) -> None:
         """Log failures and slow jobs (the slow-job log satellite)."""
@@ -378,6 +448,20 @@ class ReproService:
                 return Response.error(
                     400, "bad-request", f"cannot read trace: {exc}"
                 )
+            reason = network.degenerate_reason()
+            if reason is not None:
+                # An empty or zero-span trace (e.g. after an aggressive
+                # ablation) has no observation window: computing would
+                # produce nonsense CDFs, so the request fails loudly.
+                log.warning(
+                    "service.request.bad", reason="degenerate-trace"
+                )
+                return Response.error(
+                    400,
+                    "bad-request",
+                    f"trace is not analyzable: {reason}",
+                    field="trace",
+                )
             key = job_key(spec, network)
             stored = self.store.get(key)
         if stored is not None:
@@ -392,7 +476,13 @@ class ReproService:
                 key, spec, trace_id=ctx.trace_id, span_id=exec_span_id
             )
             exec_span.set(coalesced=not created)
-            if created:
+            if created and spec.shards > 1:
+                failure = self._submit_sharded(
+                    job, spec, key, ctx, exec_span_id, network, log
+                )
+                if failure is not None:
+                    return failure
+            elif created:
                 task: Task = {
                     "key": key,
                     "argv": spec.to_argv(str(self.profile_cache_dir)),
@@ -454,12 +544,99 @@ class ReproService:
     def _mark_running(self, task: Task) -> None:
         self.jobs.mark_running(str(task["key"]), int(task["attempts"]))
 
+    def _mark_shard_running(self, task: Task) -> None:
+        self.jobs.mark_running(
+            str(task["parent_key"]), int(task["attempts"])
+        )
+
+    def _submit_sharded(
+        self,
+        job: Job,
+        spec: JobSpec,
+        key: str,
+        ctx: TraceContext,
+        exec_span_id: str,
+        network: Any,
+        log: Any,
+    ) -> Optional[Response]:
+        """Fan one admitted job out as per-shard cache warm-up tasks.
+
+        Each shard computes its slice of the profile cache in its own
+        worker task (own attempt spans, own crash retry); the
+        finalisation CLI run — dispatched by :meth:`_on_shard_complete`
+        once every shard landed — then merges an all-hits cache.  A
+        crashed worker therefore loses at most one shard of progress.
+
+        Backpressure is per job: only the first shard is capacity
+        checked, because rejecting a sibling of an admitted job would
+        strand it.  Returns the error response on rejection, None when
+        the fan-out is queued.
+        """
+        plan = shard_sources(network.nodes, spec.shards)
+        job.shards_total = len(plan)
+        metrics = get_obs().metrics
+        dispatched = metrics.counter("service.shards.dispatched")
+        log.info(
+            "service.job.sharded",
+            job=job.id,
+            shards=len(plan),
+            sources=len(network.nodes),
+        )
+        for index in range(len(plan)):
+            task: Task = {
+                "key": f"{key}#shard-{index + 1}of{len(plan)}",
+                "kind": "shard",
+                "parent_key": key,
+                "trace": spec.trace,
+                "max_hops": spec.max_hops,
+                "shard_index": index,
+                "shard_count": len(plan),
+                "cache_dir": str(self.profile_cache_dir),
+                "test_delay_s": spec.test_delay_s,
+                "on_running": self._mark_shard_running,
+                "trace_id": ctx.trace_id,
+                "parent_span": exec_span_id,
+            }
+            try:
+                self.pool.submit(task, enforce_capacity=(index == 0))
+            except PoolSaturated:
+                self.jobs.complete(
+                    key,
+                    error={"type": "rejected", "message": "queue full"},
+                )
+                log.warning("service.request.shed", job=job.id)
+                retry_after = self.pool.retry_after_s()
+                return Response.error(
+                    429,
+                    "saturated",
+                    "worker pool and queue are full; retry later",
+                    headers={"Retry-After": str(int(retry_after))},
+                )
+            except PoolClosed:
+                self.jobs.complete(
+                    key,
+                    error={"type": "shutdown", "message": "pool shut down"},
+                )
+                return Response.error(
+                    503, "shutting-down", "service is draining"
+                )
+            dispatched.inc()
+        return None
+
     def _await_job(
         self, job: Job, coalesced: bool, log: Any = None
     ) -> Response:
         # Worst case the job runs max_attempts times back to back, plus
         # scheduler slack; the pool's own timeout fires well before this.
-        budget = self.config.job_timeout_s * self.config.max_attempts + 30.0
+        # A sharded job serialises in the worst case (one worker): every
+        # shard plus the finalisation run gets its own timeout budget.
+        units = max(1, job.shards_total) + (
+            1 if job.shards_total > 1 else 0
+        )
+        budget = (
+            self.config.job_timeout_s * self.config.max_attempts * units
+            + 30.0
+        )
         if not job.done.wait(budget):
             if log is not None:
                 log.error(

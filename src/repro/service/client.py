@@ -5,14 +5,39 @@ CLI, the load benchmark, tests) never hand-roll HTTP: every call returns
 a :class:`ServiceResponse` carrying the status, headers and raw body —
 error statuses are *returned*, not raised, because 429/503 are expected
 signals (backpressure, draining) a load-aware caller must see.
+
+Transport failures are different: a connection refused or reset never
+produced a server answer, so :meth:`ServiceClient.request` raises
+:class:`ServiceUnreachable` — after an optional bounded exponential
+retry — instead of leaking raw ``URLError``/``ConnectionRefusedError``
+out of ``urllib``'s internals.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
+
+
+class ServiceUnreachable(OSError):
+    """No server answer after every transport attempt failed.
+
+    Subclasses :class:`OSError` so existing ``except OSError`` callers
+    keep working; carries the target URL, how many attempts were made,
+    and the final underlying cause.
+    """
+
+    def __init__(self, url: str, attempts: int, cause: Exception) -> None:
+        super().__init__(
+            f"service unreachable at {url} after {attempts} attempt(s): "
+            f"{cause}"
+        )
+        self.url = url
+        self.attempts = attempts
+        self.cause = cause
 
 
 class ServiceResponse:
@@ -57,7 +82,16 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, object]] = None,
         traceparent: Optional[str] = None,
+        retries: int = 0,
+        backoff_s: float = 0.1,
     ) -> ServiceResponse:
+        """One HTTP exchange, with bounded retry on *transport* failure.
+
+        HTTP error statuses are returned as responses.  Connection-level
+        failures (refused, reset, DNS) are retried up to ``retries``
+        times with exponential backoff starting at ``backoff_s``, then
+        raised as :class:`ServiceUnreachable`.
+        """
         body = None
         headers = {}
         if payload is not None:
@@ -68,16 +102,30 @@ class ServiceClient:
         req = urllib.request.Request(
             self.base_url + path, data=body, headers=headers, method=method
         )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+        last: Optional[Exception] = None
+        for attempt in range(retries + 1):
+            if attempt > 0:
+                time.sleep(backoff_s * 2 ** (attempt - 1))
+            try:
+                with urllib.request.urlopen(
+                    req, timeout=self.timeout_s
+                ) as resp:
+                    return ServiceResponse(
+                        resp.status, dict(resp.headers.items()), resp.read()
+                    )
+            except urllib.error.HTTPError as exc:
+                # 4xx/5xx are application-level answers here, not
+                # exceptions.  (HTTPError is an OSError subclass, so this
+                # arm must come first.)
                 return ServiceResponse(
-                    resp.status, dict(resp.headers.items()), resp.read()
+                    exc.code, dict(exc.headers.items()), exc.read()
                 )
-        except urllib.error.HTTPError as exc:
-            # 4xx/5xx are application-level answers here, not exceptions.
-            return ServiceResponse(
-                exc.code, dict(exc.headers.items()), exc.read()
-            )
+            except OSError as exc:
+                last = exc
+        assert last is not None
+        raise ServiceUnreachable(
+            self.base_url + path, retries + 1, last
+        ) from last
 
     # -- convenience wrappers ------------------------------------------
     def query(
@@ -85,11 +133,18 @@ class ServiceClient:
         command: str,
         trace: str,
         traceparent: Optional[str] = None,
+        retries: int = 0,
+        backoff_s: float = 0.1,
         **params: object,
     ) -> ServiceResponse:
         payload: Dict[str, object] = {"trace": trace, **params}
         return self.request(
-            "POST", f"/v1/{command}", payload, traceparent=traceparent
+            "POST",
+            f"/v1/{command}",
+            payload,
+            traceparent=traceparent,
+            retries=retries,
+            backoff_s=backoff_s,
         )
 
     def diameter(self, trace: str, **params: object) -> ServiceResponse:
@@ -101,8 +156,12 @@ class ServiceClient:
     def job(self, job_id: str) -> ServiceResponse:
         return self.request("GET", f"/v1/jobs/{job_id}")
 
-    def health(self) -> ServiceResponse:
-        return self.request("GET", "/healthz")
+    def health(
+        self, retries: int = 0, backoff_s: float = 0.1
+    ) -> ServiceResponse:
+        return self.request(
+            "GET", "/healthz", retries=retries, backoff_s=backoff_s
+        )
 
     def traces(self) -> ServiceResponse:
         """``GET /debug/traces`` — the trace-ring summary listing."""
@@ -115,8 +174,9 @@ class ServiceClient:
     def metrics_text(self) -> str:
         return self.request("GET", "/metrics").text()
 
-    def ping(self) -> bool:
+    def ping(self, retries: int = 2, backoff_s: float = 0.1) -> bool:
         try:
-            return self.health().status in (200, 503)
-        except OSError:
+            status = self.health(retries=retries, backoff_s=backoff_s).status
+            return status in (200, 503)
+        except ServiceUnreachable:
             return False

@@ -61,6 +61,10 @@ class JobSpec:
     ``test_delay_s`` is a fault-injection/load-testing knob (the worker
     sleeps that long before computing); it is deliberately *excluded*
     from the job key because it cannot change the response bytes.
+    ``shards`` is excluded for the same reason: sharded execution is
+    byte-identical to monolithic, so a sharded and an unsharded request
+    for the same query coalesce into (and share the cached result of)
+    the same job.
     """
 
     command: str
@@ -69,6 +73,7 @@ class JobSpec:
     grid_points: int
     eps: Optional[float] = None
     test_delay_s: float = 0.0
+    shards: int = 1
 
     def to_argv(self, cache_dir: Optional[str] = None) -> List[str]:
         """The equivalent ``repro`` CLI invocation."""
@@ -82,6 +87,8 @@ class JobSpec:
         ]
         if self.eps is not None:
             argv += ["--eps", str(self.eps)]
+        if self.shards > 1:
+            argv += ["--shards", str(self.shards)]
         if cache_dir is not None:
             argv += ["--cache-dir", cache_dir]
         return argv
@@ -109,7 +116,7 @@ def normalize_request(
     if not isinstance(body, dict):
         raise BadRequest("request body must be a JSON object")
     defaults = _COMMAND_DEFAULTS[command]
-    allowed = set(defaults) | {"trace", "_test_delay_s"}
+    allowed = set(defaults) | {"trace", "shards", "_test_delay_s"}
     unknown = sorted(set(body) - allowed)
     if unknown:
         raise BadRequest(
@@ -140,6 +147,10 @@ def normalize_request(
         if not 0.0 < eps < 1.0:
             raise BadRequest("eps must be in (0, 1)", field="eps")
 
+    shards = _require_int(body.get("shards", 1), "shards", 1)
+    if shards > 256:
+        raise BadRequest("shards must be <= 256", field="shards")
+
     test_delay_s = 0.0
     if "_test_delay_s" in body:
         if not allow_test_delay:
@@ -166,6 +177,7 @@ def normalize_request(
         grid_points=grid_points,
         eps=eps,
         test_delay_s=test_delay_s,
+        shards=shards,
     )
 
 
@@ -257,6 +269,8 @@ class Job:
         "trace_id",
         "span_id",
         "queued_monotonic",
+        "shards_total",
+        "shards_done",
     )
 
     def __init__(
@@ -283,6 +297,10 @@ class Job:
         self.trace_id = trace_id
         self.span_id = span_id
         self.queued_monotonic = time.monotonic()
+        #: sharded fan-out progress: a monolithic job is one shard of
+        #: one; the app overwrites ``shards_total`` when it fans out.
+        self.shards_total = 1
+        self.shards_done = 0
 
     def describe(self) -> Dict[str, object]:
         """The ``GET /v1/jobs/<id>`` document."""
@@ -297,6 +315,8 @@ class Job:
             "output_bytes": None if self.output is None else len(self.output),
             "error": self.error,
             "trace_id": self.trace_id,
+            "shards_total": self.shards_total,
+            "shards_done": self.shards_done,
         }
 
 
@@ -354,6 +374,24 @@ class JobTable:
                 job.state = RUNNING
                 job.attempts = attempts
 
+    def by_key(self, key: str) -> Optional[Job]:
+        """The in-flight job for a content key, if any."""
+        with self._lock:
+            return self._inflight.get(key)
+
+    def note_shard_done(self, key: str) -> Optional[Tuple[int, int]]:
+        """Record one completed shard; returns ``(done, total)`` or None.
+
+        None means the job is no longer in flight (it already failed or
+        finished), so the caller must not dispatch the finalisation run.
+        """
+        with self._lock:
+            job = self._inflight.get(key)
+            if job is None:
+                return None
+            job.shards_done += 1
+            return (job.shards_done, job.shards_total)
+
     def complete(
         self,
         key: str,
@@ -372,6 +410,8 @@ class JobTable:
             job.stderr = stderr
             job.error = error
             job.state = FAILED if error is not None else DONE
+            if error is None:
+                job.shards_done = job.shards_total
             self._finished[job.id] = job
             while len(self._finished) > self._history:
                 self._finished.popitem(last=False)

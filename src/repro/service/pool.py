@@ -58,12 +58,38 @@ class PoolClosed(RuntimeError):
     """The pool is draining or shut down; no new work is accepted."""
 
 
+def _run_payload(task: Task) -> int:
+    """Execute the task's computation: a CLI run, or one shard warm-up.
+
+    A ``kind == "shard"`` task computes exactly one source shard of a
+    trace's profiles into the shared cache
+    (:func:`repro.core.shards.warm_shard`); everything else replays the
+    ``repro`` CLI argv.  Both paths return an exit code.
+    """
+    if task.get("kind") == "shard":
+        from ..core.shards import warm_shard
+
+        warm_shard(
+            trace=str(task["trace"]),
+            cache_dir=str(task["cache_dir"]),
+            max_hops=int(task["max_hops"]),
+            shard_index=int(task["shard_index"]),
+            shard_count=int(task["shard_count"]),
+        )
+        return 0
+    from ..cli import main as cli_main
+
+    return cli_main(list(task["argv"]))
+
+
 def execute_task(task: Task) -> Result:
     """Run one task (in the worker process) and package the outcome.
 
     The task carries the ``repro`` CLI argv for the query; running the
     actual CLI entry point — stdout captured — is what guarantees the
-    service's response bytes are identical to the CLI's.  The optional
+    service's response bytes are identical to the CLI's.  Sharded jobs
+    instead carry ``kind: "shard"`` envelopes that warm one shard of the
+    profile cache (see :func:`_run_payload`).  The optional
     ``test_delay_s`` sleep runs *before* the computation so fault
     injection can kill the worker deterministically mid-job.
 
@@ -75,7 +101,6 @@ def execute_task(task: Task) -> Result:
     along in ``result["metrics"]`` for merging into the service session —
     that is how one request's trace crosses the process boundary.
     """
-    from ..cli import main as cli_main
     from ..obs import Instrumentation, MetricsRegistry, set_obs
 
     delay = float(task.get("test_delay_s") or 0.0)
@@ -92,21 +117,25 @@ def execute_task(task: Task) -> Result:
             enabled=True,
         )
         previous = set_obs(bundle)
+    span_attrs: Dict[str, Any] = {
+        "key": str(task["key"])[:32],
+        "attempt": int(task.get("attempts", 0)),
+        "pid": os.getpid(),
+    }
+    if "shard_index" in task:
+        span_attrs["shard"] = (
+            f"{int(task['shard_index']) + 1}/{int(task['shard_count'])}"
+        )
     out = io.StringIO()
     err = io.StringIO()
     result: Result
     try:
         with redirect_stdout(out), redirect_stderr(err):
             if bundle is not None:
-                with bundle.tracer.span(
-                    "worker.execute",
-                    key=str(task["key"])[:32],
-                    attempt=int(task.get("attempts", 0)),
-                    pid=os.getpid(),
-                ):
-                    exit_code = cli_main(list(task["argv"]))
+                with bundle.tracer.span("worker.execute", **span_attrs):
+                    exit_code = _run_payload(task)
             else:
-                exit_code = cli_main(list(task["argv"]))
+                exit_code = _run_payload(task)
     except SystemExit as exc:  # argparse-style exits inside the command
         exit_code = exc.code if isinstance(exc.code, int) else 1
     except BaseException as exc:
@@ -309,12 +338,19 @@ class WorkerPool:
         return drained
 
     # -- intake ---------------------------------------------------------
-    def submit(self, task: Task) -> None:
+    def submit(self, task: Task, enforce_capacity: bool = True) -> None:
         """Queue a task, or raise on saturation/shutdown.
 
         Saturation counts both queue slots and busy workers: with every
         worker busy and ``queue_capacity`` tasks pending, the pool is
         full and the caller must shed load (HTTP 429).
+
+        ``enforce_capacity=False`` bypasses the saturation check (never
+        the shutdown check).  Sharded fan-out applies backpressure at
+        *job* granularity: the first shard of an admitted job is
+        enforced, the rest — and the finalisation run that must follow
+        completed shards — are not, because rejecting a sibling of an
+        already-admitted job would wedge the job forever.
         """
         with self._lock:
             if self._draining or self._stopped.is_set():
@@ -325,7 +361,11 @@ class WorkerPool:
             # a burst of submits must not over-admit in the window
             # before tasks reach the workers.
             busy = sum(1 for w in self._workers if w.task is not None)
-            if len(self._pending) + busy >= self.size + self.queue_capacity:
+            if (
+                enforce_capacity
+                and len(self._pending) + busy
+                >= self.size + self.queue_capacity
+            ):
                 get_obs().metrics.counter("service.pool.rejected").inc()
                 raise PoolSaturated(
                     f"{len(self._pending)} tasks pending, "
@@ -422,8 +462,9 @@ class WorkerPool:
         """Derive this attempt's span id and stamp the worker envelope.
 
         Each assignment gets its own attempt span (derived from the
-        leader's execute span and the attempt number), so a crash-retried
-        job shows two distinct attempts in one trace.  The supervisor
+        leader's execute span, the task key and the attempt number), so a
+        crash-retried job shows two distinct attempts in one trace and
+        sharded siblings never share an id.  The supervisor
         keeps the bookkeeping under ``_attempt*`` keys, which never cross
         the process boundary.
         """
@@ -431,8 +472,11 @@ class WorkerPool:
         parent_span = task.get("parent_span")
         if not trace_id or not parent_span:
             return
+        # The task key joins the qualifier because sharded jobs fan several
+        # sibling tasks out under one parent span: attempt number alone
+        # would derive the same id for every shard's first attempt.
         attempt_span = derive_span_id(
-            str(parent_span), f"attempt-{task['attempts']}"
+            str(parent_span), f"{task['key']}#attempt-{task['attempts']}"
         )
         task["_attempt_span"] = attempt_span
         task["_attempt_wall0"] = time.monotonic()
@@ -453,6 +497,15 @@ class WorkerPool:
         if sink is None or attempt_span is None:
             return
         wall0 = float(task.get("_attempt_wall0") or 0.0)
+        attrs: Dict[str, Any] = {
+            "attempt": int(task.get("attempts", 0)),
+            "outcome": outcome,
+            "key": str(task.get("key"))[:32],
+        }
+        if "shard_index" in task:
+            attrs["shard"] = (
+                f"{int(task['shard_index']) + 1}/{int(task['shard_count'])}"
+            )
         sink(
             {
                 "trace_id": str(task["trace_id"]),
@@ -463,11 +516,7 @@ class WorkerPool:
                 "start_unix": float(task.get("_attempt_start_unix") or 0.0),
                 "wall_s": max(0.0, time.monotonic() - wall0),
                 "cpu_s": None,
-                "attrs": {
-                    "attempt": int(task.get("attempts", 0)),
-                    "outcome": outcome,
-                    "key": str(task.get("key"))[:32],
-                },
+                "attrs": attrs,
             }
         )
 

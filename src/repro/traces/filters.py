@@ -68,18 +68,21 @@ def remove_long(net: TemporalNetwork, max_duration: float) -> TemporalNetwork:
 def time_window(
     net: TemporalNetwork, t0: float, t1: float, clip: bool = True
 ) -> TemporalNetwork:
-    """Restrict the trace to [t0, t1].
+    """Restrict the trace to the half-open window [t0, t1).
 
     With ``clip`` (default), contacts straddling the boundary are clipped
-    to it; otherwise only contacts fully inside are kept.  Used to carve
-    out "the second day of Infocom06" (Section 6) or day-time periods.
+    to it; otherwise only contacts fully inside the half-open window are
+    kept (``Contact.within_window``: a contact beginning or ending
+    exactly at ``t1`` is dropped, matching the half-open convention of
+    ``contacts_beginning_in``).  Used to carve out "the second day of
+    Infocom06" (Section 6) or day-time periods.
     """
     if t1 <= t0:
         raise ValueError("empty time window")
     if clip:
         clipped = (c.clipped(t0, t1) for c in net.contacts)
         return net.with_contacts(c for c in clipped if c is not None)
-    return keep_if(net, lambda c: c.within(t0, t1))
+    return keep_if(net, lambda c: c.within_window(t0, t1))
 
 
 def restrict_nodes(

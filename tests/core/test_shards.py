@@ -1,0 +1,191 @@
+"""Tests of source-sharded profile computation and checkpoint resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Contact,
+    TemporalNetwork,
+    build_segment_table,
+    compute_profiles,
+    load_or_compute,
+)
+from repro.core.shards import (
+    compute_profiles_sharded,
+    merge_profile_sets,
+    merge_segment_tables,
+    shard_sources,
+    warm_shard,
+)
+from repro.obs import observed
+
+
+@pytest.fixture
+def net():
+    return TemporalNetwork(
+        [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(20.0, 30.0, 1, 2),
+            Contact(40.0, 50.0, 2, 3),
+            Contact(5.0, 15.0, 0, 3),
+            Contact(12.0, 22.0, 3, 4),
+            Contact(33.0, 44.0, 4, 5),
+        ],
+        nodes=range(7),
+    )
+
+
+class TestShardSources:
+    def test_partitions_in_roster_order(self, net):
+        plan = shard_sources(net.nodes, 3)
+        flattened = [node for shard in plan for node in shard]
+        assert flattened == sorted(net.nodes, key=repr)
+
+    def test_balanced_sizes(self):
+        plan = shard_sources(list(range(10)), 3)
+        assert [len(shard) for shard in plan] == [4, 3, 3]
+
+    def test_clamped_to_roster(self):
+        plan = shard_sources([0, 1], 5)
+        assert plan == [[0], [1]]
+
+    def test_empty_roster(self):
+        assert shard_sources([], 4) == []
+
+    def test_single_shard_is_whole_roster(self, net):
+        assert shard_sources(net.nodes, 1) == [sorted(net.nodes, key=repr)]
+
+    def test_deterministic_across_input_order(self, net):
+        shuffled = list(net.nodes)[::-1]
+        assert shard_sources(shuffled, 3) == shard_sources(net.nodes, 3)
+
+    def test_rejects_nonpositive(self, net):
+        with pytest.raises(ValueError):
+            shard_sources(net.nodes, 0)
+
+
+class TestShardedProfiles:
+    def test_matches_monolithic(self, net):
+        mono = compute_profiles(net, hop_bounds=(1, 2, 3))
+        sharded = compute_profiles_sharded(net, shards=3, hop_bounds=(1, 2, 3))
+        assert sharded.sources == mono.sources
+        assert sharded.hop_bounds == mono.hop_bounds
+        for s in mono.sources:
+            for d in net.nodes:
+                if s == d:
+                    continue
+                for bound in (1, 2, 3, None):
+                    assert sharded.profile(s, d, bound) == mono.profile(
+                        s, d, bound
+                    )
+
+    def test_segment_table_bitwise_identical(self, net):
+        """The acceptance property: sharding must not perturb a single
+        bit of the downstream arrays, not merely stay numerically close."""
+        bounds = (1, 2, 3)
+        mono = build_segment_table(
+            compute_profiles(net, hop_bounds=bounds), bounds
+        )
+        plan = shard_sources(net.nodes, 3)
+        parts = [
+            build_segment_table(
+                compute_profiles(net, hop_bounds=bounds, sources=shard),
+                bounds,
+                window=net.span,
+            )
+            for shard in plan
+        ]
+        merged = merge_segment_tables(parts)
+        assert merged.window == mono.window
+        assert merged.num_pairs == mono.num_pairs
+        for bound in bounds:
+            for left, right in zip(merged.segments(bound), mono.segments(bound)):
+                assert np.array_equal(left, right)
+        grid = np.linspace(0.0, 60.0, 13)
+        for bound in bounds:
+            np.testing.assert_array_equal(
+                merged.measure(bound, grid), mono.measure(bound, grid)
+            )
+
+    def test_merge_rejects_overlap(self, net):
+        part = compute_profiles(net, hop_bounds=(1,), sources=[0, 1])
+        with pytest.raises(ValueError, match="overlap"):
+            merge_profile_sets(net, [part, part], (1,))
+
+    def test_merge_rejects_window_mismatch(self, net):
+        bounds = (1,)
+        profiles = compute_profiles(net, hop_bounds=bounds, sources=[0])
+        a = build_segment_table(profiles, bounds, window=(0.0, 50.0))
+        b = build_segment_table(profiles, bounds, window=(0.0, 60.0))
+        with pytest.raises(ValueError, match="window"):
+            merge_segment_tables([a, b])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_segment_tables([])
+
+
+class TestCheckpointResume:
+    def test_cold_run_populates_one_entry_per_shard(self, net, tmp_path):
+        with observed() as run:
+            compute_profiles_sharded(
+                net, shards=4, hop_bounds=(1, 2), cache_dir=tmp_path
+            )
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.miss"] == 4
+        assert "profiles.cache.hit" not in counters
+        assert len(list(tmp_path.glob("profiles-*.npz"))) == 4
+
+    def test_resume_recomputes_only_missing_shards(self, net, tmp_path):
+        """The crash-resume contract: with 3 of 4 shard entries already
+        on disk, a re-run computes strictly fewer sources than cold."""
+        plan = shard_sources(net.nodes, 4)
+        for shard in plan[:3]:
+            load_or_compute(net, tmp_path, hop_bounds=(1, 2), sources=shard)
+        with observed() as run:
+            resumed = compute_profiles_sharded(
+                net, shards=4, hop_bounds=(1, 2), cache_dir=tmp_path
+            )
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["profiles.cache.hit"] == 3
+        assert counters["profiles.cache.miss"] == 1
+        # Only the missing shard's sources went through the DP.
+        assert counters["optimal.sources"] == len(plan[3])
+        assert counters["optimal.sources"] < len(net.nodes)
+        mono = compute_profiles(net, hop_bounds=(1, 2))
+        for s in mono.sources:
+            for d in net.nodes:
+                if s != d:
+                    assert resumed.profile(s, d, None) == mono.profile(
+                        s, d, None
+                    )
+
+    def test_warm_shard_writes_the_planned_entry(self, net, tmp_path):
+        from repro.traces.format import read_contacts
+
+        trace = tmp_path / "trace.txt"
+        trace.write_text(
+            "".join(
+                f"{c.u} {c.v} {c.t_beg:g} {c.t_end:g}\n" for c in net.contacts
+            )
+        )
+        cache = tmp_path / "cache"
+        # The worker plans over the roster the trace file yields, which
+        # is what the service's finalisation run will see too.
+        loaded = read_contacts(trace)
+        plan = shard_sources(loaded.nodes, 3)
+        size = warm_shard(trace, cache, max_hops=2, shard_index=1, shard_count=3)
+        assert size == len(plan[1])
+        assert len(list(cache.glob("profiles-*.npz"))) == 1
+        # The sharded computation now hits that entry.
+        with observed() as run:
+            load_or_compute(
+                loaded, cache, hop_bounds=(1, 2), sources=plan[1]
+            )
+        assert run.metrics.to_dict()["counters"]["profiles.cache.hit"] == 1
+
+    def test_warm_shard_rejects_out_of_plan_index(self, net, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0 1 0 10\n")
+        with pytest.raises(ValueError, match="shard index"):
+            warm_shard(trace, tmp_path / "c", max_hops=1, shard_index=5, shard_count=3)

@@ -1,0 +1,181 @@
+"""Sharded job execution: fan-out, progress reporting, crash resume."""
+
+import io
+import os
+import signal
+import threading
+import time
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def cli_bytes(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli_main(argv)
+    assert code == 0
+    return buffer.getvalue().encode("utf-8")
+
+
+def _counter(bundle, name):
+    counters = bundle.metrics.to_dict()["counters"]
+    return sum(v for k, v in counters.items() if k.split("{")[0] == name)
+
+
+class TestShardedJobs:
+    def test_sharded_job_byte_identical_to_cli(
+        self, service_factory, chain_trace
+    ):
+        _service, client, bundle = service_factory(workers=2)
+        response = client.delay_cdf(
+            chain_trace, max_hops=3, grid_points=8, shards=3
+        )
+        assert response.status == 200
+        assert response.body == cli_bytes(
+            ["delay-cdf", chain_trace, "--max-hops", "3", "--grid-points", "8"]
+        )
+        assert _counter(bundle, "service.shards.dispatched") == 3
+        assert _counter(bundle, "service.shards.completed") == 3
+
+    def test_job_endpoint_reports_shard_progress(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory()
+        response = client.diameter(
+            chain_trace, max_hops=4, grid_points=8, shards=3
+        )
+        assert response.status == 200
+        job = client.job(response.headers["X-Repro-Job"]).json()
+        assert job["state"] == "done"
+        assert job["shards_total"] == 3
+        assert job["shards_done"] == 3
+
+    def test_monolithic_job_reports_single_shard(
+        self, service_factory, chain_trace
+    ):
+        _service, client, _ = service_factory()
+        response = client.diameter(chain_trace, max_hops=4, grid_points=8)
+        job = client.job(response.headers["X-Repro-Job"]).json()
+        assert job["shards_total"] == 1
+        assert job["shards_done"] == 1
+
+    def test_shard_count_excluded_from_job_key(
+        self, service_factory, chain_trace
+    ):
+        """Sharding is an execution strategy, not a different query: a
+        later monolithic request must be served from the store."""
+        _service, client, _ = service_factory()
+        sharded = client.delay_cdf(
+            chain_trace, max_hops=3, grid_points=8, shards=3
+        )
+        monolithic = client.delay_cdf(chain_trace, max_hops=3, grid_points=8)
+        assert monolithic.headers["X-Repro-Source"] == "store"
+        assert monolithic.body == sharded.body
+
+    def test_shard_attempt_spans_have_distinct_ids(
+        self, service_factory, chain_trace
+    ):
+        """Sibling shard tasks share the leader's exec span as parent and
+        all run as attempt 1, so the attempt-span derivation must also
+        fold in the task key — before it did, every shard (and the
+        finalize run) exported the same span id and the trace failed
+        validation with "duplicate span_id"."""
+        import json
+
+        from repro.obs.tracestore import validate_trace_jsonl
+
+        _service, client, _ = service_factory(workers=2)
+        response = client.delay_cdf(
+            chain_trace, max_hops=3, grid_points=8, shards=3
+        )
+        assert response.status == 200
+        export = client.trace(response.trace_id).text()
+        validate_trace_jsonl(export)  # rejects duplicate span ids
+        attempts = [
+            record
+            for line in export.splitlines()
+            for record in (json.loads(line),)
+            if record.get("kind") == "span"
+            and record["name"] == "service.pool.attempt"
+        ]
+        # 3 shard attempts + the finalize run, all ids distinct.
+        assert len(attempts) == 4
+        assert len({span["span_id"] for span in attempts}) == 4
+
+    def test_shards_clamped_to_roster(self, service_factory, chain_trace):
+        """Requesting more shards than sources (4 nodes) must still
+        answer correctly with one shard per source."""
+        _service, client, bundle = service_factory(workers=2)
+        response = client.delay_cdf(
+            chain_trace, max_hops=3, grid_points=8, shards=16
+        )
+        assert response.status == 200
+        job = client.job(response.headers["X-Repro-Job"]).json()
+        assert job["shards_total"] == 4
+        assert job["shards_done"] == 4
+
+    def test_invalid_shard_count_rejected(self, service_factory, chain_trace):
+        _service, client, _ = service_factory()
+        response = client.delay_cdf(chain_trace, shards=0)
+        assert response.status == 400
+        assert response.json()["error"]["field"] == "shards"
+
+
+class TestShardCrashResume:
+    def test_killed_worker_resumes_from_completed_shards(
+        self, service_factory, chain_trace
+    ):
+        """The checkpoint contract, end to end: kill the only worker
+        after the first shard lands and assert the retry recomputes
+        only the missing shards — every source goes through the DP
+        exactly once, unlike a monolithic retry which restarts from
+        scratch."""
+        # The reference bytes are computed before the service's obs
+        # bundle exists, so the in-process CLI run cannot pollute the
+        # counters asserted below.
+        expected = cli_bytes(
+            ["delay-cdf", chain_trace, "--max-hops", "3", "--grid-points", "8"]
+        )
+        service, client, bundle = service_factory(workers=1)
+        result = {}
+
+        def submit():
+            result["response"] = client.delay_cdf(
+                chain_trace,
+                max_hops=3,
+                grid_points=8,
+                shards=3,
+                _test_delay_s=1.2,
+            )
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if _counter(bundle, "service.shards.completed") >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("first shard never completed")
+        # The second shard is now in its injected pre-compute delay.
+        time.sleep(0.3)
+        pid = service.pool.worker_pids()[0]
+        assert pid is not None
+        os.kill(pid, signal.SIGKILL)
+        thread.join(timeout=90.0)
+        response = result["response"]
+        assert response.status == 200
+        assert response.body == expected
+        assert _counter(bundle, "service.pool.crashes") == 1
+        assert _counter(bundle, "service.pool.retries") == 1
+        assert _counter(bundle, "service.shards.completed") == 3
+        # Each of the 3 shards was computed exactly once (the crash lost
+        # no completed shard), and the finalisation run was pure hits.
+        assert _counter(bundle, "profiles.cache.miss") == 3
+        assert _counter(bundle, "profiles.cache.hit") == 3
+        # Strictly fewer sources recomputed than a cold rerun: the DP
+        # saw each of the 4 sources once, not once per attempt.
+        assert _counter(bundle, "optimal.sources") == 4

@@ -167,6 +167,75 @@ class TestWorkerParity:
         assert parallel == serial
 
 
+class TestShardParity:
+    """Source-sharded execution must be invisible in the output:
+    ``--shards 4`` byte-identical to ``--shards 1``."""
+
+    @pytest.mark.parametrize(
+        "command,extra",
+        [
+            ("diameter", ["--max-hops", "6", "--grid-points", "8"]),
+            ("delay-cdf", ["--max-hops", "3"]),
+        ],
+    )
+    def test_shards_do_not_change_output(
+        self, trace_file, capsys, command, extra
+    ):
+        assert main([command, str(trace_file), *extra, "--shards", "1"]) == 0
+        monolithic = capsys.readouterr().out
+        assert main([command, str(trace_file), *extra, "--shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == monolithic
+
+    def test_sharded_cache_checkpoints_and_resumes(
+        self, trace_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        args = [
+            "delay-cdf", str(trace_file), "--max-hops", "2",
+            "--shards", "4", "--cache-dir", str(cache),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        # One content-addressed entry per shard: each is an independent
+        # resume point.
+        assert len(list(cache.glob("profiles-*.npz"))) == 4
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_shards_must_be_positive(self, trace_file, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["diameter", str(trace_file), "--shards", value])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestDegenerateTrace:
+    """An empty or zero-span trace must fail loudly, not emit nonsense
+    statistics over a zero-measure observation window."""
+
+    @pytest.mark.parametrize("command", ["diameter", "delay-cdf"])
+    def test_empty_trace_rejected(self, tmp_path, command, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# no contacts\n")
+        assert main([command, str(empty)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cli.trace.degenerate" in captured.err
+        assert "no contacts" in captured.err
+
+    @pytest.mark.parametrize("command", ["diameter", "delay-cdf"])
+    def test_zero_span_trace_rejected(self, tmp_path, command, capsys):
+        point = tmp_path / "point.txt"
+        point.write_text("0 1 50 50\n")
+        assert main([command, str(point)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cli.trace.degenerate" in captured.err
+        assert "zero length" in captured.err
+
+
 class TestTheory:
     def test_prints_constants(self, capsys):
         assert main(["theory", "0.5"]) == 0

@@ -158,6 +158,16 @@ def _service_summary(**overrides):
             "retry_after_s": 30,
             "pool_rejected": 1,
         },
+        "sharded": {
+            "shards": 4,
+            "shards_total": 4,
+            "shards_done": 4,
+            "byte_identical": True,
+            "wall_s": 1.5,
+            "monolithic_wall_s": 1.2,
+            "shards_completed": 4,
+            "shards_dispatched": 4,
+        },
     }
     summary.update(overrides)
     return summary
@@ -169,7 +179,13 @@ def _service_payload(tmp_path, summary=None, counters=None):
         "service_load": _service_summary() if summary is None else summary
     }
     payload["metrics"]["counters"] = (
-        {"service.pool.rejected": 1} if counters is None else counters
+        {
+            "service.pool.rejected": 1,
+            "service.shards.completed": 4,
+            "service.shards.dispatched": 4,
+        }
+        if counters is None
+        else counters
     )
     return _write(tmp_path / "BENCH_service_load.json", payload)
 
@@ -210,6 +226,40 @@ class TestServiceLoad:
         )
         path = _service_payload(tmp_path, summary=summary)
         with pytest.raises(va.ValidationError, match="429"):
+            va.validate_service_load(path)
+
+    def test_clean_record_reports_shards(self, tmp_path):
+        lines = va.validate_service_load(_service_payload(tmp_path))
+        assert any("sharded: 4/4" in line for line in lines)
+
+    def test_sharded_byte_divergence_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["sharded"] = dict(summary["sharded"], byte_identical=False)
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="sharded"):
+            va.validate_service_load(path)
+
+    def test_incomplete_shard_progress_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["sharded"] = dict(summary["sharded"], shards_done=3)
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="progress incomplete"):
+            va.validate_service_load(path)
+
+    def test_missing_sharded_section_fails(self, tmp_path):
+        summary = _service_summary()
+        del summary["sharded"]
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="sharded"):
+            va.validate_service_load(path)
+
+    def test_missing_shard_counters_fail(self, tmp_path):
+        path = _service_payload(
+            tmp_path, counters={"service.pool.rejected": 1}
+        )
+        with pytest.raises(
+            va.ValidationError, match="service.shards.completed"
+        ):
             va.validate_service_load(path)
 
     def test_missing_summary_fails(self, tmp_path):

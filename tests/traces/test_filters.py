@@ -97,6 +97,29 @@ class TestTimeWindow:
         with pytest.raises(ValueError):
             time_window(net, 5.0, 5.0)
 
+    def test_contact_ending_at_window_end_dropped(self, net):
+        # Regression: windows are half-open [t0, t1).  A contact whose
+        # closed interval touches t1 extends to an unobserved instant
+        # and must be dropped, not kept (the old closed-interval test
+        # admitted [100, 700] into a window ending exactly at 700).
+        windowed = time_window(net, 100.0, 700.0, clip=False)
+        assert windowed.num_contacts == 0
+
+    def test_contact_beginning_at_window_end_dropped(self):
+        net = TemporalNetwork([Contact(700.0, 700.0, 0, 1)])
+        windowed = time_window(net, 100.0, 700.0, clip=False)
+        assert windowed.num_contacts == 0
+
+    def test_contact_beginning_at_window_start_kept(self, net):
+        windowed = time_window(net, 100.0, 701.0, clip=False)
+        assert list(windowed.contacts) == [Contact(100.0, 700.0, 1, 2)]
+
+    def test_clip_boundary_behaviour_unchanged(self, net):
+        # Clipping intersects closed contact intervals with the window;
+        # the half-open fix applies to the drop path only.
+        windowed = time_window(net, 100.0, 700.0, clip=True)
+        assert Contact(100.0, 700.0, 1, 2) in list(windowed.contacts)
+
 
 class TestNodeFilters:
     def test_restrict_nodes(self, net):
