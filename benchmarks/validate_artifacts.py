@@ -23,7 +23,20 @@ byte-identical responses, at least one ``429`` shed under saturation,
 and the latency percentile record.  ``trace`` checks an exported
 ``repro.trace/1`` JSONL document (ids well-formed, parents resolve,
 header counts match) and asserts coverage via ``--require-span`` /
-``--require-origin`` / ``--require-link``.
+``--require-origin`` / ``--require-link``.  ``lint`` checks a
+``repro.lint/1`` JSON report (schema, registry block matching this
+checkout's rules, counts consistent with the findings, findings
+sorted); ``--expect-clean`` additionally fails on any finding.
+``lockwatch`` checks a ``repro.lockwatch/1`` JSONL export;
+``--forbid-inversions`` / ``--max-long-holds`` add the CI policy gates.
+
+::
+
+    PYTHONPATH=src python benchmarks/validate_artifacts.py lint \\
+        lint-report.json --expect-clean
+    PYTHONPATH=src python benchmarks/validate_artifacts.py lockwatch \\
+        lockwatch-out/LOCKWATCH_service_fuzz_jobtable.jsonl \\
+        --forbid-inversions
 """
 
 from __future__ import annotations
@@ -234,6 +247,102 @@ def validate_trace_export(
     ]
 
 
+def validate_lint_report(
+    path: pathlib.Path, expect_clean: bool = False
+) -> List[str]:
+    """Check one ``repro.lint/1`` JSON report."""
+    from repro.lint import REGISTRY_VERSION, rule_codes
+    from repro.lint.reporters import JSON_SCHEMA
+
+    payload = _load(path)
+    if payload.get("schema") != JSON_SCHEMA:
+        raise ValidationError(
+            f"{path}: schema {payload.get('schema')!r} != {JSON_SCHEMA!r}"
+        )
+    registry = payload.get("registry")
+    if not isinstance(registry, dict):
+        raise ValidationError(f"{path}: no registry block")
+    if registry.get("version") != REGISTRY_VERSION:
+        raise ValidationError(
+            f"{path}: registry version {registry.get('version')!r} != "
+            f"this checkout's {REGISTRY_VERSION}"
+        )
+    expected_rules = ["REP000"] + rule_codes()
+    if registry.get("rules") != expected_rules:
+        raise ValidationError(
+            f"{path}: registry rules {registry.get('rules')!r} != "
+            f"{expected_rules}"
+        )
+    files_checked = payload.get("files_checked")
+    if not isinstance(files_checked, int) or files_checked <= 0:
+        raise ValidationError(
+            f"{path}: files_checked {files_checked!r} is not a positive int"
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        raise ValidationError(f"{path}: findings is not a list")
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        if not isinstance(finding, dict):
+            raise ValidationError(f"{path}: non-object finding {finding!r}")
+        for field in ("path", "line", "col", "code", "message"):
+            if field not in finding:
+                raise ValidationError(
+                    f"{path}: finding missing {field!r}: {finding!r}"
+                )
+        code = finding["code"]
+        if code not in expected_rules:
+            raise ValidationError(f"{path}: unknown finding code {code!r}")
+        counts[code] = counts.get(code, 0) + 1
+    if payload.get("counts") != counts:
+        raise ValidationError(
+            f"{path}: counts {payload.get('counts')!r} do not match the "
+            f"findings ({counts})"
+        )
+    keys = [
+        (f["path"], f["line"], f["col"], f["code"]) for f in findings
+    ]
+    if keys != sorted(keys):
+        raise ValidationError(f"{path}: findings are not sorted")
+    if expect_clean and findings:
+        raise ValidationError(
+            f"{path}: expected a clean report, found {len(findings)} "
+            f"finding(s): {payload.get('counts')}"
+        )
+    return [
+        f"{path}: ok (schema {payload['schema']}, registry v"
+        f"{registry['version']}, {files_checked} files, "
+        f"{len(findings)} finding(s))"
+    ]
+
+
+def validate_lockwatch_export(
+    path: pathlib.Path,
+    forbid_inversions: bool = False,
+    max_long_holds: Optional[int] = None,
+) -> List[str]:
+    """Check one exported ``repro.lockwatch/1`` JSONL document."""
+    from repro.obs.lockwatch import LockWatchError, validate_lockwatch_jsonl
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"{path}: cannot read: {exc}") from exc
+    try:
+        counts = validate_lockwatch_jsonl(
+            text,
+            forbid_inversions=forbid_inversions,
+            max_long_holds=max_long_holds,
+        )
+    except LockWatchError as exc:
+        raise ValidationError(f"{path}: {exc}") from exc
+    return [
+        f"{path}: ok ({counts['lock']} locks, {counts['edge']} edges, "
+        f"{counts['inversion']} inversions, {counts['long_hold']} "
+        "long holds)"
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="validate_artifacts", description=__doc__.splitlines()[0]
@@ -266,6 +375,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--require-link", action="append", default=[], metavar="TYPE",
         help="fail unless a link of this type is present (repeatable)",
     )
+    lint = sub.add_parser(
+        "lint", help="validate a repro.lint/1 JSON report"
+    )
+    lint.add_argument("artifact", type=pathlib.Path)
+    lint.add_argument(
+        "--expect-clean",
+        action="store_true",
+        help="fail if the report contains any finding",
+    )
+    lockwatch = sub.add_parser(
+        "lockwatch", help="validate a repro.lockwatch/1 JSONL export"
+    )
+    lockwatch.add_argument("artifact", type=pathlib.Path)
+    lockwatch.add_argument(
+        "--forbid-inversions",
+        action="store_true",
+        help="fail on any observed lock-order inversion",
+    )
+    lockwatch.add_argument(
+        "--max-long-holds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail when more than N long-hold events were recorded",
+    )
     args = parser.parse_args(argv)
     try:
         if args.command == "bench":
@@ -278,6 +412,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 require_spans=args.require_span,
                 require_origins=args.require_origin,
                 require_links=args.require_link,
+            )
+        elif args.command == "lint":
+            lines = validate_lint_report(
+                args.artifact, expect_clean=args.expect_clean
+            )
+        elif args.command == "lockwatch":
+            lines = validate_lockwatch_export(
+                args.artifact,
+                forbid_inversions=args.forbid_inversions,
+                max_long_holds=args.max_long_holds,
             )
         else:
             lines = validate_service_load(args.artifact)

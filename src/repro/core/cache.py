@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Collection, Iterable, Optional, Union
 
@@ -88,6 +89,14 @@ def cache_path(cache_dir: PathLike, key: str) -> Path:
     return Path(cache_dir) / f"profiles-{key[:32]}.npz"
 
 
+#: serialises the scan-then-unlink of in-process eviction passes.  Two
+#: threads racing the same budget would each see the pre-eviction total
+#: and together evict twice what the budget requires (and double-count
+#: the evict metric).  Cross-*process* races remain benign by design —
+#: vanished entries are skipped — but same-process threads can be exact.
+_EVICT_LOCK = threading.Lock()
+
+
 def evict_lru(
     directory: PathLike,
     pattern: str,
@@ -107,30 +116,31 @@ def evict_lru(
     """
     root = Path(directory)
     protected = {Path(p).resolve() for p in keep}
-    entries = []
-    total = 0
-    for path in root.glob(pattern):
-        try:
-            stat = path.stat()
-        except OSError:
-            continue
-        entries.append((stat.st_mtime_ns, stat.st_size, path))
-        total += stat.st_size
-    if total <= max_bytes:
-        return 0
-    evicted = 0
-    evictions = get_obs().metrics.counter(counter)
-    for _, size, path in sorted(entries):
+    with _EVICT_LOCK:
+        entries = []
+        total = 0
+        for path in root.glob(pattern):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+            total += stat.st_size
         if total <= max_bytes:
-            break
-        if path.resolve() in protected:
-            continue
-        try:
-            path.unlink()
-        except OSError:
-            continue
-        total -= size
-        evicted += 1
+            return 0
+        evicted = 0
+        evictions = get_obs().metrics.counter(counter)
+        for _, size, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            if path.resolve() in protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
     evictions.inc(evicted)
     return evicted
 

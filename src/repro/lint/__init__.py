@@ -28,11 +28,19 @@ from .engine import (
     parse_suppressions,
 )
 from .findings import Finding
-from .registry import FileContext, Rule, get_rules, register, rule_codes
+from .registry import (
+    REGISTRY_VERSION,
+    FileContext,
+    Rule,
+    get_rules,
+    register,
+    rule_codes,
+)
 from .reporters import render_json, render_text
 
 __all__ = [
     "HYGIENE_CODE",
+    "REGISTRY_VERSION",
     "FileContext",
     "Finding",
     "LintError",

@@ -41,6 +41,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "lint files with N worker processes (default: 1; output is "
+            "byte-identical for any N)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -73,7 +83,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
     try:
-        findings, files_checked = lint_paths(args.paths, select)
+        findings, files_checked = lint_paths(args.paths, select, jobs=args.jobs)
     except (LintError, KeyError) as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2

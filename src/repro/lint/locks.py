@@ -1,0 +1,493 @@
+"""Shared lock-usage model for the concurrency rules (REP006-REP008).
+
+The three concurrency rules all need the same facts about a file: which
+attributes are locks, which code runs while holding which locks, and
+what the ``# guarded-by: <lock>`` comments declare.  This module builds
+that model once per file so the rules stay small:
+
+* **lock discovery** — ``self.X = threading.Lock()`` (or ``RLock`` /
+  ``Condition``) marks ``X`` as a class lock; so does any
+  ``with self.X:`` statement.  Module-level ``NAME = threading.Lock()``
+  assignments are module locks, usable from plain functions.
+* **guard declarations** — a comment containing ``guarded-by: <lock>``
+  binds to the field assigned on its line (trailing form) or on the next
+  code line (standalone form).  On a ``def`` line it declares a *method
+  guard*: callers must hold the lock, and the body is analysed as if the
+  lock were held throughout.
+* **flow tracking** — every method body is walked with the set of
+  currently-held locks (lexical ``with`` nesting plus the method guard),
+  recording field accesses, ``self.method()`` calls, lock acquisitions
+  (with what was already held), and every call made under a lock.
+
+The model is deliberately lexical: a closure built under a lock but run
+later is treated as lock-held code.  That over-approximation has not
+produced a false positive in this tree, and the justified-suppression
+machinery covers any future one.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .registry import FileContext
+
+#: callables whose result is a lock object we track.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+#: callables whose result synchronises itself (safe to touch unlocked);
+#: fields holding one are excluded from REP006 guard *inference*
+#: (explicit declarations still apply).
+_SELF_SYNCED_FACTORIES = frozenset(
+    {
+        "Event",
+        "Queue",
+        "SimpleQueue",
+        "LifoQueue",
+        "PriorityQueue",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+    }
+)
+
+_GUARD_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass(frozen=True)
+class GuardComment:
+    """One ``# ... guarded-by: <lock>`` comment, pre-binding."""
+
+    line: int
+    col: int
+    lock: str
+    target_line: int
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """One read/write of ``self.<field>`` inside a method body."""
+
+    field: str
+    method: str
+    line: int
+    col: int
+    held: FrozenSet[str]
+    is_store: bool
+
+
+@dataclass(frozen=True)
+class LockAcquisition:
+    """One ``with <lock>:`` entry, with the locks already held."""
+
+    lock: str
+    method: Optional[str]
+    line: int
+    col: int
+    held_before: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class SelfCall:
+    """One ``self.<method>(...)`` call, with the locks held at the site."""
+
+    callee: str
+    method: str
+    line: int
+    col: int
+    held: FrozenSet[str]
+
+
+@dataclass
+class ClassModel:
+    """Everything the concurrency rules need to know about one class."""
+
+    name: str
+    node: ast.ClassDef
+    locks: Dict[str, str] = field(default_factory=dict)  # attr -> factory kind
+    field_guards: Dict[str, str] = field(default_factory=dict)
+    method_guards: Dict[str, str] = field(default_factory=dict)
+    guard_errors: List[Tuple[int, int, str]] = field(default_factory=list)
+    accesses: List[FieldAccess] = field(default_factory=list)
+    acquisitions: List[LockAcquisition] = field(default_factory=list)
+    self_calls: List[SelfCall] = field(default_factory=list)
+    calls_under_lock: List[Tuple[ast.Call, FrozenSet[str]]] = field(
+        default_factory=list
+    )
+    methods: Set[str] = field(default_factory=set)
+    #: fields holding self-synchronised primitives (Event, Queue, ...).
+    self_synced: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleModel:
+    """The per-file model: module locks plus one model per class."""
+
+    module_locks: Set[str] = field(default_factory=set)
+    classes: List[ClassModel] = field(default_factory=list)
+    #: acquisitions and lock-held calls in module-level functions.
+    acquisitions: List[LockAcquisition] = field(default_factory=list)
+    calls_under_lock: List[Tuple[ast.Call, FrozenSet[str]]] = field(
+        default_factory=list
+    )
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_lock_factory(node: ast.expr) -> Optional[str]:
+    """The factory kind ("Lock"/"RLock"/"Condition") of a call, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    return last if last in _LOCK_FACTORIES else None
+
+
+def _is_comment_or_blank(line: str) -> bool:
+    stripped = line.strip()
+    return not stripped or stripped.startswith("#")
+
+
+def parse_guard_comments(source: str) -> List[GuardComment]:
+    """Every guarded-by comment of a source text, with its target line.
+
+    Targeting mirrors the engine's suppression comments: a trailing
+    comment covers its own line, a standalone comment the next code
+    line.
+    """
+    comments: List[GuardComment] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return comments
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _GUARD_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        target = line
+        own_line = lines[line - 1] if line - 1 < len(lines) else ""
+        if own_line[: token.start[1]].strip() == "":
+            target = line + 1
+            while target <= len(lines) and _is_comment_or_blank(
+                lines[target - 1]
+            ):
+                target += 1
+        comments.append(
+            GuardComment(
+                line=line,
+                col=token.start[1],
+                lock=match.group(1),
+                target_line=target,
+            )
+        )
+    return comments
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walk one method (or module function) body tracking held locks."""
+
+    def __init__(
+        self,
+        model: ClassModel | ModuleModel,
+        method: Optional[str],
+        self_name: Optional[str],
+        class_locks: Dict[str, str],
+        module_locks: Set[str],
+        initial_held: FrozenSet[str],
+    ) -> None:
+        self.model = model
+        self.method = method
+        self.self_name = self_name
+        self.class_locks = class_locks
+        self.module_locks = module_locks
+        self.held: Tuple[str, ...] = tuple(sorted(initial_held))
+
+    def _lock_of(self, expr: ast.expr) -> Optional[str]:
+        """The tracked lock a with-item acquires, or None."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and self.self_name is not None
+            and expr.value.id == self.self_name
+            and expr.attr in self.class_locks
+        ):
+            return expr.attr
+        if isinstance(expr, ast.Name) and expr.id in self.module_locks:
+            return expr.id
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        outer = self.held
+        acquired: List[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            lock = self._lock_of(item.context_expr)
+            if lock is not None:
+                self.model.acquisitions.append(
+                    LockAcquisition(
+                        lock=lock,
+                        method=self.method,
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                        held_before=frozenset(self.held),
+                    )
+                )
+                acquired.append(lock)
+                self.held = tuple(sorted(set(self.held) | {lock}))
+        for stmt in node.body:
+            self.visit(stmt)
+        del acquired
+        self.held = outer
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and self.self_name is not None
+            and node.value.id == self.self_name
+            and isinstance(self.model, ClassModel)
+            and node.attr not in self.class_locks
+        ):
+            self.model.accesses.append(
+                FieldAccess(
+                    field=node.attr,
+                    method=self.method or "<module>",
+                    line=node.lineno,
+                    col=node.col_offset,
+                    held=frozenset(self.held),
+                    is_store=isinstance(node.ctx, (ast.Store, ast.Del)),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            self.model.calls_under_lock.append((node, frozenset(self.held)))
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and self.self_name is not None
+            and node.func.value.id == self.self_name
+            and isinstance(self.model, ClassModel)
+            and self.method is not None
+        ):
+            self.model.self_calls.append(
+                SelfCall(
+                    callee=node.func.attr,
+                    method=self.method,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    held=frozenset(self.held),
+                )
+            )
+        self.generic_visit(node)
+
+    # Nested defs/lambdas run later but capture self; treat their bodies
+    # as part of the enclosing method (lexical held set), per the module
+    # docstring's over-approximation.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+
+def _self_name(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> Optional[str]:
+    for decorator in func.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "staticmethod":
+            return None
+    if not func.args.args:
+        return None
+    return func.args.args[0].arg
+
+
+def _factory_kind(node: ast.expr) -> Optional[str]:
+    """The factory name of a call to any tracked primitive, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    if last in _LOCK_FACTORIES or last in _SELF_SYNCED_FACTORIES:
+        return last
+    return None
+
+
+def _collect_class_locks(
+    node: ast.ClassDef,
+) -> Tuple[Dict[str, str], Set[str]]:
+    """Attr names that hold lock / self-synchronised objects in a class."""
+    locks: Dict[str, str] = {}
+    synced: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            kind = _factory_kind(sub.value)
+            if kind is not None:
+                for target in sub.targets:
+                    if isinstance(target, ast.Attribute) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        if kind in _LOCK_FACTORIES:
+                            locks[target.attr] = kind
+                        else:
+                            synced.add(target.attr)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Attribute) and isinstance(
+                    expr.value, ast.Name
+                ):
+                    locks.setdefault(expr.attr, "Lock")
+    return locks, synced
+
+
+def _bind_guards(
+    model: ClassModel,
+    comments: Sequence[GuardComment],
+    module_locks: Set[str],
+) -> None:
+    """Attach guard comments to the fields and methods they target."""
+    span = (model.node.lineno, max(model.node.lineno, model.node.end_lineno or 0))
+    methods_by_line: Dict[int, str] = {}
+    assigns: List[Tuple[int, int, Set[str]]] = []
+    for stmt in model.node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods_by_line[stmt.lineno] = stmt.name
+            self_name = _self_name(stmt)
+            for sub in ast.walk(stmt):
+                fields: Set[str] = set()
+                if isinstance(sub, ast.Assign):
+                    targets = sub.targets
+                elif isinstance(sub, ast.AnnAssign):
+                    targets = [sub.target]
+                else:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                    ):
+                        fields.add(target.attr)
+                if fields:
+                    assigns.append(
+                        (sub.lineno, sub.end_lineno or sub.lineno, fields)
+                    )
+    for comment in comments:
+        if not span[0] <= comment.target_line <= span[1]:
+            continue
+        if comment.lock not in model.locks and comment.lock not in module_locks:
+            model.guard_errors.append(
+                (
+                    comment.line,
+                    comment.col,
+                    f"guarded-by names unknown lock {comment.lock!r} "
+                    f"(class {model.name} has "
+                    f"{sorted(model.locks) or 'no locks'})",
+                )
+            )
+            continue
+        method = methods_by_line.get(comment.target_line)
+        if method is not None:
+            model.method_guards[method] = comment.lock
+            continue
+        bound = False
+        for lo, hi, fields in assigns:
+            if lo <= comment.target_line <= hi:
+                for name in fields:
+                    model.field_guards[name] = comment.lock
+                bound = True
+                break
+        if not bound:
+            model.guard_errors.append(
+                (
+                    comment.line,
+                    comment.col,
+                    "guarded-by comment does not target a field assignment "
+                    "or a method definition",
+                )
+            )
+
+
+def build_module_model(ctx: FileContext) -> ModuleModel:
+    """Build the lock model of one parsed file."""
+    model = ModuleModel()
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            if _is_lock_factory(stmt.value) is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        model.module_locks.add(target.id)
+    comments = parse_guard_comments(ctx.source)
+
+    def walk_function(
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        owner: ClassModel | ModuleModel,
+        class_locks: Dict[str, str],
+        initial_held: FrozenSet[str],
+        self_name: Optional[str],
+    ) -> None:
+        walker = _MethodWalker(
+            model=owner,
+            method=func.name,
+            self_name=self_name,
+            class_locks=class_locks,
+            module_locks=model.module_locks,
+            initial_held=initial_held,
+        )
+        for stmt in func.body:
+            walker.visit(stmt)
+
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            cls = ClassModel(name=stmt.name, node=stmt)
+            cls.locks, cls.self_synced = _collect_class_locks(stmt)
+            _bind_guards(cls, comments, model.module_locks)
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods.add(item.name)
+            for item in stmt.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                guard = cls.method_guards.get(item.name)
+                walk_function(
+                    item,
+                    cls,
+                    cls.locks,
+                    frozenset() if guard is None else frozenset({guard}),
+                    _self_name(item),
+                )
+            model.classes.append(cls)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            walk_function(stmt, model, {}, frozenset(), None)
+    return model

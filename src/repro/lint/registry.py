@@ -24,6 +24,13 @@ from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Tuple, Ty
 
 from .findings import Finding
 
+#: bumped whenever a rule is added or removed, or a finding's meaning
+#: changes; surfaced in the ``repro.lint/1`` JSON report so downstream
+#: consumers (dashboards, the artifact validator) can detect drift
+#: between reports produced by different checkouts.  Version history:
+#: 1 = REP001–REP005, 2 = + the concurrency rules REP006–REP008.
+REGISTRY_VERSION = 2
+
 
 @dataclass(frozen=True)
 class FileContext:

@@ -6,8 +6,14 @@ import json
 from typing import Dict, Sequence
 
 from .findings import Finding
+from .registry import REGISTRY_VERSION, rule_codes
 
 JSON_SCHEMA = "repro.lint/1"
+
+#: the engine's suppression-hygiene code; listed in the registry block
+#: alongside the registered rules (it is always active).  Kept here as a
+#: literal rather than imported from the engine to avoid a module cycle.
+_HYGIENE_CODE = "REP000"
 
 
 def render_text(findings: Sequence[Finding], files_checked: int) -> str:
@@ -26,9 +32,19 @@ def render_text(findings: Sequence[Finding], files_checked: int) -> str:
 
 
 def render_json(findings: Sequence[Finding], files_checked: int) -> str:
-    """A stable JSON document (schema ``repro.lint/1``)."""
+    """A stable JSON document (schema ``repro.lint/1``).
+
+    The ``registry`` block records which rule set produced the report:
+    the registry version plus the sorted active codes.  Consumers can
+    compare reports across checkouts and tell "this file became clean"
+    from "this rule did not exist yet".
+    """
     document = {
         "schema": JSON_SCHEMA,
+        "registry": {
+            "version": REGISTRY_VERSION,
+            "rules": [_HYGIENE_CODE] + rule_codes(),
+        },
         "files_checked": files_checked,
         "counts": count_by_code(findings),
         "findings": [finding.to_dict() for finding in findings],

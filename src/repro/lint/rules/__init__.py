@@ -12,6 +12,13 @@ the engine does) populates the registry.  The codes:
 * REP004 — determinism: no wall clocks or global RNG state in ``core/``,
   ``random_temporal/``, ``mobility/``.
 * REP005 — public functions in ``core/`` carry complete annotations.
+* REP006 — guarded-by discipline: lock-guarded fields (declared via
+  ``# guarded-by: <lock>`` or inferred from dominant locked access) are
+  only touched with the lock held.
+* REP007 — lock ordering: the per-class acquisition graph has no cycles
+  and no plain-Lock re-entry.
+* REP008 — no blocking call (subprocess/network/sleep/join/unbounded
+  get/file I/O) while holding a lock.
 
 REP000 (suppression hygiene) is implemented by the engine itself and is
 not a registrable rule.
@@ -25,4 +32,7 @@ from . import (  # noqa: F401  (import for the registration side effect)
     rep003_hot_loops,
     rep004_determinism,
     rep005_annotations,
+    rep006_guarded_fields,
+    rep007_lock_order,
+    rep008_blocking_under_lock,
 )

@@ -1,0 +1,123 @@
+"""REP006: guarded fields are only touched with their lock held.
+
+The service layer keeps its shared state (the single-flight job table,
+the worker pool's pending deque, the metrics dicts) correct through one
+convention: every field that belongs to a lock is read and written under
+that lock, full stop.  A field becomes *guarded* in one of two ways:
+
+* **declared** — a ``# guarded-by: <lock>`` comment on the assignment
+  that initialises it (or on a ``def`` line, making the whole method a
+  helper that must be called with the lock held — the body is then
+  analysed as if the lock were held throughout);
+* **inferred** — no declaration, but the access pattern is unambiguous:
+  at least two accesses under exactly one lock and at least 75 % of all
+  accesses under it.  The stray unlocked access in such a class is far
+  more likely a bug than a design.
+
+Violations: touching a guarded field without the lock, calling a
+method-guarded helper without the lock, and malformed declarations
+(unknown lock name, comment bound to nothing).  ``__init__``/``__new__``
+are exempt — the object is not yet shared while it is being built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..findings import Finding
+from ..locks import ClassModel, build_module_model
+from ..registry import FileContext, Rule, register
+
+#: methods where the object cannot be shared yet (unpickling included:
+#: ``__setstate__`` populates a fresh object before anyone holds it).
+_CONSTRUCTION = frozenset({"__init__", "__new__", "__setstate__"})
+
+#: inference thresholds: a field is inferred guarded by lock L when it is
+#: accessed under L at least _MIN_LOCKED times and those accesses make up
+#: at least _DOMINANCE of all accesses outside construction.
+_MIN_LOCKED = 2
+_DOMINANCE = 0.75
+
+
+def _inferred_guards(cls: ClassModel) -> Dict[str, str]:
+    """Fields whose accesses are dominated by a single lock."""
+    per_field: Dict[str, List[Tuple[str, ...]]] = {}
+    for access in cls.accesses:
+        if access.method in _CONSTRUCTION:
+            continue
+        per_field.setdefault(access.field, []).append(tuple(sorted(access.held)))
+    guards: Dict[str, str] = {}
+    for name, held_sets in per_field.items():
+        if name in cls.field_guards or name in cls.self_synced:
+            continue
+        counts: Dict[str, int] = {}
+        for held in held_sets:
+            for lock in held:
+                counts[lock] = counts.get(lock, 0) + 1
+        if not counts:
+            continue
+        best = max(counts, key=lambda lock: (counts[lock], lock))
+        covered = counts[best]
+        if covered >= _MIN_LOCKED and covered >= _DOMINANCE * len(held_sets):
+            guards[name] = best
+    return guards
+
+
+@register
+class GuardedFields(Rule):
+    code = "REP006"
+    name = "guarded-fields"
+    summary = (
+        "fields declared (# guarded-by: <lock>) or inferred lock-guarded "
+        "must only be accessed with that lock held"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        model = build_module_model(ctx)
+        for cls in model.classes:
+            for line, col, message in cls.guard_errors:
+                yield Finding(
+                    path=ctx.path,
+                    line=line,
+                    col=col,
+                    code=self.code,
+                    message=message,
+                )
+            inferred = _inferred_guards(cls)
+            for access in cls.accesses:
+                if access.method in _CONSTRUCTION:
+                    continue
+                declared = cls.field_guards.get(access.field)
+                lock = declared or inferred.get(access.field)
+                if lock is None or lock in access.held:
+                    continue
+                origin = "declared" if declared else "inferred"
+                verb = "written" if access.is_store else "read"
+                yield Finding(
+                    path=ctx.path,
+                    line=access.line,
+                    col=access.col,
+                    code=self.code,
+                    message=(
+                        f"{cls.name}.{access.field} is guarded by "
+                        f"{lock!r} ({origin}) but {verb} in "
+                        f"{access.method}() without it"
+                    ),
+                )
+            for call in cls.self_calls:
+                lock = cls.method_guards.get(call.callee)
+                if lock is None or lock in call.held:
+                    continue
+                if call.method in _CONSTRUCTION:
+                    continue
+                yield Finding(
+                    path=ctx.path,
+                    line=call.line,
+                    col=call.col,
+                    code=self.code,
+                    message=(
+                        f"{cls.name}.{call.callee}() requires {lock!r} "
+                        f"(guarded-by on its def) but is called from "
+                        f"{call.method}() without it"
+                    ),
+                )

@@ -1,0 +1,143 @@
+"""REP007: lock acquisition order must be acyclic.
+
+Deadlocks need two ingredients: more than one lock, and two code paths
+that take them in opposite orders.  This rule builds, per class, the
+"acquires B while holding A" graph — from direct ``with`` nesting and
+transitively through same-class helper calls (``self.m()`` under a lock
+adds edges to every lock ``m`` may take) — and reports:
+
+* **cycles** (``_a -> _b`` on one path, ``_b -> _a`` on another): the
+  classic ABBA deadlock, latent until two threads race;
+* **re-entry** (``with self._lock:`` reached, directly or via a helper,
+  while ``_lock`` is already held) when the lock was created as a plain
+  ``threading.Lock``: a plain lock self-deadlocks on re-entry.  Locks
+  created as ``RLock`` are exempt from re-entry findings.
+
+The static graph is the compile-time twin of the runtime lock-order
+graph :mod:`repro.obs.lockwatch` observes under real traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..findings import Finding
+from ..locks import ClassModel, build_module_model
+from ..registry import FileContext, Rule, register
+
+
+def _transitive_acquired(cls: ClassModel) -> Dict[str, Set[str]]:
+    """Locks each method may acquire, following same-class calls."""
+    acquired: Dict[str, Set[str]] = {name: set() for name in cls.methods}
+    for acq in cls.acquisitions:
+        if acq.method is not None:
+            acquired.setdefault(acq.method, set()).add(acq.lock)
+    calls: Dict[str, Set[str]] = {}
+    for call in cls.self_calls:
+        if call.callee in cls.methods:
+            calls.setdefault(call.method, set()).add(call.callee)
+    changed = True
+    while changed:
+        changed = False
+        for method, callees in calls.items():
+            bucket = acquired.setdefault(method, set())
+            before = len(bucket)
+            for callee in callees:
+                bucket |= acquired.get(callee, set())
+            changed = changed or len(bucket) != before
+    return acquired
+
+
+def _edges(
+    cls: ClassModel, acquired: Dict[str, Set[str]]
+) -> Dict[Tuple[str, str], Tuple[int, int, str]]:
+    """held -> acquired edges, each with an example (line, col, via)."""
+    edges: Dict[Tuple[str, str], Tuple[int, int, str]] = {}
+    for acq in cls.acquisitions:
+        for held in acq.held_before:
+            edges.setdefault(
+                (held, acq.lock), (acq.line, acq.col, "with statement")
+            )
+    for call in cls.self_calls:
+        if call.callee not in cls.methods:
+            continue
+        for held in call.held:
+            for lock in acquired.get(call.callee, ()):  # noqa: B007
+                edges.setdefault(
+                    (held, lock),
+                    (call.line, call.col, f"call to self.{call.callee}()"),
+                )
+    return edges
+
+
+def _find_cycle(
+    start: str, graph: Dict[str, Set[str]]
+) -> "List[str] | None":
+    """A lock cycle through ``start``, as [start, ..., start], or None."""
+    stack: List[Tuple[str, List[str]]] = [(start, [start])]
+    seen: Set[str] = set()
+    while stack:
+        node, path = stack.pop()
+        for succ in sorted(graph.get(node, ())):
+            if succ == start:
+                return path + [start]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, path + [succ]))
+    return None
+
+
+@register
+class LockOrder(Rule):
+    code = "REP007"
+    name = "lock-order"
+    summary = (
+        "per-class lock-acquisition graph (with statements + helper "
+        "calls) must have no cycles and no plain-Lock re-entry"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        model = build_module_model(ctx)
+        for cls in model.classes:
+            acquired = _transitive_acquired(cls)
+            edges = _edges(cls, acquired)
+            graph: Dict[str, Set[str]] = {}
+            for (held, lock), site in sorted(edges.items()):
+                if held == lock:
+                    if cls.locks.get(lock) == "RLock":
+                        continue
+                    line, col, via = site
+                    yield Finding(
+                        path=ctx.path,
+                        line=line,
+                        col=col,
+                        code=self.code,
+                        message=(
+                            f"{cls.name}: {lock!r} re-acquired while held "
+                            f"(via {via}); a plain Lock self-deadlocks here "
+                            "-- restructure or use RLock"
+                        ),
+                    )
+                    continue
+                graph.setdefault(held, set()).add(lock)
+            reported: Set[FrozenSet[str]] = set()
+            for lock in sorted(graph):
+                cycle = _find_cycle(lock, graph)
+                if cycle is None:
+                    continue
+                key = frozenset(cycle)
+                if key in reported:
+                    continue
+                reported.add(key)
+                first_hop = edges[(cycle[0], cycle[1])]
+                yield Finding(
+                    path=ctx.path,
+                    line=first_hop[0],
+                    col=first_hop[1],
+                    code=self.code,
+                    message=(
+                        f"{cls.name}: lock-order cycle "
+                        f"{' -> '.join(cycle)}; two threads taking these "
+                        "in opposite orders deadlock"
+                    ),
+                )

@@ -1,0 +1,125 @@
+"""REP008: no blocking call while a lock is held.
+
+A held lock turns one slow operation into a convoy: every other thread
+that needs the lock queues behind the syscall.  Under the service's
+ThreadingHTTPServer that is the difference between one slow request and
+a stalled server.  While any tracked lock (class attribute or module
+level) is held, this rule bans:
+
+* process work — ``subprocess.*``, ``os.system``;
+* network I/O — ``socket.*``, ``urllib.*``, ``*.urlopen``, and socket
+  method calls (``connect``/``accept``/``recv``/``recvfrom``/``sendall``);
+* sleeping and unbounded waits — ``time.sleep``, ``*.join()`` with no
+  arguments (thread/process join; ``sep.join(parts)`` always has one),
+  ``*.get()`` with no positional args unless ``block=False`` or a
+  non-None ``timeout`` is given (the blocking queue protocol), and
+  ``*.wait()`` with no timeout;
+* file I/O — builtin ``open`` and the Path read/write helpers
+  (``read_text``/``read_bytes``/``write_text``/``write_bytes``).
+
+Cheap metadata syscalls (``stat``, ``unlink``, ``os.replace``) and raw
+stream ``write``/``flush`` are deliberately allowed: the result store
+renames and the log emitter serialise exactly those under a lock on
+purpose.  Anything else needs a justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+from ..findings import Finding
+from ..locks import build_module_model, dotted_name
+from ..registry import FileContext, Rule, register
+
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "urllib.")
+_BLOCKING_EXACT = frozenset({"time.sleep", "os.system", "open"})
+_BLOCKING_ATTRS = frozenset(
+    {
+        "read_text",
+        "read_bytes",
+        "write_text",
+        "write_bytes",
+        "urlopen",
+        "connect",
+        "accept",
+        "recv",
+        "recvfrom",
+        "sendall",
+    }
+)
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_none(expr: Optional[ast.expr]) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value is None
+
+
+def _is_false(expr: Optional[ast.expr]) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value is False
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is not None:
+        if name in _BLOCKING_EXACT:
+            return f"{name}()"
+        if name.startswith(_BLOCKING_PREFIXES):
+            return f"{name}()"
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    attr = call.func.attr
+    if attr in _BLOCKING_ATTRS:
+        return f".{attr}()"
+    if attr == "join" and not call.args and _keyword(call, "timeout") is None:
+        return ".join() (thread/process join blocks until exit)"
+    if attr == "get" and not call.args:
+        timeout = _keyword(call, "timeout")
+        if _is_false(_keyword(call, "block")):
+            return None
+        if timeout is None or _is_none(timeout):
+            return ".get() with no timeout (blocking queue get)"
+    if attr == "wait" and not call.args:
+        timeout = _keyword(call, "timeout")
+        if timeout is None or _is_none(timeout):
+            return ".wait() with no timeout"
+    return None
+
+
+@register
+class BlockingUnderLock(Rule):
+    code = "REP008"
+    name = "blocking-under-lock"
+    summary = (
+        "no subprocess/network/sleep/join/unbounded-get/file-I/O calls "
+        "while holding a lock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        model = build_module_model(ctx)
+        sites: list[Tuple[ast.Call, FrozenSet[str]]] = list(
+            model.calls_under_lock
+        )
+        for cls in model.classes:
+            sites.extend(cls.calls_under_lock)
+        for call, held in sites:
+            reason = _blocking_reason(call)
+            if reason is None:
+                continue
+            locks = ", ".join(sorted(held))
+            yield Finding(
+                path=ctx.path,
+                line=call.lineno,
+                col=call.col_offset,
+                code=self.code,
+                message=(
+                    f"blocking call {reason} while holding {locks}; move "
+                    "the slow work outside the critical section"
+                ),
+            )

@@ -19,7 +19,11 @@ simulator, and the benchmark harness — a shared instrumentation layer:
   traces behind the service's ``GET /debug/traces`` endpoints, with
   ``repro.trace/1`` JSONL export and validation;
 * :mod:`repro.obs.log` — structured JSONL logging with correlation ids
-  (replaces ad-hoc stderr prints in the CLI and the service).
+  (replaces ad-hoc stderr prints in the CLI and the service);
+* :mod:`repro.obs.lockwatch` — a test-time watchdog wrapping the
+  ``threading`` lock factories to observe lock ordering and hold times,
+  with ``repro.lockwatch/1`` JSONL export (the runtime twin of the
+  REP006–REP008 static rules).
 
 Typical use::
 
@@ -37,6 +41,12 @@ When nothing is activated, every instrumented call site sees the shared
 uninstrumented speed.
 """
 
+from .lockwatch import (
+    LOCKWATCH_SCHEMA,
+    LockWatch,
+    LockWatchError,
+    validate_lockwatch_jsonl,
+)
 from .log import StructuredLogger, configure as configure_logging, get_logger
 from .manifest import RunManifest
 from .metrics import (
@@ -63,6 +73,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "LOCKWATCH_SCHEMA",
+    "LockWatch",
+    "LockWatchError",
     "MetricsRegistry",
     "NULL_OBS",
     "NullRegistry",
@@ -83,5 +96,6 @@ __all__ = [
     "now_unix",
     "observed",
     "set_obs",
+    "validate_lockwatch_jsonl",
     "validate_trace_jsonl",
 ]

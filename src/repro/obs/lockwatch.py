@@ -1,0 +1,523 @@
+"""Runtime lock-order watchdog: observe lock discipline under real traffic.
+
+The static rules (reprolint REP006–REP008) prove lock discipline about
+the *code*; this module observes it in a *running* process.  While a
+:class:`LockWatch` is installed, every lock created through
+``threading.Lock`` / ``threading.RLock`` / ``threading.Condition`` is
+wrapped so each acquisition records the per-thread stack of locks
+already held.  From those observations the watch maintains:
+
+* a **lock-order graph** — one node per lock *creation site* (all locks
+  born at ``service/jobs.py:335`` form one node), one edge per observed
+  "held A while acquiring B" pair;
+* **inversions** — an A→B edge observed when B→A already exists: the
+  classic ABBA deadlock precursor, reported with both acquisition
+  stacks;
+* **long holds** — a lock held longer than ``long_hold_threshold_s``:
+  under ThreadingHTTPServer, the difference between one slow request
+  and a stalled server.
+
+Findings export as ``repro.lockwatch/1`` JSON Lines (header first, then
+``lock`` / ``edge`` / ``inversion`` / ``long_hold`` records), checked by
+:func:`validate_lockwatch_jsonl` and by
+``benchmarks/validate_artifacts.py lockwatch``.
+
+Test-time only by design: installation monkeypatches the threading
+factory *functions* (never the lock types), so production code paths pay
+nothing unless a test opts in::
+
+    watch = LockWatch(long_hold_threshold_s=0.25)
+    with watch.watching():
+        service = build_service(...)   # locks created here are watched
+        drive_traffic(service)
+    assert watch.inversions() == []
+    Path("LOCKWATCH_run.jsonl").write_text(watch.to_jsonl())
+
+Wrapped locks implement the private Condition protocol
+(``_release_save`` / ``_acquire_restore`` / ``_is_owned``), so stdlib
+machinery that builds conditions over patched locks — ``queue.Queue``,
+``multiprocessing``'s thread-side feeders — keeps working while watched.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import traceback
+from contextlib import contextmanager
+from pathlib import Path
+from time import monotonic as _monotonic
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+LOCKWATCH_SCHEMA = "repro.lockwatch/1"
+
+#: record kinds a ``repro.lockwatch/1`` export may contain.
+_KINDS = ("header", "lock", "edge", "inversion", "long_hold")
+
+
+def _site_of_caller() -> str:
+    """``path:line`` of the nearest frame outside this module.
+
+    The path keeps only its last three parts — enough to identify
+    ``src/repro/service/jobs.py`` without baking absolute tmp paths into
+    artifacts.
+    """
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    parts = Path(frame.f_code.co_filename).as_posix().split("/")
+    return f"{'/'.join(parts[-3:])}:{frame.f_lineno}"
+
+
+def _thread_name() -> str:
+    """The current thread's name, without ``current_thread()``.
+
+    ``threading.current_thread()`` constructs a ``_DummyThread`` for a
+    not-yet-registered thread, and that constructor builds an ``Event``
+    — whose Condition would be a *watched* lock re-entering this module
+    and recursing forever.  Reading the registry directly (with a plain
+    fallback) breaks the loop and is safe during thread bootstrap.
+    """
+    ident = threading.get_ident()
+    thread = getattr(threading, "_active", {}).get(ident)
+    if thread is not None:
+        return str(thread.name)
+    return f"thread-{ident}"
+
+
+def _stack_outside_watch(limit: int = 12) -> List[str]:
+    """A trimmed formatted stack, lockwatch frames removed."""
+    lines = traceback.format_stack(limit=limit + 4)
+    return [
+        line.rstrip("\n")
+        for line in lines
+        if "/lockwatch.py" not in line.split(",", 1)[0]
+    ][-limit:]
+
+
+class _Held:
+    """One entry of a thread's held-lock stack."""
+
+    __slots__ = ("lock", "acquire_site", "t0", "depth")
+
+    def __init__(self, lock: "_WatchedLock", acquire_site: str, t0: float) -> None:
+        self.lock = lock
+        self.acquire_site = acquire_site
+        self.t0 = t0
+        self.depth = 1
+
+
+class _WatchedLock:
+    """A Lock/RLock wrapper reporting acquisitions to its LockWatch."""
+
+    __slots__ = ("_watch", "_inner", "site", "kind")
+
+    def __init__(
+        self, watch: "LockWatch", inner: Any, kind: str, site: str
+    ) -> None:
+        self._watch = watch
+        self._inner = inner
+        self.kind = kind
+        self.site = site
+
+    # -- lock protocol --------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if acquired:
+            self._watch._note_acquire(self, _site_of_caller())
+        return acquired
+
+    def release(self) -> None:
+        self._watch._note_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # -- Condition protocol ---------------------------------------------
+    # threading.Condition drops the lock around wait() through these
+    # private hooks when the lock provides them (RLocks do; we always
+    # do, so a Condition over a watched plain Lock behaves like one over
+    # a watched RLock: bookkeeping survives the release/reacquire).
+    def _release_save(self) -> Tuple[Any, int]:
+        depth = self._watch._forget(self)
+        if hasattr(self._inner, "_release_save"):
+            return (self._inner._release_save(), depth)
+        self._inner.release()
+        return (None, depth)
+
+    def _acquire_restore(self, state: Tuple[Any, int]) -> None:
+        inner_state, depth = state
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(inner_state)
+        else:
+            self._inner.acquire()
+        self._watch._note_acquire(self, _site_of_caller(), depth=depth)
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return bool(self._inner._is_owned())
+        # A plain lock cannot say who owns it; CPython's Condition uses
+        # the same "held by somebody, assume us" approximation.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<watched {self.kind} from {self.site}>"
+
+
+class LockWatch:
+    """Wrap lock creation, record ordering/holding behaviour, report.
+
+    The watch's own bookkeeping lock is created from the *real*
+    ``threading.Lock`` captured at construction, so it is never watched
+    and never recurses.
+    """
+
+    def __init__(
+        self,
+        long_hold_threshold_s: float = 0.25,
+        max_events: int = 1000,
+        stack_limit: int = 12,
+    ) -> None:
+        self.long_hold_threshold_s = long_hold_threshold_s
+        self.max_events = max_events
+        self.stack_limit = stack_limit
+        self._real_lock = threading.Lock
+        self._real_rlock = threading.RLock
+        self._real_condition = threading.Condition
+        self._monotonic = _monotonic
+        self._state_lock = self._real_lock()
+        self._tls = threading.local()
+        self._sites: Dict[str, Dict[str, Any]] = {}  # guarded-by: _state_lock
+        self._edges: Dict[Tuple[str, str], Dict[str, Any]] = {}  # guarded-by: _state_lock
+        self._inversions: List[Dict[str, Any]] = []  # guarded-by: _state_lock
+        self._long_holds: List[Dict[str, Any]] = []  # guarded-by: _state_lock
+        self._installed = False
+        self._previous: Optional[Tuple[Any, Any, Any]] = None
+
+    # -- installation ---------------------------------------------------
+    def install(self) -> None:
+        """Monkeypatch the threading lock factories to produce wrappers."""
+        if self._installed:
+            raise RuntimeError("LockWatch is already installed")
+        self._previous = (
+            threading.Lock,
+            threading.RLock,
+            threading.Condition,
+        )
+        threading.Lock = self._make_lock  # type: ignore[assignment]
+        threading.RLock = self._make_rlock  # type: ignore[assignment]
+        threading.Condition = self._make_condition  # type: ignore[assignment, misc]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore whatever factories were active at :meth:`install`.
+
+        Already-created wrapped locks keep working (their bookkeeping
+        just keeps flowing into this watch); nested installs restore
+        correctly because each watch puts back what it displaced.
+        """
+        if not self._installed:
+            raise RuntimeError("LockWatch is not installed")
+        assert self._previous is not None
+        threading.Lock, threading.RLock, threading.Condition = (  # type: ignore[misc]
+            self._previous
+        )
+        self._previous = None
+        self._installed = False
+
+    @contextmanager
+    def watching(self) -> Iterator["LockWatch"]:
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    def _make_lock(self) -> _WatchedLock:
+        site = _site_of_caller()
+        self._register_site(site, "Lock")
+        return _WatchedLock(self, self._real_lock(), "Lock", site)
+
+    def _make_rlock(self) -> _WatchedLock:
+        site = _site_of_caller()
+        self._register_site(site, "RLock")
+        return _WatchedLock(self, self._real_rlock(), "RLock", site)
+
+    def _make_condition(self, lock: Optional[Any] = None) -> Any:
+        if lock is None:
+            lock = self._make_rlock()
+        return self._real_condition(lock)
+
+    # -- bookkeeping ----------------------------------------------------
+    def _stack(self) -> List[_Held]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack  # type: ignore[no-any-return]
+
+    def _register_site(self, site: str, kind: str) -> None:
+        with self._state_lock:
+            record = self._sites.get(site)
+            if record is None:
+                record = self._sites[site] = {
+                    "kind": kind,
+                    "locks": 0,
+                    "acquisitions": 0,
+                    "max_hold_s": 0.0,
+                }
+            record["locks"] += 1
+
+    def _note_acquire(
+        self, lock: _WatchedLock, acquire_site: str, depth: int = 1
+    ) -> None:
+        stack = self._stack()
+        for held in stack:
+            if held.lock is lock:
+                held.depth += 1
+                return
+        entry = _Held(lock, acquire_site, self._monotonic())
+        entry.depth = depth
+        held_sites = []
+        for held in stack:
+            if held.lock.site not in held_sites:
+                held_sites.append(held.lock.site)
+        thread = _thread_name()
+        with self._state_lock:
+            site_record = self._sites.get(lock.site)
+            if site_record is not None:
+                site_record["acquisitions"] += 1
+            for held_site in held_sites:
+                if held_site == lock.site:
+                    # Two instances from one creation site (e.g. two
+                    # Counter locks): direction is meaningless, skip.
+                    continue
+                edge_key = (held_site, lock.site)
+                edge = self._edges.get(edge_key)
+                if edge is None:
+                    edge = self._edges[edge_key] = {
+                        "count": 0,
+                        "first_thread": thread,
+                        "first_stack": _stack_outside_watch(self.stack_limit),
+                    }
+                    reverse = self._edges.get((lock.site, held_site))
+                    if reverse is not None and len(self._inversions) < self.max_events:
+                        self._inversions.append(
+                            {
+                                "first": [lock.site, held_site],
+                                "second": [held_site, lock.site],
+                                "thread": thread,
+                                "stack": edge["first_stack"],
+                                "earlier_thread": reverse["first_thread"],
+                                "earlier_stack": reverse["first_stack"],
+                            }
+                        )
+                edge["count"] += 1
+        stack.append(entry)
+
+    def _note_release(self, lock: _WatchedLock) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.lock is not lock:
+                continue
+            held.depth -= 1
+            if held.depth == 0:
+                del stack[index]
+                self._record_hold(held)
+            return
+        # Releasing a lock acquired before the watch saw it: ignore.
+
+    def _forget(self, lock: _WatchedLock) -> int:
+        """Drop a lock from the held stack entirely (Condition.wait)."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.lock is lock:
+                del stack[index]
+                self._record_hold(held)
+                return held.depth
+        return 1
+
+    def _record_hold(self, held: _Held) -> None:
+        hold_s = self._monotonic() - held.t0
+        with self._state_lock:
+            site_record = self._sites.get(held.lock.site)
+            if site_record is not None and hold_s > site_record["max_hold_s"]:
+                site_record["max_hold_s"] = hold_s
+            if (
+                hold_s >= self.long_hold_threshold_s
+                and len(self._long_holds) < self.max_events
+            ):
+                self._long_holds.append(
+                    {
+                        "site": held.lock.site,
+                        "acquire_site": held.acquire_site,
+                        "hold_s": hold_s,
+                        "thread": _thread_name(),
+                    }
+                )
+
+    # -- reporting ------------------------------------------------------
+    def inversions(self) -> List[Dict[str, Any]]:
+        with self._state_lock:
+            return [dict(record) for record in self._inversions]
+
+    def long_holds(self) -> List[Dict[str, Any]]:
+        with self._state_lock:
+            return [dict(record) for record in self._long_holds]
+
+    def summary(self) -> Dict[str, Any]:
+        with self._state_lock:
+            return {
+                "locks": len(self._sites),
+                "edges": len(self._edges),
+                "inversions": len(self._inversions),
+                "long_holds": len(self._long_holds),
+            }
+
+    def to_jsonl(self) -> str:
+        """The findings as ``repro.lockwatch/1`` JSON Lines."""
+        with self._state_lock:
+            sites = {site: dict(rec) for site, rec in self._sites.items()}
+            edges = {key: dict(rec) for key, rec in self._edges.items()}
+            inversions = [dict(rec) for rec in self._inversions]
+            long_holds = [dict(rec) for rec in self._long_holds]
+        lines = [
+            {
+                "kind": "header",
+                "schema": LOCKWATCH_SCHEMA,
+                "long_hold_threshold_s": self.long_hold_threshold_s,
+                "locks": len(sites),
+                "edges": len(edges),
+                "inversions": len(inversions),
+                "long_holds": len(long_holds),
+            }
+        ]
+        for site in sorted(sites):
+            record = sites[site]
+            lines.append(
+                {
+                    "kind": "lock",
+                    "site": site,
+                    "lock_kind": record["kind"],
+                    "locks": record["locks"],
+                    "acquisitions": record["acquisitions"],
+                    "max_hold_s": record["max_hold_s"],
+                }
+            )
+        for held_site, acquired_site in sorted(edges):
+            record = edges[(held_site, acquired_site)]
+            lines.append(
+                {
+                    "kind": "edge",
+                    "held": held_site,
+                    "acquired": acquired_site,
+                    "count": record["count"],
+                    "first_thread": record["first_thread"],
+                }
+            )
+        for inversion in inversions:
+            lines.append({"kind": "inversion", **inversion})
+        for long_hold in long_holds:
+            lines.append({"kind": "long_hold", **long_hold})
+        return "\n".join(json.dumps(line, sort_keys=True) for line in lines) + "\n"
+
+    def export_jsonl(self, path: "str | Path") -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_jsonl(), encoding="utf-8")
+        return target
+
+
+class LockWatchError(ValueError):
+    """A ``repro.lockwatch/1`` export that fails validation."""
+
+
+def validate_lockwatch_jsonl(
+    text: str,
+    forbid_inversions: bool = False,
+    max_long_holds: Optional[int] = None,
+) -> Dict[str, int]:
+    """Check a ``repro.lockwatch/1`` export; returns its summary counts.
+
+    Structural checks: header first with the right schema and counts
+    matching the body; every edge/long-hold references a declared lock
+    site; record kinds are known.  Policy checks are opt-in:
+    ``forbid_inversions`` fails on any inversion record (the CI gate for
+    the service stress run), ``max_long_holds`` bounds long-hold events.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise LockWatchError("empty lockwatch export")
+    try:
+        records = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as exc:
+        raise LockWatchError(f"invalid JSON line: {exc}") from exc
+    header = records[0]
+    if header.get("kind") != "header":
+        raise LockWatchError("first record must be the header")
+    if header.get("schema") != LOCKWATCH_SCHEMA:
+        raise LockWatchError(
+            f"schema mismatch: {header.get('schema')!r} != {LOCKWATCH_SCHEMA!r}"
+        )
+    counts = {"lock": 0, "edge": 0, "inversion": 0, "long_hold": 0}
+    sites = set()
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind not in _KINDS or kind == "header":
+            raise LockWatchError(f"unknown record kind {kind!r}")
+        counts[kind] += 1
+        if kind == "lock":
+            site = record.get("site")
+            if not isinstance(site, str) or not site:
+                raise LockWatchError("lock record without a site")
+            sites.add(site)
+    for record in records[1:]:
+        kind = record["kind"]
+        if kind == "edge":
+            for end in ("held", "acquired"):
+                if record.get(end) not in sites:
+                    raise LockWatchError(
+                        f"edge references unknown lock site {record.get(end)!r}"
+                    )
+        elif kind == "long_hold":
+            if record.get("site") not in sites:
+                raise LockWatchError(
+                    f"long_hold references unknown lock site "
+                    f"{record.get('site')!r}"
+                )
+    expected = {
+        "lock": header.get("locks"),
+        "edge": header.get("edges"),
+        "inversion": header.get("inversions"),
+        "long_hold": header.get("long_holds"),
+    }
+    for kind, declared in expected.items():
+        if declared != counts[kind]:
+            raise LockWatchError(
+                f"header declares {declared} {kind} record(s), body has "
+                f"{counts[kind]}"
+            )
+    if forbid_inversions and counts["inversion"]:
+        raise LockWatchError(
+            f"{counts['inversion']} lock-order inversion(s) observed"
+        )
+    if max_long_holds is not None and counts["long_hold"] > max_long_holds:
+        raise LockWatchError(
+            f"{counts['long_hold']} long-hold event(s) exceed the allowed "
+            f"{max_long_holds}"
+        )
+    return counts

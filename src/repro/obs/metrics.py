@@ -3,17 +3,25 @@
 The registry is deliberately tiny — a dictionary of named instruments with
 a JSON-friendly snapshot — because it sits next to the hottest loops of
 the repository (the frontier dynamic programming, the flooding sweeps).
-Two design rules follow:
+Three design rules follow:
 
 * **No-op mode costs nothing.**  :class:`NullRegistry` hands out shared
   immutable singletons whose mutating methods are empty; callers can hold
   a counter reference and ``inc()`` it unconditionally without ever
-  allocating or recording.  Hot paths additionally check
+  allocating, recording, or locking.  Hot paths additionally check
   ``registry.enabled`` once and skip their bookkeeping entirely.
 * **Instruments merge.**  Per-source / per-worker measurements are
   accumulated locally and folded into the session registry afterwards
-  (:meth:`MetricsRegistry.merge`), so instrumentation never adds
-  synchronisation to parallel code.
+  (:meth:`MetricsRegistry.merge`); worker registries ride the result
+  envelope across the process boundary, so every instrument pickles
+  (locks are dropped on the way out and recreated on the way in).
+* **Enabled instruments are thread-safe.**  The service's HTTP threads
+  and the pool supervisor share one registry, and ``+=`` on a plain
+  attribute loses updates under that contention; every mutation and
+  snapshot goes through a per-instrument lock (``# guarded-by: _lock``,
+  reprolint REP006), and a :class:`Timer` keeps its start stamps in
+  thread-local storage so concurrent ``with`` blocks on one shared timer
+  cannot corrupt each other.
 
 Labels: every instrument accessor accepts keyword labels
 (``registry.counter("optimal.frontier_insertions", hop=3)``); each label
@@ -27,9 +35,10 @@ never collide into one snapshot key.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 _Key = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -82,40 +91,61 @@ def _render_prometheus(key: _Key, suffix: str = "") -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def merge(self, other: "Counter") -> None:
-        self.value += other.value
+        self.inc(other.snapshot())
 
     def snapshot(self) -> int:
-        return self.value
+        with self._lock:
+            return self.value
+
+    def __getstate__(self) -> int:
+        return self.snapshot()
+
+    def __setstate__(self, state: int) -> None:
+        self.value = state
+        self._lock = threading.Lock()
 
 
 class Gauge:
-    """A last-write-wins instantaneous value."""
+    """A last-write-wins instantaneous value (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
-        self.value: Optional[float] = None
+        self.value: Optional[float] = None  # guarded-by: _lock
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def merge(self, other: "Gauge") -> None:
-        if other.value is not None:
-            self.value = other.value
+        value = other.snapshot()
+        if value is not None:
+            self.set(value)
 
     def snapshot(self) -> Optional[float]:
-        return self.value
+        with self._lock:
+            return self.value
+
+    def __getstate__(self) -> Optional[float]:
+        return self.snapshot()
+
+    def __setstate__(self, state: Optional[float]) -> None:
+        self.value = state
+        self._lock = threading.Lock()
 
 
 class Histogram:
@@ -123,162 +153,230 @@ class Histogram:
 
     Full value retention would be unbounded on long runs; count, sum and
     extrema are enough for the throughput/latency shapes the benchmarks
-    report, and they merge exactly.
+    report, and they merge exactly.  Mutation and snapshotting are
+    thread-safe; ``merge`` snapshots the source first so two instrument
+    locks are never held at once.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.minimum: Optional[float] = None
-        self.maximum: Optional[float] = None
+        self.count = 0  # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.minimum: Optional[float] = None  # guarded-by: _lock
+        self.maximum: Optional[float] = None  # guarded-by: _lock
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     def observe_many(self, values: Iterable[float]) -> None:
         for value in values:
             self.observe(value)
 
+    def _values(self) -> Tuple[int, float, Optional[float], Optional[float]]:
+        with self._lock:
+            return (self.count, self.total, self.minimum, self.maximum)
+
     def merge(self, other: "Histogram") -> None:
-        if other.count == 0:
+        count, total, minimum, maximum = other._values()
+        if count == 0:
             return
-        self.count += other.count
-        self.total += other.total
-        if other.minimum is not None and (
-            self.minimum is None or other.minimum < self.minimum
-        ):
-            self.minimum = other.minimum
-        if other.maximum is not None and (
-            self.maximum is None or other.maximum > self.maximum
-        ):
-            self.maximum = other.maximum
+        with self._lock:
+            self.count += count
+            self.total += total
+            if minimum is not None and (
+                self.minimum is None or minimum < self.minimum
+            ):
+                self.minimum = minimum
+            if maximum is not None and (
+                self.maximum is None or maximum > self.maximum
+            ):
+                self.maximum = maximum
 
     @property
     def mean(self) -> Optional[float]:
-        return self.total / self.count if self.count else None
+        count, total, _, _ = self._values()
+        return total / count if count else None
 
     def snapshot(self) -> Dict[str, Optional[float]]:
+        count, total, minimum, maximum = self._values()
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": total / count if count else None,
         }
+
+    def __getstate__(
+        self,
+    ) -> Tuple[int, float, Optional[float], Optional[float]]:
+        return self._values()
+
+    def __setstate__(
+        self, state: Tuple[int, float, Optional[float], Optional[float]]
+    ) -> None:
+        self.count, self.total, self.minimum, self.maximum = state
+        self._lock = threading.Lock()
 
 
 class Timer:
     """A histogram of wall durations plus the matching CPU total.
 
-    Use as a context manager (``with registry.timer("load"):``); nested
-    uses accumulate independently.
+    Use as a context manager (``with registry.timer("load"):``).  The
+    start stamps live in thread-local storage: the service binds one
+    shared latency timer per endpoint, and concurrent requests entering
+    the same instrument must not clobber each other's ``t0`` (a real
+    race lockwatch surfaced — shared-attribute stamps made overlapping
+    requests report each other's latencies).
     """
 
-    __slots__ = ("wall", "cpu_total", "_wall0", "_cpu0")
+    __slots__ = ("wall", "cpu_total", "_lock", "_starts")
 
     def __init__(self) -> None:
         self.wall = Histogram()
-        self.cpu_total = 0.0
-        self._wall0 = 0.0
-        self._cpu0 = 0.0
+        self.cpu_total = 0.0  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._starts = threading.local()
 
     def __enter__(self) -> "Timer":
-        self._wall0 = time.perf_counter()
-        self._cpu0 = time.process_time()
+        self._starts.wall0 = time.perf_counter()
+        self._starts.cpu0 = time.process_time()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.wall.observe(time.perf_counter() - self._wall0)
-        self.cpu_total += time.process_time() - self._cpu0
+        self.record(
+            time.perf_counter() - self._starts.wall0,
+            time.process_time() - self._starts.cpu0,
+        )
 
     def record(self, wall_seconds: float, cpu_seconds: float = 0.0) -> None:
         self.wall.observe(wall_seconds)
-        self.cpu_total += cpu_seconds
+        with self._lock:
+            self.cpu_total += cpu_seconds
+
+    def cpu_snapshot(self) -> float:
+        with self._lock:
+            return self.cpu_total
 
     def merge(self, other: "Timer") -> None:
         self.wall.merge(other.wall)
-        self.cpu_total += other.cpu_total
+        cpu = other.cpu_snapshot()
+        with self._lock:
+            self.cpu_total += cpu
 
     def snapshot(self) -> Dict[str, Optional[float]]:
         snap = {f"wall_{k}": v for k, v in self.wall.snapshot().items()}
-        snap["cpu_sum"] = self.cpu_total
+        snap["cpu_sum"] = self.cpu_snapshot()
         return snap
+
+    def __getstate__(self) -> Tuple[Histogram, float]:
+        return (self.wall, self.cpu_snapshot())
+
+    def __setstate__(self, state: Tuple[Histogram, float]) -> None:
+        self.wall, self.cpu_total = state
+        self._lock = threading.Lock()
+        self._starts = threading.local()
 
 
 class MetricsRegistry:
-    """A named collection of instruments with a JSON snapshot."""
+    """A named collection of instruments with a JSON snapshot.
+
+    Accessor lookups and the instrument dicts are guarded by the
+    registry lock; snapshots (``to_dict``/``render_text``) copy the item
+    lists under it and then read each instrument through its own lock,
+    so no two locks are ever held together.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
-        self._counters: Dict[_Key, Counter] = {}
-        self._gauges: Dict[_Key, Gauge] = {}
-        self._histograms: Dict[_Key, Histogram] = {}
-        self._timers: Dict[_Key, Timer] = {}
+        self._lock = threading.Lock()
+        self._counters: Dict[_Key, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[_Key, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[_Key, Histogram] = {}  # guarded-by: _lock
+        self._timers: Dict[_Key, Timer] = {}  # guarded-by: _lock
 
     # -- accessors (create on first use) -------------------------------
     def counter(self, name: str, **labels: object) -> Counter:
         key = _key(name, labels)
-        instrument = self._counters.get(key)
-        if instrument is None:
-            instrument = self._counters[key] = Counter()
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
         return instrument
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         key = _key(name, labels)
-        instrument = self._gauges.get(key)
-        if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
         return instrument
 
     def histogram(self, name: str, **labels: object) -> Histogram:
         key = _key(name, labels)
-        instrument = self._histograms.get(key)
-        if instrument is None:
-            instrument = self._histograms[key] = Histogram()
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram()
         return instrument
 
     def timer(self, name: str, **labels: object) -> Timer:
         key = _key(name, labels)
-        instrument = self._timers.get(key)
-        if instrument is None:
-            instrument = self._timers[key] = Timer()
+        with self._lock:
+            instrument = self._timers.get(key)
+            if instrument is None:
+                instrument = self._timers[key] = Timer()
         return instrument
+
+    def _instrument_items(
+        self,
+    ) -> Tuple[
+        List[Tuple[_Key, Counter]],
+        List[Tuple[_Key, Gauge]],
+        List[Tuple[_Key, Histogram]],
+        List[Tuple[_Key, Timer]],
+    ]:
+        """Stable item lists of every instrument dict."""
+        with self._lock:
+            return (
+                list(self._counters.items()),
+                list(self._gauges.items()),
+                list(self._histograms.items()),
+                list(self._timers.items()),
+            )
 
     # -- aggregation ---------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's instruments into this one."""
-        for key, counter in other._counters.items():
+        counters, gauges, histograms, timers = other._instrument_items()
+        for key, counter in counters:
             self.counter(key[0], **dict(key[1])).merge(counter)
-        for key, gauge in other._gauges.items():
+        for key, gauge in gauges:
             self.gauge(key[0], **dict(key[1])).merge(gauge)
-        for key, histogram in other._histograms.items():
+        for key, histogram in histograms:
             self.histogram(key[0], **dict(key[1])).merge(histogram)
-        for key, timer in other._timers.items():
+        for key, timer in timers:
             self.timer(key[0], **dict(key[1])).merge(timer)
 
     def to_dict(self) -> Dict[str, Dict[str, object]]:
         """A JSON-serialisable snapshot of every instrument."""
+        counters, gauges, histograms, timers = self._instrument_items()
         return {
-            "counters": {
-                _render(k): c.snapshot() for k, c in sorted(self._counters.items())
-            },
-            "gauges": {
-                _render(k): g.snapshot() for k, g in sorted(self._gauges.items())
-            },
+            "counters": {_render(k): c.snapshot() for k, c in sorted(counters)},
+            "gauges": {_render(k): g.snapshot() for k, g in sorted(gauges)},
             "histograms": {
-                _render(k): h.snapshot() for k, h in sorted(self._histograms.items())
+                _render(k): h.snapshot() for k, h in sorted(histograms)
             },
-            "timers": {
-                _render(k): t.snapshot() for k, t in sorted(self._timers.items())
-            },
+            "timers": {_render(k): t.snapshot() for k, t in sorted(timers)},
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -293,18 +391,20 @@ class MetricsRegistry:
         and empty histograms are omitted (no sample to report), so the
         output is scrape-ready for ``GET /metrics``.
         """
+        counters, gauges, histograms, timers = self._instrument_items()
         lines: list[str] = []
-        for key, counter in sorted(self._counters.items()):
-            lines.append(f"{_render_prometheus(key)} {counter.value}")
-        for key, gauge in sorted(self._gauges.items()):
-            if gauge.value is not None:
-                lines.append(f"{_render_prometheus(key)} {gauge.value}")
-        for key, histogram in sorted(self._histograms.items()):
+        for key, counter in sorted(counters):
+            lines.append(f"{_render_prometheus(key)} {counter.snapshot()}")
+        for key, gauge in sorted(gauges):
+            value = gauge.snapshot()
+            if value is not None:
+                lines.append(f"{_render_prometheus(key)} {value}")
+        for key, histogram in sorted(histograms):
             lines.extend(self._histogram_samples(key, histogram, ""))
-        for key, timer in sorted(self._timers.items()):
+        for key, timer in sorted(timers):
             lines.extend(self._histogram_samples(key, timer.wall, "_wall"))
             lines.append(
-                f"{_render_prometheus(key, '_cpu_sum')} {timer.cpu_total}"
+                f"{_render_prometheus(key, '_cpu_sum')} {timer.cpu_snapshot()}"
             )
         return "\n".join(lines) + "\n" if lines else ""
 
@@ -312,17 +412,18 @@ class MetricsRegistry:
     def _histogram_samples(
         key: _Key, histogram: "Histogram", prefix: str
     ) -> "list[str]":
+        count, total, minimum, maximum = histogram._values()
         samples = [
-            f"{_render_prometheus(key, prefix + '_count')} {histogram.count}",
-            f"{_render_prometheus(key, prefix + '_sum')} {histogram.total}",
+            f"{_render_prometheus(key, prefix + '_count')} {count}",
+            f"{_render_prometheus(key, prefix + '_sum')} {total}",
         ]
-        if histogram.minimum is not None:
+        if minimum is not None:
             samples.append(
-                f"{_render_prometheus(key, prefix + '_min')} {histogram.minimum}"
+                f"{_render_prometheus(key, prefix + '_min')} {minimum}"
             )
-        if histogram.maximum is not None:
+        if maximum is not None:
             samples.append(
-                f"{_render_prometheus(key, prefix + '_max')} {histogram.maximum}"
+                f"{_render_prometheus(key, prefix + '_max')} {maximum}"
             )
         return samples
 
@@ -332,12 +433,23 @@ class MetricsRegistry:
             stream.write("\n")
 
     def __len__(self) -> int:
-        return (
-            len(self._counters)
-            + len(self._gauges)
-            + len(self._histograms)
-            + len(self._timers)
-        )
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+                + len(self._timers)
+            )
+
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class _NullCounter(Counter):
@@ -388,8 +500,9 @@ class NullRegistry(MetricsRegistry):
 
     Every accessor returns the same pre-built instrument regardless of
     name or labels, and those instruments ignore all mutation — holding
-    one on a hot path is free, and ``registry.enabled`` lets the path
-    skip its measurement code altogether.
+    one on a hot path is free (the no-op mutators never touch a lock),
+    and ``registry.enabled`` lets the path skip its measurement code
+    altogether.
     """
 
     enabled = False

@@ -68,11 +68,12 @@ class TraceStore:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.max_spans_per_trace = max_spans_per_trace
-        self.evicted = 0
-        self.dropped_spans = 0
-        self._traces: "OrderedDict[str, _TraceEntry]" = OrderedDict()
+        self.evicted = 0  # guarded-by: _lock
+        self.dropped_spans = 0  # guarded-by: _lock
+        self._traces: "OrderedDict[str, _TraceEntry]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
+    # guarded-by: _lock
     def _entry(self, trace_id: str) -> _TraceEntry:
         entry = self._traces.get(trace_id)
         if entry is None:

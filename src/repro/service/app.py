@@ -573,7 +573,7 @@ class ReproService:
         the fan-out is queued.
         """
         plan = shard_sources(network.nodes, spec.shards)
-        job.shards_total = len(plan)
+        self.jobs.begin_fanout(job.key, len(plan))
         metrics = get_obs().metrics
         dispatched = metrics.counter("service.shards.dispatched")
         log.info(

@@ -221,7 +221,7 @@ class NetworkCache:
     def __init__(self, capacity: int = 8) -> None:
         self._capacity = capacity
         self._entries: "OrderedDict[Tuple[str, int, int], TemporalNetwork]"
-        self._entries = OrderedDict()
+        self._entries = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get(self, trace: str) -> TemporalNetwork:
@@ -330,8 +330,8 @@ class JobTable:
 
     def __init__(self, history: int = 256) -> None:
         self._history = history
-        self._inflight: Dict[str, Job] = {}
-        self._finished: "OrderedDict[str, Job]" = OrderedDict()
+        self._inflight: Dict[str, Job] = {}  # guarded-by: _lock
+        self._finished: "OrderedDict[str, Job]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get_or_create(
@@ -378,6 +378,20 @@ class JobTable:
         """The in-flight job for a content key, if any."""
         with self._lock:
             return self._inflight.get(key)
+
+    def begin_fanout(self, key: str, shards_total: int) -> None:
+        """Record a sharded job's fan-out width, under the table lock.
+
+        The leader thread calls this after ``get_or_create`` while
+        follower threads may already be polling the job document, so the
+        write goes through ``_lock`` like every other Job mutation
+        (surfaced by a lockwatch stress run as a racy bare write in
+        ``app._submit_sharded``).
+        """
+        with self._lock:
+            job = self._inflight.get(key)
+            if job is not None:
+                job.shards_total = shards_total
 
     def note_shard_done(self, key: str) -> Optional[Tuple[int, int]]:
         """Record one completed shard; returns ``(done, total)`` or None.

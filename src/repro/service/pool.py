@@ -247,9 +247,9 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context()
         self._results: Any = None
         self._workers: List[_Worker] = []
-        self._pending: Deque[Task] = deque()
+        self._pending: Deque[Task] = deque()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._draining = False
+        self._draining = False  # guarded-by: _lock
         self._stopped = threading.Event()
         self._idle = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
@@ -386,8 +386,9 @@ class WorkerPool:
             alive = sum(1 for w in self._workers if w.alive())
             busy = sum(1 for w in self._workers if w.task is not None)
             pending = len(self._pending)
+            draining = self._draining or self._stopped.is_set()
         state = "healthy" if alive == self.size else "degraded"
-        if self._draining or self._stopped.is_set():
+        if draining:
             state = "draining"
         return {
             "state": state,
@@ -610,9 +611,9 @@ class WorkerPool:
                     )
             if worker.respawn_at is None:
                 worker.respawn_at = now + self.respawn_delay_s
-            if now >= worker.respawn_at and not (
-                self._draining or self._stopped.is_set()
-            ):
+            with self._lock:
+                draining = self._draining or self._stopped.is_set()
+            if now >= worker.respawn_at and not draining:
                 worker.process.join(timeout=0.1)
                 self._spawn(worker)
                 respawns.inc()

@@ -58,24 +58,33 @@ class ResultStore:
         return payload
 
     def put(self, key: str, payload: bytes) -> Path:
-        """Store response bytes atomically, then enforce the budget."""
+        """Store response bytes atomically, then enforce the budget.
+
+        The payload is written to a per-thread tmp file *outside*
+        ``_lock`` (REP008: a disk write under the lock would convoy
+        every concurrent put behind the syscall); only the cheap rename
+        and the budget enforcement hold it, so publish + evict stay
+        atomic with respect to other putters.
+        """
         path = self.path(key)
-        tmp = path.with_name(f"tmp-{os.getpid()}-{path.name}")
-        with self._lock:
-            try:
-                tmp.write_bytes(payload)
+        tmp = path.with_name(
+            f"tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
+        )
+        tmp.write_bytes(payload)
+        try:
+            with self._lock:
                 os.replace(tmp, path)
-            finally:
-                if tmp.exists():
-                    tmp.unlink()
-            if self.max_bytes is not None:
-                evict_lru(
-                    self.root,
-                    _PATTERN,
-                    self.max_bytes,
-                    keep=(path,),
-                    counter="service.store.evict",
-                )
+                if self.max_bytes is not None:
+                    evict_lru(
+                        self.root,
+                        _PATTERN,
+                        self.max_bytes,
+                        keep=(path,),
+                        counter="service.store.evict",
+                    )
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return path
 
     def contains(self, key: str) -> bool:

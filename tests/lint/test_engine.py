@@ -153,6 +153,17 @@ class TestReporters:
         assert finding["code"] == "REP004"
         assert finding["line"] == 6
 
+    def test_json_reporter_registry_block(self):
+        from repro.lint import REGISTRY_VERSION, rule_codes
+
+        payload = json.loads(render_json([], files_checked=0))
+        registry = payload["registry"]
+        assert registry["version"] == REGISTRY_VERSION
+        assert registry["rules"] == ["REP000"] + rule_codes()
+        assert registry["rules"] == sorted(registry["rules"])
+        for code in ("REP006", "REP007", "REP008"):
+            assert code in registry["rules"]
+
 
 class TestCli:
     def _write(self, tmp_path, name, source):
@@ -193,8 +204,76 @@ class TestCli:
             assert code in out
 
 
+class TestParallelScan:
+    """--jobs N fans out over processes with byte-identical output."""
+
+    def _tree(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        clean = "def f(x: int) -> int:\n    return x\n"
+        for index in range(6):
+            source = VIOLATION if index % 2 else clean
+            (target / f"mod_{index}.py").write_text(source)
+        return tmp_path
+
+    def test_lint_paths_jobs_matches_serial(self, tmp_path):
+        root = self._tree(tmp_path)
+        serial = lint_paths([str(root)], jobs=1)
+        parallel = lint_paths([str(root)], jobs=4)
+        assert parallel == serial
+        findings, files = parallel
+        assert files == 6
+        assert len(findings) == 3
+
+    def test_invalid_jobs_rejected(self, tmp_path):
+        with pytest.raises(LintError, match="jobs must be >= 1"):
+            lint_paths([str(self._tree(tmp_path))], jobs=0)
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_cli_output_byte_identical_across_jobs(
+        self, tmp_path, fmt, repo_root
+    ):
+        import os
+        import subprocess
+        import sys
+
+        root = self._tree(tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+
+        def run(jobs):
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.lint",
+                    str(root),
+                    "--format",
+                    fmt,
+                    "--jobs",
+                    str(jobs),
+                ],
+                capture_output=True,
+                env=env,
+                cwd=repo_root,
+            )
+            assert proc.returncode == 1, proc.stderr.decode()
+            return proc.stdout
+
+        assert run(1) == run(4)
+
+
 class TestSelfClean:
     def test_shipped_tree_lints_clean(self, repo_root):
         findings, files_checked = lint_paths([str(repo_root / "src")])
         assert findings == []
         assert files_checked > 50
+
+    def test_tests_and_benchmarks_lint_clean(self, repo_root):
+        # The CI static-analysis job lints these trees too; suppression
+        # hygiene (REP000) is the active check outside src/repro.
+        findings, files_checked = lint_paths(
+            [str(repo_root / "tests"), str(repo_root / "benchmarks")]
+        )
+        assert findings == []
+        assert files_checked > 30

@@ -29,6 +29,9 @@ class TestFireAndSilence:
             ("REP003", 2),
             ("REP004", 4),
             ("REP005", 5),
+            ("REP006", 5),  # bad guard comment, 2 declared, inferred, helper
+            ("REP007", 2),  # ABBA cycle + plain-Lock re-entry via helper
+            ("REP008", 5),  # subprocess, write_bytes, sleep, get, join
         ],
     )
     def test_fires_on_minimal_violation(self, code, expected_count):
@@ -37,7 +40,17 @@ class TestFireAndSilence:
         assert len(findings) == expected_count
 
     @pytest.mark.parametrize(
-        "code", ["REP001", "REP002", "REP003", "REP004", "REP005"]
+        "code",
+        [
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+            "REP008",
+        ],
     )
     def test_silent_on_compliant_variant(self, code):
         assert lint_fixture(f"{code.lower()}_clean") == []
@@ -64,6 +77,25 @@ class TestHistoricalBugs:
         rep003 = [f for f in findings if f.code == "REP003"]
         assert len(rep003) == 2
         assert all(".counter(...)" in f.message for f in rep003)
+
+    def test_rep006_catches_pool_health_torn_read(self):
+        # Pre-fix WorkerPool.health() read _pending/_draining without
+        # _lock, so a concurrent drain() produced a torn health view.
+        findings = lint_fixture("rep006_pool_draining")
+        rep006 = [f for f in findings if f.code == "REP006"]
+        assert len(rep006) == 2
+        fields = sorted(f.message.split(" is guarded")[0] for f in rep006)
+        assert fields == ["WorkerPool._draining", "WorkerPool._pending"]
+        assert all("health()" in f.message for f in rep006)
+
+    def test_rep008_catches_store_put_write_under_lock(self):
+        # Pre-fix ResultStore.put() wrote the payload inside _lock,
+        # convoying every store access behind one disk write.
+        findings = lint_fixture("rep008_store_put")
+        rep008 = [f for f in findings if f.code == "REP008"]
+        assert len(rep008) == 1
+        assert ".write_bytes()" in rep008[0].message
+        assert "_lock" in rep008[0].message
 
 
 class TestScoping:
@@ -169,3 +201,114 @@ class TestRuleDetails:
             source, "src/repro/core/example.py", select=["REP002"]
         )
         assert codes_of(findings) == ["REP002"]
+
+    def test_rep006_inference_needs_dominance(self):
+        # Two locked and two unlocked accesses (50 %) is an ambiguous
+        # pattern, not a convention: no guard is inferred.
+        source = (
+            "import threading\n\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def b(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def c(self):\n"
+            "        self._n += 1\n"
+            "    def d(self):\n"
+            "        return self._n\n"
+        )
+        assert (
+            lint_source(source, "src/repro/service/x.py", select=["REP006"])
+            == []
+        )
+
+    def test_rep006_self_synced_fields_not_inferred(self):
+        # An Event carries its own lock; waiting on it outside the
+        # class lock is the correct shutdown pattern, not a violation.
+        source = (
+            "import threading\n\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._idle = threading.Event()\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            self._idle.clear()\n"
+            "    def b(self):\n"
+            "        with self._lock:\n"
+            "            self._idle.set()\n"
+            "    def wait(self):\n"
+            "        self._idle.wait(timeout=1.0)\n"
+        )
+        assert (
+            lint_source(source, "src/repro/service/x.py", select=["REP006"])
+            == []
+        )
+
+    def test_rep007_consistent_three_lock_order_clean(self):
+        source = (
+            "import threading\n\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "        self._c = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                with self._c:\n"
+            "                    pass\n"
+            "    def g(self):\n"
+            "        with self._b:\n"
+            "            with self._c:\n"
+            "                pass\n"
+        )
+        assert (
+            lint_source(source, "src/repro/service/x.py", select=["REP007"])
+            == []
+        )
+
+    def test_rep008_string_join_not_flagged(self):
+        # sep.join(parts) always has a positional argument; only the
+        # zero-argument thread/process join blocks.
+        source = (
+            "import threading\n\n"
+            "_LOCK = threading.Lock()\n\n"
+            "def f(parts):\n"
+            "    with _LOCK:\n"
+            "        return ', '.join(parts)\n"
+        )
+        assert (
+            lint_source(source, "src/repro/service/x.py", select=["REP008"])
+            == []
+        )
+
+    def test_rep008_explicit_none_timeout_flagged(self):
+        source = (
+            "import threading\n\n"
+            "_LOCK = threading.Lock()\n\n"
+            "def f(q):\n"
+            "    with _LOCK:\n"
+            "        return q.get(timeout=None)\n"
+        )
+        findings = lint_source(
+            source, "src/repro/service/x.py", select=["REP008"]
+        )
+        assert codes_of(findings) == ["REP008"]
+
+    def test_rep008_justified_suppression_silences(self):
+        source = (
+            "import time\n"
+            "import threading\n\n"
+            "_LOCK = threading.Lock()\n\n"
+            "def f():\n"
+            "    with _LOCK:\n"
+            "        time.sleep(0.01)  "
+            "# reprolint: disable=REP008 -- test-only backoff probe\n"
+        )
+        assert lint_source(source, "src/repro/service/x.py") == []

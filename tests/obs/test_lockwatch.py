@@ -1,0 +1,299 @@
+"""LockWatch: factory patching, order graph, inversions, long holds,
+Condition protocol, and the ``repro.lockwatch/1`` validator."""
+
+import json
+import queue
+import threading
+
+import pytest
+
+from repro.obs import (
+    LOCKWATCH_SCHEMA,
+    LockWatch,
+    LockWatchError,
+    validate_lockwatch_jsonl,
+)
+from repro.obs.lockwatch import _WatchedLock
+
+
+def records_of(watch):
+    return [json.loads(line) for line in watch.to_jsonl().splitlines()]
+
+
+class TestInstallation:
+    def test_watching_patches_and_restores_factories(self):
+        watch = LockWatch()
+        before = (threading.Lock, threading.RLock, threading.Condition)
+        with watch.watching():
+            assert isinstance(threading.Lock(), _WatchedLock)
+            assert isinstance(threading.RLock(), _WatchedLock)
+        assert (threading.Lock, threading.RLock, threading.Condition) == before
+        assert type(threading.Lock()).__name__ == "lock"
+
+    def test_locks_created_before_install_stay_plain(self):
+        plain = threading.Lock()
+        with LockWatch().watching():
+            assert not isinstance(plain, _WatchedLock)
+            with plain:
+                pass
+
+    def test_double_install_and_double_uninstall_raise(self):
+        watch = LockWatch()
+        watch.install()
+        try:
+            with pytest.raises(RuntimeError):
+                watch.install()
+        finally:
+            watch.uninstall()
+        with pytest.raises(RuntimeError):
+            watch.uninstall()
+
+    def test_wrapped_lock_still_excludes(self):
+        with LockWatch().watching():
+            lock = threading.Lock()
+            assert not lock.locked()
+            assert lock.acquire(blocking=False)
+            assert lock.locked()
+            assert not lock.acquire(blocking=False)
+            lock.release()
+            assert not lock.locked()
+
+
+class TestOrderGraph:
+    def test_nested_acquisition_records_edge(self):
+        watch = LockWatch()
+        with watch.watching():
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+        summary = watch.summary()
+        assert summary["locks"] == 2
+        assert summary["edges"] == 1
+        assert summary["inversions"] == 0
+
+    def test_abba_inversion_detected(self):
+        watch = LockWatch()
+        with watch.watching():
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        inversions = watch.inversions()
+        assert len(inversions) == 1
+        record = inversions[0]
+        assert sorted(record["first"]) == sorted(record["second"])
+        assert record["stack"], "inversion must carry the acquiring stack"
+        assert record["earlier_stack"], "and the stack of the earlier order"
+        with pytest.raises(LockWatchError, match="inversion"):
+            validate_lockwatch_jsonl(watch.to_jsonl(), forbid_inversions=True)
+        # Without the policy flag the same export is structurally valid.
+        counts = validate_lockwatch_jsonl(watch.to_jsonl())
+        assert counts["inversion"] == 1
+
+    def test_same_creation_site_pairs_are_skipped(self):
+        # Two locks born on one line (e.g. per-instrument locks in a
+        # comprehension) give an ambiguous direction: no edge, and no
+        # spurious inversion however they nest.
+        watch = LockWatch()
+        with watch.watching():
+            a, b = [threading.Lock() for _ in range(2)]
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        assert watch.summary()["edges"] == 0
+        assert watch.inversions() == []
+
+    def test_rlock_reentry_is_not_an_edge(self):
+        watch = LockWatch()
+        with watch.watching():
+            r = threading.RLock()
+            with r:
+                with r:
+                    pass
+        summary = watch.summary()
+        assert summary["edges"] == 0
+        assert summary["inversions"] == 0
+        # Reentrant acquire/release bookkeeping balances: the lock is
+        # free afterwards.
+        assert r.acquire(blocking=False)
+        r.release()
+
+
+class TestHoldTimes:
+    def test_long_hold_reported_with_sites(self):
+        watch = LockWatch(long_hold_threshold_s=0.01)
+        with watch.watching():
+            lock = threading.Lock()
+            with lock:
+                t0 = watch._monotonic()
+                while watch._monotonic() - t0 < 0.02:
+                    pass
+        holds = watch.long_holds()
+        assert len(holds) == 1
+        assert holds[0]["hold_s"] >= 0.01
+        assert holds[0]["site"] == lock.site
+        with pytest.raises(LockWatchError, match="long-hold"):
+            validate_lockwatch_jsonl(watch.to_jsonl(), max_long_holds=0)
+
+    def test_short_hold_not_reported(self):
+        watch = LockWatch(long_hold_threshold_s=30.0)
+        with watch.watching():
+            with threading.Lock():
+                pass
+        assert watch.long_holds() == []
+
+
+class TestConditionProtocol:
+    def test_condition_wait_notify_across_threads(self):
+        watch = LockWatch()
+        with watch.watching():
+            cond = threading.Condition()
+            ready = []
+
+            def waiter():
+                with cond:
+                    while not ready:
+                        cond.wait(timeout=5.0)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            with cond:
+                ready.append(True)
+                cond.notify_all()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        assert watch.summary()["inversions"] == 0
+
+    def test_queue_over_watched_locks(self):
+        # queue.Queue builds Conditions over a patched Lock; the wrapper's
+        # _release_save/_acquire_restore hooks must keep it working.
+        watch = LockWatch()
+        with watch.watching():
+            q = queue.Queue()
+            results = []
+
+            def consumer():
+                results.append(q.get(timeout=5.0))
+
+            thread = threading.Thread(target=consumer)
+            thread.start()
+            q.put("payload")
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        assert results == ["payload"]
+        assert watch.summary()["inversions"] == 0
+
+
+class TestExportAndValidation:
+    def test_export_round_trips(self, tmp_path):
+        watch = LockWatch()
+        with watch.watching():
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+        target = watch.export_jsonl(tmp_path / "out" / "LOCKWATCH_x.jsonl")
+        text = target.read_text(encoding="utf-8")
+        counts = validate_lockwatch_jsonl(text, forbid_inversions=True)
+        assert counts == {"lock": 2, "edge": 1, "inversion": 0, "long_hold": 0}
+        header = json.loads(text.splitlines()[0])
+        assert header["schema"] == LOCKWATCH_SCHEMA
+
+    def test_sites_are_relative_paths(self):
+        watch = LockWatch()
+        with watch.watching():
+            lock = threading.Lock()
+        assert not lock.site.startswith("/")
+        assert "test_lockwatch.py:" in lock.site
+
+    def test_validator_rejects_empty(self):
+        with pytest.raises(LockWatchError, match="empty"):
+            validate_lockwatch_jsonl("")
+
+    def test_validator_rejects_bad_schema(self):
+        line = json.dumps(
+            {
+                "kind": "header",
+                "schema": "repro.lockwatch/0",
+                "long_hold_threshold_s": 0.25,
+                "locks": 0,
+                "edges": 0,
+                "inversions": 0,
+                "long_holds": 0,
+            }
+        )
+        with pytest.raises(LockWatchError, match="schema"):
+            validate_lockwatch_jsonl(line + "\n")
+
+    def test_validator_rejects_header_count_mismatch(self):
+        watch = LockWatch()
+        with watch.watching():
+            with threading.Lock():
+                pass
+        records = records_of(watch)
+        records[0]["locks"] = 7
+        text = "\n".join(json.dumps(r) for r in records)
+        with pytest.raises(LockWatchError, match="declares 7"):
+            validate_lockwatch_jsonl(text)
+
+    def test_validator_rejects_unknown_edge_site(self):
+        watch = LockWatch()
+        with watch.watching():
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+        records = records_of(watch)
+        for record in records:
+            if record["kind"] == "edge":
+                record["acquired"] = "ghost.py:1"
+        text = "\n".join(json.dumps(r) for r in records)
+        with pytest.raises(LockWatchError, match="unknown lock site"):
+            validate_lockwatch_jsonl(text)
+
+    def test_validator_rejects_unknown_kind(self):
+        watch = LockWatch()
+        with watch.watching():
+            with threading.Lock():
+                pass
+        text = watch.to_jsonl() + json.dumps({"kind": "mystery"}) + "\n"
+        with pytest.raises(LockWatchError, match="unknown record kind"):
+            validate_lockwatch_jsonl(text)
+
+
+class TestThreads:
+    def test_cross_thread_acquisitions_counted(self):
+        watch = LockWatch()
+        with watch.watching():
+            lock = threading.Lock()
+
+            def worker():
+                for _ in range(5):
+                    with lock:
+                        pass
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        records = records_of(watch)
+        lock_records = [
+            r
+            for r in records
+            if r["kind"] == "lock" and r["site"] == lock.site
+        ]
+        assert len(lock_records) == 1
+        assert lock_records[0]["acquisitions"] == 20
+        assert watch.summary()["inversions"] == 0

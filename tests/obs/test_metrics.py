@@ -1,6 +1,8 @@
 """Registry semantics: instruments, labels, merging, and the no-op mode."""
 
 import json
+import pickle
+import threading
 
 import pytest
 
@@ -149,6 +151,62 @@ class TestSnapshot:
         path = tmp_path / "metrics.json"
         registry.write(path)
         assert json.loads(path.read_text())["counters"]["c"] == 1
+
+
+class TestThreadSafety:
+    def test_pickle_round_trip_and_independence(self):
+        # Worker registries cross multiprocessing queues: pickling must
+        # drop the locks and thread-locals, and the clone must be a
+        # fully functional, independent registry.
+        registry = MetricsRegistry()
+        registry.counter("jobs", kind="a").inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram("sizes").observe(10.0)
+        registry.timer("step").record(0.5, cpu_seconds=0.25)
+
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.to_dict() == registry.to_dict()
+        clone.counter("jobs", kind="a").inc()
+        assert clone.counter("jobs", kind="a").snapshot() == 4
+        assert registry.counter("jobs", kind="a").snapshot() == 3
+        # The restored instruments still lock correctly (usable from a
+        # fresh thread without sharing state with the original).
+        with clone.timer("step"):
+            pass
+
+    def test_concurrent_counter_incs_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert counter.snapshot() == 8000
+
+    def test_timer_start_stamps_are_thread_local(self):
+        # Two threads sharing one Timer (a labelled endpoint timer) must
+        # each record their own duration, not clobber a shared stamp.
+        registry = MetricsRegistry()
+        timer = registry.timer("endpoint")
+        barrier = threading.Barrier(2)
+
+        def use():
+            barrier.wait(timeout=10.0)
+            with timer:
+                barrier.wait(timeout=10.0)
+
+        threads = [threading.Thread(target=use) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert timer.wall._values()[0] == 2
 
 
 class TestNullRegistry:

@@ -1,9 +1,30 @@
 """Shared fixtures: a tiny trace and a running service instance."""
 
+import os
+
 import pytest
 
-from repro.obs import Instrumentation, set_obs
+from repro.obs import Instrumentation, LockWatch, set_obs
 from repro.service import ReproService, ServiceConfig, ServiceClient, serve_in_thread
+
+
+@pytest.fixture(autouse=True)
+def lockwatch_gate():
+    """Watch every service test's locks when ``REPRO_LOCKWATCH=1``.
+
+    Off by default (plain test runs pay nothing); the CI concurrency job
+    turns it on so the whole service suite — not just the dedicated fuzz
+    tests — runs under the lock-order watchdog.  Any ABBA inversion
+    observed anywhere in a test fails that test at teardown.
+    """
+    if os.environ.get("REPRO_LOCKWATCH") != "1":
+        yield None
+        return
+    watch = LockWatch(long_hold_threshold_s=5.0)
+    with watch.watching():
+        yield watch
+    inversions = watch.inversions()
+    assert inversions == [], f"lock-order inversions observed: {inversions}"
 
 
 @pytest.fixture

@@ -1,0 +1,174 @@
+"""Seeded thread-fuzz of the service's shared state under LockWatch.
+
+Sixteen threads hammer the single-flight :class:`JobTable` and the LRU
+:class:`ResultStore` — the two structures every request crosses — while
+a :class:`LockWatch` observes every lock they create.  The assertions
+are the service's core concurrency contracts:
+
+* exactly one thread per round wins ``get_or_create`` (exactly-once
+  leader execution; everyone else coalesces onto the leader's job);
+* the submitted/coalesced and hit/miss/evict counters stay consistent
+  with the operations actually performed — no lost updates;
+* the watch sees zero lock-order inversions.
+
+Set ``REPRO_LOCKWATCH_OUT=<dir>`` to export the fuzz run's
+``repro.lockwatch/1`` artifact for the CI validation gate.
+"""
+
+import os
+import random
+import threading
+from pathlib import Path
+
+from repro.obs import Instrumentation, LockWatch, set_obs, validate_lockwatch_jsonl
+from repro.service.jobs import JobSpec, JobTable
+from repro.service.store import ResultStore
+
+SEED = 20260808
+THREADS = 16
+
+
+def _spec(trace: str) -> JobSpec:
+    return JobSpec(command="delay-cdf", trace=trace, max_hops=3, grid_points=16)
+
+
+def _run_threads(workers):
+    """Start, join, and propagate the first failure of worker callables."""
+    errors = []
+
+    def guarded(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - repropagated below
+                errors.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=guarded(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads), "fuzz thread hung"
+    if errors:
+        raise errors[0]
+    return errors
+
+
+def _maybe_export(watch: LockWatch, name: str) -> None:
+    out = os.environ.get("REPRO_LOCKWATCH_OUT")
+    if not out:
+        return
+    target = watch.export_jsonl(Path(out) / f"LOCKWATCH_{name}.jsonl")
+    validate_lockwatch_jsonl(
+        target.read_text(encoding="utf-8"), forbid_inversions=True
+    )
+
+
+def test_jobtable_single_flight_under_fuzz():
+    rounds = 24
+    bundle = Instrumentation.started()
+    previous = set_obs(bundle)
+    watch = LockWatch(long_hold_threshold_s=5.0)
+    try:
+        with watch.watching():
+            table = JobTable(history=8)
+            barrier = threading.Barrier(THREADS)
+            created_by_round = [[] for _ in range(rounds)]
+            jobs_by_round = [[] for _ in range(rounds)]
+            record_lock = threading.Lock()
+
+            def worker():
+                for index in range(rounds):
+                    barrier.wait(timeout=30.0)
+                    key = f"fuzz-key-{index}"
+                    job, created = table.get_or_create(key, _spec(key))
+                    with record_lock:
+                        created_by_round[index].append(created)
+                        jobs_by_round[index].append(job)
+
+            _run_threads([worker] * THREADS)
+    finally:
+        set_obs(previous)
+
+    for index in range(rounds):
+        flags = created_by_round[index]
+        assert len(flags) == THREADS
+        assert flags.count(True) == 1, (
+            f"round {index}: {flags.count(True)} leaders; single-flight "
+            "must elect exactly one"
+        )
+        # Every thread got the same Job object and is counted as a waiter.
+        jobs = jobs_by_round[index]
+        assert all(job is jobs[0] for job in jobs)
+        assert jobs[0].waiters == THREADS
+
+    metrics = bundle.metrics
+    assert metrics.counter("service.jobs.submitted").snapshot() == rounds
+    assert (
+        metrics.counter("service.jobs.coalesced").snapshot()
+        == rounds * (THREADS - 1)
+    )
+    assert watch.inversions() == [], watch.inversions()
+    _maybe_export(watch, "service_fuzz_jobtable")
+
+
+def test_result_store_lru_under_fuzz(tmp_path):
+    keys = [f"store-key-{index}" for index in range(24)]
+    payloads = {
+        key: f"payload-{key}|".encode("ascii") * (64 + 8 * index)
+        for index, key in enumerate(keys)
+    }
+    # Budget fits roughly a third of the keys: eviction is guaranteed.
+    max_bytes = sum(len(p) for p in payloads.values()) // 3
+
+    bundle = Instrumentation.started()
+    previous = set_obs(bundle)
+    watch = LockWatch(long_hold_threshold_s=5.0)
+    gets_performed = [0] * THREADS
+    try:
+        with watch.watching():
+            store = ResultStore(tmp_path / "results", max_bytes=max_bytes)
+            barrier = threading.Barrier(THREADS)
+
+            def worker(thread_index):
+                rng = random.Random(SEED + thread_index)
+                barrier.wait(timeout=30.0)
+                for _ in range(40):
+                    key = rng.choice(keys)
+                    if rng.random() < 0.5:
+                        store.put(key, payloads[key])
+                    else:
+                        gets_performed[thread_index] += 1
+                        payload = store.get(key)
+                        if payload is not None:
+                            # Atomic publication: never a torn payload.
+                            assert payload == payloads[key]
+
+            _run_threads(
+                [lambda i=i: worker(i) for i in range(THREADS)]
+            )
+    finally:
+        set_obs(previous)
+
+    metrics = bundle.metrics
+    hits = metrics.counter("service.store.hit").snapshot()
+    misses = metrics.counter("service.store.miss").snapshot()
+    evictions = metrics.counter("service.store.evict").snapshot()
+    total_gets = sum(gets_performed)
+    assert total_gets > 0
+    assert hits + misses == total_gets, (
+        f"hit {hits} + miss {misses} != gets {total_gets}; a counter "
+        "update was lost"
+    )
+    assert evictions > 0, "budget was sized to force eviction"
+
+    # Whatever survived on disk is intact and within a sane bound of the
+    # budget (keep= protects at most one in-flight entry per putter).
+    surviving = list((tmp_path / "results").glob("result-*.bin"))
+    for path in surviving:
+        content = path.read_bytes()
+        assert any(content == payload for payload in payloads.values())
+    assert watch.inversions() == [], watch.inversions()
+    _maybe_export(watch, "service_fuzz_store")

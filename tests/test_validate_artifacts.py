@@ -383,6 +383,102 @@ class TestTraceExport:
             va.validate_trace_export(tmp_path / "absent.jsonl")
 
 
+def _lint_report(tmp_path, source="x = 1\n", path_name="clean.py", jobs=1):
+    from repro.lint import lint_paths, render_json
+
+    tree = tmp_path / "tree" / "src" / "repro" / "core"
+    tree.mkdir(parents=True, exist_ok=True)
+    (tree / path_name).write_text(source, encoding="utf-8")
+    findings, files = lint_paths([str(tmp_path / "tree")], jobs=jobs)
+    target = tmp_path / "lint-report.json"
+    target.write_text(render_json(findings, files), encoding="utf-8")
+    return target
+
+
+class TestLintReport:
+    def test_clean_report_passes(self, tmp_path):
+        path = _lint_report(tmp_path)
+        lines = va.validate_lint_report(path, expect_clean=True)
+        assert any("ok" in line for line in lines)
+
+    def test_report_with_findings_passes_without_expect_clean(self, tmp_path):
+        path = _lint_report(
+            tmp_path, source="import time\n\ndef f():\n    return time.time()\n"
+        )
+        lines = va.validate_lint_report(path)
+        # REP004 (wall clock) + REP005 (missing annotations) both fire.
+        assert any("2 finding(s)" in line for line in lines)
+        with pytest.raises(va.ValidationError, match="expected a clean"):
+            va.validate_lint_report(path, expect_clean=True)
+
+    def test_wrong_schema_fails(self, tmp_path):
+        path = _lint_report(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "repro.lint/0"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(va.ValidationError, match="schema"):
+            va.validate_lint_report(path)
+
+    def test_stale_registry_version_fails(self, tmp_path):
+        path = _lint_report(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["registry"]["version"] = 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(va.ValidationError, match="registry version"):
+            va.validate_lint_report(path)
+
+    def test_rule_list_mismatch_fails(self, tmp_path):
+        path = _lint_report(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["registry"]["rules"] = payload["registry"]["rules"][:-1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(va.ValidationError, match="registry rules"):
+            va.validate_lint_report(path)
+
+    def test_counts_mismatch_fails(self, tmp_path):
+        path = _lint_report(
+            tmp_path, source="import time\n\ndef f():\n    return time.time()\n"
+        )
+        payload = json.loads(path.read_text())
+        payload["counts"] = {}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(va.ValidationError, match="do not match"):
+            va.validate_lint_report(path)
+
+
+def _lockwatch_export(tmp_path):
+    import threading
+
+    from repro.obs import LockWatch
+
+    watch = LockWatch()
+    with watch.watching():
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+    return watch.export_jsonl(tmp_path / "LOCKWATCH_unit.jsonl")
+
+
+class TestLockwatchExport:
+    def test_valid_export_passes(self, tmp_path):
+        path = _lockwatch_export(tmp_path)
+        lines = va.validate_lockwatch_export(path, forbid_inversions=True)
+        assert any("0 inversions" in line for line in lines)
+
+    def test_truncated_export_fails(self, tmp_path):
+        path = _lockwatch_export(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text("\n".join(text.splitlines()[:-1]) + "\n")
+        with pytest.raises(va.ValidationError, match="declares"):
+            va.validate_lockwatch_export(path)
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(va.ValidationError, match="cannot read"):
+            va.validate_lockwatch_export(tmp_path / "absent.jsonl")
+
+
 class TestCli:
     def test_bench_subcommand_exit_codes(self, tmp_path, capsys):
         _write(tmp_path / "BENCH_a.json", _bench_payload())
@@ -415,3 +511,24 @@ class TestCli:
         assert "ok" in capsys.readouterr().out
         assert va.main(["trace", str(path), "--require-span", "nope"]) == 1
         assert "nope" in capsys.readouterr().err
+
+    def test_lint_subcommand_exit_codes(self, tmp_path, capsys):
+        clean = _lint_report(tmp_path)
+        assert va.main(["lint", str(clean), "--expect-clean"]) == 0
+        assert "ok" in capsys.readouterr().out
+        dirty = _lint_report(
+            tmp_path,
+            source="import time\n\ndef f():\n    return time.time()\n",
+            path_name="dirty.py",
+        )
+        assert va.main(["lint", str(dirty), "--expect-clean"]) == 1
+        assert "expected a clean" in capsys.readouterr().err
+
+    def test_lockwatch_subcommand_exit_codes(self, tmp_path, capsys):
+        path = _lockwatch_export(tmp_path)
+        assert va.main(["lockwatch", str(path), "--forbid-inversions"]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert (
+            va.main(["lockwatch", str(path), "--max-long-holds", "-1"]) == 1
+        )
+        assert "long-hold" in capsys.readouterr().err
