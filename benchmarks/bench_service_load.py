@@ -16,7 +16,13 @@ counters CI validates:
   cold service must answer byte-identically to the monolithic path,
   report complete ``shards_done/shards_total`` progress, and record the
   ``service.shards.*`` counters; monolithic and sharded cold wall times
-  ride along so EXPERIMENTS.md can cite the overhead/benefit.
+  ride along so EXPERIMENTS.md can cite the overhead/benefit;
+* **recovery** — a journal-enabled server *subprocess* is SIGKILLed
+  mid-sharded-job; an in-process restart over the same journal + cache
+  must replay, skip the checkpointed shards, and finish the job with
+  byte-identical output.  Exports ``recovery_s`` (replay + re-enqueue),
+  ``drain_s`` (until the recovered job completed), replayed-event
+  counts, and a journal append-rate probe with fsync on vs off.
 
 The summary (including p10/p50/p90/p99 request latencies) lands on the
 run manifest (``params.service_load``), which
@@ -27,6 +33,8 @@ leader's trace is exported to ``TRACE_service_load.jsonl`` for
 
 import io
 import os
+import subprocess
+import sys
 import tempfile
 import threading
 import time
@@ -35,6 +43,8 @@ from contextlib import redirect_stdout
 import numpy as np
 
 from _common import SEED, banner, standalone
+
+import repro
 from repro.cli import main as cli_main
 from repro.obs import get_obs
 from repro.service import (
@@ -43,6 +53,7 @@ from repro.service import (
     ServiceConfig,
     serve_in_thread,
 )
+from repro.service.journal import JournalWriter, replay, validate_journal_dir
 
 #: Concurrent identical queries in the coalescing phase (the issue's
 #: acceptance bar: >= 7/8 of them coalesced onto one computation).
@@ -53,6 +64,9 @@ REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "60"))
 
 #: The query every phase issues (small enough for smoke CI).
 QUERY = {"max_hops": 3, "grid_points": 8}
+
+#: Appends per leg of the journal fsync-overhead probe.
+JOURNAL_APPENDS = int(os.environ.get("REPRO_BENCH_JOURNAL_APPENDS", "256"))
 
 
 def cli_reference_bytes(trace):
@@ -246,6 +260,137 @@ def phase_sharded(root, trace, expected):
     }
 
 
+def _journal_append_rate(journal_dir, fsync):
+    """Appends/s of a throwaway journal with fsync on or off."""
+    writer = JournalWriter(journal_dir, fsync=fsync)
+    begin = time.perf_counter()
+    for index in range(JOURNAL_APPENDS):
+        writer.append("submitted", f"{index:064x}", spec={"probe": index})
+    elapsed = time.perf_counter() - begin
+    writer.close()
+    return JOURNAL_APPENDS / elapsed
+
+
+def phase_recovery(root, trace, expected):
+    """SIGKILL a journal-enabled server mid-job; restart; drain.
+
+    The first life runs as a real subprocess so the kill takes the
+    whole process — HTTP shell, supervisor, workers and journal stream
+    — at an arbitrary point between shard checkpoints.  The second
+    life restarts *in-process* over the same journal and cache, so its
+    ``service.recovery.*`` counters land in this bench's obs bundle
+    and the manifest.
+    """
+    cache = os.path.join(root, "recover", "cache")
+    journal_dir = os.path.join(root, "recover", "journal")
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    shards = 4
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--cache-dir", cache, "--journal-dir", journal_dir,
+            "--port", "0", "--workers", "1", "--allow-test-delay",
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    try:
+        banner_line = proc.stdout.readline()
+        assert "listening on" in banner_line, banner_line
+        url = banner_line.strip().rsplit(" ", 1)[-1]
+        victim = ServiceClient(url, timeout_s=60.0)
+
+        def submit():
+            try:
+                victim.delay_cdf(
+                    trace, shards=shards, _test_delay_s=0.8, **QUERY
+                )
+            except OSError:
+                pass  # the server dies under this request by design
+
+        threading.Thread(target=submit, daemon=True).start()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if any(e.shards_done for e in replay(journal_dir).episodes.values()):
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("no shard checkpoint journaled before kill")
+        time.sleep(0.2)  # the next shard sits in its injected delay
+        proc.kill()
+        proc.wait(timeout=10.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+    state = replay(journal_dir)
+    assert len(state.unfinished()) == 1, "expected one unfinished episode"
+    episode = state.unfinished()[0]
+    key = episode.key
+    shards_done_before = len(episode.shards_done)
+    assert 1 <= shards_done_before < shards, (
+        f"kill landed outside the checkpoint window: "
+        f"{shards_done_before}/{shards} shards done"
+    )
+    events_before = state.events
+
+    begin = time.perf_counter()
+    service = ReproService(
+        ServiceConfig(
+            cache_dir=cache,
+            journal_dir=journal_dir,
+            workers=1,
+            allow_test_delay=True,
+        )
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if replay(journal_dir).episodes[key].state == "done":
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("recovered job never completed")
+        drain_s = time.perf_counter() - begin
+        byte_identical = service.store.get(key) == expected
+        assert byte_identical, "recovered bytes differ from the CLI's"
+    finally:
+        service.close(drain=True, timeout_s=30.0)
+    validate_journal_dir(journal_dir)
+
+    snapshot = get_obs().metrics.to_dict()
+    counters = snapshot["counters"]
+    replayed = int(counters.get("service.journal.replayed", 0))
+    requeued = int(counters.get("service.recovery.requeued", 0))
+    skipped = int(counters.get("service.recovery.shards_skipped", 0))
+    recovery_s = snapshot["gauges"].get("service.recovery.duration_s")
+    assert replayed >= events_before, f"replayed {replayed} < {events_before}"
+    assert requeued >= 1 and skipped == shards_done_before
+
+    fsync_rate = _journal_append_rate(os.path.join(root, "fsync-on"), True)
+    nofsync_rate = _journal_append_rate(os.path.join(root, "fsync-off"), False)
+    return {
+        "shards": shards,
+        "shards_done_before_kill": shards_done_before,
+        "events_before_restart": events_before,
+        "events_replayed": replayed,
+        "requeued": requeued,
+        "shards_skipped": skipped,
+        "recovery_s": float(recovery_s or 0.0),
+        "drain_s": drain_s,
+        "byte_identical": byte_identical,
+        "journal_valid": True,
+        "fsync": {
+            "appends": JOURNAL_APPENDS,
+            "fsync_appends_per_s": fsync_rate,
+            "nofsync_appends_per_s": nofsync_rate,
+            "fsync_overhead_x": nofsync_rate / fsync_rate,
+        },
+    }
+
+
 def export_leader_trace(client, trace_id):
     """Save the coalesce leader's trace next to the BENCH JSON.
 
@@ -267,7 +412,8 @@ def export_leader_trace(client, trace_id):
 def main():
     banner(
         "service_load",
-        "query service under load: coalescing, throughput, backpressure",
+        "query service under load: coalescing, throughput, backpressure, "
+        "crash recovery",
     )
     root = tempfile.mkdtemp(prefix="repro-service-bench-")
     trace = os.path.join(root, "trace.txt")
@@ -288,12 +434,14 @@ def main():
         service.close(drain=True, timeout_s=30.0)
     backpressure = phase_backpressure(root, trace)
     sharded = phase_sharded(root, trace, expected)
+    recovery = phase_recovery(root, trace, expected)
 
     summary = {
         "coalesce": coalesce,
         "throughput": throughput,
         "backpressure": backpressure,
         "sharded": sharded,
+        "recovery": recovery,
     }
     obs = get_obs()
     if obs.enabled and obs.manifest is not None:
@@ -317,6 +465,16 @@ def main():
           f"shards, byte-identical {sharded['byte_identical']}, "
           f"cold wall {sharded['wall_s']:.2f}s vs monolithic "
           f"{sharded['monolithic_wall_s']:.2f}s")
+    print(f"recovery:      {recovery['shards_done_before_kill']}/"
+          f"{recovery['shards']} shards checkpointed before SIGKILL, "
+          f"{recovery['events_replayed']} events replayed in "
+          f"{recovery['recovery_s'] * 1000:.1f} ms, drained in "
+          f"{recovery['drain_s']:.2f}s, byte-identical "
+          f"{recovery['byte_identical']}")
+    print(f"journal:       {recovery['fsync']['fsync_appends_per_s']:.0f} "
+          f"appends/s fsynced vs "
+          f"{recovery['fsync']['nofsync_appends_per_s']:.0f} without "
+          f"({recovery['fsync']['fsync_overhead_x']:.1f}x overhead)")
     print(f"trace:         leader trace {coalesce['leader_trace_id']} "
           f"exported to {trace_path}")
     return 0

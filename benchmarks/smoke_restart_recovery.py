@@ -1,0 +1,200 @@
+"""CI smoke: SIGKILL a journal-enabled server mid-job, restart, recover.
+
+Drives two real ``python -m repro.service serve`` subprocesses over one
+``--journal-dir``:
+
+1. life 1 takes a sharded delay-CDF query and is SIGKILLed after the
+   first ``shard_done`` checkpoint commits but before the job finishes;
+2. life 2 replays the journal, re-enqueues the job, and must recompute
+   **only the missing shards** — asserted from its ``/metrics``
+   endpoint: ``profiles_cache_miss`` equals the missing shard count and
+   ``service_recovery_shards_skipped`` equals the checkpointed count.
+
+The recovered result must be byte-identical to the ``repro`` CLI's
+output for the same query, and the journal must still validate as one
+stream afterwards (``validate_artifacts.py journal`` re-checks it as a
+separate CI step)::
+
+    PYTHONPATH=src python benchmarks/smoke_restart_recovery.py
+"""
+
+import io
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from contextlib import redirect_stdout
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.service.journal import replay, validate_journal_dir  # noqa: E402
+
+SHARDS = 4
+QUERY = {"max_hops": 3, "grid_points": 8}
+
+
+def start_server(cache, journal_dir):
+    """One server life as a real subprocess; returns (proc, client)."""
+    src_dir = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--cache-dir", cache, "--journal-dir", journal_dir,
+            "--port", "0", "--workers", "1", "--allow-test-delay",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    assert "listening on" in banner, f"unexpected banner: {banner!r}"
+    url = banner.strip().rsplit(" ", 1)[-1]
+    return proc, ServiceClient(url, timeout_s=120.0)
+
+
+def prometheus_value(text, name):
+    """The (label-free) sample value for ``name``, or 0.0."""
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.rsplit(" ", 1)[-1])
+    return 0.0
+
+
+def wait_until(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="repro-recovery-smoke-")
+    trace = os.path.join(root, "trace.txt")
+    scale = os.environ.get("REPRO_BENCH_SCALE", "0.05")
+    code = cli_main(
+        ["generate", "infocom05", trace, "--seed", "1", "--scale", scale]
+    )
+    assert code == 0, "trace generation failed"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli_main(
+            [
+                "delay-cdf", trace,
+                "--max-hops", str(QUERY["max_hops"]),
+                "--grid-points", str(QUERY["grid_points"]),
+            ]
+        )
+    assert code == 0, "reference CLI run failed"
+    expected = buffer.getvalue().encode("utf-8")
+
+    cache = os.path.join(root, "cache")
+    journal_dir = os.path.join(root, "journal")
+
+    # -- life 1: take the job, die between shard checkpoints -----------
+    proc, client = start_server(cache, journal_dir)
+    try:
+        def submit():
+            try:
+                client.delay_cdf(
+                    trace, shards=SHARDS, _test_delay_s=0.8, **QUERY
+                )
+            except OSError:
+                pass  # the server dies under this request by design
+
+        threading.Thread(target=submit, daemon=True).start()
+        wait_until(
+            lambda: any(
+                e.shards_done for e in replay(journal_dir).episodes.values()
+            ),
+            60.0,
+            "the first journaled shard checkpoint",
+        )
+        time.sleep(0.2)  # the next shard sits in its injected delay
+        proc.kill()  # SIGKILL: no drain, no goodbye
+        proc.wait(timeout=10.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+    state = replay(journal_dir)
+    assert len(state.unfinished()) == 1, "expected one unfinished episode"
+    episode = state.unfinished()[0]
+    key = episode.key
+    checkpointed = len(episode.shards_done)
+    assert 1 <= checkpointed < SHARDS, (
+        f"kill landed outside the checkpoint window: "
+        f"{checkpointed}/{SHARDS} shards done"
+    )
+    print(
+        f"life 1: SIGKILLed with {checkpointed}/{SHARDS} shard "
+        f"checkpoint(s) journaled ({state.events} events on disk)"
+    )
+
+    # -- life 2: replay, finish, recompute only what is missing --------
+    proc, client = start_server(cache, journal_dir)
+    try:
+        wait_until(
+            lambda: replay(journal_dir).episodes[key].state == "done",
+            120.0,
+            "the recovered job to complete",
+        )
+        metrics = client.metrics_text()
+        requeued = prometheus_value(metrics, "service_recovery_requeued")
+        skipped = prometheus_value(
+            metrics, "service_recovery_shards_skipped"
+        )
+        misses = prometheus_value(metrics, "profiles_cache_miss")
+        assert requeued == 1, f"requeued {requeued} jobs, expected 1"
+        assert skipped == checkpointed, (
+            f"skipped {skipped} shard(s), journal had {checkpointed} "
+            "checkpoint(s)"
+        )
+        assert misses == SHARDS - checkpointed, (
+            f"life 2 recomputed a checkpointed shard: "
+            f"{misses} cache misses for {SHARDS - checkpointed} "
+            "missing shard(s)"
+        )
+        response = client.delay_cdf(trace, **QUERY)
+        assert response.status == 200, f"status {response.status}"
+        assert response.headers.get("X-Repro-Source") == "store", (
+            "recovered result was not served from the store"
+        )
+        assert response.body == expected, (
+            "recovered bytes differ from the CLI's"
+        )
+        print(
+            f"life 2: replayed and finished the job — "
+            f"{int(skipped)} shard(s) skipped, "
+            f"{int(misses)} recomputed, byte-identical to the CLI"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)  # graceful drain this time
+            proc.wait(timeout=30.0)
+
+    summary = validate_journal_dir(journal_dir)
+    assert summary["open_episodes"] == 0, summary
+    print(
+        f"journal: valid ({summary['events']} events, "
+        f"{summary['closed_episodes']} closed episode(s))"
+    )
+    print(f"journal dir: {journal_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,13 @@ checkout's rules, counts consistent with the findings, findings
 sorted); ``--expect-clean`` additionally fails on any finding.
 ``lockwatch`` checks a ``repro.lockwatch/1`` JSONL export;
 ``--forbid-inversions`` / ``--max-long-holds`` add the CI policy gates.
+``journal`` checks a ``repro.journal/1`` write-ahead journal directory
+as one event stream (schema, monotonic seq, episode discipline, torn
+line only at the tail); ``--forbid-open`` additionally fails when any
+episode never reached a terminal event::
+
+    PYTHONPATH=src python benchmarks/validate_artifacts.py journal \\
+        /tmp/repro-journal --forbid-open
 
 ::
 
@@ -141,7 +148,9 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
     summary = manifest["params"].get("service_load")
     if not isinstance(summary, dict):
         raise ValidationError(f"{path}: no service_load summary on manifest")
-    for section in ("coalesce", "throughput", "backpressure", "sharded"):
+    for section in (
+        "coalesce", "throughput", "backpressure", "sharded", "recovery"
+    ):
         if not isinstance(summary.get(section), dict):
             raise ValidationError(f"{path}: summary missing {section!r}")
     coalesce = summary["coalesce"]
@@ -206,6 +215,42 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
                 f"{path}: counter {name} below shard count "
                 f"({counters.get(name, 0)} < {shards_total})"
             )
+    recovery = summary["recovery"]
+    if recovery.get("byte_identical") is not True:
+        raise ValidationError(
+            f"{path}: recovered result was not byte-identical to the CLI"
+        )
+    if recovery.get("journal_valid") is not True:
+        raise ValidationError(
+            f"{path}: journal did not validate after recovery"
+        )
+    if int(recovery.get("events_replayed", 0)) <= 0:
+        raise ValidationError(f"{path}: recovery replayed no journal events")
+    if int(recovery.get("requeued", 0)) < 1:
+        raise ValidationError(f"{path}: recovery re-enqueued no jobs")
+    skipped = int(recovery.get("shards_skipped", 0))
+    done_before = int(recovery.get("shards_done_before_kill", -1))
+    if skipped < 1 or skipped != done_before:
+        raise ValidationError(
+            f"{path}: recovery recomputed checkpointed shards "
+            f"(skipped {skipped}, checkpointed {done_before})"
+        )
+    if not float(recovery.get("drain_s", 0.0)) > 0.0:
+        raise ValidationError(f"{path}: non-positive recovery drain time")
+    if float(recovery.get("recovery_s", -1.0)) < 0.0:
+        raise ValidationError(f"{path}: missing recovery_s measurement")
+    fsync = recovery.get("fsync")
+    if not isinstance(fsync, dict):
+        raise ValidationError(f"{path}: recovery missing fsync probe")
+    for rate in ("fsync_appends_per_s", "nofsync_appends_per_s"):
+        if not float(fsync.get(rate, 0.0)) > 0.0:
+            raise ValidationError(
+                f"{path}: fsync probe rate {rate} is not positive"
+            )
+    if counters.get("service.recovery.requeued", 0) < 1:
+        raise ValidationError(
+            f"{path}: no service.recovery.requeued counter recorded"
+        )
     return [
         f"coalesce: {coalesce['coalesced']}/{concurrency} "
         f"(ratio {ratio:.3f}, byte-identical)",
@@ -214,6 +259,12 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
         f"backpressure: 429 + Retry-After "
         f"{backpressure.get('retry_after_s')}s",
         f"sharded: {shards_done}/{shards_total} shards, byte-identical",
+        f"recovery: {recovery['events_replayed']} events replayed, "
+        f"{skipped} shard(s) skipped, drained in "
+        f"{float(recovery['drain_s']):.2f}s, byte-identical",
+        f"journal fsync probe: "
+        f"{float(fsync['fsync_appends_per_s']):.0f} vs "
+        f"{float(fsync['nofsync_appends_per_s']):.0f} appends/s",
     ]
 
 
@@ -316,6 +367,30 @@ def validate_lint_report(
     ]
 
 
+def validate_journal_artifact(
+    path: pathlib.Path, forbid_open: bool = False
+) -> List[str]:
+    """Check one ``repro.journal/1`` directory as a single event stream."""
+    from repro.service.journal import JournalError, validate_journal_dir
+
+    try:
+        summary = validate_journal_dir(path)
+    except JournalError as exc:
+        raise ValidationError(f"{path}: {exc}") from exc
+    open_episodes = int(summary["open_episodes"])
+    if forbid_open and open_episodes:
+        raise ValidationError(
+            f"{path}: {open_episodes} episode(s) still open "
+            "(expected every job to have reached a terminal event)"
+        )
+    return [
+        f"{path}: ok ({summary['events']} events, last seq "
+        f"{summary['last_seq']}, {open_episodes} open / "
+        f"{summary['closed_episodes']} closed episode(s), "
+        f"{summary['torn_lines']} torn line(s))"
+    ]
+
+
 def validate_lockwatch_export(
     path: pathlib.Path,
     forbid_inversions: bool = False,
@@ -384,6 +459,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="fail if the report contains any finding",
     )
+    journal = sub.add_parser(
+        "journal", help="validate a repro.journal/1 directory"
+    )
+    journal.add_argument("journal_dir", type=pathlib.Path)
+    journal.add_argument(
+        "--forbid-open",
+        action="store_true",
+        help="fail when any episode is still open (no terminal event)",
+    )
     lockwatch = sub.add_parser(
         "lockwatch", help="validate a repro.lockwatch/1 JSONL export"
     )
@@ -416,6 +500,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.command == "lint":
             lines = validate_lint_report(
                 args.artifact, expect_clean=args.expect_clean
+            )
+        elif args.command == "journal":
+            lines = validate_journal_artifact(
+                args.journal_dir, forbid_open=args.forbid_open
             )
         elif args.command == "lockwatch":
             lines = validate_lockwatch_export(

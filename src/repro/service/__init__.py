@@ -13,10 +13,17 @@ the semantics a query service needs under load:
   respawn, graceful drain on shutdown;
 * **a content-addressed LRU result store** (:mod:`repro.service.store`)
   — repeat queries are one file read;
+* **a durable write-ahead job journal** (:mod:`repro.service.journal`)
+  — with ``--journal-dir``, every lifecycle transition commits to an
+  append-only fsynced ``repro.journal/1`` log before it happens; a
+  restarted server replays it, re-enqueues unfinished jobs
+  (interactive-first, shard checkpoints skipped) and dead-letters
+  jobs that keep crashing workers;
 * **an HTTP shell** (:mod:`repro.service.app`) — ``POST /v1/diameter``,
-  ``POST /v1/delay-cdf``, ``GET /v1/jobs/<id>``, ``GET /healthz``,
-  ``GET /metrics`` (Prometheus text via :mod:`repro.obs`), plus the live
-  trace ring under ``GET /debug/traces[/<trace_id>]``;
+  ``POST /v1/delay-cdf``, ``GET /v1/jobs`` (+ ``/<id>``),
+  ``GET /healthz``, ``GET /metrics`` (Prometheus text via
+  :mod:`repro.obs`), plus the live trace ring under
+  ``GET /debug/traces[/<trace_id>]``;
 * **request tracing end to end** — every request carries a
   :class:`repro.obs.TraceContext`; spans recorded in the handler thread,
   the pool supervisor and the worker process reassemble into one
@@ -42,14 +49,33 @@ from .app import (
     with_trace,
 )
 from .client import ServiceClient, ServiceResponse, ServiceUnreachable
-from .jobs import BadRequest, JobSpec, JobTable, job_key, normalize_request
+from .jobs import (
+    BadRequest,
+    JobSpec,
+    JobTable,
+    PRIORITIES,
+    job_key,
+    normalize_request,
+)
+from .journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalWriter,
+    compact,
+    replay,
+    validate_journal_dir,
+)
 from .pool import PoolClosed, PoolSaturated, WorkerPool
 from .store import ResultStore
 
 __all__ = [
     "BadRequest",
+    "JOURNAL_SCHEMA",
     "JobSpec",
     "JobTable",
+    "JournalError",
+    "JournalWriter",
+    "PRIORITIES",
     "PoolClosed",
     "PoolSaturated",
     "ReproService",
@@ -60,10 +86,13 @@ __all__ = [
     "ServiceResponse",
     "ServiceUnreachable",
     "WorkerPool",
+    "compact",
     "job_key",
     "make_server",
     "mint_context",
     "normalize_request",
+    "replay",
     "serve_in_thread",
+    "validate_journal_dir",
     "with_trace",
 ]

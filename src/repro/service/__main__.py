@@ -6,12 +6,16 @@ Subcommands:
   worker pool gracefully before exiting);
 * ``submit`` — send one query to a running server and print the raw
   response body (byte-identical to the equivalent ``repro`` CLI run);
-* ``ping`` — fetch ``/healthz`` and report it.
+* ``jobs`` — list a running server's queue, history and dead letters;
+* ``ping`` — fetch ``/healthz`` and report it;
+* ``compact-journal`` — offline compaction of a ``--journal-dir``
+  (run only while no server writes to it).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 import threading
@@ -23,7 +27,8 @@ from ..obs import observed
 from ..obs.log import get_logger
 from .app import ReproService, ServiceConfig, make_server
 from .client import ServiceClient, ServiceUnreachable
-from .jobs import COMMANDS
+from .jobs import COMMANDS, PRIORITIES, STATES
+from .journal import compact
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -38,6 +43,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         allow_test_delay=args.allow_test_delay,
         slow_job_threshold_s=args.slow_job_threshold,
         trace_capacity=args.trace_capacity,
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.journal_no_fsync,
+        dead_letter_attempts=args.dead_letter_attempts,
+        batch_aging_s=args.batch_aging,
     )
     log = get_logger("repro.service")
     with observed(params={"command": "service.serve"}):
@@ -84,9 +93,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         params["eps"] = args.eps
     if args.shards is not None:
         params["shards"] = args.shards
+    if args.priority is not None:
+        params["priority"] = args.priority
     try:
         response = client.query(
-            args.service_command, args.trace, retries=2, **params
+            args.service_command,
+            args.trace,
+            retries=2,
+            wait_on_backpressure=args.wait_on_backpressure,
+            max_wait_s=args.max_wait,
+            **params,
         )
     except ServiceUnreachable as exc:
         print(f"repro.service: {exc}", file=sys.stderr)
@@ -100,6 +116,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"service saturated; Retry-After: {retry}s", file=sys.stderr)
         return 3
     return 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    try:
+        response = client.jobs(
+            state=args.state, priority=args.priority, limit=args.limit
+        )
+    except ServiceUnreachable as exc:
+        print(f"repro.service: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(response.text())
+    return 0 if response.ok else 1
+
+
+def _cmd_compact_journal(args: argparse.Namespace) -> int:
+    try:
+        summary = compact(
+            args.journal_dir, drop_dead_letters=args.drop_dead_letters
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro.service: compaction failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_ping(args: argparse.Namespace) -> int:
@@ -155,6 +196,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="traces retained by the /debug/traces ring (>= 1)",
     )
     serve.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead job journal directory; enables crash recovery "
+        "(omitted: job state dies with the process)",
+    )
+    serve.add_argument(
+        "--journal-no-fsync", action="store_true",
+        help="skip the per-record fsync (faster, loses the last events "
+        "on power failure; fine for tests and benchmarks)",
+    )
+    serve.add_argument(
+        "--dead-letter-attempts", type=positive_int, default=3,
+        help="dead-letter a job after this many worker crashes, counted "
+        "across restarts (>= 1)",
+    )
+    serve.add_argument(
+        "--batch-aging", type=float, default=30.0, metavar="SECONDS",
+        help="a queued batch job older than this jumps ahead of "
+        "interactive work (anti-starvation)",
+    )
+    serve.add_argument(
         "--allow-test-delay", action="store_true", help=argparse.SUPPRESS
     )
     serve.set_defaults(func=_cmd_serve)
@@ -175,11 +236,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the job out over this many source shards on the server "
         "(byte-identical output; completed shards survive worker crashes)",
     )
+    submit.add_argument(
+        "--priority", choices=PRIORITIES, default=None,
+        help="admission class (default: interactive)",
+    )
+    submit.add_argument(
+        "--wait-on-backpressure", action="store_true",
+        help="on 429, honour the server's Retry-After and resubmit "
+        "instead of failing immediately",
+    )
+    submit.add_argument(
+        "--max-wait", type=float, default=60.0, metavar="SECONDS",
+        help="total backpressure wait budget for --wait-on-backpressure",
+    )
     submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list the server's queue, history and dead letters"
+    )
+    _add_client_arguments(jobs)
+    jobs.add_argument("--state", choices=STATES, default=None)
+    jobs.add_argument("--priority", choices=PRIORITIES, default=None)
+    jobs.add_argument("--limit", type=positive_int, default=None)
+    jobs.set_defaults(func=_cmd_jobs)
 
     ping = sub.add_parser("ping", help="print /healthz")
     _add_client_arguments(ping)
     ping.set_defaults(func=_cmd_ping)
+
+    compact_journal = sub.add_parser(
+        "compact-journal",
+        help="offline journal compaction (no server may be writing)",
+    )
+    compact_journal.add_argument(
+        "journal_dir", metavar="DIR", help="the --journal-dir to compact"
+    )
+    compact_journal.add_argument(
+        "--drop-dead-letters", action="store_true",
+        help="also drop dead-lettered episodes (clears the poison set; "
+        "the affected jobs become submittable again)",
+    )
+    compact_journal.set_defaults(func=_cmd_compact_journal)
 
     return parser
 

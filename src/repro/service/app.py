@@ -10,7 +10,10 @@ Endpoints (all under a threaded stdlib :class:`ThreadingHTTPServer`):
   → worker pool, so identical concurrent queries compute once and
   repeated queries never compute at all.  A saturated pool answers
   ``429`` with ``Retry-After``.
-* ``GET /v1/jobs/<id>`` — JSON status of an in-flight or recent job.
+* ``GET /v1/jobs/<id>`` — JSON status of an in-flight, recent, or
+  dead-lettered job.
+* ``GET /v1/jobs`` — the queue, recent history, and dead-letter set
+  (``?state=`` / ``?priority=`` filters, ``?limit=`` page bound).
 * ``GET /healthz`` — pool/queue/store health; ``200`` healthy, ``503``
   degraded (a worker died and has not been respawned yet) or draining.
 * ``GET /metrics`` — the active :mod:`repro.obs` registry in Prometheus
@@ -31,6 +34,15 @@ handling, admission, attempts, worker execution, engine internals — as
 one tree.  Every response carries ``X-Repro-Trace``; every JSON error
 body carries a top-level ``trace_id``.
 
+Durability: with ``journal_dir`` set, every job lifecycle transition is
+committed to the write-ahead journal (:mod:`repro.service.journal`)
+*before* the action it records — ``submitted`` before the pool sees the
+task — so a SIGKILL loses no admitted work.  ``__init__`` replays the
+journal, re-enqueues open episodes interactive-first (skipping shards
+whose checkpoints already landed), and dead-letters episodes past the
+crash budget; the recovery pass is traced under a ``service.recover``
+root span.
+
 The service records into whatever obs bundle is active when it starts
 (``python -m repro.service serve`` installs one; the benchmark harness
 runs the server inside its own ``bench_session``), so service counters
@@ -46,7 +58,8 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Type
+from typing import Any, Collection, Dict, List, Optional, Tuple, Type
+from urllib.parse import parse_qs, urlsplit
 
 from ..core.shards import shard_sources
 from ..obs import get_obs
@@ -66,11 +79,23 @@ from .jobs import (
     JobSpec,
     JobTable,
     NetworkCache,
+    PRIORITIES,
+    STATES,
     job_key,
     normalize_request,
 )
+from .journal import (
+    DEFAULT_SEGMENT_BYTES,
+    EpisodeState,
+    JournalState,
+    JournalWriter,
+    replay,
+)
 from .pool import PoolClosed, PoolSaturated, Result, Task, WorkerPool
 from .store import ResultStore
+
+#: recovery re-enqueues interactive episodes before batch ones.
+_PRIORITY_RANK = {priority: i for i, priority in enumerate(PRIORITIES)}
 
 
 @dataclass
@@ -94,6 +119,21 @@ class ServiceConfig:
     slow_job_threshold_s: float = 30.0
     #: how many traces the debug ring retains.
     trace_capacity: int = 256
+    #: write-ahead journal directory; None disables durability (the
+    #: seed behaviour: job state dies with the process).
+    journal_dir: Optional[str] = None
+    #: fsync every journal record (the durability contract); tests and
+    #: benchmarks may trade durability for speed.
+    journal_fsync: bool = True
+    #: journal segment rotation threshold.
+    journal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: a job whose episode has crashed this many server lives (counted
+    #: as ``running`` journal events plus the current life's attempts)
+    #: is dead-lettered instead of retried.
+    dead_letter_attempts: int = 3
+    #: a queued batch task older than this jumps ahead of interactive
+    #: work (the pool's anti-starvation aging knob).
+    batch_aging_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -110,6 +150,15 @@ class ServiceConfig:
         if self.trace_capacity < 1:
             raise ValueError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.dead_letter_attempts < 1:
+            raise ValueError(
+                "dead_letter_attempts must be >= 1, got "
+                f"{self.dead_letter_attempts}"
+            )
+        if self.batch_aging_s <= 0:
+            raise ValueError(
+                f"batch_aging_s must be > 0, got {self.batch_aging_s}"
             )
 
 
@@ -209,6 +258,18 @@ class ReproService:
         self.jobs = JobTable()
         self.traces = TraceStore(capacity=config.trace_capacity)
         self.log = get_logger("repro.service")
+        # Replay *before* opening the writer: the writer's seq counter
+        # must continue past the previous life's last durable record.
+        self.journal: Optional[JournalWriter] = None
+        recovery_state: Optional[JournalState] = None
+        if config.journal_dir is not None:
+            recovery_state = replay(config.journal_dir)
+            self.journal = JournalWriter(
+                config.journal_dir,
+                fsync=config.journal_fsync,
+                segment_max_bytes=config.journal_segment_bytes,
+                next_seq=recovery_state.next_seq,
+            )
         self.pool = WorkerPool(
             size=config.workers,
             queue_capacity=config.queue_capacity,
@@ -217,13 +278,74 @@ class ReproService:
             max_attempts=config.max_attempts,
             respawn_delay_s=config.respawn_delay_s,
             trace_sink=self._ingest_span,
+            aging_s=config.batch_aging_s,
         )
         self.pool.start()
+        if recovery_state is not None:
+            self._recover(recovery_state)
 
     # -- pool callbacks -------------------------------------------------
     def _ingest_span(self, record: Dict[str, Any]) -> None:
         """File a supervisor-built span record under its trace."""
         self.traces.add_spans(str(record["trace_id"]), [record])
+
+    def _journal_event(self, event: str, key: str, **fields: object) -> None:
+        """Append one journal record, if durability is on."""
+        if self.journal is not None:
+            self.journal.append(event, key, **fields)
+
+    def _finish_job(
+        self,
+        key: str,
+        exit_code: Optional[int] = None,
+        output: Optional[bytes] = None,
+        stderr: str = "",
+        error: Optional[Dict[str, object]] = None,
+        dead_letter: bool = False,
+    ) -> Optional[Job]:
+        """Complete a job in the table *and* close its journal episode.
+
+        Every terminal transition funnels through here so the journal
+        can never miss one — an episode left open by a forgotten call
+        site would be re-executed on every restart.
+        """
+        job = self.jobs.complete(
+            key,
+            exit_code=exit_code,
+            output=output,
+            stderr=stderr,
+            error=error,
+            dead_letter=dead_letter,
+        )
+        if job is None:
+            return None
+        if dead_letter:
+            self._journal_event(
+                "dead_lettered",
+                key,
+                crashes=job.prior_crashes + job.attempts,
+                error_type=str((error or {}).get("type") or "worker-crashed"),
+            )
+        elif error is not None:
+            self._journal_event(
+                "failed",
+                key,
+                error_type=str(error.get("type") or "unknown"),
+                message=str(error.get("message") or "")[:200],
+            )
+        else:
+            self._journal_event("completed", key, exit_code=exit_code)
+        return job
+
+    def _crash_budget_exceeded(self, key: str, attempts: int) -> bool:
+        """True when one more retry would exceed the crash budget.
+
+        ``prior_crashes`` counts ``running`` events journaled by earlier
+        server lives; ``attempts`` counts this life's worker crashes.
+        """
+        job = self.jobs.by_key(key)
+        prior = 0 if job is None else job.prior_crashes
+        return prior + attempts >= self.config.dead_letter_attempts
 
     def _on_complete(self, task: Task, result: Result) -> None:
         key = str(task["key"])
@@ -241,8 +363,8 @@ class ReproService:
             return
         error = result.get("error")
         if error is not None:
-            job = self.jobs.complete(
-                key, stderr=str(result.get("stderr", "")), error=dict(error)
+            job = self._fail_or_dead_letter(
+                key, dict(error), stderr=str(result.get("stderr", ""))
             )
             self._note_completion(job)
             return
@@ -250,7 +372,7 @@ class ReproService:
         output = str(result["output"]).encode("utf-8")
         stderr = str(result.get("stderr", ""))
         if exit_code != 0:
-            job = self.jobs.complete(
+            job = self._finish_job(
                 key,
                 exit_code=exit_code,
                 output=output,
@@ -264,10 +386,48 @@ class ReproService:
             self._note_completion(job)
             return
         self.store.put(key, output)
-        job = self.jobs.complete(
+        job = self._finish_job(
             key, exit_code=0, output=output, stderr=stderr
         )
         self._note_completion(job)
+
+    def _fail_or_dead_letter(
+        self, key: str, error: Dict[str, object], stderr: str = ""
+    ) -> Optional[Job]:
+        """Fail a job, dead-lettering it when its crash budget is spent.
+
+        Only worker crashes count against the budget: a clean non-zero
+        exit or a timeout is a deterministic outcome, not a poison pill.
+        """
+        if error.get("type") == "worker-crashed":
+            attempts = int(error.get("attempts", 1) or 1)
+            if self._crash_budget_exceeded(key, attempts):
+                job = self._finish_job(
+                    key,
+                    stderr=stderr,
+                    error={
+                        "type": "dead-lettered",
+                        "message": (
+                            "job exceeded its crash budget; see "
+                            "/v1/jobs?state=dead_lettered"
+                        ),
+                        "cause": dict(error),
+                    },
+                    dead_letter=True,
+                )
+                if job is not None:
+                    get_obs().metrics.counter(
+                        "service.jobs.dead_lettered"
+                    ).inc()
+                    self.log.error(
+                        "service.job.dead-lettered",
+                        job=job.id,
+                        trace_id=job.trace_id,
+                        crashes=job.prior_crashes + job.attempts,
+                        budget=self.config.dead_letter_attempts,
+                    )
+                return job
+        return self._finish_job(key, stderr=stderr, error=error)
 
     def _on_shard_complete(self, task: Task, result: Result) -> None:
         """Account one shard's outcome; dispatch the merge when all land.
@@ -291,14 +451,14 @@ class ReproService:
             }
         if error is not None:
             metrics.counter("service.shards.failed").inc()
-            job = self.jobs.complete(
+            job = self._fail_or_dead_letter(
                 parent_key,
-                stderr=str(result.get("stderr", "")),
-                error={
+                {
                     **dict(error),
                     "shard": shard_no,
                     "shard_count": shard_count,
                 },
+                stderr=str(result.get("stderr", "")),
             )
             self._note_completion(job)
             return
@@ -308,9 +468,21 @@ class ReproService:
             # The job already failed (a sibling shard died) — nothing to
             # dispatch.
             return
+        # The shard's profile checkpoint is durable in the cache before
+        # this record commits, so replay may safely skip the shard.
+        self._journal_event(
+            "shard_done",
+            parent_key,
+            shard_index=shard_no - 1,
+            shard_count=shard_count,
+        )
         done, total = progress
         if done < total:
             return
+        self._dispatch_finalize(parent_key)
+
+    def _dispatch_finalize(self, parent_key: str) -> None:
+        """Queue the merge run once every shard of a job has landed."""
         job = self.jobs.by_key(parent_key)
         if job is None:
             return
@@ -318,6 +490,7 @@ class ReproService:
             "key": parent_key,
             "argv": job.spec.to_argv(str(self.profile_cache_dir)),
             "test_delay_s": 0.0,
+            "priority": job.spec.priority,
             "on_running": self._mark_running,
             "trace_id": job.trace_id,
             "parent_span": job.span_id,
@@ -326,7 +499,7 @@ class ReproService:
             # Never capacity-reject the merge of an admitted job.
             self.pool.submit(final, enforce_capacity=False)
         except (PoolSaturated, PoolClosed):
-            completed = self.jobs.complete(
+            completed = self._finish_job(
                 parent_key,
                 error={
                     "type": "shutdown",
@@ -361,6 +534,241 @@ class ReproService:
                 wall_s=round(wall_s, 3),
                 threshold_s=self.config.slow_job_threshold_s,
             )
+
+    # -- recovery -------------------------------------------------------
+    def _recover(self, state: JournalState) -> None:
+        """Rebuild job state from the journal and re-enqueue open work.
+
+        Runs once, in ``__init__``, after the pool started and before
+        the HTTP server exists — so recovery tasks queue ahead of any
+        fresh request.  Open episodes are resubmitted interactive-first
+        (then journal order), episodes over the crash budget land in
+        the dead-letter set, and already-journaled ``shard_done``
+        checkpoints are skipped.  The whole pass is traced under one
+        ``service.recover`` root.
+        """
+        metrics = get_obs().metrics
+        started = time.monotonic()
+        ctx = TraceContext.new()
+        tracer = SpanTracer()
+        requeued = dead = dropped = 0
+        metrics.counter("service.journal.replayed").inc(state.events)
+        dead_lettered_counter = metrics.counter(
+            "service.recovery.dead_lettered"
+        )
+        with tracer.span(
+            "service.recover",
+            events=state.events,
+            torn_lines=state.torn_lines,
+        ):
+            for episode in state.dead_lettered():
+                spec = episode.spec or {}
+                self.jobs.register_dead_letter(
+                    episode.key,
+                    {
+                        "command": spec.get("command"),
+                        "trace": spec.get("trace"),
+                        "priority": episode.priority,
+                        "crashes": episode.crashes,
+                        "error": {
+                            "type": episode.error_type or "dead-lettered",
+                            "message": episode.message
+                            or "dead-lettered in an earlier server life",
+                        },
+                        "recovered": True,
+                    },
+                )
+            work: List[EpisodeState] = []
+            for episode in state.unfinished():
+                if episode.spec is None:
+                    # No submitted record survived (compacted away or in
+                    # a lost segment): nothing to re-run.
+                    self._journal_event(
+                        "failed",
+                        episode.key,
+                        error_type="unreplayable",
+                        message="no spec in the journal for this episode",
+                    )
+                    dropped += 1
+                    continue
+                if episode.crashes >= self.config.dead_letter_attempts:
+                    self.jobs.register_dead_letter(
+                        episode.key,
+                        {
+                            "command": episode.spec.get("command"),
+                            "trace": episode.spec.get("trace"),
+                            "priority": episode.priority,
+                            "crashes": episode.crashes,
+                            "error": {
+                                "type": "dead-lettered",
+                                "message": (
+                                    "crash budget exhausted across "
+                                    "restarts"
+                                ),
+                            },
+                            "recovered": True,
+                        },
+                    )
+                    self._journal_event(
+                        "dead_lettered",
+                        episode.key,
+                        crashes=episode.crashes,
+                        error_type="worker-crashed",
+                    )
+                    dead_lettered_counter.inc()
+                    dead += 1
+                    continue
+                work.append(episode)
+            work.sort(
+                key=lambda e: (
+                    _PRIORITY_RANK.get(e.priority, 0),
+                    e.first_seq,
+                )
+            )
+            for episode in work:
+                if self._resubmit_recovered(episode, ctx, tracer):
+                    requeued += 1
+                else:
+                    dropped += 1
+        duration = time.monotonic() - started
+        metrics.counter("service.recovery.requeued").inc(requeued)
+        metrics.gauge("service.recovery.duration_s").set(duration)
+        self.traces.add_spans(
+            ctx.trace_id, bind_records(ctx, tracer.records, origin="server")
+        )
+        if state.events or state.torn_lines:
+            self.log.info(
+                "service.recovered",
+                trace_id=ctx.trace_id,
+                events=state.events,
+                torn_lines=state.torn_lines,
+                requeued=requeued,
+                dead_lettered=dead,
+                dropped=dropped,
+                duration_s=round(duration, 3),
+            )
+
+    def _resubmit_recovered(
+        self,
+        episode: EpisodeState,
+        ctx: TraceContext,
+        tracer: SpanTracer,
+    ) -> bool:
+        """Re-enqueue one open episode; True when it is back in flight.
+
+        Episodes that cannot or must not run again — unparseable spec,
+        unreadable or *changed* trace (recomputing the job key guards
+        the result store against committing different bytes under the
+        journaled key), result already in the store — are closed with a
+        terminal journal event instead.
+        """
+        key = episode.key
+        assert episode.spec is not None
+        try:
+            spec = JobSpec.from_document(episode.spec)
+        except BadRequest as exc:
+            self._journal_event(
+                "failed",
+                key,
+                error_type="unreplayable",
+                message=str(exc)[:200],
+            )
+            return False
+        try:
+            network = self.networks.get(spec.trace)
+        except OSError as exc:
+            self._journal_event(
+                "failed",
+                key,
+                error_type="trace-unreadable",
+                message=str(exc)[:200],
+            )
+            return False
+        reason = network.degenerate_reason()
+        if reason is not None:
+            self._journal_event(
+                "failed",
+                key,
+                error_type="degenerate-trace",
+                message=str(reason)[:200],
+            )
+            return False
+        if job_key(spec, network) != key:
+            self._journal_event(
+                "failed",
+                key,
+                error_type="trace-changed",
+                message=(
+                    "trace content no longer matches the journaled job key"
+                ),
+            )
+            self.log.warning(
+                "service.recover.trace-changed",
+                trace_id=ctx.trace_id,
+                job=key[:32],
+                trace=spec.trace,
+            )
+            return False
+        if self.store.get(key) is not None:
+            # The previous life stored the bytes but died before the
+            # ``completed`` record committed — close the episode now.
+            self._journal_event("completed", key, exit_code=0)
+            return False
+        with tracer.span(
+            "service.recover.job",
+            key=key[:32],
+            priority=spec.priority,
+            crashes=episode.crashes,
+            shards_done=len(episode.shards_done),
+        ) as span:
+            exec_span_id = derive_span_id(ctx.span_id, span.span_id)
+            job, created = self.jobs.get_or_create(
+                key, spec, trace_id=ctx.trace_id, span_id=exec_span_id
+            )
+            if not created:
+                return False
+            # No HTTP client waits on a recovered job: its output goes
+            # to the result store and the episode closes in the journal.
+            job.recovered = True
+            job.prior_crashes = episode.crashes
+            job.waiters = 0
+            log = self.log.bind(trace_id=ctx.trace_id, job=job.id)
+            if spec.shards > 1:
+                failure = self._submit_sharded(
+                    job,
+                    spec,
+                    key,
+                    ctx,
+                    exec_span_id,
+                    network,
+                    log,
+                    skip_shards=episode.shards_done,
+                    enforce_capacity=False,
+                )
+                if failure is not None:
+                    return False
+                return True
+            task: Task = {
+                "key": key,
+                "argv": spec.to_argv(str(self.profile_cache_dir)),
+                "test_delay_s": 0.0,
+                "priority": spec.priority,
+                "on_running": self._mark_running,
+                "trace_id": ctx.trace_id,
+                "parent_span": exec_span_id,
+            }
+            try:
+                self.pool.submit(task, enforce_capacity=False)
+            except (PoolSaturated, PoolClosed):
+                self._finish_job(
+                    key,
+                    error={
+                        "type": "shutdown",
+                        "message": "pool closed during recovery",
+                    },
+                )
+                return False
+            return True
 
     # -- request handling -----------------------------------------------
     def handle_query(
@@ -466,6 +874,20 @@ class ReproService:
             stored = self.store.get(key)
         if stored is not None:
             return self._success(stored, key, source="store")
+        dead = self.jobs.dead_letter_record(key)
+        if dead is not None:
+            # A poison job must not re-enter the queue by resubmission;
+            # the operator clears it by compacting the journal with
+            # --drop-dead-letters.
+            log.warning("service.request.dead-letter", job=dead.get("job"))
+            return Response.error(
+                409,
+                "dead-lettered",
+                "job exceeded its crash budget and will not be retried; "
+                "see GET /v1/jobs?state=dead_lettered",
+                job=str(dead.get("job")),
+                crashes=int(dead.get("crashes", 0) or 0),
+            )
 
         with tracer.span("service.execute", key=key[:32]) as exec_span:
             # The execute span's trace-scoped id must exist *before* the
@@ -476,6 +898,12 @@ class ReproService:
                 key, spec, trace_id=ctx.trace_id, span_id=exec_span_id
             )
             exec_span.set(coalesced=not created)
+            if created:
+                # Write-ahead: the submission is durable before the pool
+                # sees it, so a crash between journal and queue re-runs
+                # the job instead of losing it.  A rejected submission
+                # closes the episode with a terminal ``failed`` below.
+                self._journal_event("submitted", key, spec=spec.to_document())
             if created and spec.shards > 1:
                 failure = self._submit_sharded(
                     job, spec, key, ctx, exec_span_id, network, log
@@ -487,6 +915,7 @@ class ReproService:
                     "key": key,
                     "argv": spec.to_argv(str(self.profile_cache_dir)),
                     "test_delay_s": spec.test_delay_s,
+                    "priority": spec.priority,
                     "on_running": self._mark_running,
                     "trace_id": ctx.trace_id,
                     "parent_span": exec_span_id,
@@ -494,7 +923,7 @@ class ReproService:
                 try:
                     self.pool.submit(task)
                 except PoolSaturated:
-                    self.jobs.complete(
+                    self._finish_job(
                         key,
                         error={"type": "rejected", "message": "queue full"},
                     )
@@ -507,7 +936,7 @@ class ReproService:
                         headers={"Retry-After": str(int(retry_after))},
                     )
                 except PoolClosed:
-                    self.jobs.complete(
+                    self._finish_job(
                         key,
                         error={
                             "type": "shutdown",
@@ -542,12 +971,19 @@ class ReproService:
             return self._await_job(job, coalesced=not created, log=log)
 
     def _mark_running(self, task: Task) -> None:
-        self.jobs.mark_running(str(task["key"]), int(task["attempts"]))
+        key = str(task["key"])
+        attempts = int(task["attempts"])
+        if self.jobs.mark_running(key, attempts):
+            # Only the QUEUED→RUNNING edge is journaled — once per
+            # server life — so the count of ``running`` events in an
+            # open episode is exactly the cross-restart crash count.
+            self._journal_event("running", key, attempts=attempts)
 
     def _mark_shard_running(self, task: Task) -> None:
-        self.jobs.mark_running(
-            str(task["parent_key"]), int(task["attempts"])
-        )
+        key = str(task["parent_key"])
+        attempts = int(task["attempts"])
+        if self.jobs.mark_running(key, attempts):
+            self._journal_event("running", key, attempts=attempts)
 
     def _submit_sharded(
         self,
@@ -558,6 +994,8 @@ class ReproService:
         exec_span_id: str,
         network: Any,
         log: Any,
+        skip_shards: Collection[int] = (),
+        enforce_capacity: bool = True,
     ) -> Optional[Response]:
         """Fan one admitted job out as per-shard cache warm-up tasks.
 
@@ -571,18 +1009,32 @@ class ReproService:
         checked, because rejecting a sibling of an admitted job would
         strand it.  Returns the error response on rejection, None when
         the fan-out is queued.
+
+        ``skip_shards`` holds shard indices whose ``shard_done`` record
+        the journal already carries — recovery pre-marks them done and
+        dispatches only the rest, so restart recomputes exactly the
+        missing shards (their profiles are cache hits regardless, but
+        skipping saves the worker round-trips).
         """
         plan = shard_sources(network.nodes, spec.shards)
         self.jobs.begin_fanout(job.key, len(plan))
         metrics = get_obs().metrics
         dispatched = metrics.counter("service.shards.dispatched")
+        shards_skipped = metrics.counter("service.recovery.shards_skipped")
+        skipped = {i for i in skip_shards if 0 <= i < len(plan)}
         log.info(
             "service.job.sharded",
             job=job.id,
             shards=len(plan),
             sources=len(network.nodes),
+            skipped=len(skipped),
         )
+        first = True
         for index in range(len(plan)):
+            if index in skipped:
+                shards_skipped.inc()
+                self.jobs.note_shard_done(key)
+                continue
             task: Task = {
                 "key": f"{key}#shard-{index + 1}of{len(plan)}",
                 "kind": "shard",
@@ -593,14 +1045,17 @@ class ReproService:
                 "shard_count": len(plan),
                 "cache_dir": str(self.profile_cache_dir),
                 "test_delay_s": spec.test_delay_s,
+                "priority": spec.priority,
                 "on_running": self._mark_shard_running,
                 "trace_id": ctx.trace_id,
                 "parent_span": exec_span_id,
             }
             try:
-                self.pool.submit(task, enforce_capacity=(index == 0))
+                self.pool.submit(
+                    task, enforce_capacity=(first and enforce_capacity)
+                )
             except PoolSaturated:
-                self.jobs.complete(
+                self._finish_job(
                     key,
                     error={"type": "rejected", "message": "queue full"},
                 )
@@ -613,14 +1068,18 @@ class ReproService:
                     headers={"Retry-After": str(int(retry_after))},
                 )
             except PoolClosed:
-                self.jobs.complete(
+                self._finish_job(
                     key,
                     error={"type": "shutdown", "message": "pool shut down"},
                 )
                 return Response.error(
                     503, "shutting-down", "service is draining"
                 )
+            first = False
             dispatched.inc()
+        if len(skipped) >= len(plan):
+            # Every shard was already checkpointed — straight to merge.
+            self._dispatch_finalize(key)
         return None
 
     def _await_job(
@@ -680,9 +1139,9 @@ class ReproService:
         )
 
     def handle_job(self, job_id: str) -> Response:
-        job = self.jobs.lookup(job_id)
-        if job is not None:
-            return Response.json(200, job.describe())
+        document = self.jobs.lookup_document(job_id)
+        if document is not None:
+            return Response.json(200, document)
         # A job can age out of the table while its result lives on in
         # the store (the id doubles as the store file stem).
         if (self.store.root / f"result-{job_id}.bin").exists():
@@ -690,6 +1149,69 @@ class ReproService:
                 200, {"job": job_id, "state": "done", "source": "store"}
             )
         return Response.error(404, "not-found", f"unknown job {job_id!r}")
+
+    #: hard ceiling on one ``GET /v1/jobs`` page.
+    _MAX_JOBS_PAGE = 500
+
+    def handle_jobs_list(self, query: str) -> Response:
+        """``GET /v1/jobs`` — the queue, recent history, dead letters.
+
+        ``?state=`` and ``?priority=`` filter, ``?limit=`` bounds the
+        page (default 100, ceiling 500).  Bad filter values are 400s,
+        not silent empty pages.
+        """
+        params = parse_qs(query, keep_blank_values=True)
+        unknown = sorted(set(params) - {"state", "priority", "limit"})
+        if unknown:
+            return Response.error(
+                400,
+                "bad-request",
+                f"unknown query parameter(s): {', '.join(unknown)}",
+                field=unknown[0],
+            )
+        state = params.get("state", [None])[-1] or None
+        if state is not None and state not in STATES:
+            return Response.error(
+                400,
+                "bad-request",
+                f"state must be one of {', '.join(STATES)}",
+                field="state",
+            )
+        priority = params.get("priority", [None])[-1] or None
+        if priority is not None and priority not in PRIORITIES:
+            return Response.error(
+                400,
+                "bad-request",
+                f"priority must be one of {', '.join(PRIORITIES)}",
+                field="priority",
+            )
+        limit = 100
+        raw_limit = params.get("limit", [None])[-1]
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                return Response.error(
+                    400, "bad-request", "limit must be an integer",
+                    field="limit",
+                )
+            if not 1 <= limit <= self._MAX_JOBS_PAGE:
+                return Response.error(
+                    400,
+                    "bad-request",
+                    f"limit must be in [1, {self._MAX_JOBS_PAGE}]",
+                    field="limit",
+                )
+        jobs = self.jobs.list_jobs(state=state, priority=priority, limit=limit)
+        return Response.json(
+            200,
+            {
+                "jobs": jobs,
+                "count": len(jobs),
+                "inflight": self.jobs.inflight_count(),
+                "dead_lettered": self.jobs.dead_letter_count(),
+            },
+        )
 
     def handle_health(self) -> Response:
         pool = self.pool.health()
@@ -700,7 +1222,17 @@ class ReproService:
             "jobs": {
                 "inflight": self.jobs.inflight_count(),
                 "finished": self.jobs.finished_count(),
+                "dead_lettered": self.jobs.dead_letter_count(),
             },
+            "journal": (
+                None
+                if self.journal is None
+                else {
+                    "dir": str(self.journal.root),
+                    "next_seq": self.journal.next_seq,
+                    "fsync": self.journal.fsync,
+                }
+            ),
             "traces": self.traces.stats(),
         }
         status = 200 if pool["state"] == "healthy" else 503
@@ -736,7 +1268,10 @@ class ReproService:
 
     def close(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
         """Shut the pool down; with ``drain``, let queued work finish."""
-        return self.pool.shutdown(drain=drain, timeout_s=timeout_s)
+        drained = self.pool.shutdown(drain=drain, timeout_s=timeout_s)
+        if self.journal is not None:
+            self.journal.close()
+        return drained
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -828,9 +1363,17 @@ class _Handler(BaseHTTPRequestHandler):
                 return self.service.handle_trace(
                     self.path[len("/debug/traces/"):]
                 )
-        if self.path.startswith("/v1/jobs/"):
+        parsed = urlsplit(self.path)
+        if parsed.path == "/v1/jobs":
+            with obs.metrics.timer(
+                "service.http.latency", endpoint="jobs-list"
+            ):
+                return self.service.handle_jobs_list(parsed.query)
+        if parsed.path.startswith("/v1/jobs/"):
             with obs.metrics.timer("service.http.latency", endpoint="jobs"):
-                return self.service.handle_job(self.path[len("/v1/jobs/"):])
+                return self.service.handle_job(
+                    parsed.path[len("/v1/jobs/"):]
+                )
         return Response.error(404, "not-found", f"no route {self.path!r}")
 
 

@@ -18,8 +18,26 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Dict, Optional
+
+
+def _retry_after_s(headers: Dict[str, str], default: float) -> float:
+    """The server's ``Retry-After`` hint in seconds, or ``default``.
+
+    Only the delta-seconds form is parsed (the service never sends
+    HTTP-dates); a malformed value falls back rather than raising —
+    a bad header must not break a polite client.
+    """
+    raw = headers.get("Retry-After")
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return max(0.0, value)
 
 
 class ServiceUnreachable(OSError):
@@ -135,17 +153,44 @@ class ServiceClient:
         traceparent: Optional[str] = None,
         retries: int = 0,
         backoff_s: float = 0.1,
+        wait_on_backpressure: bool = False,
+        max_wait_s: float = 60.0,
         **params: object,
     ) -> ServiceResponse:
+        """Submit one query; opt into waiting out server backpressure.
+
+        By default a 429 (saturated pool) is returned immediately like
+        any other status.  With ``wait_on_backpressure=True`` the client
+        instead honours the server's ``Retry-After`` hint and resubmits,
+        for at most ``max_wait_s`` of total waiting — the last 429 is
+        returned when the budget runs out, so callers always get a
+        response, never an unbounded block.  Transport retries
+        (``retries`` / ``backoff_s``) apply to every resubmission.
+        """
         payload: Dict[str, object] = {"trace": trace, **params}
-        return self.request(
-            "POST",
-            f"/v1/{command}",
-            payload,
-            traceparent=traceparent,
-            retries=retries,
-            backoff_s=backoff_s,
-        )
+        deadline = time.monotonic() + max(0.0, max_wait_s)
+        attempt = 0
+        while True:
+            response = self.request(
+                "POST",
+                f"/v1/{command}",
+                payload,
+                traceparent=traceparent,
+                retries=retries,
+                backoff_s=backoff_s,
+            )
+            if response.status != 429 or not wait_on_backpressure:
+                return response
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return response
+            # The server's hint, clamped to the remaining budget (with
+            # the transport backoff curve as fallback when absent).
+            pause = _retry_after_s(
+                response.headers, default=backoff_s * 2**attempt
+            )
+            time.sleep(min(max(pause, backoff_s), remaining))
+            attempt += 1
 
     def diameter(self, trace: str, **params: object) -> ServiceResponse:
         return self.query("diameter", trace, **params)
@@ -155,6 +200,23 @@ class ServiceClient:
 
     def job(self, job_id: str) -> ServiceResponse:
         return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        priority: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> ServiceResponse:
+        """``GET /v1/jobs`` — queue, history, and dead-letter listing."""
+        params: Dict[str, str] = {}
+        if state is not None:
+            params["state"] = state
+        if priority is not None:
+            params["priority"] = priority
+        if limit is not None:
+            params["limit"] = str(limit)
+        suffix = f"?{urllib.parse.urlencode(params)}" if params else ""
+        return self.request("GET", f"/v1/jobs{suffix}")
 
     def health(
         self, retries: int = 0, backoff_s: float = 0.1

@@ -44,6 +44,12 @@ _COMMAND_DEFAULTS: Dict[str, Dict[str, object]] = {
 
 COMMANDS = tuple(sorted(_COMMAND_DEFAULTS))
 
+#: admission classes, most urgent first.  ``interactive`` is the
+#: default; ``batch`` marks long sweeps that must never starve a human
+#: waiting on a dashboard (the pool ages batch tasks so the reverse
+#: starvation cannot happen either).
+PRIORITIES = ("interactive", "batch")
+
 
 class BadRequest(ValueError):
     """A request that cannot be normalised into a job."""
@@ -64,7 +70,10 @@ class JobSpec:
     ``shards`` is excluded for the same reason: sharded execution is
     byte-identical to monolithic, so a sharded and an unsharded request
     for the same query coalesce into (and share the cached result of)
-    the same job.
+    the same job.  ``priority`` is excluded too — it is an admission
+    class, not a different query, so an interactive request still
+    coalesces with (and is served from the store of) an identical
+    batch job; the first submission's class schedules the computation.
     """
 
     command: str
@@ -74,6 +83,7 @@ class JobSpec:
     eps: Optional[float] = None
     test_delay_s: float = 0.0
     shards: int = 1
+    priority: str = "interactive"
 
     def to_argv(self, cache_dir: Optional[str] = None) -> List[str]:
         """The equivalent ``repro`` CLI invocation."""
@@ -92,6 +102,46 @@ class JobSpec:
         if cache_dir is not None:
             argv += ["--cache-dir", cache_dir]
         return argv
+
+    def to_document(self) -> Dict[str, object]:
+        """The journal representation of this spec.
+
+        ``test_delay_s`` is deliberately dropped: it is a fault-injection
+        knob of the *original* submission, and replaying the sleep on
+        recovery would only slow the restart down.
+        """
+        return {
+            "command": self.command,
+            "trace": self.trace,
+            "max_hops": self.max_hops,
+            "grid_points": self.grid_points,
+            "eps": self.eps,
+            "shards": self.shards,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, object]) -> "JobSpec":
+        """Rebuild a spec from a journal ``submitted`` record."""
+        command = document.get("command")
+        trace = document.get("trace")
+        if command not in _COMMAND_DEFAULTS or not isinstance(trace, str):
+            raise BadRequest(
+                f"journal spec is not replayable: {document!r}"
+            )
+        eps = document.get("eps")
+        priority = document.get("priority", "interactive")
+        return cls(
+            command=str(command),
+            trace=trace,
+            max_hops=int(document.get("max_hops", 1) or 1),
+            grid_points=int(document.get("grid_points", 2) or 2),
+            eps=None if eps is None else float(eps),  # type: ignore[arg-type]
+            shards=int(document.get("shards", 1) or 1),
+            priority=(
+                str(priority) if priority in PRIORITIES else "interactive"
+            ),
+        )
 
 
 def _require_int(value: object, field: str, minimum: int) -> int:
@@ -116,7 +166,7 @@ def normalize_request(
     if not isinstance(body, dict):
         raise BadRequest("request body must be a JSON object")
     defaults = _COMMAND_DEFAULTS[command]
-    allowed = set(defaults) | {"trace", "shards", "_test_delay_s"}
+    allowed = set(defaults) | {"trace", "shards", "priority", "_test_delay_s"}
     unknown = sorted(set(body) - allowed)
     if unknown:
         raise BadRequest(
@@ -151,6 +201,13 @@ def normalize_request(
     if shards > 256:
         raise BadRequest("shards must be <= 256", field="shards")
 
+    priority = body.get("priority", "interactive")
+    if priority not in PRIORITIES:
+        raise BadRequest(
+            f"priority must be one of {', '.join(PRIORITIES)}",
+            field="priority",
+        )
+
     test_delay_s = 0.0
     if "_test_delay_s" in body:
         if not allow_test_delay:
@@ -178,6 +235,7 @@ def normalize_request(
         eps=eps,
         test_delay_s=test_delay_s,
         shards=shards,
+        priority=str(priority),
     )
 
 
@@ -249,6 +307,9 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+DEAD_LETTERED = "dead_lettered"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, DEAD_LETTERED)
 
 
 class Job:
@@ -271,6 +332,8 @@ class Job:
         "queued_monotonic",
         "shards_total",
         "shards_done",
+        "recovered",
+        "prior_crashes",
     )
 
     def __init__(
@@ -301,6 +364,13 @@ class Job:
         #: one; the app overwrites ``shards_total`` when it fans out.
         self.shards_total = 1
         self.shards_done = 0
+        #: True for a job the journal replay re-enqueued: it has no
+        #: HTTP waiter and its result commits straight to the store.
+        self.recovered = False
+        #: ``running`` events of earlier server lives in this episode —
+        #: each one is an execution a crash cut short; the dead-letter
+        #: budget counts them.
+        self.prior_crashes = 0
 
     def describe(self) -> Dict[str, object]:
         """The ``GET /v1/jobs/<id>`` document."""
@@ -309,6 +379,7 @@ class Job:
             "state": self.state,
             "command": self.spec.command,
             "trace": self.spec.trace,
+            "priority": self.spec.priority,
             "attempts": self.attempts,
             "waiters": self.waiters,
             "exit_code": self.exit_code,
@@ -317,6 +388,7 @@ class Job:
             "trace_id": self.trace_id,
             "shards_total": self.shards_total,
             "shards_done": self.shards_done,
+            "recovered": self.recovered,
         }
 
 
@@ -332,6 +404,11 @@ class JobTable:
         self._history = history
         self._inflight: Dict[str, Job] = {}  # guarded-by: _lock
         self._finished: "OrderedDict[str, Job]" = OrderedDict()  # guarded-by: _lock
+        #: dead-lettered episodes by content key: jobs that exceeded the
+        #: crash budget.  Unlike ``_finished`` this set is not a ring —
+        #: dead letters are an operator signal and must not age out
+        #: silently (compaction and restarts preserve them too).
+        self._dead: Dict[str, Dict[str, object]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get_or_create(
@@ -367,12 +444,33 @@ class JobTable:
                     return job
             return self._finished.get(job_id)
 
-    def mark_running(self, key: str, attempts: int) -> None:
+    def lookup_document(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The job document for an id, dead-lettered episodes included."""
+        job = self.lookup(job_id)
+        if job is not None:
+            return job.describe()
+        with self._lock:
+            for record in self._dead.values():
+                if record.get("job") == job_id:
+                    return dict(record)
+        return None
+
+    def mark_running(self, key: str, attempts: int) -> bool:
+        """Record an attempt start; True on the QUEUED->RUNNING edge.
+
+        The transition fires once per server life — in-process crash
+        retries bump ``attempts`` but stay RUNNING — which is exactly
+        when the journal must record a ``running`` event (the event
+        count per episode is the cross-restart crash budget).
+        """
         with self._lock:
             job = self._inflight.get(key)
-            if job is not None:
-                job.state = RUNNING
-                job.attempts = attempts
+            if job is None:
+                return False
+            transitioned = job.state == QUEUED
+            job.state = RUNNING
+            job.attempts = attempts
+            return transitioned
 
     def by_key(self, key: str) -> Optional[Job]:
         """The in-flight job for a content key, if any."""
@@ -413,8 +511,14 @@ class JobTable:
         output: Optional[bytes] = None,
         stderr: str = "",
         error: Optional[Dict[str, object]] = None,
+        dead_letter: bool = False,
     ) -> Optional[Job]:
-        """Finish a job (success or failure) and wake every waiter."""
+        """Finish a job (success or failure) and wake every waiter.
+
+        ``dead_letter=True`` marks a crash-budget exhaustion: the job
+        lands in the dead-letter set (queryable, never retried) instead
+        of the finished ring, and its state is ``dead_lettered``.
+        """
         with self._lock:
             job = self._inflight.pop(key, None)
             if job is None:
@@ -423,14 +527,79 @@ class JobTable:
             job.output = output
             job.stderr = stderr
             job.error = error
-            job.state = FAILED if error is not None else DONE
-            if error is None:
-                job.shards_done = job.shards_total
-            self._finished[job.id] = job
-            while len(self._finished) > self._history:
-                self._finished.popitem(last=False)
+            if dead_letter:
+                job.state = DEAD_LETTERED
+                self._dead[key] = self._dead_record_locked(job)
+            else:
+                job.state = FAILED if error is not None else DONE
+                if error is None:
+                    job.shards_done = job.shards_total
+                self._finished[job.id] = job
+                while len(self._finished) > self._history:
+                    self._finished.popitem(last=False)
         job.done.set()
         return job
+
+    def _dead_record_locked(self, job: Job) -> Dict[str, object]:
+        error = job.error or {}
+        return {
+            "job": job.id,
+            "state": DEAD_LETTERED,
+            "command": job.spec.command,
+            "trace": job.spec.trace,
+            "priority": job.spec.priority,
+            "crashes": job.prior_crashes + job.attempts,
+            "error": dict(error),
+            "recovered": job.recovered,
+        }
+
+    def register_dead_letter(
+        self, key: str, record: Dict[str, object]
+    ) -> None:
+        """File a dead-lettered episode straight from journal replay."""
+        with self._lock:
+            self._dead[key] = {
+                "job": job_id_of(key),
+                "state": DEAD_LETTERED,
+                **record,
+            }
+
+    def dead_letter_record(self, key: str) -> Optional[Dict[str, object]]:
+        """The dead-letter record for a content key, if any."""
+        with self._lock:
+            record = self._dead.get(key)
+            return None if record is None else dict(record)
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        priority: Optional[str] = None,
+        limit: int = 100,
+    ) -> List[Dict[str, object]]:
+        """Job documents for ``GET /v1/jobs``: queue, history, dead set.
+
+        In-flight jobs come first (submission order), then the finished
+        ring newest-first, then the dead-letter set; ``state`` /
+        ``priority`` filter, ``limit`` bounds the page.
+        """
+        with self._lock:
+            inflight = sorted(
+                self._inflight.values(), key=lambda j: j.queued_monotonic
+            )
+            finished = list(reversed(self._finished.values()))
+            dead = [dict(record) for record in self._dead.values()]
+        documents: List[Dict[str, object]] = [
+            job.describe() for job in inflight
+        ]
+        documents.extend(job.describe() for job in finished)
+        documents.extend(dead)
+        if state is not None:
+            documents = [d for d in documents if d.get("state") == state]
+        if priority is not None:
+            documents = [
+                d for d in documents if d.get("priority") == priority
+            ]
+        return documents[: max(0, limit)]
 
     def inflight_count(self) -> int:
         with self._lock:
@@ -439,3 +608,7 @@ class JobTable:
     def finished_count(self) -> int:
         with self._lock:
             return len(self._finished)
+
+    def dead_letter_count(self) -> int:
+        with self._lock:
+            return len(self._dead)

@@ -1,0 +1,652 @@
+"""Durable job journal: an append-only write-ahead log for the service.
+
+The whole point of the service's job machinery — single-flight table,
+shard fan-out, result store — used to live in process memory: a crash
+or deploy restart silently dropped every queued and in-flight job even
+though the shard checkpoints already persisted the expensive work in
+the content-addressed profile cache.  This module closes that gap with
+a **write-ahead journal** (schema ``repro.journal/1``, following the
+repo's ``repro.bench/1`` / ``repro.trace/1`` / ``repro.lockwatch/1``
+artifact conventions):
+
+* :class:`JournalWriter` — append-only JSON Lines segments under a
+  journal directory, one event per line, ``fsync``-on-commit (every
+  event is a commit record: a ``submitted`` event that is not durable
+  is a job that silently vanishes on crash), with size-based segment
+  rotation so one hot service does not grow a single unbounded file;
+* :func:`replay` / :class:`JournalState` — fold the journal back into
+  per-job *episodes* (``submitted`` opens, a terminal event closes;
+  a later ``submitted`` for the same key starts a fresh episode, e.g.
+  after the result store evicted the bytes) and report what a
+  restarting server must do: re-enqueue unfinished jobs, surface
+  dead-lettered ones, skip already-checkpointed shards;
+* :func:`compact` — offline compaction: drop closed episodes whose
+  outcome lives in the result store, keep open and dead-lettered ones,
+  rewrite the directory as a single fresh segment;
+* :func:`validate_journal_lines` — the artifact contract CI enforces
+  (schema version, monotonic ``seq``, per-episode event ordering,
+  terminal-state uniqueness), shared by
+  ``benchmarks/validate_artifacts.py journal``.
+
+Durability contract: every line is one JSON object, appended and
+fsynced before the action it records is considered committed.  A
+SIGKILL can therefore leave at most one torn line at the very end of
+the newest segment; :func:`replay` tolerates exactly that (the torn
+tail is dropped), while the validator flags torn lines anywhere else.
+A restarting :class:`JournalWriter` *truncates* the torn tail before
+its first append (the record was never acknowledged), so the invariant
+holds across any number of crash/restart cycles.
+
+Events and their payload fields (all records carry ``schema``,
+``seq``, ``event``, ``key``, ``unix``):
+
+========== ==========================================================
+event       fields
+========== ==========================================================
+submitted   ``spec`` (the :class:`~repro.service.jobs.JobSpec`
+            document, priority included), opens an episode
+running     ``attempts`` — written once per *server life* (the
+            first attempt only), so the number of ``running``
+            events in an open episode counts how many times a
+            server died while executing the job
+shard_done  ``shard_index``, ``shard_count`` — one shard's profile
+            checkpoint landed in the content-addressed cache
+completed   ``exit_code`` — terminal; the bytes are in the store
+failed      ``error_type``, ``message`` — terminal
+dead_lettered ``crashes``, ``error_type`` — terminal; the job
+            exceeded the crash budget and must not be retried
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..obs import get_obs
+from ..obs.tracectx import now_unix
+
+#: bump when the record layout changes incompatibly.
+JOURNAL_SCHEMA = "repro.journal/1"
+
+#: every event a journal may carry, in no particular order.
+EVENTS = (
+    "submitted",
+    "running",
+    "shard_done",
+    "completed",
+    "failed",
+    "dead_lettered",
+)
+
+#: events that close an episode.
+TERMINAL_EVENTS = frozenset({"completed", "failed", "dead_lettered"})
+
+#: segment files are ``journal-<nnnnnn>.jsonl`` under the journal dir.
+_SEGMENT_PREFIX = "journal-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+#: default rotation threshold — small enough that compaction and CI
+#: exercise rotation, large enough that one segment holds thousands of
+#: events (a record is ~200 bytes).
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+PathLike = Union[str, Path]
+
+
+class JournalError(ValueError):
+    """A journal that violates the ``repro.journal/1`` contract."""
+
+
+def _segment_index(path: Path) -> Optional[int]:
+    name = path.name
+    if not name.startswith(_SEGMENT_PREFIX) or not name.endswith(
+        _SEGMENT_SUFFIX
+    ):
+        return None
+    stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    if not stem.isdigit():
+        return None
+    return int(stem)
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:06d}{_SEGMENT_SUFFIX}"
+
+
+def segment_paths(journal_dir: PathLike) -> List[Path]:
+    """The directory's segment files, in rotation (= replay) order."""
+    root = Path(journal_dir)
+    if not root.is_dir():
+        return []
+    indexed = []
+    for path in root.iterdir():
+        index = _segment_index(path)
+        if index is not None:
+            indexed.append((index, path))
+    return [path for _index, path in sorted(indexed)]
+
+
+def read_journal_lines(journal_dir: PathLike) -> List[str]:
+    """Every line of every segment, concatenated in rotation order."""
+    lines: List[str] = []
+    for path in segment_paths(journal_dir):
+        lines.extend(path.read_text(encoding="utf-8").splitlines())
+    return lines
+
+
+class JournalWriter:
+    """Append events to the newest segment, fsync, rotate by size.
+
+    Thread-safe: the HTTP handler threads, the pool supervisor and the
+    recovery path all append through one instance.  The segment stream
+    is kept open across appends (REP008: ``open`` never runs on the
+    per-event path) and the raw ``write``/``flush``/``fsync`` triple is
+    serialised under one lock so records never interleave.
+    """
+
+    def __init__(
+        self,
+        journal_dir: PathLike,
+        fsync: bool = True,
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        next_seq: int = 1,
+    ) -> None:
+        if segment_max_bytes < 1:
+            raise ValueError(
+                f"segment_max_bytes must be >= 1, got {segment_max_bytes}"
+            )
+        self.root = Path(journal_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_max_bytes = segment_max_bytes
+        self._lock = threading.Lock()
+        existing = segment_paths(self.root)
+        if existing:
+            last = existing[-1]
+            index = _segment_index(last)
+            assert index is not None
+            self._segment_index = index  # guarded-by: _lock
+            self._segment_bytes = self._repair_tail(last)  # guarded-by: _lock
+        else:
+            self._segment_index = 1
+            self._segment_bytes = 0
+        self._seq = next_seq  # guarded-by: _lock
+        self._path = self.root / _segment_name(self._segment_index)
+        self._stream = open(  # noqa: SIM115 - held open across appends
+            self._path, "a", encoding="utf-8"
+        )  # guarded-by: _lock
+        metrics = get_obs().metrics
+        self._appended = metrics.counter("service.journal.appended")
+        self._fsyncs = metrics.counter("service.journal.fsyncs")
+        self._rotations = metrics.counter("service.journal.rotations")
+        self._bytes_gauge = metrics.gauge("service.journal.bytes")
+        self._segments_gauge = metrics.gauge("service.journal.segments")
+        self._publish_depth(self._segment_bytes, len(existing) or 1)
+
+    @staticmethod
+    def _repair_tail(path: Path) -> int:
+        """Truncate a torn tail before appending; returns the new size.
+
+        A SIGKILL mid-append leaves a partial line *without* a trailing
+        newline at the end of the newest segment (a sequential append
+        can never durably write the newline without the bytes before
+        it).  The record was never acknowledged — appending after it
+        would weld the next record onto the torn bytes and corrupt
+        both — so the torn suffix is cut back to the last complete
+        line, keeping the validator's invariant that a torn line can
+        only ever be the very last one.
+        """
+        size = path.stat().st_size
+        if size == 0:
+            return 0
+        data = path.read_bytes()
+        if data.endswith(b"\n"):
+            return size
+        cut = data.rfind(b"\n") + 1
+        with open(path, "r+b") as stream:
+            stream.truncate(cut)
+            stream.flush()
+            os.fsync(stream.fileno())
+        get_obs().metrics.counter("service.journal.torn_repaired").inc()
+        return cut
+
+    def _publish_depth(self, segment_bytes: int, segments: int) -> None:
+        self._bytes_gauge.set(float(segment_bytes))
+        self._segments_gauge.set(float(segments))
+
+    def append(self, event: str, key: str, **fields: object) -> Dict[str, object]:
+        """Append one event record and make it durable; returns it.
+
+        The record is committed (written, flushed, fsynced) before this
+        returns — callers may treat the journal as the source of truth
+        for the action they are about to take.
+        """
+        if event not in EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        with self._lock:
+            record: Dict[str, object] = {
+                "schema": JOURNAL_SCHEMA,
+                "seq": self._seq,
+                "event": event,
+                "key": key,
+                "unix": now_unix(),
+                **fields,
+            }
+            self._seq += 1
+            line = json.dumps(record, sort_keys=True) + "\n"
+            if (
+                self._segment_bytes > 0
+                and self._segment_bytes + len(line) > self.segment_max_bytes
+            ):
+                self._rotate_locked()
+            self._stream.write(line)
+            self._stream.flush()
+            fsynced = self.fsync
+            if fsynced:
+                os.fsync(self._stream.fileno())
+            self._segment_bytes += len(line)
+            segment_bytes = self._segment_bytes
+            segments = self._segment_index
+        self._appended.inc()
+        if fsynced:
+            self._fsyncs.inc()
+        self._publish_depth(segment_bytes, segments)
+        return record
+
+    def _rotate_locked(self) -> None:  # guarded-by: _lock
+        """Switch to the next segment (caller holds ``_lock``)."""
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+        self._stream.close()
+        self._segment_index += 1
+        self._segment_bytes = 0
+        self._path = self.root / _segment_name(self._segment_index)
+        # reprolint: disable=REP008 -- rotation opens the next segment
+        # under the append lock on purpose: appends must never interleave
+        # with the switch, and rotation runs once per megabyte, not per
+        # event.
+        self._stream = open(self._path, "a", encoding="utf-8")
+        self._rotations.inc()
+
+    @property
+    def next_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def close(self) -> None:
+        with self._lock:
+            self._stream.flush()
+            if self.fsync:
+                os.fsync(self._stream.fileno())
+            self._stream.close()
+
+
+@dataclass
+class EpisodeState:
+    """Everything replay knows about one key's *latest* episode."""
+
+    key: str
+    state: str = "queued"
+    spec: Optional[Dict[str, object]] = None
+    priority: str = "interactive"
+    #: how many server lives started executing this episode — each
+    #: ``running`` event in an open episode is an execution the server
+    #: did not live to finish.
+    crashes: int = 0
+    attempts: int = 0
+    shard_count: int = 0
+    shards_done: Set[int] = field(default_factory=set)
+    exit_code: Optional[int] = None
+    error_type: Optional[str] = None
+    message: Optional[str] = None
+    first_seq: int = 0
+    last_seq: int = 0
+    unix: float = 0.0
+
+    @property
+    def open(self) -> bool:
+        return self.state in ("queued", "running")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "state": self.state,
+            "spec": self.spec,
+            "priority": self.priority,
+            "crashes": self.crashes,
+            "attempts": self.attempts,
+            "shard_count": self.shard_count,
+            "shards_done": sorted(self.shards_done),
+            "exit_code": self.exit_code,
+            "error_type": self.error_type,
+            "first_seq": self.first_seq,
+            "last_seq": self.last_seq,
+        }
+
+
+@dataclass
+class JournalState:
+    """The fold of a journal: per-key latest episodes plus bookkeeping."""
+
+    episodes: Dict[str, EpisodeState] = field(default_factory=dict)
+    events: int = 0
+    torn_lines: int = 0
+    last_seq: int = 0
+
+    @property
+    def next_seq(self) -> int:
+        return self.last_seq + 1
+
+    def unfinished(self) -> List[EpisodeState]:
+        """Open episodes, oldest first — the restart work list."""
+        return sorted(
+            (e for e in self.episodes.values() if e.open),
+            key=lambda e: e.first_seq,
+        )
+
+    def dead_lettered(self) -> List[EpisodeState]:
+        return sorted(
+            (
+                e
+                for e in self.episodes.values()
+                if e.state == "dead_lettered"
+            ),
+            key=lambda e: e.first_seq,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "torn_lines": self.torn_lines,
+            "last_seq": self.last_seq,
+            "episodes": {
+                key: episode.to_dict()
+                for key, episode in sorted(self.episodes.items())
+            },
+        }
+
+
+def _parse_line(line: str) -> Optional[Dict[str, object]]:
+    stripped = line.strip()
+    if not stripped:
+        return None
+    document = json.loads(stripped)
+    if not isinstance(document, dict):
+        raise JournalError(f"record is not a JSON object: {stripped[:80]}")
+    return document
+
+
+def _apply(state: JournalState, record: Dict[str, object]) -> None:
+    """Fold one record into the state (shared by replay and validate)."""
+    event = str(record.get("event"))
+    key = str(record.get("key"))
+    seq = int(record.get("seq", 0))
+    state.events += 1
+    state.last_seq = max(state.last_seq, seq)
+    episode = state.episodes.get(key)
+    if event == "submitted":
+        spec = record.get("spec")
+        episode = EpisodeState(
+            key=key,
+            spec=dict(spec) if isinstance(spec, dict) else None,
+            first_seq=seq,
+        )
+        if isinstance(spec, dict):
+            priority = spec.get("priority")
+            if isinstance(priority, str):
+                episode.priority = priority
+        state.episodes[key] = episode
+    elif episode is None:
+        # An event for a key whose submitted record was compacted away
+        # or lives in a rotated-out segment: track it leniently so a
+        # prefix of a journal still replays (the validator is stricter).
+        episode = EpisodeState(key=key, first_seq=seq)
+        state.episodes[key] = episode
+    if episode is None:  # pragma: no cover - guarded above
+        return
+    episode.last_seq = seq
+    unix = record.get("unix")
+    if isinstance(unix, (int, float)):
+        episode.unix = float(unix)
+    if event == "running":
+        episode.state = "running"
+        episode.crashes += 1
+        episode.attempts = int(record.get("attempts", episode.attempts) or 0)
+    elif event == "shard_done":
+        index = int(record.get("shard_index", -1))
+        count = int(record.get("shard_count", 0))
+        episode.shard_count = max(episode.shard_count, count)
+        if index >= 0:
+            episode.shards_done.add(index)
+    elif event == "completed":
+        episode.state = "done"
+        raw_exit = record.get("exit_code")
+        episode.exit_code = (
+            int(raw_exit) if isinstance(raw_exit, int) else None
+        )
+    elif event == "failed":
+        episode.state = "failed"
+        episode.error_type = str(record.get("error_type") or "unknown")
+        message = record.get("message")
+        episode.message = str(message) if message is not None else None
+    elif event == "dead_lettered":
+        episode.state = "dead_lettered"
+        episode.crashes = int(record.get("crashes", episode.crashes) or 0)
+        episode.error_type = str(
+            record.get("error_type") or "crash-budget-exceeded"
+        )
+
+
+def replay_lines(lines: Iterable[str]) -> JournalState:
+    """Fold journal lines into a :class:`JournalState`, crash-tolerantly.
+
+    A torn (undecodable) line aborts the fold *at that point* — under
+    the fsync-per-record discipline a torn line can only be the last
+    write of a killed process, so everything before it is intact and
+    everything after it (nothing, in a real journal) is ignored.
+    """
+    state = JournalState()
+    for line in lines:
+        try:
+            record = _parse_line(line)
+        except ValueError:
+            state.torn_lines += 1
+            break
+        if record is None:
+            continue
+        _apply(state, record)
+    return state
+
+
+def replay(journal_dir: PathLike) -> JournalState:
+    """Replay every segment of a journal directory, in order."""
+    return replay_lines(read_journal_lines(journal_dir))
+
+
+def compact(
+    journal_dir: PathLike, drop_dead_letters: bool = False
+) -> Dict[str, object]:
+    """Offline compaction: rewrite the journal without closed episodes.
+
+    Keeps, in original order, every record whose key's *latest* episode
+    is still open (the restart work list) or dead-lettered (the
+    operator-visible set, unless ``drop_dead_letters``) — and of those
+    keys only the records belonging to the latest episode.  Closed
+    ``completed``/``failed`` episodes are dropped: their outcome lives
+    in the result store and the job table ring, not the journal.
+
+    Must run offline (no live writer on the directory): the new segment
+    is written whole, fsynced, then the old segments are removed.
+    Returns a summary dict (events before/after, segments removed).
+    """
+    lines = read_journal_lines(journal_dir)
+    state = replay_lines(lines)
+    keep_keys = {
+        key: episode.first_seq
+        for key, episode in state.episodes.items()
+        if episode.open
+        or (episode.state == "dead_lettered" and not drop_dead_letters)
+    }
+    kept: List[str] = []
+    for line in lines:
+        try:
+            record = _parse_line(line)
+        except ValueError:
+            break
+        if record is None:
+            continue
+        key = str(record.get("key"))
+        first_seq = keep_keys.get(key)
+        if first_seq is None or int(record.get("seq", 0)) < first_seq:
+            continue
+        kept.append(json.dumps(record, sort_keys=True))
+    root = Path(journal_dir)
+    old_segments = segment_paths(root)
+    next_index = 1
+    if old_segments:
+        last_index = _segment_index(old_segments[-1])
+        assert last_index is not None
+        next_index = last_index + 1
+    target = root / _segment_name(next_index)
+    tmp = target.with_suffix(".tmp")
+    payload = "".join(line + "\n" for line in kept)
+    with open(tmp, "w", encoding="utf-8") as stream:
+        stream.write(payload)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, target)
+    for path in old_segments:
+        path.unlink()
+    return {
+        "events_before": state.events,
+        "events_after": len(kept),
+        "segments_removed": len(old_segments),
+        "segment": str(target),
+        "kept_keys": len(keep_keys),
+    }
+
+
+def validate_journal_lines(lines: Sequence[str]) -> Dict[str, object]:
+    """Enforce the ``repro.journal/1`` contract over concatenated lines.
+
+    Checks, raising :class:`JournalError` on the first violation:
+
+    * every line parses to a JSON object (a torn line is tolerated only
+      as the very last line);
+    * ``schema`` is exactly :data:`JOURNAL_SCHEMA` and ``event`` is a
+      known event on every record;
+    * ``seq`` is strictly increasing across the whole journal;
+    * per key, events respect episode ordering: ``submitted`` opens an
+      episode (and must not reopen a live one), ``running`` /
+      ``shard_done`` require an open episode, terminal events are
+      unique per episode (a closed episode accepts only a fresh
+      ``submitted``);
+    * ``shard_done`` indices are within ``[0, shard_count)``.
+
+    Returns a summary: event counts, episode counts by state.
+    """
+    last_seq = 0
+    counts: Dict[str, int] = {event: 0 for event in EVENTS}
+    open_episodes: Dict[str, EpisodeState] = {}
+    closed: Dict[str, str] = {}
+    torn = 0
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = _parse_line(line)
+        except ValueError as exc:
+            if number == len(lines):
+                torn += 1
+                break
+            raise JournalError(
+                f"line {number}: undecodable record mid-journal: {exc}"
+            ) from exc
+        if record is None:
+            continue
+        if record.get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"line {number}: schema {record.get('schema')!r} != "
+                f"{JOURNAL_SCHEMA!r}"
+            )
+        event = record.get("event")
+        if event not in EVENTS:
+            raise JournalError(f"line {number}: unknown event {event!r}")
+        key = record.get("key")
+        if not isinstance(key, str) or not key:
+            raise JournalError(f"line {number}: missing key")
+        seq = record.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            raise JournalError(
+                f"line {number}: seq {seq!r} not strictly increasing "
+                f"(previous {last_seq})"
+            )
+        last_seq = seq
+        if not isinstance(record.get("unix"), (int, float)):
+            raise JournalError(f"line {number}: missing unix timestamp")
+        counts[str(event)] += 1
+        episode = open_episodes.get(key)
+        if event == "submitted":
+            if episode is not None:
+                raise JournalError(
+                    f"line {number}: key {key[:16]}... resubmitted while "
+                    "its episode is still open"
+                )
+            spec = record.get("spec")
+            if not isinstance(spec, dict):
+                raise JournalError(
+                    f"line {number}: submitted record carries no spec"
+                )
+            open_episodes[key] = EpisodeState(key=key, first_seq=seq)
+            closed.pop(key, None)
+            continue
+        if episode is None:
+            terminal = closed.get(key)
+            if terminal is not None:
+                raise JournalError(
+                    f"line {number}: event {event!r} for key "
+                    f"{key[:16]}... after its terminal {terminal!r} "
+                    "(terminal-state uniqueness)"
+                )
+            raise JournalError(
+                f"line {number}: event {event!r} for key {key[:16]}... "
+                "with no open episode"
+            )
+        if event == "shard_done":
+            index = record.get("shard_index")
+            count = record.get("shard_count")
+            if (
+                not isinstance(index, int)
+                or not isinstance(count, int)
+                or not 0 <= index < count
+            ):
+                raise JournalError(
+                    f"line {number}: shard_done index {index!r} outside "
+                    f"[0, {count!r})"
+                )
+        if event in TERMINAL_EVENTS:
+            del open_episodes[key]
+            closed[key] = str(event)
+    return {
+        "schema": JOURNAL_SCHEMA,
+        "events": sum(counts.values()),
+        "counts": counts,
+        "last_seq": last_seq,
+        "open_episodes": len(open_episodes),
+        "closed_episodes": len(closed),
+        "torn_lines": torn,
+    }
+
+
+def validate_journal_dir(journal_dir: PathLike) -> Dict[str, object]:
+    """Validate every segment of a journal directory as one stream."""
+    paths = segment_paths(journal_dir)
+    if not paths:
+        raise JournalError(f"{journal_dir}: no journal segments found")
+    summary = validate_journal_lines(read_journal_lines(journal_dir))
+    summary["segments"] = len(paths)
+    return summary

@@ -10,6 +10,11 @@ thread that does all orchestration:
 * **backpressure** — :meth:`WorkerPool.submit` raises
   :class:`PoolSaturated` once every worker is busy and the pending queue
   is full; the HTTP layer turns that into ``429`` + ``Retry-After``;
+* **priority scheduling** — pending tasks queue per admission class
+  (``interactive`` ahead of ``batch``) with *aging*: a batch task whose
+  wait exceeds ``aging_s`` is dequeued ahead of fresh interactive work,
+  so mixed real/synthetic sweeps can share the pool with dashboards
+  without either side starving;
 * **timeouts** — a task past its deadline gets its worker killed and
   fails with a structured ``timeout`` error;
 * **crash detection** — a worker that dies mid-job is detected by
@@ -230,6 +235,7 @@ class WorkerPool:
         max_attempts: int = 2,
         respawn_delay_s: float = 0.0,
         trace_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        aging_s: float = 30.0,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
@@ -237,17 +243,26 @@ class WorkerPool:
             raise ValueError(
                 f"queue capacity must be >= 1, got {queue_capacity}"
             )
+        if aging_s <= 0:
+            raise ValueError(f"aging_s must be > 0, got {aging_s}")
         self.size = size
         self.queue_capacity = queue_capacity
         self.job_timeout_s = job_timeout_s
         self.max_attempts = max_attempts
         self.respawn_delay_s = respawn_delay_s
+        self.aging_s = aging_s
         self._on_complete = on_complete
         self._trace_sink = trace_sink
         self._ctx = multiprocessing.get_context()
         self._results: Any = None
         self._workers: List[_Worker] = []
-        self._pending: Deque[Task] = deque()  # guarded-by: _lock
+        #: pending tasks per admission class; dequeue prefers the
+        #: interactive deque unless the batch head has aged past
+        #: ``aging_s`` (starvation guard, checked on every assignment).
+        self._pending: Dict[str, Deque[Task]] = {  # guarded-by: _lock
+            "interactive": deque(),
+            "batch": deque(),
+        }
         self._lock = threading.Lock()
         self._draining = False  # guarded-by: _lock
         self._stopped = threading.Event()
@@ -287,8 +302,13 @@ class WorkerPool:
         with self._lock:
             self._draining = True
             if not drain:
-                abandoned = list(self._pending)
-                self._pending.clear()
+                abandoned = [
+                    task
+                    for queue_ in self._pending.values()
+                    for task in queue_
+                ]
+                for queue_ in self._pending.values():
+                    queue_.clear()
             else:
                 abandoned = []
         for task in abandoned:
@@ -338,6 +358,37 @@ class WorkerPool:
         return drained
 
     # -- intake ---------------------------------------------------------
+    def _pending_len_locked(self) -> int:  # guarded-by: _lock
+        return sum(len(queue_) for queue_ in self._pending.values())
+
+    def _queue_of(self, task: Task) -> Deque[Task]:  # guarded-by: _lock
+        """The class deque a task belongs to (caller holds ``_lock``)."""
+        priority = task.get("priority")
+        if priority not in self._pending:
+            priority = "interactive"
+        return self._pending[str(priority)]
+
+    def _pop_pending_locked(  # guarded-by: _lock
+        self, now: float
+    ) -> Optional[Task]:
+        """Next task by priority with aging (caller holds ``_lock``).
+
+        Interactive first, unless the batch head has waited longer than
+        ``aging_s`` — then it jumps the line, so a steady interactive
+        stream can delay batch work but never starve it.
+        """
+        batch = self._pending["batch"]
+        if batch:
+            waited = now - float(batch[0].get("_enqueued_mono") or now)
+            if waited >= self.aging_s:
+                return batch.popleft()
+        interactive = self._pending["interactive"]
+        if interactive:
+            return interactive.popleft()
+        if batch:
+            return batch.popleft()
+        return None
+
     def submit(self, task: Task, enforce_capacity: bool = True) -> None:
         """Queue a task, or raise on saturation/shutdown.
 
@@ -350,7 +401,9 @@ class WorkerPool:
         *job* granularity: the first shard of an admitted job is
         enforced, the rest — and the finalisation run that must follow
         completed shards — are not, because rejecting a sibling of an
-        already-admitted job would wedge the job forever.
+        already-admitted job would wedge the job forever.  Journal
+        recovery uses the same bypass: a job the journal promised to
+        finish must not be shed by a cold queue.
         """
         with self._lock:
             if self._draining or self._stopped.is_set():
@@ -361,18 +414,19 @@ class WorkerPool:
             # a burst of submits must not over-admit in the window
             # before tasks reach the workers.
             busy = sum(1 for w in self._workers if w.task is not None)
+            pending = self._pending_len_locked()
             if (
                 enforce_capacity
-                and len(self._pending) + busy
-                >= self.size + self.queue_capacity
+                and pending + busy >= self.size + self.queue_capacity
             ):
                 get_obs().metrics.counter("service.pool.rejected").inc()
                 raise PoolSaturated(
-                    f"{len(self._pending)} tasks pending, "
+                    f"{pending} tasks pending, "
                     f"{busy}/{self.size} workers busy"
                 )
             task.setdefault("attempts", 0)
-            self._pending.append(task)
+            task.setdefault("_enqueued_mono", time.monotonic())
+            self._queue_of(task).append(task)
             self._idle.clear()
 
     def retry_after_s(self) -> float:
@@ -385,7 +439,11 @@ class WorkerPool:
         with self._lock:
             alive = sum(1 for w in self._workers if w.alive())
             busy = sum(1 for w in self._workers if w.task is not None)
-            pending = len(self._pending)
+            pending = self._pending_len_locked()
+            by_priority = {
+                priority: len(queue_)
+                for priority, queue_ in self._pending.items()
+            }
             draining = self._draining or self._stopped.is_set()
         state = "healthy" if alive == self.size else "degraded"
         if draining:
@@ -396,6 +454,7 @@ class WorkerPool:
             "alive": alive,
             "busy": busy,
             "pending": pending,
+            "pending_by_priority": by_priority,
             "queue_capacity": self.queue_capacity,
         }
 
@@ -417,13 +476,21 @@ class WorkerPool:
         timeouts = obs.metrics.counter("service.pool.timeouts")
         respawns = obs.metrics.counter("service.pool.respawns")
         pending_gauge = obs.metrics.gauge("service.pool.pending")
+        priority_gauges = {
+            priority: obs.metrics.gauge(
+                "service.pool.pending_class", priority=priority
+            )
+            for priority in ("interactive", "batch")
+        }
         while not self._stopped.is_set():
             self._assign(computed)
             self._drain_results()
             self._check_workers(crashes, retries, timeouts, respawns)
             with self._lock:
-                pending_gauge.set(len(self._pending))
-                if not self._pending and all(
+                pending_gauge.set(self._pending_len_locked())
+                for priority, queue_ in self._pending.items():
+                    priority_gauges[priority].set(len(queue_))
+                if self._pending_len_locked() == 0 and all(
                     w.task is None for w in self._workers
                 ):
                     self._idle.set()
@@ -431,14 +498,14 @@ class WorkerPool:
     def _assign(self, computed: Any) -> None:
         while True:
             with self._lock:
-                if not self._pending:
-                    return
                 worker = next(
                     (w for w in self._workers if w.idle()), None
                 )
                 if worker is None:
                     return
-                task = self._pending.popleft()
+                task = self._pop_pending_locked(time.monotonic())
+                if task is None:
+                    return
                 task["attempts"] = int(task.get("attempts", 0)) + 1
                 self._stamp_attempt(task)
                 worker.task = task
@@ -446,13 +513,14 @@ class WorkerPool:
                     time.monotonic() + self.job_timeout_s
                 )
             # The inbox has capacity 1 and the worker is idle: put cannot
-            # block.  Callbacks ("on_*" keys) stay on the supervisor side
-            # — the pickled payload carries data only.
+            # block.  Callbacks ("on_*" keys) and supervisor bookkeeping
+            # ("_"-prefixed keys: attempt spans, enqueue stamps) stay on
+            # the supervisor side — the pickled payload carries data only.
             worker.inbox.put(
                 {
                     k: v
                     for k, v in task.items()
-                    if not k.startswith(("on_", "_attempt"))
+                    if not k.startswith(("on_", "_"))
                 }
             )
             computed.inc()
@@ -592,7 +660,9 @@ class WorkerPool:
                 if attempts < self.max_attempts:
                     retries.inc()
                     with self._lock:
-                        self._pending.appendleft(task)
+                        # Retry jumps its class queue's line: the job
+                        # already waited once and its waiters are live.
+                        self._queue_of(task).appendleft(task)
                         self._idle.clear()
                 else:
                     self._on_complete(

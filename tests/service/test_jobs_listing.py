@@ -1,0 +1,124 @@
+"""``GET /v1/jobs`` listing and the client's backpressure-wait mode."""
+
+import threading
+import time
+
+import pytest
+
+
+def _saturate(client, chain_trace, count=2, delay_s=1.5):
+    """Occupy the single worker plus the queue with slow jobs.
+
+    Returns the submitter threads; callers join them at the end so the
+    service_factory teardown never races live requests.
+    """
+    threads = []
+    for index in range(count):
+        # Distinct grid_points so nothing coalesces or hits the store.
+        def submit(gp=40 + index):
+            client.delay_cdf(
+                chain_trace, max_hops=3, grid_points=gp, _test_delay_s=delay_s
+            )
+
+        thread = threading.Thread(target=submit, daemon=True)
+        thread.start()
+        threads.append(thread)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        pool = client.health().json()["pool"]
+        if pool["busy"] + pool["pending"] >= count:
+            return threads
+        time.sleep(0.02)
+    pytest.fail("pool never saturated")
+
+
+class TestJobsListing:
+    def test_listing_reports_finished_jobs(self, service_factory, chain_trace):
+        _service, client, _bundle = service_factory()
+        client.delay_cdf(chain_trace, max_hops=3, grid_points=8)
+        response = client.jobs()
+        assert response.status == 200
+        listing = response.json()
+        assert listing["count"] == 1
+        assert listing["inflight"] == 0
+        assert listing["dead_lettered"] == 0
+        document = listing["jobs"][0]
+        assert document["state"] == "done"
+        assert document["priority"] == "interactive"
+        assert document["command"] == "delay-cdf"
+        assert document["exit_code"] == 0
+
+    def test_state_and_priority_filters(self, service_factory, chain_trace):
+        _service, client, _bundle = service_factory()
+        client.delay_cdf(chain_trace, max_hops=3, grid_points=8)
+        client.delay_cdf(
+            chain_trace, max_hops=3, grid_points=12, priority="batch"
+        )
+        batch_only = client.jobs(priority="batch").json()
+        assert batch_only["count"] == 1
+        assert batch_only["jobs"][0]["priority"] == "batch"
+        done = client.jobs(state="done").json()
+        assert done["count"] == 2
+        queued = client.jobs(state="queued").json()
+        assert queued["count"] == 0
+
+    def test_limit_bounds_the_page(self, service_factory, chain_trace):
+        _service, client, _bundle = service_factory()
+        for grid_points in (8, 10, 12):
+            client.delay_cdf(
+                chain_trace, max_hops=3, grid_points=grid_points
+            )
+        listing = client.jobs(limit=2).json()
+        assert listing["count"] == 2
+        assert len(listing["jobs"]) == 2
+        # Finished jobs list newest-first.
+        assert client.jobs().json()["count"] == 3
+
+    def test_invalid_filters_are_rejected(self, service_factory, chain_trace):
+        _service, client, _bundle = service_factory()
+        assert client.jobs(state="bogus").status == 400
+        assert client.jobs(priority="urgent").status == 400
+        assert client.jobs(limit=0).status == 400
+        assert client.request("GET", "/v1/jobs?limit=nope").status == 400
+        assert client.request("GET", "/v1/jobs?flavour=mild").status == 400
+        # The page bound is enforced server-side too.
+        assert client.jobs(limit=100000).status == 400
+
+
+class TestWaitOnBackpressure:
+    def test_opted_in_client_waits_out_saturation(
+        self, service_factory, chain_trace
+    ):
+        """With the pool and queue full, a plain submit is shed with 429
+        + Retry-After, a bounded waiter gives up with the last 429, and
+        a patient waiter lands once the blockers drain."""
+        _service, client, _bundle = service_factory(
+            workers=1, queue_capacity=1, job_timeout_s=2.0
+        )
+        blockers = _saturate(client, chain_trace, count=2, delay_s=1.5)
+        try:
+            shed = client.delay_cdf(chain_trace, max_hops=3, grid_points=8)
+            assert shed.status == 429
+            assert int(shed.headers["Retry-After"]) >= 1
+
+            bounded = client.delay_cdf(
+                chain_trace,
+                max_hops=3,
+                grid_points=10,
+                wait_on_backpressure=True,
+                max_wait_s=0.25,
+            )
+            assert bounded.status == 429  # budget spent, last 429 returned
+
+            patient = client.delay_cdf(
+                chain_trace,
+                max_hops=3,
+                grid_points=12,
+                wait_on_backpressure=True,
+                max_wait_s=30.0,
+            )
+            assert patient.status == 200
+            assert patient.headers["X-Repro-Source"] == "computed"
+        finally:
+            for thread in blockers:
+                thread.join(timeout=30.0)

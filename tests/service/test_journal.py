@@ -1,0 +1,426 @@
+"""The write-ahead journal: writer, replay, compaction, validation.
+
+The end-to-end crash/restart behaviour lives in ``test_recovery.py``;
+this module covers the journal subsystem itself, including the
+property-style guarantee that *any prefix* of a recorded journal
+replays to a consistent state.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Instrumentation, set_obs
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalWriter,
+    compact,
+    read_journal_lines,
+    replay,
+    replay_lines,
+    segment_paths,
+    validate_journal_dir,
+    validate_journal_lines,
+)
+
+
+@pytest.fixture
+def bundle():
+    instrumentation = Instrumentation.started()
+    previous = set_obs(instrumentation)
+    yield instrumentation
+    set_obs(previous)
+
+
+def _counter(bundle, name):
+    counters = bundle.metrics.to_dict()["counters"]
+    return sum(v for k, v in counters.items() if k.split("{")[0] == name)
+
+
+def _spec_doc(priority="interactive", shards=1):
+    return {
+        "command": "delay-cdf",
+        "trace": "/tmp/trace.txt",
+        "max_hops": 3,
+        "grid_points": 8,
+        "eps": None,
+        "shards": shards,
+        "priority": priority,
+    }
+
+
+def _write_episode(writer, key, events):
+    for event, fields in events:
+        writer.append(event, key, **fields)
+
+
+class TestJournalWriter:
+    def test_records_carry_schema_and_monotonic_seq(self, tmp_path, bundle):
+        writer = JournalWriter(tmp_path / "j")
+        first = writer.append("submitted", "k1", spec=_spec_doc())
+        second = writer.append("running", "k1", attempts=1)
+        writer.close()
+        assert first["schema"] == JOURNAL_SCHEMA
+        assert second["seq"] == first["seq"] + 1
+        lines = read_journal_lines(tmp_path / "j")
+        assert [json.loads(line)["event"] for line in lines] == [
+            "submitted",
+            "running",
+        ]
+        assert _counter(bundle, "service.journal.appended") == 2
+        assert _counter(bundle, "service.journal.fsyncs") == 2
+
+    def test_no_fsync_mode_skips_fsync_counter(self, tmp_path, bundle):
+        writer = JournalWriter(tmp_path / "j", fsync=False)
+        writer.append("submitted", "k1", spec=_spec_doc())
+        writer.close()
+        assert _counter(bundle, "service.journal.appended") == 1
+        assert _counter(bundle, "service.journal.fsyncs") == 0
+
+    def test_segment_rotation_by_size(self, tmp_path, bundle):
+        writer = JournalWriter(tmp_path / "j", segment_max_bytes=400)
+        for i in range(8):
+            writer.append("submitted", f"key-{i}", spec=_spec_doc())
+            writer.append("completed", f"key-{i}", exit_code=0)
+        writer.close()
+        segments = segment_paths(tmp_path / "j")
+        assert len(segments) > 1
+        assert _counter(bundle, "service.journal.rotations") == (
+            len(segments) - 1
+        )
+        # Rotation preserves the single logical stream.
+        state = replay(tmp_path / "j")
+        assert state.events == 16
+        assert all(not e.open for e in state.episodes.values())
+
+    def test_reopen_continues_sequence(self, tmp_path, bundle):
+        root = tmp_path / "j"
+        writer = JournalWriter(root)
+        writer.append("submitted", "k1", spec=_spec_doc())
+        writer.close()
+        state = replay(root)
+        second = JournalWriter(root, next_seq=state.next_seq)
+        record = second.append("completed", "k1", exit_code=0)
+        second.close()
+        assert record["seq"] == 2
+        validate_journal_dir(root)
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path, bundle):
+        """Appending after a torn line would weld two records together;
+        the writer must cut the unacknowledged bytes first."""
+        root = tmp_path / "j"
+        writer = JournalWriter(root)
+        writer.append("submitted", "k1", spec=_spec_doc())
+        writer.close()
+        segment = segment_paths(root)[-1]
+        with open(segment, "ab") as stream:
+            stream.write(b'{"schema": "repro.journal/1", "seq": 2, "ev')
+        state = replay(root)
+        assert state.torn_lines == 1
+        assert state.next_seq == 2
+        second = JournalWriter(root, next_seq=state.next_seq)
+        second.append("completed", "k1", exit_code=0)
+        second.close()
+        assert _counter(bundle, "service.journal.torn_repaired") == 1
+        # Post-repair the journal is fully valid again — no torn line
+        # buried mid-stream.
+        summary = validate_journal_dir(root)
+        assert summary["torn_lines"] == 0
+        assert summary["counts"]["completed"] == 1
+
+
+class TestReplay:
+    def test_episodes_fold_to_latest(self, tmp_path, bundle):
+        writer = JournalWriter(tmp_path / "j")
+        _write_episode(
+            writer,
+            "k1",
+            [
+                ("submitted", {"spec": _spec_doc(shards=3)}),
+                ("running", {"attempts": 1}),
+                ("shard_done", {"shard_index": 0, "shard_count": 3}),
+                ("shard_done", {"shard_index": 2, "shard_count": 3}),
+            ],
+        )
+        _write_episode(
+            writer,
+            "k2",
+            [
+                ("submitted", {"spec": _spec_doc(priority="batch")}),
+                ("running", {"attempts": 1}),
+                ("completed", {"exit_code": 0}),
+            ],
+        )
+        writer.close()
+        state = replay(tmp_path / "j")
+        open_episode = state.episodes["k1"]
+        assert open_episode.open
+        assert open_episode.shards_done == {0, 2}
+        assert open_episode.shard_count == 3
+        assert open_episode.crashes == 1
+        assert not state.episodes["k2"].open
+        assert [e.key for e in state.unfinished()] == ["k1"]
+
+    def test_resubmission_opens_fresh_episode(self, tmp_path, bundle):
+        """A completed job whose result was evicted from the store can
+        be submitted again: the new episode starts clean."""
+        writer = JournalWriter(tmp_path / "j")
+        _write_episode(
+            writer,
+            "k1",
+            [
+                ("submitted", {"spec": _spec_doc()}),
+                ("running", {"attempts": 1}),
+                ("completed", {"exit_code": 0}),
+                ("submitted", {"spec": _spec_doc()}),
+            ],
+        )
+        writer.close()
+        state = replay(tmp_path / "j")
+        episode = state.episodes["k1"]
+        assert episode.open
+        assert episode.crashes == 0
+        assert episode.first_seq == 4
+
+    def test_crash_count_is_running_events(self, tmp_path, bundle):
+        writer = JournalWriter(tmp_path / "j")
+        _write_episode(
+            writer,
+            "k1",
+            [
+                ("submitted", {"spec": _spec_doc()}),
+                ("running", {"attempts": 1}),
+                ("running", {"attempts": 1}),
+                ("running", {"attempts": 2}),
+            ],
+        )
+        writer.close()
+        assert replay(tmp_path / "j").episodes["k1"].crashes == 3
+
+    def test_prefix_replay_is_consistent(self, tmp_path, bundle):
+        """Property-style: every prefix of a journal replays without
+        error, prefix states grow monotonically (events, shards_done),
+        and re-replay of the same prefix is idempotent."""
+        writer = JournalWriter(tmp_path / "j", segment_max_bytes=300)
+        _write_episode(
+            writer,
+            "k1",
+            [
+                ("submitted", {"spec": _spec_doc(shards=3)}),
+                ("running", {"attempts": 1}),
+                ("shard_done", {"shard_index": 0, "shard_count": 3}),
+                ("shard_done", {"shard_index": 1, "shard_count": 3}),
+                ("shard_done", {"shard_index": 2, "shard_count": 3}),
+                ("completed", {"exit_code": 0}),
+            ],
+        )
+        _write_episode(
+            writer,
+            "k2",
+            [
+                ("submitted", {"spec": _spec_doc(priority="batch")}),
+                ("running", {"attempts": 1}),
+                ("failed", {"error_type": "timeout", "message": "slow"}),
+                ("submitted", {"spec": _spec_doc(priority="batch")}),
+                ("running", {"attempts": 1}),
+            ],
+        )
+        writer.close()
+        lines = read_journal_lines(tmp_path / "j")
+        assert len(lines) == 11
+        previous = None
+        for cut in range(len(lines) + 1):
+            prefix = lines[:cut]
+            state = replay_lines(prefix)
+            again = replay_lines(prefix)
+            assert state.to_dict() == again.to_dict()  # idempotent
+            assert state.events == cut
+            assert state.torn_lines == 0
+            for episode in state.episodes.values():
+                assert episode.state in (
+                    "queued",
+                    "running",
+                    "done",
+                    "failed",
+                    "dead_lettered",
+                )
+                assert all(
+                    0 <= i < episode.shard_count
+                    for i in episode.shards_done
+                )
+            if previous is not None:
+                assert state.events == previous.events + 1
+                for key, old in previous.episodes.items():
+                    new = state.episodes[key]
+                    # Within one episode progress only grows; a fresh
+                    # submitted record resets to a new episode.
+                    if new.first_seq == old.first_seq:
+                        assert new.shards_done >= old.shards_done
+                        assert new.crashes >= old.crashes
+            previous = state
+
+    def test_empty_directory_replays_empty(self, tmp_path):
+        state = replay(tmp_path / "missing")
+        assert state.events == 0
+        assert state.next_seq == 1
+
+
+class TestCompaction:
+    def _populate(self, root):
+        writer = JournalWriter(root)
+        _write_episode(
+            writer,
+            "done-key",
+            [
+                ("submitted", {"spec": _spec_doc()}),
+                ("running", {"attempts": 1}),
+                ("completed", {"exit_code": 0}),
+            ],
+        )
+        _write_episode(
+            writer,
+            "open-key",
+            [
+                ("submitted", {"spec": _spec_doc(shards=2)}),
+                ("running", {"attempts": 1}),
+                ("shard_done", {"shard_index": 0, "shard_count": 2}),
+            ],
+        )
+        _write_episode(
+            writer,
+            "dead-key",
+            [
+                ("submitted", {"spec": _spec_doc()}),
+                ("running", {"attempts": 1}),
+                (
+                    "dead_lettered",
+                    {"crashes": 3, "error_type": "worker-crashed"},
+                ),
+            ],
+        )
+        writer.close()
+
+    def test_compact_drops_closed_keeps_open_and_dead(
+        self, tmp_path, bundle
+    ):
+        root = tmp_path / "j"
+        self._populate(root)
+        summary = compact(root)
+        assert summary["events_before"] == 9
+        assert summary["events_after"] == 6
+        state = replay(root)
+        assert set(state.episodes) == {"open-key", "dead-key"}
+        assert state.episodes["open-key"].shards_done == {0}
+        assert state.episodes["dead-key"].state == "dead_lettered"
+        assert len(segment_paths(root)) == 1
+        validate_journal_dir(root)
+
+    def test_compact_can_drop_dead_letters(self, tmp_path, bundle):
+        root = tmp_path / "j"
+        self._populate(root)
+        compact(root, drop_dead_letters=True)
+        assert set(replay(root).episodes) == {"open-key"}
+
+    def test_writer_appends_after_compaction(self, tmp_path, bundle):
+        """Compaction preserves original seq values; a new writer must
+        continue past them so the stream stays strictly increasing."""
+        root = tmp_path / "j"
+        self._populate(root)
+        compact(root)
+        state = replay(root)
+        writer = JournalWriter(root, next_seq=state.next_seq)
+        writer.append("completed", "open-key", exit_code=0)
+        writer.close()
+        validate_journal_dir(root)
+
+
+class TestValidator:
+    def _lines(self, *records):
+        return [json.dumps(r, sort_keys=True) for r in records]
+
+    def _record(self, seq, event, key="k1", **fields):
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "seq": seq,
+            "event": event,
+            "key": key,
+            "unix": 1700000000.0 + seq,
+            **fields,
+        }
+
+    def test_valid_journal_summary(self, tmp_path, bundle):
+        root = tmp_path / "j"
+        writer = JournalWriter(root)
+        _write_episode(
+            writer,
+            "k1",
+            [
+                ("submitted", {"spec": _spec_doc()}),
+                ("running", {"attempts": 1}),
+                ("completed", {"exit_code": 0}),
+            ],
+        )
+        writer.close()
+        summary = validate_journal_dir(root)
+        assert summary["events"] == 3
+        assert summary["open_episodes"] == 0
+        assert summary["closed_episodes"] == 1
+
+    def test_rejects_wrong_schema(self):
+        record = self._record(1, "submitted", spec=_spec_doc())
+        record["schema"] = "repro.journal/999"
+        with pytest.raises(JournalError, match="schema"):
+            validate_journal_lines(self._lines(record))
+
+    def test_rejects_non_monotonic_seq(self):
+        lines = self._lines(
+            self._record(2, "submitted", spec=_spec_doc()),
+            self._record(2, "running", attempts=1),
+        )
+        with pytest.raises(JournalError, match="strictly increasing"):
+            validate_journal_lines(lines)
+
+    def test_rejects_event_without_episode(self):
+        with pytest.raises(JournalError, match="no open episode"):
+            validate_journal_lines(
+                self._lines(self._record(1, "running", attempts=1))
+            )
+
+    def test_rejects_double_terminal(self):
+        lines = self._lines(
+            self._record(1, "submitted", spec=_spec_doc()),
+            self._record(2, "completed", exit_code=0),
+            self._record(3, "failed", error_type="x", message="y"),
+        )
+        with pytest.raises(JournalError, match="terminal"):
+            validate_journal_lines(lines)
+
+    def test_rejects_resubmit_of_open_episode(self):
+        lines = self._lines(
+            self._record(1, "submitted", spec=_spec_doc()),
+            self._record(2, "submitted", spec=_spec_doc()),
+        )
+        with pytest.raises(JournalError, match="resubmitted"):
+            validate_journal_lines(lines)
+
+    def test_rejects_shard_index_out_of_range(self):
+        lines = self._lines(
+            self._record(1, "submitted", spec=_spec_doc(shards=2)),
+            self._record(2, "shard_done", shard_index=2, shard_count=2),
+        )
+        with pytest.raises(JournalError, match="shard_done"):
+            validate_journal_lines(lines)
+
+    def test_torn_line_tolerated_only_at_end(self):
+        good = self._record(1, "submitted", spec=_spec_doc())
+        summary = validate_journal_lines(self._lines(good) + ['{"torn'])
+        assert summary["torn_lines"] == 1
+        with pytest.raises(JournalError, match="mid-journal"):
+            validate_journal_lines(
+                ['{"torn'] + self._lines(good)
+            )
+
+    def test_empty_directory_fails(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal segments"):
+            validate_journal_dir(tmp_path / "missing")

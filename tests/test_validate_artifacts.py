@@ -168,6 +168,24 @@ def _service_summary(**overrides):
             "shards_completed": 4,
             "shards_dispatched": 4,
         },
+        "recovery": {
+            "shards": 4,
+            "shards_done_before_kill": 1,
+            "events_before_restart": 3,
+            "events_replayed": 3,
+            "requeued": 1,
+            "shards_skipped": 1,
+            "recovery_s": 0.01,
+            "drain_s": 1.5,
+            "byte_identical": True,
+            "journal_valid": True,
+            "fsync": {
+                "appends": 256,
+                "fsync_appends_per_s": 5000.0,
+                "nofsync_appends_per_s": 80000.0,
+                "fsync_overhead_x": 16.0,
+            },
+        },
     }
     summary.update(overrides)
     return summary
@@ -183,6 +201,7 @@ def _service_payload(tmp_path, summary=None, counters=None):
             "service.pool.rejected": 1,
             "service.shards.completed": 4,
             "service.shards.dispatched": 4,
+            "service.recovery.requeued": 1,
         }
         if counters is None
         else counters
@@ -296,6 +315,112 @@ class TestServiceLoad:
         path = _service_payload(tmp_path, summary=summary)
         with pytest.raises(va.ValidationError, match="not monotone at p50"):
             va.validate_service_load(path)
+
+    def test_clean_record_reports_recovery(self, tmp_path):
+        lines = va.validate_service_load(_service_payload(tmp_path))
+        assert any("recovery: 3 events replayed" in line for line in lines)
+        assert any("fsync probe" in line for line in lines)
+
+    def test_missing_recovery_section_fails(self, tmp_path):
+        summary = _service_summary()
+        del summary["recovery"]
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="recovery"):
+            va.validate_service_load(path)
+
+    def test_recovery_byte_divergence_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["recovery"] = dict(summary["recovery"], byte_identical=False)
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="byte-identical"):
+            va.validate_service_load(path)
+
+    def test_recovery_recomputed_checkpointed_shards_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["recovery"] = dict(
+            summary["recovery"], shards_skipped=0, shards_done_before_kill=1
+        )
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="checkpointed shards"):
+            va.validate_service_load(path)
+
+    def test_recovery_without_replayed_events_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["recovery"] = dict(summary["recovery"], events_replayed=0)
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="replayed no"):
+            va.validate_service_load(path)
+
+    def test_recovery_without_fsync_probe_fails(self, tmp_path):
+        summary = _service_summary()
+        summary["recovery"] = dict(summary["recovery"])
+        del summary["recovery"]["fsync"]
+        path = _service_payload(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="fsync probe"):
+            va.validate_service_load(path)
+
+    def test_missing_requeued_counter_fails(self, tmp_path):
+        path = _service_payload(
+            tmp_path,
+            counters={
+                "service.pool.rejected": 1,
+                "service.shards.completed": 4,
+                "service.shards.dispatched": 4,
+            },
+        )
+        with pytest.raises(
+            va.ValidationError, match="service.recovery.requeued"
+        ):
+            va.validate_service_load(path)
+
+
+def _journal_dir(tmp_path, close_episode=True):
+    """Write a real one-episode journal and return its directory."""
+    sys.path.insert(0, str(_ROOT / "src"))
+    from repro.service.journal import JournalWriter
+
+    root = tmp_path / "journal"
+    writer = JournalWriter(root, fsync=False)
+    key = "a" * 64
+    writer.append("submitted", key, spec={"command": "delay-cdf"})
+    writer.append("running", key, attempts=1)
+    if close_episode:
+        writer.append("completed", key, exit_code=0)
+    writer.close()
+    return root
+
+
+class TestJournalArtifact:
+    def test_valid_journal_passes(self, tmp_path):
+        lines = va.validate_journal_artifact(_journal_dir(tmp_path))
+        assert any("3 events" in line for line in lines)
+        assert any("1 closed" in line for line in lines)
+
+    def test_open_episode_passes_without_forbid_open(self, tmp_path):
+        root = _journal_dir(tmp_path, close_episode=False)
+        lines = va.validate_journal_artifact(root)
+        assert any("1 open" in line for line in lines)
+
+    def test_open_episode_fails_with_forbid_open(self, tmp_path):
+        root = _journal_dir(tmp_path, close_episode=False)
+        with pytest.raises(va.ValidationError, match="still open"):
+            va.validate_journal_artifact(root, forbid_open=True)
+
+    def test_corrupt_stream_fails(self, tmp_path):
+        root = _journal_dir(tmp_path)
+        segment = sorted(root.glob("journal-*.jsonl"))[0]
+        lines = segment.read_text(encoding="utf-8").splitlines(True)
+        # Swap the first two records: running now precedes submitted
+        # (and seq runs 2, 1, 3) — both journal invariants broken.
+        segment.write_text(
+            lines[1] + lines[0] + lines[2], encoding="utf-8"
+        )
+        with pytest.raises(va.ValidationError):
+            va.validate_journal_artifact(root)
+
+    def test_missing_directory_fails(self, tmp_path):
+        with pytest.raises(va.ValidationError, match="no journal segments"):
+            va.validate_journal_artifact(tmp_path / "nope")
 
 
 def _trace_export(tmp_path, mutate=None):
