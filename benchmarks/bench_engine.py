@@ -1,0 +1,187 @@
+"""Engine bench — scalar oracle vs vectorized CSR engine, cold and warm.
+
+Runs the Figure 9 profile workload (all-internal-sources path profiles
+at the figure hop bounds, the single hottest loop in the repo) once per
+data set under both engines at ``workers=4``, asserting the parity
+contract as it goes: ``engine=vec`` must produce a byte-identical
+``PathProfileSet`` (same :func:`repro.core.storage.profiles_digest`) as
+``engine=scalar`` on every bench trace.
+
+Two observed sessions run in one process:
+
+* ``BENCH_engine.cold.json`` — first contact: the vec side pays the CSR
+  compilation, the worker-pool spawn and the shared-memory broadcast;
+  the scalar side pays its adjacency rebuild in the workers.
+* ``BENCH_engine.warm.json`` — the same runs again: the CSR cache, the
+  persistent pool and the broadcast segments are hot
+  (``engine.pool.broadcast_reused``), so this isolates the steady-state
+  engine speed the service sees on repeat queries.
+
+The "network ships exactly once" property is asserted from the pool's
+own ledger: ``engine.pool.broadcasts`` must equal the number of distinct
+traces in the cold session and be zero in the warm one, and the actual
+pickled task traffic (``engine.pool.task_bytes``) must be dwarfed by the
+one-off segment payload (``engine.pool.broadcast_bytes``).
+
+``validate_artifacts.py engine`` checks the emitted pair (speedup
+fields, parity hashes, broadcast counters); CI archives both JSONs.
+"""
+
+import os
+import time
+
+from _common import (
+    FIGURE_HOP_BOUNDS,
+    banner,
+    bench_session,
+    dataset,
+    run_benchmark_once,
+)
+from repro.core import close_pools, compute_profiles, profiles_digest
+from repro.obs import get_obs
+
+NAMES = ("infocom05", "reality", "hongkong")
+WORKERS = int(os.environ.get("REPRO_BENCH_ENGINE_WORKERS", "4"))
+
+
+def internal_sources(net):
+    return [
+        n for n in net.nodes
+        if not (isinstance(n, str) and str(n).startswith("ext"))
+    ]
+
+
+def run_phase(phase):
+    """One full sweep over the bench traces; returns the phase summary."""
+    obs = get_obs()
+    datasets_summary = {}
+    total_scalar = total_vec = 0.0
+    for name in NAMES:
+        net = dataset(name)
+        sources = internal_sources(net)
+        with obs.timer("engine.bench.scalar_s", dataset=name, phase=phase):
+            begin = time.perf_counter()
+            scalar = compute_profiles(
+                net,
+                hop_bounds=FIGURE_HOP_BOUNDS,
+                sources=sources,
+                workers=WORKERS,
+                engine="scalar",
+            )
+            scalar_s = time.perf_counter() - begin
+        with obs.timer("engine.bench.vec_s", dataset=name, phase=phase):
+            begin = time.perf_counter()
+            vec = compute_profiles(
+                net,
+                hop_bounds=FIGURE_HOP_BOUNDS,
+                sources=sources,
+                workers=WORKERS,
+                engine="vec",
+            )
+            vec_s = time.perf_counter() - begin
+        digest = profiles_digest(scalar)
+        vec_digest = profiles_digest(vec)
+        assert vec_digest == digest, (
+            f"{name}: engine=vec diverged from the scalar oracle "
+            f"({vec_digest} != {digest})"
+        )
+        datasets_summary[name] = {
+            "nodes": len(net.nodes),
+            "contacts": net.num_contacts,
+            "sources": len(sources),
+            "scalar_s": scalar_s,
+            "vec_s": vec_s,
+            "speedup": scalar_s / vec_s,
+            "parity_sha256": digest,
+        }
+        total_scalar += scalar_s
+        total_vec += vec_s
+    counters = obs.metrics.to_dict()["counters"]
+    broadcasts = counters.get("engine.pool.broadcasts", 0)
+    reused = counters.get("engine.pool.broadcast_reused", 0)
+    spawns = counters.get("engine.pool.spawns", 0)
+    task_bytes = counters.get("engine.pool.task_bytes", 0)
+    broadcast_bytes = counters.get("engine.pool.broadcast_bytes", 0)
+    if obs.enabled and phase == "cold":
+        # Both engines ran workers=4 on the same traces: the network must
+        # have shipped exactly once per distinct trace, as one segment.
+        assert broadcasts == len(NAMES), (broadcasts, len(NAMES))
+        assert spawns <= WORKERS, (spawns, WORKERS)
+        assert 0 < task_bytes < broadcast_bytes, (task_bytes, broadcast_bytes)
+    elif obs.enabled:
+        # Warm reruns attach to the already-published segments.
+        assert broadcasts == 0, broadcasts
+        assert reused >= 2 * len(NAMES), reused
+    summary = {
+        "phase": phase,
+        "workers": WORKERS,
+        "hop_bounds": list(FIGURE_HOP_BOUNDS),
+        "datasets": datasets_summary,
+        "scalar_s": total_scalar,
+        "vec_s": total_vec,
+        "speedup": total_scalar / total_vec,
+        "parity_ok": True,
+        "pool": {
+            "broadcasts": broadcasts,
+            "broadcast_reused": reused,
+            "spawns": spawns,
+            "task_bytes": task_bytes,
+            "broadcast_bytes": broadcast_bytes,
+        },
+    }
+    if obs.enabled and obs.manifest is not None:
+        obs.manifest.update(engine=summary)
+    return summary
+
+
+def print_phase(summary):
+    print(f"\n--- {summary['phase']} (workers={summary['workers']}) ---")
+    for name, row in summary["datasets"].items():
+        print(
+            f"{name:10s} scalar {row['scalar_s']:7.2f}s   "
+            f"vec {row['vec_s']:7.2f}s   {row['speedup']:5.2f}x   "
+            f"({row['sources']} sources, {row['contacts']} contacts)"
+        )
+    pool = summary["pool"]
+    print(
+        f"{'aggregate':10s} scalar {summary['scalar_s']:7.2f}s   "
+        f"vec {summary['vec_s']:7.2f}s   {summary['speedup']:5.2f}x"
+    )
+    print(
+        f"pool: {pool['broadcasts']} broadcast(s) "
+        f"({pool['broadcast_bytes']} B), {pool['broadcast_reused']} "
+        f"reuse(s), {pool['spawns']} spawn(s), task traffic "
+        f"{pool['task_bytes']} B"
+    )
+
+
+def main():
+    summaries = {}
+    for phase in ("cold", "warm"):
+        with bench_session(f"engine.{phase}"):
+            if phase == "cold":
+                banner(
+                    "Engine",
+                    "scalar vs vectorized CSR engine on the Fig. 9 "
+                    "profile workload",
+                )
+            summaries[phase] = run_phase(phase)
+            print_phase(summaries[phase])
+    close_pools()
+    print(
+        f"\nparity: engine=vec byte-identical to engine=scalar on "
+        f"{len(NAMES)} traces (cold and warm)"
+    )
+    return 0
+
+
+def test_benchmark_engine(benchmark):
+    summary = run_benchmark_once(benchmark, run_phase, "cold")
+    assert summary["parity_ok"]
+    close_pools()
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -29,6 +29,19 @@ checkout's rules, counts consistent with the findings, findings
 sorted); ``--expect-clean`` additionally fails on any finding.
 ``lockwatch`` checks a ``repro.lockwatch/1`` JSONL export;
 ``--forbid-inversions`` / ``--max-long-holds`` add the CI policy gates.
+``engine`` checks a cold/warm pair of ``bench_engine.py`` records:
+per-dataset and aggregate speedup fields present and positive, the
+vec-vs-scalar parity hash identical across engines (recorded) and
+across the cold/warm runs, the cold run broadcasting each network to
+the worker pool exactly once (``engine.pool.broadcasts`` equals the
+dataset count, task pickle traffic below the one-off segment bytes)
+and the warm run reusing every segment without a single new broadcast;
+``--min-speedup X`` additionally gates the aggregate speedups::
+
+    PYTHONPATH=src python benchmarks/validate_artifacts.py engine \\
+        engine-out/BENCH_engine.cold.json \\
+        engine-out/BENCH_engine.warm.json --min-speedup 2.0
+
 ``journal`` checks a ``repro.journal/1`` write-ahead journal directory
 as one event stream (schema, monotonic seq, episode discipline, torn
 line only at the tail); ``--forbid-open`` additionally fails when any
@@ -268,6 +281,116 @@ def validate_service_load(path: pathlib.Path) -> List[str]:
     ]
 
 
+def _engine_summary(path: pathlib.Path, payload: Dict[str, object]) -> Dict[str, object]:
+    manifest = payload.get("manifest")
+    if not isinstance(manifest, dict) or not isinstance(
+        manifest.get("params"), dict
+    ):
+        raise ValidationError(f"{path}: no manifest params")
+    summary = manifest["params"].get("engine")
+    if not isinstance(summary, dict):
+        raise ValidationError(f"{path}: no engine summary on manifest")
+    if summary.get("parity_ok") is not True:
+        raise ValidationError(f"{path}: parity_ok is not true")
+    datasets = summary.get("datasets")
+    if not isinstance(datasets, dict) or not datasets:
+        raise ValidationError(f"{path}: no per-dataset engine records")
+    for name, row in datasets.items():
+        if not isinstance(row, dict):
+            raise ValidationError(f"{path}: dataset {name!r} is not an object")
+        for field in ("scalar_s", "vec_s", "speedup"):
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or not value > 0.0:
+                raise ValidationError(
+                    f"{path}: dataset {name!r} field {field} is not a "
+                    f"positive number: {value!r}"
+                )
+        digest = row.get("parity_sha256")
+        if not (isinstance(digest, str) and len(digest) == 64):
+            raise ValidationError(
+                f"{path}: dataset {name!r} has no parity_sha256 hash"
+            )
+    for field in ("scalar_s", "vec_s", "speedup"):
+        value = summary.get(field)
+        if not isinstance(value, (int, float)) or not value > 0.0:
+            raise ValidationError(
+                f"{path}: aggregate field {field} is not a positive "
+                f"number: {value!r}"
+            )
+    return summary
+
+
+def validate_engine_pair(
+    cold_path: pathlib.Path,
+    warm_path: pathlib.Path,
+    min_speedup: Optional[float] = None,
+) -> List[str]:
+    """Check a cold/warm ``bench_engine.py`` pair (parity + broadcasts)."""
+    cold_payload = _load(cold_path)
+    warm_payload = _load(warm_path)
+    cold_counters = _counters(cold_payload, cold_path)
+    warm_counters = _counters(warm_payload, warm_path)
+    cold = _engine_summary(cold_path, cold_payload)
+    warm = _engine_summary(warm_path, warm_payload)
+    cold_sets = cold["datasets"]
+    warm_sets = warm["datasets"]
+    assert isinstance(cold_sets, dict) and isinstance(warm_sets, dict)
+    if sorted(cold_sets) != sorted(warm_sets):
+        raise ValidationError(
+            f"{warm_path}: dataset roster differs from the cold run: "
+            f"{sorted(warm_sets)} != {sorted(cold_sets)}"
+        )
+    for name, cold_row in cold_sets.items():
+        if cold_row["parity_sha256"] != warm_sets[name]["parity_sha256"]:
+            raise ValidationError(
+                f"{warm_path}: dataset {name!r} parity hash differs from "
+                f"the cold run — the engines are not deterministic"
+            )
+    broadcasts = cold_counters.get("engine.pool.broadcasts", 0)
+    if broadcasts != len(cold_sets):
+        raise ValidationError(
+            f"{cold_path}: cold run broadcast {broadcasts} segment(s) for "
+            f"{len(cold_sets)} network(s) — expected exactly one each"
+        )
+    task_bytes = cold_counters.get("engine.pool.task_bytes", 0)
+    broadcast_bytes = cold_counters.get("engine.pool.broadcast_bytes", 0)
+    if not 0 < task_bytes < broadcast_bytes:
+        raise ValidationError(
+            f"{cold_path}: task pickle traffic ({task_bytes} B) is not "
+            f"dwarfed by the one-off broadcast ({broadcast_bytes} B)"
+        )
+    if warm_counters.get("engine.pool.broadcasts", 0) != 0:
+        raise ValidationError(
+            f"{warm_path}: warm run re-broadcast the network "
+            f"({warm_counters.get('engine.pool.broadcasts')} segment(s))"
+        )
+    if warm_counters.get("engine.pool.broadcast_reused", 0) < len(warm_sets):
+        raise ValidationError(
+            f"{warm_path}: warm run reused fewer segments than datasets: "
+            f"{warm_counters.get('engine.pool.broadcast_reused')}"
+        )
+    if min_speedup is not None:
+        for label, summary, path in (
+            ("cold", cold, cold_path), ("warm", warm, warm_path)
+        ):
+            speedup = float(summary["speedup"])  # type: ignore[arg-type]
+            if speedup < min_speedup:
+                raise ValidationError(
+                    f"{path}: {label} aggregate speedup {speedup:.2f}x "
+                    f"below the required {min_speedup:.2f}x"
+                )
+    return [
+        f"cold: {float(cold['speedup']):.2f}x over scalar "  # type: ignore[arg-type]
+        f"({broadcasts} broadcast(s), {task_bytes} B task traffic vs "
+        f"{broadcast_bytes} B segments)",
+        f"warm: {float(warm['speedup']):.2f}x over scalar "  # type: ignore[arg-type]
+        f"({warm_counters.get('engine.pool.broadcast_reused', 0)} segment "
+        f"reuse(s), 0 re-broadcasts)",
+        f"parity: {len(cold_sets)} dataset hash(es) identical across "
+        f"engines and runs",
+    ]
+
+
 def validate_trace_export(
     path: pathlib.Path,
     require_spans: Sequence[str] = (),
@@ -468,6 +591,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="fail when any episode is still open (no terminal event)",
     )
+    engine = sub.add_parser(
+        "engine", help="validate a cold/warm engine-parity bench pair"
+    )
+    engine.add_argument("cold", type=pathlib.Path)
+    engine.add_argument("warm", type=pathlib.Path)
+    engine.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when either aggregate vec speedup is below X",
+    )
     lockwatch = sub.add_parser(
         "lockwatch", help="validate a repro.lockwatch/1 JSONL export"
     )
@@ -504,6 +639,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.command == "journal":
             lines = validate_journal_artifact(
                 args.journal_dir, forbid_open=args.forbid_open
+            )
+        elif args.command == "engine":
+            lines = validate_engine_pair(
+                args.cold, args.warm, min_speedup=args.min_speedup
             )
         elif args.command == "lockwatch":
             lines = validate_lockwatch_export(

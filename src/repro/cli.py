@@ -31,7 +31,7 @@ from .analysis.tables import render_table
 from .core.cache import load_or_compute
 from .core.delay_cdf import delay_cdf
 from .core.diameter import diameter
-from .core.optimal import PathProfileSet, compute_profiles
+from .core.optimal import ENGINES, PathProfileSet, compute_profiles
 from .core.temporal_network import TemporalNetwork
 from .random_temporal import theory
 from .traces import datasets
@@ -114,8 +114,10 @@ def _profiles(
     bounds: Tuple[int, ...],
     args: argparse.Namespace,
 ) -> PathProfileSet:
-    """compute_profiles honouring --cache-dir / --workers / --shards."""
+    """compute_profiles honouring --cache-dir / --workers / --shards /
+    --engine."""
     shards = int(getattr(args, "shards", 1) or 1)
+    engine = getattr(args, "engine", "auto") or "auto"
     if shards > 1:
         from .core.shards import compute_profiles_sharded
 
@@ -128,12 +130,19 @@ def _profiles(
             hop_bounds=bounds,
             workers=args.workers,
             cache_dir=getattr(args, "cache_dir", None) or None,
+            engine=engine,
         )
     if getattr(args, "cache_dir", None):
         return load_or_compute(
-            net, args.cache_dir, hop_bounds=bounds, workers=args.workers
+            net,
+            args.cache_dir,
+            hop_bounds=bounds,
+            workers=args.workers,
+            engine=engine,
         )
-    return compute_profiles(net, hop_bounds=bounds, workers=args.workers)
+    return compute_profiles(
+        net, hop_bounds=bounds, workers=args.workers, engine=engine
+    )
 
 
 def _require_analyzable(net: TemporalNetwork, args: argparse.Namespace) -> bool:
@@ -315,6 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "shards (>= 1); output is byte-identical to --shards 1, "
                  "and with --cache-dir each shard checkpoints so a "
                  "crashed run resumes from completed shards",
+        )
+        p.add_argument(
+            "--engine", choices=ENGINES, default="auto",
+            help="profile DP implementation: the scalar oracle, the "
+                 "vectorized CSR kernel (exact-only, identical output), "
+                 "or auto selection by trace size (default)",
         )
 
     diam = sub.add_parser("diameter", help="(1-eps)-diameter of a trace")

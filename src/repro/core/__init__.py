@@ -7,6 +7,8 @@ computation, exact delay CDFs and the (1 - eps)-diameter.
 
 from .cache import cache_path, load_or_compute, profile_cache_key
 from .contact import Contact, Node, merge_intervals
+from .csr import CSRNetwork, csr_for, network_key
+from .engine_pool import close_pools
 from .delay_cdf import (
     DelayCDF,
     delay_cdf,
@@ -23,7 +25,7 @@ from .journeys import (
     journey_summary,
     shortest_journey,
 )
-from .optimal import PathProfileSet, SourceProfiles, compute_profiles
+from .optimal import ENGINES, PathProfileSet, SourceProfiles, compute_profiles
 from .pairs import (
     PathPair,
     can_concatenate,
@@ -35,7 +37,7 @@ from .pairs import (
 )
 from .paths import ContactPath, is_chained, is_valid_sequence
 from .segments import SegmentTable, build_segment_table
-from .storage import load_profiles, save_profiles, trace_digest
+from .storage import load_profiles, profiles_digest, save_profiles, trace_digest
 from .temporal_network import EdgeContacts, TemporalNetwork
 from .transmission import (
     SampledSuccess,
@@ -45,9 +47,11 @@ from .transmission import (
 )
 
 __all__ = [
+    "CSRNetwork",
     "Contact",
     "ContactPath",
     "DelayCDF",
+    "ENGINES",
     "DeliveryFunction",
     "DiameterResult",
     "EdgeContacts",
@@ -76,12 +80,16 @@ __all__ = [
     "foremost_journey",
     "is_chained",
     "is_valid_sequence",
+    "close_pools",
+    "csr_for",
     "journey_summary",
     "load_or_compute",
     "load_profiles",
     "merge_intervals",
+    "network_key",
     "pair_of_contact",
     "profile_cache_key",
+    "profiles_digest",
     "sampled_diameter",
     "sampled_start_times",
     "sampled_success_curves",

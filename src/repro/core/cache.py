@@ -154,6 +154,7 @@ def load_or_compute(
     slack: float = 0.0,
     workers: int = 1,
     max_bytes: Optional[int] = None,
+    engine: str = "auto",
 ) -> PathProfileSet:
     """``compute_profiles`` with a content-addressed disk cache.
 
@@ -161,7 +162,9 @@ def load_or_compute(
     ``cache_dir``, the cache root (created on demand), and ``max_bytes``,
     the LRU size budget for the directory (None = unbounded).
     ``sources`` and ``hop_bounds`` are materialised up front so they may
-    be generators.
+    be generators.  ``engine`` is deliberately *not* part of the cache
+    key: every engine produces identical profiles (the vec/scalar parity
+    contract), so cached artefacts are engine-independent.
     """
     hop_bounds = tuple(hop_bounds)
     sources = None if sources is None else list(sources)
@@ -207,6 +210,7 @@ def load_or_compute(
             max_rounds=max_rounds,
             slack=slack,
             workers=workers,
+            engine=engine,
         )
         path.parent.mkdir(parents=True, exist_ok=True)
         # The temp name must keep the .npz suffix: np.savez appends one

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from ..obs import MetricsRegistry, get_obs
 from .contact import Node
 from .delivery import DeliveryFunction
+from .floats import is_pinned_zero
 from .temporal_network import TemporalNetwork
 
 DEFAULT_HOP_BOUNDS = (1, 2, 3, 4, 5, 6)
@@ -53,7 +54,14 @@ _Adjacency = Dict[Node, List[_AdjEntry]]
 
 def _build_adjacency(net: TemporalNetwork) -> _Adjacency:
     """Per-node list of (neighbor, sorted contact arrays) — built once per
-    network and shared across all per-source runs."""
+    network and shared across all per-source runs.
+
+    Nodes with no outgoing contacts get *no* entry (readers use
+    ``adjacency.get(u, ())``): on sparse rosters with many isolated
+    nodes — success-rate denominators keep them around — empty entries
+    were pure overhead, and the CSR compilation
+    (:mod:`repro.core.csr`) skips them too, so both layouts agree.
+    """
     adjacency: _Adjacency = {}
     for u in net.nodes:
         entries: List[_AdjEntry] = []
@@ -63,8 +71,19 @@ def _build_adjacency(net: TemporalNetwork) -> _Adjacency:
                 entries.append(
                     (v, edge.ends, edge.begs, edge.suffix_min_beg, edge.ends[-1])
                 )
-        adjacency[u] = entries
+        if entries:
+            adjacency[u] = entries
     return adjacency
+
+
+def _adjacency_for(net: TemporalNetwork) -> _Adjacency:
+    """The cached adjacency of ``net`` (networks are immutable by
+    convention, so sharded runs over one network instance build once)."""
+    cached: Optional[_Adjacency] = getattr(net, "_repro_adjacency_cache", None)
+    if cached is None:
+        cached = _build_adjacency(net)
+        setattr(net, "_repro_adjacency_cache", cached)
+    return cached
 
 
 def _function_from_lists(lds: List[float], eas: List[float]) -> DeliveryFunction:
@@ -300,7 +319,10 @@ def _run_single_source(
         while idx < len(snapshot_rounds) and snapshot_rounds[idx] <= after_round:
             bound = snapshot_rounds[idx]
             if bound == after_round:
-                for node in changed:
+                # repr order canonicalises the snapshot dict (set order
+                # is insertion/hash dependent), so persisted output is
+                # identical across engines and across processes.
+                for node in sorted(changed, key=repr):
                     lds, eas = frontier[node]
                     snapshots[bound][node] = _function_from_lists(lds, eas)
                 changed.clear()
@@ -331,7 +353,7 @@ def _run_single_source(
         for u, pairs in buckets.items():
             pairs.sort()
             eas_sorted = [p[0] for p in pairs]
-            for v, ends, begs, sufmin, last_end in adjacency[u]:
+            for v, ends, begs, sufmin, last_end in adjacency.get(u, ()):
                 if v == source:
                     continue
                 # Entries with EA past the edge's last contact cannot use it.
@@ -473,22 +495,41 @@ class PathProfileSet:
                 yield (source, destination), sp.profile(destination, max_hops)
 
 
-def _run_source_batch(
-    args: "Tuple[_Adjacency, List[Node], Tuple[int, ...], Optional[int], float, bool]",
-) -> "List[Tuple[Node, SourceProfiles]]":
-    """Worker entry point for parallel per-source runs (module level so it
-    pickles under the spawn start method).  Stats objects pickle back to
-    the parent, which folds them into its own registry."""
-    adjacency, batch, bounds, max_rounds, slack, collect_stats = args
-    return [
-        (
-            source,
-            _run_single_source(
-                adjacency, source, bounds, max_rounds, slack, collect_stats
-            ),
-        )
-        for source in batch
-    ]
+#: engine choices accepted by :func:`compute_profiles`.
+ENGINES = ("auto", "scalar", "vec")
+
+#: below this contact count ``engine="auto"`` stays scalar: per-round
+#: numpy dispatch overhead beats list bisects only once rounds carry
+#: hundreds of candidates (see EXPERIMENTS.md for the measured
+#: crossover).
+_AUTO_VEC_MIN_CONTACTS = 512
+
+
+def _resolve_engine(engine: str, slack: float, network: TemporalNetwork) -> str:
+    """Pick the execution engine for one ``compute_profiles`` call.
+
+    ``vec`` is exact-only: slack pruning accepts or rejects a candidate
+    against the frontier *state at insertion time*, which depends on
+    insertion order — something the batched engine deliberately has
+    none of.  ``auto`` therefore selects ``vec`` only for exact runs,
+    and only above a size where the batching pays for itself.  Both
+    engines produce identical profiles, so the choice is never part of
+    a cache key.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "scalar":
+        return "scalar"
+    if engine == "vec":
+        if not is_pinned_zero(slack):
+            raise ValueError(
+                "engine='vec' is exact-only and cannot honour slack > 0; "
+                "use engine='scalar' (or 'auto') for approximate runs"
+            )
+        return "vec"
+    if is_pinned_zero(slack) and network.num_contacts >= _AUTO_VEC_MIN_CONTACTS:
+        return "vec"
+    return "scalar"
 
 
 def compute_profiles(
@@ -498,6 +539,7 @@ def compute_profiles(
     max_rounds: Optional[int] = None,
     slack: float = 0.0,
     workers: int = 1,
+    engine: str = "auto",
 ) -> PathProfileSet:
     """Compute delay-optimal path profiles for all starting times.
 
@@ -519,8 +561,16 @@ def compute_profiles(
             default) is exact.
         workers: number of processes for the per-source runs (the DP is
             per-source separable).  1 (the default) stays in-process;
-            larger values use a process pool — worthwhile from a few
-            thousand contacts upward, where each source costs seconds.
+            larger values use the persistent shared-memory pool
+            (:mod:`repro.core.engine_pool`), which broadcasts the
+            compiled network once and deals sources out as stolen
+            chunks — worthwhile from a few thousand contacts upward.
+        engine: ``"scalar"`` (the reference DP over dict adjacency),
+            ``"vec"`` (batched numpy kernels over the flat CSR arrays,
+            exact-only) or ``"auto"`` (``vec`` for exact runs on
+            non-trivial traces, ``scalar`` otherwise).  Both engines
+            produce identical profiles; the knob trades constant
+            factors, so it is deliberately excluded from cache keys.
 
     Returns:
         A :class:`PathProfileSet`.
@@ -536,6 +586,7 @@ def compute_profiles(
     for node in chosen:
         if node not in network:
             raise KeyError(f"unknown source {node!r}")
+    resolved = _resolve_engine(engine, slack, network)
     obs = get_obs()
     collect = obs.enabled
     with obs.span(
@@ -545,30 +596,48 @@ def compute_profiles(
         contacts=network.num_contacts,
         workers=workers,
         slack=slack,
+        engine=resolved,
     ) as span, obs.timer("optimal.compute_profiles"):
-        adjacency = _build_adjacency(network)
         if workers == 1 or len(chosen) <= 1:
-            by_source = {
-                source: _run_single_source(
-                    adjacency, source, bounds, max_rounds, slack, collect
-                )
-                for source in chosen
-            }
-        else:
-            from concurrent.futures import ProcessPoolExecutor
+            if resolved == "vec":
+                from .csr import csr_for
+                from .engine_vec import run_sources_vec
 
-            pool_size = min(workers, len(chosen))
-            batches = [chosen[i::pool_size] for i in range(pool_size)]
-            by_source = {}
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                jobs = [
-                    (adjacency, batch, bounds, max_rounds, slack, collect)
-                    for batch in batches
-                    if batch
-                ]
-                for results in pool.map(_run_source_batch, jobs):
-                    for source, profiles in results:
-                        by_source[source] = profiles
+                csr = csr_for(network)
+                profiles = run_sources_vec(
+                    csr,
+                    [csr.node_index[source] for source in chosen],
+                    bounds,
+                    max_rounds,
+                    slack,
+                    collect,
+                )
+                by_source = dict(zip(chosen, profiles))
+            else:
+                adjacency = _adjacency_for(network)
+                by_source = {
+                    source: _run_single_source(
+                        adjacency, source, bounds, max_rounds, slack, collect
+                    )
+                    for source in chosen
+                }
+        else:
+            from .csr import csr_for, network_key
+            from .engine_pool import shared_pool
+
+            csr = csr_for(network)
+            node_ids = csr.node_index
+            pool = shared_pool(min(workers, len(chosen)))
+            by_source = pool.run(
+                csr,
+                network_key(network),
+                [node_ids[source] for source in chosen],
+                bounds,
+                max_rounds,
+                slack,
+                collect,
+                resolved,
+            )
         if collect:
             _record_profile_metrics(obs.metrics, by_source.values())
             span.set(

@@ -163,6 +163,7 @@ def compute_profiles_sharded(
     workers: int = 1,
     cache_dir: Optional[PathLike] = None,
     max_bytes: Optional[int] = None,
+    engine: str = "auto",
 ) -> PathProfileSet:
     """``compute_profiles`` in deterministic source shards, then merged.
 
@@ -201,6 +202,7 @@ def compute_profiles_sharded(
                     slack=slack,
                     workers=workers,
                     max_bytes=max_bytes,
+                    engine=engine,
                 )
             else:
                 part = compute_profiles(
@@ -210,6 +212,7 @@ def compute_profiles_sharded(
                     max_rounds=max_rounds,
                     slack=slack,
                     workers=workers,
+                    engine=engine,
                 )
             parts.append(part)
             completed.inc()
@@ -222,6 +225,7 @@ def warm_shard(
     max_hops: int,
     shard_index: int,
     shard_count: int,
+    engine: str = "auto",
 ) -> int:
     """Compute one shard of a trace's profiles into a shared cache.
 
@@ -247,5 +251,6 @@ def warm_shard(
         cache_dir,
         hop_bounds=range(1, max_hops + 1),
         sources=shard,
+        engine=engine,
     )
     return len(shard)

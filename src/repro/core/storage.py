@@ -74,6 +74,42 @@ def _decode_node(token: str) -> Node:
     return int(value) if kind == "i" else value
 
 
+def profiles_digest(profiles: PathProfileSet) -> str:
+    """Canonical content digest of everything :func:`save_profiles`
+    persists: hop bounds, the source roster in order, per-source
+    fixpoint rounds, and every final/snapshot delivery function with
+    exact (``float.hex``) values in stored iteration order.
+
+    Two profile sets digest equally iff their saved ``.npz`` files are
+    content-identical — the archive *bytes* differ across runs (zip
+    member timestamps), so engine-parity checks (scalar vs vec vs
+    worker-pool) compare this digest instead of file hashes.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro.profiles/1\n")
+    h.update(json.dumps(list(profiles.hop_bounds)).encode("utf-8"))
+    h.update(b"\n")
+
+    def feed(func: DeliveryFunction) -> None:
+        for ld, ea in zip(func.lds, func.eas):
+            h.update(f"{float(ld).hex()},{float(ea).hex()};".encode("utf-8"))
+        h.update(b"\n")
+
+    for source in profiles.sources:
+        sp = profiles.source_profiles(source)
+        h.update(f"src {_encode_node(source)} r{sp.rounds}\n".encode("utf-8"))
+        for destination in sp.destinations():
+            h.update(f"f {_encode_node(destination)} ".encode("utf-8"))
+            feed(sp.profile(destination, None))
+        for bound in profiles.hop_bounds:
+            for destination, func in sp._snapshots.get(bound, {}).items():
+                h.update(
+                    f"b{bound} {_encode_node(destination)} ".encode("utf-8")
+                )
+                feed(func)
+    return h.hexdigest()
+
+
 def save_profiles(profiles: PathProfileSet, path: PathLike) -> None:
     """Write a profile set to a compressed ``.npz`` file."""
     arrays: Dict[str, np.ndarray] = {}

@@ -491,6 +491,7 @@ class ReproService:
             "argv": job.spec.to_argv(str(self.profile_cache_dir)),
             "test_delay_s": 0.0,
             "priority": job.spec.priority,
+            "engine": job.spec.engine,
             "on_running": self._mark_running,
             "trace_id": job.trace_id,
             "parent_span": job.span_id,
@@ -753,6 +754,7 @@ class ReproService:
                 "argv": spec.to_argv(str(self.profile_cache_dir)),
                 "test_delay_s": 0.0,
                 "priority": spec.priority,
+                "engine": spec.engine,
                 "on_running": self._mark_running,
                 "trace_id": ctx.trace_id,
                 "parent_span": exec_span_id,
@@ -916,6 +918,7 @@ class ReproService:
                     "argv": spec.to_argv(str(self.profile_cache_dir)),
                     "test_delay_s": spec.test_delay_s,
                     "priority": spec.priority,
+                    "engine": spec.engine,
                     "on_running": self._mark_running,
                     "trace_id": ctx.trace_id,
                     "parent_span": exec_span_id,
@@ -1043,6 +1046,7 @@ class ReproService:
                 "max_hops": spec.max_hops,
                 "shard_index": index,
                 "shard_count": len(plan),
+                "engine": spec.engine,
                 "cache_dir": str(self.profile_cache_dir),
                 "test_delay_s": spec.test_delay_s,
                 "priority": spec.priority,

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..core.cache import profile_cache_key
+from ..core.optimal import ENGINES
 from ..core.temporal_network import TemporalNetwork
 from ..obs import get_obs
 from ..traces.format import read_contacts
@@ -84,6 +85,11 @@ class JobSpec:
     test_delay_s: float = 0.0
     shards: int = 1
     priority: str = "interactive"
+    #: profile-DP implementation (``repro.core.optimal.ENGINES``).
+    #: Excluded from the job key like ``shards``: every engine produces
+    #: byte-identical responses (the vec/scalar parity contract), so
+    #: requests differing only in engine coalesce into one job.
+    engine: str = "auto"
 
     def to_argv(self, cache_dir: Optional[str] = None) -> List[str]:
         """The equivalent ``repro`` CLI invocation."""
@@ -99,6 +105,8 @@ class JobSpec:
             argv += ["--eps", str(self.eps)]
         if self.shards > 1:
             argv += ["--shards", str(self.shards)]
+        if self.engine != "auto":
+            argv += ["--engine", self.engine]
         if cache_dir is not None:
             argv += ["--cache-dir", cache_dir]
         return argv
@@ -118,6 +126,7 @@ class JobSpec:
             "eps": self.eps,
             "shards": self.shards,
             "priority": self.priority,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -131,7 +140,9 @@ class JobSpec:
             )
         eps = document.get("eps")
         priority = document.get("priority", "interactive")
+        engine = document.get("engine", "auto")
         return cls(
+            engine=str(engine) if engine in ENGINES else "auto",
             command=str(command),
             trace=trace,
             max_hops=int(document.get("max_hops", 1) or 1),
@@ -166,7 +177,13 @@ def normalize_request(
     if not isinstance(body, dict):
         raise BadRequest("request body must be a JSON object")
     defaults = _COMMAND_DEFAULTS[command]
-    allowed = set(defaults) | {"trace", "shards", "priority", "_test_delay_s"}
+    allowed = set(defaults) | {
+        "trace",
+        "shards",
+        "priority",
+        "engine",
+        "_test_delay_s",
+    }
     unknown = sorted(set(body) - allowed)
     if unknown:
         raise BadRequest(
@@ -208,6 +225,12 @@ def normalize_request(
             field="priority",
         )
 
+    engine = body.get("engine", "auto")
+    if engine not in ENGINES:
+        raise BadRequest(
+            f"engine must be one of {', '.join(ENGINES)}", field="engine"
+        )
+
     test_delay_s = 0.0
     if "_test_delay_s" in body:
         if not allow_test_delay:
@@ -236,6 +259,7 @@ def normalize_request(
         test_delay_s=test_delay_s,
         shards=shards,
         priority=str(priority),
+        engine=str(engine),
     )
 
 

@@ -80,6 +80,7 @@ def _run_payload(task: Task) -> int:
             max_hops=int(task["max_hops"]),
             shard_index=int(task["shard_index"]),
             shard_count=int(task["shard_count"]),
+            engine=str(task.get("engine", "auto")),
         )
         return 0
     from ..cli import main as cli_main
@@ -131,6 +132,8 @@ def execute_task(task: Task) -> Result:
         span_attrs["shard"] = (
             f"{int(task['shard_index']) + 1}/{int(task['shard_count'])}"
         )
+    if "engine" in task:
+        span_attrs["engine"] = str(task["engine"])
     out = io.StringIO()
     err = io.StringIO()
     result: Result
@@ -575,6 +578,8 @@ class WorkerPool:
             attrs["shard"] = (
                 f"{int(task['shard_index']) + 1}/{int(task['shard_count'])}"
             )
+        if "engine" in task:
+            attrs["engine"] = str(task["engine"])
         sink(
             {
                 "trace_id": str(task["trace_id"]),

@@ -1,0 +1,167 @@
+"""CSR compilation: layout vs the dict adjacency, zero-copy round trip,
+per-network caching and the isolated-node skip both layouts share."""
+
+import numpy as np
+import pytest
+
+from repro.core import Contact, TemporalNetwork, compute_profiles
+from repro.core.csr import CSRNetwork, build_csr, csr_for, network_key
+from repro.core.optimal import _build_adjacency
+from repro.obs import observed
+
+
+@pytest.fixture
+def net():
+    contacts = [
+        Contact(0.0, 10.0, 0, 1),
+        Contact(5.0, 15.0, 1, 2),
+        Contact(5.0, 15.0, 0, 2),
+        Contact(20.0, 30.0, 2, 3),
+        Contact(2.0, 30.0, 3, 0),
+        Contact(1.0, 4.0, 1, 3),
+    ]
+    return TemporalNetwork(contacts, nodes=range(5))
+
+
+@pytest.fixture
+def isolated_net():
+    """Nodes 3..5 have no contacts at all (roster padding)."""
+    contacts = [
+        Contact(0.0, 10.0, 0, 1),
+        Contact(5.0, 20.0, 1, 2),
+    ]
+    return TemporalNetwork(contacts, nodes=range(6))
+
+
+class TestLayout:
+    def test_matches_dict_adjacency(self, net):
+        csr = build_csr(net)
+        adjacency = _build_adjacency(net)
+        assert csr.nodes == list(net.nodes)
+        for ui, u in enumerate(csr.nodes):
+            e0, e1 = csr.edge_offsets[ui], csr.edge_offsets[ui + 1]
+            entries = adjacency.get(u, [])
+            assert e1 - e0 == len(entries)
+            for e, (v, ends, begs, sufmin, last_end) in zip(
+                range(e0, e1), entries
+            ):
+                assert csr.nodes[csr.edge_dst[e]] == v
+                c0, c1 = csr.contact_offsets[e], csr.contact_offsets[e + 1]
+                assert csr.ends[c0:c1].tolist() == ends
+                assert csr.begs[c0:c1].tolist() == begs
+                assert csr.suffix_min_beg[c0:c1].tolist() == sufmin
+                assert csr.edge_last_end[e] == last_end
+
+    def test_to_adjacency_round_trip(self, net):
+        rebuilt = build_csr(net).to_adjacency()
+        assert rebuilt == _build_adjacency(net)
+
+    def test_counts(self, net):
+        csr = build_csr(net)
+        assert csr.num_nodes == len(net)
+        # Undirected contacts occupy one directed slot per direction.
+        assert csr.num_contact_slots == 2 * net.num_contacts
+        assert csr.contact_offsets[-1] == csr.num_contact_slots
+
+    def test_nodes_without_contacts_get_empty_edge_slices(self, isolated_net):
+        csr = build_csr(isolated_net)
+        adjacency = _build_adjacency(isolated_net)
+        # Both layouts skip contact-less nodes instead of carrying empty
+        # entries: the dict has no key, the CSR an empty edge slice.
+        for u in (3, 4, 5):
+            assert u not in adjacency
+            assert csr.edge_offsets[u] == csr.edge_offsets[u + 1]
+        assert csr.num_nodes == 6  # the roster itself is preserved
+
+    def test_isolated_sources_still_compute(self, isolated_net):
+        """Regression: skipping contact-less nodes in the adjacency must
+        not drop them from the computation — they are valid (empty)
+        sources and valid destinations, on every engine."""
+        for engine in ("scalar", "vec"):
+            profiles = compute_profiles(
+                isolated_net, hop_bounds=(1, 2), engine=engine
+            )
+            assert list(profiles.sources) == list(isolated_net.nodes)
+            for source in (3, 4, 5):
+                sp = profiles.source_profiles(source)
+                assert list(sp.destinations()) == []
+                func = profiles.profile(source, 0, None)
+                assert func.delivery_time(0.0) == float("inf")
+            # Isolated nodes are unreachable destinations too.
+            assert profiles.profile(0, 4, None).delivery_time(0.0) == float(
+                "inf"
+            )
+
+
+class TestPackRoundTrip:
+    def test_round_trip_equality(self, net):
+        csr = build_csr(net)
+        buf = bytearray(csr.packed_nbytes())
+        written = csr.pack_into(buf)
+        assert written == len(buf)
+        back = CSRNetwork.from_buffer(buf)
+        assert back.nodes == csr.nodes
+        assert back.directed == csr.directed
+        for name in (
+            "edge_offsets",
+            "edge_dst",
+            "edge_last_end",
+            "contact_offsets",
+            "ends",
+            "begs",
+            "suffix_min_beg",
+            # derived rank-space arrays are recomputed on attach and
+            # must land identical
+            "uniq_ends",
+            "end_keys",
+            "time_table",
+            "ends_rank",
+            "begs_rank",
+            "sufmin_rank",
+        ):
+            np.testing.assert_array_equal(
+                getattr(back, name), getattr(csr, name), err_msg=name
+            )
+
+    def test_views_are_zero_copy(self, net):
+        csr = build_csr(net)
+        buf = bytearray(csr.packed_nbytes())
+        csr.pack_into(buf)
+        back = CSRNetwork.from_buffer(buf)
+        # The packed arrays must be views over the buffer, not copies.
+        assert not back.ends.flags["OWNDATA"]
+        assert not back.edge_offsets.flags["OWNDATA"]
+
+    def test_undersized_buffer_rejected(self, net):
+        csr = build_csr(net)
+        with pytest.raises(ValueError, match="bytes"):
+            csr.pack_into(bytearray(csr.packed_nbytes() - 1))
+
+    def test_garbage_buffer_rejected(self):
+        with pytest.raises(ValueError, match="packed CSRNetwork"):
+            CSRNetwork.from_buffer(bytearray(64))
+
+
+class TestCaching:
+    def test_same_object_compiles_once(self, net):
+        with observed() as run:
+            first = csr_for(net)
+            second = csr_for(net)
+        assert second is first
+        counters = run.metrics.to_dict()["counters"]
+        assert counters["engine.csr.miss"] == 1
+        assert counters["engine.csr.hit"] == 1
+
+    def test_equal_content_shares_compilation(self, tmp_path):
+        from repro.traces.format import read_contacts
+
+        path = tmp_path / "t.txt"
+        path.write_text("0 1 0 100\n1 2 0 100\n")
+        a = read_contacts(path)
+        b = read_contacts(path)
+        assert a is not b
+        assert network_key(a) == network_key(b)
+        assert csr_for(b) is csr_for(a)
+
+    def test_network_key_stable_per_object(self, net):
+        assert network_key(net) == network_key(net)

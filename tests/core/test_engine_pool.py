@@ -1,0 +1,173 @@
+"""The shared-memory worker pool: parity with in-process runs, the
+broadcast-exactly-once ledger, lazy worker spawning and segment
+lifecycle (explicit unlink on close)."""
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.core import Contact, TemporalNetwork, compute_profiles, profiles_digest
+from repro.core.csr import csr_for, network_key
+from repro.core.engine_pool import SharedCSRPool, close_pools, shared_pool
+from repro.obs import observed
+
+
+@pytest.fixture
+def net(rng):
+    """A random-but-deterministic network big enough to shard into
+    several chunks, small enough to compute in well under a second."""
+    contacts = []
+    for _ in range(120):
+        u, v = rng.choice(12, size=2, replace=False)
+        beg = round(float(rng.uniform(0.0, 50.0)), 1)
+        dur = round(float(rng.uniform(0.0, 8.0)), 1)
+        contacts.append(Contact(beg, round(beg + dur, 1), int(u), int(v)))
+    return TemporalNetwork(contacts, nodes=range(12))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    close_pools()
+    yield
+    close_pools()
+
+
+BOUNDS = (1, 2, 3)
+
+
+class TestWorkerParity:
+    @pytest.mark.parametrize("engine", ["scalar", "vec"])
+    def test_pool_matches_in_process_scalar(self, net, engine):
+        reference = compute_profiles(net, hop_bounds=BOUNDS, engine="scalar")
+        pooled = compute_profiles(
+            net, hop_bounds=BOUNDS, workers=2, engine=engine
+        )
+        assert profiles_digest(pooled) == profiles_digest(reference)
+
+    def test_pool_respects_source_subset(self, net):
+        sources = list(net.nodes)[:5]
+        reference = compute_profiles(
+            net, hop_bounds=BOUNDS, sources=sources, engine="scalar"
+        )
+        pooled = compute_profiles(
+            net, hop_bounds=BOUNDS, sources=sources, workers=2, engine="vec"
+        )
+        assert profiles_digest(pooled) == profiles_digest(reference)
+
+
+class TestBroadcastLedger:
+    def test_network_ships_exactly_once(self, net):
+        """The acceptance counter check: repeat runs on one network must
+        reuse the segment (zero new broadcasts) and keep per-task pickle
+        traffic orders of magnitude below the network itself."""
+        csr = csr_for(net)
+        with observed() as cold:
+            compute_profiles(net, hop_bounds=BOUNDS, workers=2, engine="vec")
+        counters = cold.metrics.to_dict()["counters"]
+        assert counters["engine.pool.broadcasts"] == 1
+        assert counters["engine.pool.broadcast_bytes"] == csr.packed_nbytes()
+        assert "engine.pool.broadcast_reused" not in counters
+        assert counters["engine.pool.spawns"] >= 1
+        # Task envelopes carry a segment name + source ids, not arrays.
+        assert counters["engine.pool.task_bytes"] < csr.packed_nbytes()
+
+        with observed() as warm:
+            compute_profiles(net, hop_bounds=BOUNDS, workers=2, engine="vec")
+        counters = warm.metrics.to_dict()["counters"]
+        assert "engine.pool.broadcasts" not in counters
+        assert counters["engine.pool.broadcast_reused"] == 1
+        assert counters.get("engine.pool.spawns", 0) == 0  # workers are warm
+
+    def test_lazy_spawn_matches_chunk_count(self, net):
+        """A run dealing fewer chunks than the pool width must not wake
+        the extra workers (cold workers re-fault their whole working
+        set when they later steal a task)."""
+        pool = SharedCSRPool(workers=4)
+        try:
+            csr = csr_for(net)
+            with observed() as run:
+                pool.run(
+                    csr,
+                    network_key(net),
+                    [0],  # one source -> one chunk
+                    BOUNDS,
+                    None,
+                    0.0,
+                    False,
+                    "vec",
+                )
+            counters = run.metrics.to_dict()["counters"]
+            assert counters["engine.pool.spawns"] == 1
+            assert len(pool._procs) == 1
+        finally:
+            pool.close()
+
+
+class TestSegmentLifecycle:
+    def test_close_pools_unlinks_segments(self, net):
+        compute_profiles(net, hop_bounds=BOUNDS, workers=2, engine="vec")
+        pool = shared_pool(2)
+        names = [shm.name for shm in pool._segments.values()]
+        assert names
+        close_pools()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_closed_pool_rejects_work(self, net):
+        pool = SharedCSRPool(workers=2)
+        pool.close()
+        assert pool.broken
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(
+                csr_for(net), network_key(net), [0], BOUNDS, None, 0.0,
+                False, "vec",
+            )
+
+    def test_broken_pool_is_rebuilt(self, net):
+        first = shared_pool(2)
+        first.close()
+        second = shared_pool(2)
+        assert second is not first
+        assert not second.broken
+
+    def test_worker_failure_closes_pool(self, net):
+        pool = SharedCSRPool(workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="worker"):
+                # An unknown segment name makes the worker raise.
+                pool._sequence += 1
+                pool._ensure_workers(1)
+                pool._tasks.put(
+                    {
+                        "id": (pool._sequence, 0),
+                        "shm": "repro-no-such-segment",
+                        "sources": [0],
+                        "bounds": BOUNDS,
+                        "max_rounds": None,
+                        "slack": 0.0,
+                        "collect": False,
+                        "engine": "vec",
+                    }
+                )
+                pending = 1
+                while pending:
+                    _, status, payload = pool._results.get(timeout=10.0)
+                    if status == "error":
+                        raise RuntimeError(
+                            f"profile pool worker failed:\n{payload}"
+                        )
+                    pending -= 1
+        finally:
+            pool.close()
+
+
+class TestStatsRideAlong:
+    def test_observed_pool_run_collects_stats(self, net):
+        with observed():
+            pooled = compute_profiles(
+                net, hop_bounds=BOUNDS, workers=2, engine="vec"
+            )
+        sp = pooled.source_profiles(0)
+        assert sp.stats is not None
+        assert sp.stats.frontier_points >= 0

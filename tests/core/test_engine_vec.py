@@ -1,0 +1,172 @@
+"""Vec/scalar engine parity: the vectorized CSR kernel must be *exactly*
+the scalar DP — same (LD, EA) floats, same snapshot structure, same
+fixpoint round counts, same storage digest — and both must agree with
+the independent generalized-Dijkstra baseline.
+
+Random networks here deliberately include duplicate contact end times
+(times are drawn on a coarse grid): equal ends are where sort-order and
+tie-breaking bugs in a batched kernel hide.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import earliest_arrival
+from repro.baselines.event_flooding import sample_times
+from repro.core import Contact, TemporalNetwork, compute_profiles, profiles_digest
+from repro.core.optimal import _AUTO_VEC_MIN_CONTACTS, _resolve_engine
+
+from ..conftest import small_networks
+
+INF = math.inf
+
+shared_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def gridded_networks(draw, max_nodes: int = 6, max_contacts: int = 18):
+    """Small networks whose times live on an integer grid, so duplicate
+    contact end times (across contacts and across edges) are common."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_contacts))
+    contacts = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(
+            st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != u)
+        )
+        beg = draw(st.integers(min_value=0, max_value=8))
+        dur = draw(st.integers(min_value=0, max_value=4))
+        contacts.append(Contact(float(beg), float(beg + dur), u, v))
+    return TemporalNetwork(contacts, nodes=range(n))
+
+
+def assert_profiles_identical(scalar, vec, bounds):
+    """Exact structural equality: not approx — the same float lists."""
+    assert list(vec.sources) == list(scalar.sources)
+    for source in scalar.sources:
+        sp = scalar.source_profiles(source)
+        vp = vec.source_profiles(source)
+        assert vp.rounds == sp.rounds, source
+        assert list(vp.destinations()) == list(sp.destinations()), source
+        for destination in sp.destinations():
+            for bound in tuple(bounds) + (None,):
+                f = sp.profile(destination, bound)
+                g = vp.profile(destination, bound)
+                assert list(g.lds) == list(f.lds), (source, destination, bound)
+                assert list(g.eas) == list(f.eas), (source, destination, bound)
+        # Snapshot *structure* must match too (which bounds recorded a
+        # change, and for which destinations) — profile() fallbacks
+        # could otherwise mask a divergence.
+        assert set(vp._snapshots) == set(sp._snapshots)
+        for bound, snap in sp._snapshots.items():
+            assert set(vp._snapshots[bound]) == set(snap), (source, bound)
+
+
+class TestParityProperties:
+    @shared_settings
+    @given(net=small_networks())
+    def test_random_networks(self, net):
+        bounds = (1, 2, 3)
+        scalar = compute_profiles(net, hop_bounds=bounds, engine="scalar")
+        vec = compute_profiles(net, hop_bounds=bounds, engine="vec")
+        assert_profiles_identical(scalar, vec, bounds)
+
+    @shared_settings
+    @given(net=gridded_networks())
+    def test_duplicate_end_times(self, net):
+        bounds = (1, 2)
+        scalar = compute_profiles(net, hop_bounds=bounds, engine="scalar")
+        vec = compute_profiles(net, hop_bounds=bounds, engine="vec")
+        assert_profiles_identical(scalar, vec, bounds)
+
+    @shared_settings
+    @given(net=gridded_networks(max_nodes=5, max_contacts=12))
+    def test_vec_matches_dijkstra(self, net):
+        """Three-way agreement: the vec kernel against the independent
+        single-start Dijkstra baseline (scalar vs Dijkstra is covered in
+        test_cross_validation.py)."""
+        vec = compute_profiles(net, hop_bounds=(1,), engine="vec")
+        probes = sample_times(net)[:6]
+        for source in net.nodes:
+            for t in probes:
+                arrivals = earliest_arrival(net, source, t)
+                for destination in net.nodes:
+                    if destination == source:
+                        continue
+                    func = vec.profile(source, destination, None)
+                    assert func.delivery_time(t) == arrivals.get(
+                        destination, INF
+                    ), (source, destination, t)
+
+    @shared_settings
+    @given(
+        net=small_networks(max_nodes=5, max_contacts=12),
+        cap=st.integers(min_value=1, max_value=4),
+    )
+    def test_max_rounds_cap_parity(self, net, cap):
+        bounds = (1, 2)
+        scalar = compute_profiles(
+            net, hop_bounds=bounds, max_rounds=cap, engine="scalar"
+        )
+        vec = compute_profiles(
+            net, hop_bounds=bounds, max_rounds=cap, engine="vec"
+        )
+        assert_profiles_identical(scalar, vec, bounds)
+
+
+class TestStorageParity:
+    @shared_settings
+    @given(net=gridded_networks())
+    def test_profiles_digest_equal(self, net):
+        """The storage-level parity contract: what save_profiles would
+        persist is content-identical across engines."""
+        bounds = (1, 2)
+        scalar = compute_profiles(net, hop_bounds=bounds, engine="scalar")
+        vec = compute_profiles(net, hop_bounds=bounds, engine="vec")
+        assert profiles_digest(vec) == profiles_digest(scalar)
+
+    def test_saved_files_load_back_equal(self, tmp_path):
+        from repro.core import load_profiles, save_profiles
+
+        contacts = [
+            Contact(0.0, 10.0, 0, 1),
+            Contact(5.0, 15.0, 1, 2),
+            Contact(5.0, 15.0, 0, 2),
+            Contact(12.0, 30.0, 2, 3),
+        ]
+        net = TemporalNetwork(contacts, nodes=range(4))
+        bounds = (1, 2)
+        scalar = compute_profiles(net, hop_bounds=bounds, engine="scalar")
+        vec = compute_profiles(net, hop_bounds=bounds, engine="vec")
+        save_profiles(vec, tmp_path / "vec.npz")
+        loaded = load_profiles(tmp_path / "vec.npz", net)
+        assert profiles_digest(loaded) == profiles_digest(scalar)
+
+
+class TestEngineSelection:
+    def test_vec_rejects_slack(self, line_network):
+        with pytest.raises(ValueError, match="exact-only"):
+            compute_profiles(line_network, slack=5.0, engine="vec")
+
+    def test_unknown_engine_rejected(self, line_network):
+        with pytest.raises(ValueError, match="engine"):
+            compute_profiles(line_network, engine="turbo")
+
+    def test_auto_stays_scalar_below_crossover(self, line_network):
+        assert line_network.num_contacts < _AUTO_VEC_MIN_CONTACTS
+        assert _resolve_engine("auto", 0.0, line_network) == "scalar"
+
+    def test_auto_stays_scalar_with_slack(self, line_network):
+        assert _resolve_engine("auto", 3.0, line_network) == "scalar"
+
+    def test_explicit_choices_respected(self, line_network):
+        assert _resolve_engine("scalar", 0.0, line_network) == "scalar"
+        assert _resolve_engine("vec", 0.0, line_network) == "vec"

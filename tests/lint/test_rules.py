@@ -132,6 +132,19 @@ class TestScoping:
             == ["REP003"]
         )
 
+    def test_rep003_covers_the_vectorized_engine(self):
+        """The batched kernel's round loop is exactly the hot path the
+        hoisting contract exists for — pin it inside REP003's scope.
+        (REP005 fires too — the fixture is unannotated and both rules
+        scope over core/ — so assert membership, not the full list.)"""
+        source, _ = load_fixture("rep003_violation")
+        assert "REP003" in codes_of(
+            lint_source(source, "src/repro/core/engine_vec.py")
+        )
+        assert "REP003" in codes_of(
+            lint_source(source, "src/repro/core/engine_pool.py")
+        )
+
     def test_rep004_wall_clock_allowed_in_obs(self):
         source = "import time\n\ndef stamp() -> float:\n    return time.time()\n"
         assert lint_source(source, "src/repro/obs/spans.py") == []

@@ -71,6 +71,33 @@ class TestNormalizeRequest:
         with pytest.raises(BadRequest):
             normalize_request("delay-cdf", {"trace": trace, "eps": 0.01})
 
+    def test_engine_default_and_explicit(self, trace):
+        spec = normalize_request("diameter", {"trace": trace})
+        assert spec.engine == "auto"
+        assert "--engine" not in spec.to_argv()
+        spec = normalize_request(
+            "diameter", {"trace": trace, "engine": "vec"}
+        )
+        assert spec.engine == "vec"
+        argv = spec.to_argv()
+        assert argv[argv.index("--engine") + 1] == "vec"
+
+    @pytest.mark.parametrize("engine", ["turbo", 3, None, True])
+    def test_bad_engine(self, trace, engine):
+        with pytest.raises(BadRequest) as exc:
+            normalize_request(
+                "diameter", {"trace": trace, "engine": engine}
+            )
+        assert exc.value.field == "engine"
+
+    def test_engine_survives_document_round_trip(self, trace):
+        from repro.service.jobs import JobSpec
+
+        spec = normalize_request(
+            "diameter", {"trace": trace, "engine": "scalar"}
+        )
+        assert JobSpec.from_document(spec.to_document()).engine == "scalar"
+
     def test_test_delay_gated(self, trace):
         with pytest.raises(BadRequest):
             normalize_request("diameter", {"trace": trace, "_test_delay_s": 1})
@@ -97,6 +124,20 @@ class TestJobKey:
         cdf = normalize_request("delay-cdf", {"trace": trace, "max_hops": 8,
                                               "grid_points": 40})
         assert job_key(cdf, net) != base
+
+    def test_engine_excluded_from_key(self, trace):
+        """Engines are byte-identical (the parity contract), so requests
+        differing only in engine must coalesce into one job."""
+        net = read_contacts(trace)
+        auto = normalize_request("diameter", {"trace": trace})
+        vec = normalize_request(
+            "diameter", {"trace": trace, "engine": "vec"}
+        )
+        scalar = normalize_request(
+            "diameter", {"trace": trace, "engine": "scalar"}
+        )
+        assert job_key(vec, net) == job_key(auto, net)
+        assert job_key(scalar, net) == job_key(auto, net)
 
     def test_test_delay_excluded_from_key(self, trace):
         """The fault-injection knob cannot change response bytes, so it

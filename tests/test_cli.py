@@ -211,6 +211,51 @@ class TestShardParity:
         assert "must be >= 1" in capsys.readouterr().err
 
 
+class TestEngineParity:
+    """Engine selection must be invisible in the output: ``--engine vec``
+    byte-identical to ``--engine scalar`` (and to the default)."""
+
+    @pytest.mark.parametrize(
+        "command,extra",
+        [
+            ("diameter", ["--max-hops", "6", "--grid-points", "8"]),
+            ("delay-cdf", ["--max-hops", "3"]),
+        ],
+    )
+    def test_engine_does_not_change_output(
+        self, trace_file, capsys, command, extra
+    ):
+        assert main(
+            [command, str(trace_file), *extra, "--engine", "scalar"]
+        ) == 0
+        scalar = capsys.readouterr().out
+        assert main(
+            [command, str(trace_file), *extra, "--engine", "vec"]
+        ) == 0
+        vec = capsys.readouterr().out
+        assert main([command, str(trace_file), *extra]) == 0
+        auto = capsys.readouterr().out
+        assert vec == scalar
+        assert auto == scalar
+
+    def test_engine_composes_with_workers_and_shards(
+        self, trace_file, capsys
+    ):
+        args = ["delay-cdf", str(trace_file), "--max-hops", "3"]
+        assert main([*args, "--engine", "scalar"]) == 0
+        reference = capsys.readouterr().out
+        assert main(
+            [*args, "--engine", "vec", "--workers", "2", "--shards", "2"]
+        ) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_unknown_engine_rejected(self, trace_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["diameter", str(trace_file), "--engine", "turbo"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestDegenerateTrace:
     """An empty or zero-span trace must fail loudly, not emit nonsense
     statistics over a zero-measure observation window."""

@@ -604,6 +604,161 @@ class TestLockwatchExport:
             va.validate_lockwatch_export(tmp_path / "absent.jsonl")
 
 
+def _engine_summary(phase, **overrides):
+    datasets = {
+        "infocom05": {
+            "nodes": 41, "contacts": 22459, "sources": 41,
+            "scalar_s": 4.0, "vec_s": 1.0, "speedup": 4.0,
+            "parity_sha256": "a" * 64,
+        },
+        "reality": {
+            "nodes": 97, "contacts": 54667, "sources": 97,
+            "scalar_s": 6.0, "vec_s": 2.0, "speedup": 3.0,
+            "parity_sha256": "b" * 64,
+        },
+    }
+    summary = {
+        "phase": phase,
+        "workers": 4,
+        "hop_bounds": [1, 2, 3],
+        "datasets": datasets,
+        "scalar_s": 10.0,
+        "vec_s": 3.0,
+        "speedup": 10.0 / 3.0,
+        "parity_ok": True,
+    }
+    summary.update(overrides)
+    return summary
+
+
+def _engine_counters(phase):
+    if phase == "cold":
+        return {
+            "engine.pool.broadcasts": 2,
+            "engine.pool.broadcast_bytes": 900_000,
+            "engine.pool.broadcast_reused": 2,
+            "engine.pool.task_bytes": 7_000,
+            "engine.pool.spawns": 4,
+        }
+    return {
+        "engine.pool.broadcasts": 0,
+        "engine.pool.broadcast_reused": 4,
+        "engine.pool.task_bytes": 7_000,
+    }
+
+
+def _engine_artifact(tmp_path, phase, summary=None, counters=None):
+    payload = _bench_payload(bench=f"engine.{phase}")
+    payload["manifest"]["params"] = {
+        "engine": _engine_summary(phase) if summary is None else summary
+    }
+    payload["metrics"]["counters"] = (
+        _engine_counters(phase) if counters is None else counters
+    )
+    return _write(tmp_path / f"BENCH_engine.{phase}.json", payload)
+
+
+class TestEnginePair:
+    def _pair(self, tmp_path, **kwargs):
+        cold = _engine_artifact(tmp_path, "cold", **kwargs)
+        warm = _engine_artifact(tmp_path, "warm")
+        return cold, warm
+
+    def test_clean_pair_passes(self, tmp_path):
+        cold, warm = self._pair(tmp_path)
+        lines = va.validate_engine_pair(cold, warm, min_speedup=2.0)
+        assert any("cold: 3.33x" in line for line in lines)
+        assert any("0 re-broadcasts" in line for line in lines)
+        assert any("2 dataset hash(es)" in line for line in lines)
+
+    def test_missing_summary_fails(self, tmp_path):
+        payload = _bench_payload(bench="engine.cold")
+        payload["manifest"]["params"] = {}
+        cold = _write(tmp_path / "cold.json", payload)
+        warm = _engine_artifact(tmp_path, "warm")
+        with pytest.raises(va.ValidationError, match="engine summary"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_parity_flag_false_fails(self, tmp_path):
+        summary = _engine_summary("cold", parity_ok=False)
+        cold, warm = self._pair(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="parity_ok"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_nonpositive_speedup_fails(self, tmp_path):
+        summary = _engine_summary("cold")
+        summary["datasets"] = dict(summary["datasets"])
+        summary["datasets"]["reality"] = dict(
+            summary["datasets"]["reality"], vec_s=0.0
+        )
+        cold, warm = self._pair(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="positive"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_missing_parity_hash_fails(self, tmp_path):
+        summary = _engine_summary("cold")
+        summary["datasets"] = dict(summary["datasets"])
+        summary["datasets"]["reality"] = dict(summary["datasets"]["reality"])
+        del summary["datasets"]["reality"]["parity_sha256"]
+        cold, warm = self._pair(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="parity_sha256"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_hash_drift_between_runs_fails(self, tmp_path):
+        summary = _engine_summary("cold")
+        summary["datasets"] = dict(summary["datasets"])
+        summary["datasets"]["reality"] = dict(
+            summary["datasets"]["reality"], parity_sha256="c" * 64
+        )
+        cold, warm = self._pair(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="deterministic"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_dataset_roster_mismatch_fails(self, tmp_path):
+        summary = _engine_summary("cold")
+        summary["datasets"] = {
+            "infocom05": summary["datasets"]["infocom05"]
+        }
+        cold, warm = self._pair(tmp_path, summary=summary)
+        with pytest.raises(va.ValidationError, match="roster"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_wrong_cold_broadcast_count_fails(self, tmp_path):
+        counters = dict(_engine_counters("cold"))
+        counters["engine.pool.broadcasts"] = 4
+        cold, warm = self._pair(tmp_path, counters=counters)
+        with pytest.raises(va.ValidationError, match="exactly one"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_task_traffic_exceeding_broadcast_fails(self, tmp_path):
+        counters = dict(_engine_counters("cold"))
+        counters["engine.pool.task_bytes"] = 10_000_000
+        cold, warm = self._pair(tmp_path, counters=counters)
+        with pytest.raises(va.ValidationError, match="dwarfed"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_warm_rebroadcast_fails(self, tmp_path):
+        cold = _engine_artifact(tmp_path, "cold")
+        warm = _engine_artifact(
+            tmp_path, "warm", counters=_engine_counters("cold")
+        )
+        with pytest.raises(va.ValidationError, match="re-broadcast"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_warm_without_reuse_fails(self, tmp_path):
+        cold = _engine_artifact(tmp_path, "cold")
+        warm = _engine_artifact(
+            tmp_path, "warm", counters={"engine.pool.broadcasts": 0}
+        )
+        with pytest.raises(va.ValidationError, match="reused fewer"):
+            va.validate_engine_pair(cold, warm)
+
+    def test_min_speedup_gate_fails(self, tmp_path):
+        cold, warm = self._pair(tmp_path)
+        with pytest.raises(va.ValidationError, match="below the required"):
+            va.validate_engine_pair(cold, warm, min_speedup=5.0)
+
+
 class TestCli:
     def test_bench_subcommand_exit_codes(self, tmp_path, capsys):
         _write(tmp_path / "BENCH_a.json", _bench_payload())
@@ -648,6 +803,16 @@ class TestCli:
         )
         assert va.main(["lint", str(dirty), "--expect-clean"]) == 1
         assert "expected a clean" in capsys.readouterr().err
+
+    def test_engine_subcommand_exit_codes(self, tmp_path, capsys):
+        cold = _engine_artifact(tmp_path, "cold")
+        warm = _engine_artifact(tmp_path, "warm")
+        argv = ["engine", str(cold), str(warm), "--min-speedup", "2.0"]
+        assert va.main(argv) == 0
+        assert "parity" in capsys.readouterr().out
+        argv = ["engine", str(cold), str(warm), "--min-speedup", "5.0"]
+        assert va.main(argv) == 1
+        assert "below the required" in capsys.readouterr().err
 
     def test_lockwatch_subcommand_exit_codes(self, tmp_path, capsys):
         path = _lockwatch_export(tmp_path)
